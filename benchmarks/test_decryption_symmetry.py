@@ -1,0 +1,57 @@
+"""Footnote 1 benchmark: decryption performance mirrors encryption.
+
+The paper only reports encryption numbers, noting "because of the symmetry
+between the encryption and decryption algorithms, performance was comparable
+for these codes for all experiments."  This benchmark measures both
+directions of every optimized kernel on the 4W machine and asserts the
+symmetry -- with one interesting nuance the paper leaves implicit: CBC
+*decryption* has no output-feedback recurrence (each block's cipher input is
+ciphertext, available immediately), so on sufficiently wide machines
+decryption can exceed encryption throughput.
+"""
+
+from conftest import run_once
+
+from repro.isa import Features
+from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.sim import DATAFLOW, FOURW, simulate
+
+
+def _measure(session_bytes):
+    rows = []
+    for name in KERNEL_NAMES:
+        kernel = make_kernel(name, Features.OPT)
+        blocks = session_bytes // max(kernel.block_bytes, 1)
+        data = bytes(i & 0xFF for i in range(blocks * max(kernel.block_bytes, 1)))
+        iv = bytes(kernel.block_bytes) if kernel.block_bytes > 1 else None
+        enc = kernel.encrypt(data, iv)
+        dec = kernel.decrypt(enc.ciphertext, iv)
+        enc_4w = simulate(enc.trace, FOURW, enc.warm_ranges).cycles
+        dec_4w = simulate(dec.trace, FOURW, dec.warm_ranges).cycles
+        enc_df = simulate(enc.trace, DATAFLOW, enc.warm_ranges).cycles
+        dec_df = simulate(dec.trace, DATAFLOW, dec.warm_ranges).cycles
+        rows.append((name, enc_4w, dec_4w, enc_df, dec_df))
+    return rows
+
+
+def test_decryption_symmetry(benchmark, session_bytes, show):
+    rows = run_once(benchmark, _measure, min(session_bytes, 512))
+    lines = [f"{'Cipher':<10} {'enc-4W':>8} {'dec-4W':>8} {'ratio':>6} "
+             f"{'dec-DF speedup':>15}"]
+    for name, enc_4w, dec_4w, enc_df, dec_df in rows:
+        lines.append(
+            f"{name:<10} {enc_4w:>8} {dec_4w:>8} {dec_4w / enc_4w:>6.2f} "
+            f"{enc_df / dec_df:>15.2f}"
+        )
+    show("\n".join(lines))
+
+    for name, enc_4w, dec_4w, enc_df, dec_df in rows:
+        # Footnote 1: comparable on the realistic machine -- never slower
+        # than ~1.3x, and sometimes *faster*, because CBC decryption's
+        # missing output recurrence lets the 4-wide overlap blocks.
+        assert 0.5 <= dec_4w / enc_4w <= 1.3, name
+    # The CBC-decrypt parallelism nuance: for the serial block ciphers the
+    # dataflow machine decrypts strictly faster than it encrypts.
+    df_gain = {name: enc_df / dec_df for name, _, _, enc_df, dec_df in rows}
+    parallel_winners = [n for n, g in df_gain.items() if g > 1.5]
+    assert len(parallel_winners) >= 3

@@ -1,0 +1,63 @@
+"""Figure 2 benchmark: SSL web-server characterization by session length.
+
+Shape assertions from the paper: public-key work dominates very short
+sessions, private-key work reaches ~48% at 32 KB and dominates beyond, and
+the crossover sits around tens of kilobytes.
+"""
+
+from conftest import run_once
+
+from repro.analysis.ssl_model import (
+    SSLModelParams,
+    breakdown,
+    figure2,
+    from_measured_rate,
+    render_figure2,
+)
+
+
+def test_figure2(benchmark, show):
+    rows = run_once(benchmark, figure2)
+    show(render_figure2(rows))
+
+    by_length = {row.session_bytes: row for row in rows}
+    # Fractions are a partition.
+    for row in rows:
+        assert abs(
+            row.public_fraction + row.private_fraction + row.other_fraction - 1
+        ) < 1e-9
+
+    # Short sessions: public-key dominates (paper: "for very short sessions
+    # fast public key cipher processing is crucial").
+    assert by_length[64].public_fraction > 0.9
+
+    # The paper's anchor: ~48% private-key share at 32 KB.
+    anchor = by_length[32768]
+    assert 0.40 <= anchor.private_fraction <= 0.56
+
+    # Private share grows monotonically with session length; public falls.
+    lengths = sorted(by_length)
+    for shorter, longer in zip(lengths, lengths[1:]):
+        assert (by_length[longer].private_fraction
+                >= by_length[shorter].private_fraction)
+        assert (by_length[longer].public_fraction
+                <= by_length[shorter].public_fraction)
+
+    # Long sessions: private-key processing dominates the server.
+    assert by_length[1 << 20].private_fraction > 0.6
+
+
+def test_figure2_from_measured_3des_rate(benchmark):
+    """Tie the model's private-key cost to the simulated 3DES throughput."""
+    params = run_once(benchmark, from_measured_rate, bytes_per_kilocycle=10.0)
+    assert params.private_per_byte == 100.0
+    row = breakdown(32768, params)
+    assert row.private_fraction > 0.4
+
+
+def test_default_parameters_documented(benchmark):
+    params = run_once(benchmark, SSLModelParams)
+    # Strong public-key ops cost ~1000x a private-key block (paper sec 1):
+    # one RSA op versus one 64-bit 3DES block at ~90 cycles/byte.
+    per_block_private = params.private_per_byte * 8
+    assert 1000 <= params.public_key_cycles / per_block_private <= 10000

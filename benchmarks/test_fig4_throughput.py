@@ -1,0 +1,41 @@
+"""Figure 4 benchmark: baseline cipher throughput (bytes / 1000 cycles).
+
+Prints the regenerated figure and asserts the paper's qualitative shape:
+3DES slowest by a wide margin, RC4 fastest with ~an order of magnitude over
+3DES, Rijndael leading the AES candidates, and the serial ciphers running
+close to dataflow speed while RC4/Rijndael leave large dataflow headroom.
+"""
+
+from conftest import run_once
+
+from repro.analysis.throughput import figure4, render_figure4
+
+AES_CANDIDATES = ("Mars", "RC6", "Rijndael", "Twofish")
+
+
+def test_figure4(benchmark, session_bytes, show):
+    rows = run_once(benchmark, figure4, session_bytes=session_bytes)
+    show(render_figure4(rows))
+    by_name = {row.cipher: row for row in rows}
+
+    four_wide = {name: row.four_wide for name, row in by_name.items()}
+    assert min(four_wide, key=four_wide.get) == "3DES"
+    assert max(four_wide, key=four_wide.get) == "RC4"
+    assert four_wide["RC4"] > 5 * four_wide["3DES"]
+
+    best_aes = max(AES_CANDIDATES, key=lambda n: four_wide[n])
+    assert best_aes == "Rijndael"
+
+    # Dataflow bounds everything; serial ciphers run near it, parallel ones
+    # leave big headroom (paper: RC4 and Rijndael are the outliers).
+    for name, row in by_name.items():
+        assert row.four_wide <= row.dataflow * 1.001
+    for name in ("Blowfish", "IDEA", "RC6", "Mars"):
+        assert by_name[name].four_wide >= 0.85 * by_name[name].dataflow
+    for name in ("RC4", "Rijndael"):
+        assert by_name[name].four_wide <= 0.75 * by_name[name].dataflow
+
+    # The validation column tracks the detailed model (paper: within ~15%).
+    for row in rows:
+        assert row.alpha <= row.four_wide * 1.2
+        assert row.alpha >= row.four_wide * 0.5

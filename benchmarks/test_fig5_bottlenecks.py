@@ -1,0 +1,43 @@
+"""Figure 5 benchmark: per-bottleneck analysis relative to dataflow.
+
+Shape assertions from the paper: branch prediction and the memory system
+impair *no* cipher; the window matters to none of the block ciphers; RC4 is
+uniquely sensitive to conservative load/store alias handling; issue width
+and functional-unit resources are the common bottlenecks, largest for
+Rijndael (and RC4).
+"""
+
+from conftest import run_once
+
+from repro.analysis.bottlenecks import figure5, render_figure5
+
+
+def test_figure5(benchmark, session_bytes, show):
+    rows = run_once(benchmark, figure5, session_bytes=session_bytes)
+    show(render_figure5(rows))
+    by_name = {row.cipher: row.relative for row in rows}
+
+    for name, rel in by_name.items():
+        # Branch and memory: no impairment anywhere (paper sec 4.2).
+        assert rel["branch"] >= 0.90, name
+        assert rel["mem"] >= 0.90, name
+        # The full baseline can never beat the dataflow machine.
+        assert rel["all"] <= 1.001, name
+
+    # Window: matters to no block cipher.
+    for name in by_name:
+        if name != "RC4":
+            assert by_name[name]["window"] >= 0.95, name
+
+    # RC4 alone is crushed by conservative alias handling.
+    assert by_name["RC4"]["alias"] <= 0.7
+    for name in by_name:
+        if name != "RC4":
+            assert by_name[name]["alias"] >= 0.9, name
+
+    # Issue/resources are the common bottlenecks; Rijndael and RC4 largest.
+    assert by_name["Rijndael"]["issue"] <= 0.8
+    assert by_name["RC4"]["issue"] <= 0.8
+    # The serial computational ciphers run at dataflow speed regardless.
+    for name in ("IDEA", "RC6", "Mars", "Blowfish"):
+        assert by_name[name]["all"] >= 0.85, name

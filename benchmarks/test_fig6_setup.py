@@ -1,0 +1,41 @@
+"""Figure 6 benchmark: key-setup cost versus session length.
+
+Shape assertions from the paper: Blowfish is the outlier whose setup only
+drops below ~10% of session time past 64 KB; IDEA (by design) and 3DES
+(because its kernel is so expensive) have small setup overhead even for
+short sessions; the rest drop below 10% by 4 KB sessions.
+"""
+
+from conftest import run_once
+
+from repro.analysis.setup_cost import figure6, render_figure6
+
+
+def test_figure6(benchmark, show):
+    rows = run_once(benchmark, figure6)
+    show(render_figure6(rows))
+    by_name = {row.cipher: row for row in rows}
+
+    # Setup fraction decreases monotonically in session length.
+    for row in rows:
+        fractions = [row.fraction[n] for n in sorted(row.fraction)]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:])), row.cipher
+
+    # Blowfish: the paper's outlier, >10% until past 64 KB sessions.
+    assert by_name["Blowfish"].fraction[16384] > 0.10
+    assert by_name["Blowfish"].fraction[65536] < 0.10
+    assert by_name["Blowfish"].setup_cycles == max(
+        r.setup_cycles for r in rows
+    )
+
+    # IDEA: designed for very low-cost startup.
+    assert by_name["IDEA"].fraction[64] < 0.10
+    assert by_name["IDEA"].setup_cycles == min(r.setup_cycles for r in rows)
+
+    # 3DES: small setup relative to its costly kernel by 1 KB sessions.
+    assert by_name["3DES"].fraction[1024] < 0.10
+
+    # Moderate group: well below 10% at 4 KB and beyond (paper sec 4.2).
+    for name in ("Mars", "RC4", "RC6", "Rijndael", "Twofish"):
+        assert by_name[name].fraction[4096] < 0.15, name
+        assert by_name[name].fraction[16384] < 0.05, name

@@ -1,0 +1,48 @@
+"""Figure 7 benchmark: kernel operation characterization.
+
+Shape assertions from the paper: the suite splits into *computational*
+ciphers (IDEA, RC6 -- multiply-heavy, no substitutions) and
+*substitution* ciphers (Blowfish, 3DES, Rijndael, Twofish -- S-box
+dominated); MARS and RC6 are the rotate-heavy kernels; only 3DES performs
+general permutations.
+"""
+
+from conftest import run_once
+
+from repro.analysis.opmix import figure7, render_figure7
+from repro.isa import opcodes as op
+
+
+def test_figure7(benchmark, session_bytes, show):
+    rows = run_once(benchmark, figure7, session_bytes=min(session_bytes, 512))
+    show(render_figure7(rows))
+    by_name = {row.cipher: row for row in rows}
+
+    # Computational ciphers: multiplies dominate, no substitutions.
+    for name in ("IDEA", "RC6"):
+        assert by_name[name].fraction(op.MULTIPLY) > 0.10, name
+        assert by_name[name].fraction(op.SUBST) == 0.0, name
+
+    # Substitution ciphers: S-box work is the biggest category.
+    for name in ("Blowfish", "3DES", "Rijndael", "Twofish"):
+        subst = by_name[name].fraction(op.SUBST)
+        assert subst > 0.25, name
+        assert by_name[name].fraction(op.MULTIPLY) < 0.05, name
+
+    # Rotate-heavy kernels.
+    assert by_name["Mars"].fraction(op.ROTATE) > 0.10
+    assert by_name["RC6"].fraction(op.ROTATE) > 0.10
+    # Rijndael and Blowfish use essentially no rotates.
+    assert by_name["Rijndael"].fraction(op.ROTATE) < 0.02
+    assert by_name["Blowfish"].fraction(op.ROTATE) < 0.02
+
+    # Only 3DES performs general bit permutations.
+    assert by_name["3DES"].fraction(op.PERMUTE) > 0.01
+    for name in by_name:
+        if name != "3DES":
+            assert by_name[name].fraction(op.PERMUTE) == 0.0, name
+
+    # Fractions sum to one.
+    for row in rows:
+        assert abs(sum(row.fraction(c) for c in
+                       set(row.counts)) - 1.0) < 1e-9

@@ -1,0 +1,31 @@
+"""Table 1 benchmark: the cipher suite inventory and key-setup timing.
+
+Also measures reference key-setup wall time per cipher (the Python-level
+cost of instantiating each cipher), which is the substrate behind the
+Figure 6 experiments.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table1
+from repro.ciphers import SUITE
+
+
+def test_table1(benchmark, show):
+    text = run_once(benchmark, render_table1)
+    show(text)
+    assert "3DES" in text and "Twofish" in text
+    assert len(SUITE) == 8
+    # Every cipher uses at least 128 key bits (paper sec 3.1).
+    for info in SUITE:
+        assert info.key_bits >= 128
+
+
+def test_reference_key_setup_benchmark(benchmark):
+    """Wall-time of all eight reference key setups (pure-Python substrate)."""
+
+    def setup_all():
+        return [info.make(bytes(info.key_bytes)) for info in SUITE]
+
+    ciphers = run_once(benchmark, setup_all)
+    assert len(ciphers) == 8

@@ -1,0 +1,43 @@
+"""Table 2 benchmark: the microarchitecture models.
+
+Prints the configuration table and measures the timing simulator's raw
+throughput (simulated instructions per second) on a representative kernel
+trace -- the reproduction's analogue of SimpleScalar's simulation speed.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table2
+from repro.isa import Features
+from repro.kernels import make_kernel
+from repro.sim import DATAFLOW, EIGHTW_PLUS, FOURW, FOURW_PLUS, simulate
+
+
+def test_table2(benchmark, show):
+    text = run_once(benchmark, render_table2)
+    show(text)
+    for name in ("4W", "4W+", "8W+", "DF"):
+        assert name in text
+
+
+def test_model_ladder_is_monotonic(benchmark, session_bytes):
+    kernel = make_kernel("Twofish", Features.OPT)
+    run = kernel.encrypt(bytes(session_bytes))
+
+    def simulate_ladder():
+        return [
+            simulate(run.trace, config, run.warm_ranges).cycles
+            for config in (FOURW, FOURW_PLUS, EIGHTW_PLUS, DATAFLOW)
+        ]
+
+    cycles = run_once(benchmark, simulate_ladder)
+    assert cycles == sorted(cycles, reverse=True)
+
+
+def test_simulator_throughput(benchmark, session_bytes):
+    """Timing-model speed: dynamic instructions simulated per second."""
+    kernel = make_kernel("Rijndael", Features.OPT)
+    run = kernel.encrypt(bytes(session_bytes))
+
+    stats = benchmark(simulate, run.trace, FOURW, run.warm_ranges)
+    assert stats.instructions == len(run.trace)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bring your own cipher: XTEA on the paper's ISA extensions.
+
+The paper argues its instruction-set support is *general* -- "possibly
+offering performance improvements for yet-to-be-developed algorithms."
+XTEA (Needham & Wheeler, 1997) is not in the paper's suite; this example
+implements it twice --
+
+1. a ~20-line Python reference, and
+2. a RISC-A kernel through the public ``KernelBuilder`` API, coded at both
+   the baseline and extended ISA levels --
+
+validates the kernel against the reference, and measures what the
+extensions buy a cipher the paper never saw.
+
+Run:  python examples/custom_cipher.py
+"""
+
+from repro import FOURW, Features, KernelBuilder, Machine, Memory, simulate
+from repro.isa import Imm
+
+MASK32 = 0xFFFFFFFF
+DELTA = 0x9E3779B9
+ROUNDS = 32
+
+
+# --- 1. Reference XTEA ------------------------------------------------------
+
+def xtea_encrypt_block(block: bytes, key_words: list[int]) -> bytes:
+    v0 = int.from_bytes(block[:4], "little")
+    v1 = int.from_bytes(block[4:], "little")
+    total = 0
+    for _ in range(ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1)
+                    ^ (total + key_words[total & 3]))) & MASK32
+        total = (total + DELTA) & MASK32
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0)
+                    ^ (total + key_words[(total >> 11) & 3]))) & MASK32
+    return v0.to_bytes(4, "little") + v1.to_bytes(4, "little")
+
+
+# --- 2. The same cipher as a RISC-A kernel ----------------------------------
+
+KEY_BASE = 0x1000
+INPUT_BASE = 0x2000
+OUTPUT_BASE = 0x3000
+
+
+def build_xtea_kernel(features: Features, nblocks: int):
+    kb = KernelBuilder(features)
+    in_ptr, out_ptr, count = kb.regs("in_ptr", "out_ptr", "count")
+    key_base, v0, v1, total, t0, t1 = kb.regs(
+        "key_base", "v0", "v1", "total", "t0", "t1"
+    )
+    kb.ldiq(in_ptr, INPUT_BASE)
+    kb.ldiq(out_ptr, OUTPUT_BASE)
+    kb.ldiq(count, nblocks)
+    kb.ldiq(key_base, KEY_BASE)
+
+    def half_round(dst, src, key_index_expr):
+        # dst += (((src << 4) ^ (src >> 5)) + src) ^ (total + key[idx])
+        kb.sll(t0, src, Imm(4))
+        kb.srl(t1, src, Imm(5))
+        kb.xor(t0, t0, t1)
+        kb.addl(t0, t0, src)
+        key_index_expr()             # leaves the key word in t1
+        kb.addl(t1, t1, total)
+        kb.xor(t0, t0, t1)
+        kb.addl(dst, dst, t0)
+
+    kb.label("block_loop")
+    kb.ldl(v0, in_ptr, 0)
+    kb.ldl(v1, in_ptr, 4)
+    kb.ldiq(total, 0)
+    for _ in range(ROUNDS):
+        def key_low():
+            kb.and_(t1, total, Imm(3))
+            kb.s4addq(t1, t1, key_base)
+            kb.ldl(t1, t1, 0)
+
+        half_round(v0, v1, key_low)
+        kb.ldiq(t1, DELTA)
+        kb.addl(total, total, t1)
+
+        def key_high():
+            kb.srl(t1, total, Imm(11))
+            kb.and_(t1, t1, Imm(3))
+            kb.s4addq(t1, t1, key_base)
+            kb.ldl(t1, t1, 0)
+
+        half_round(v1, v0, key_high)
+    kb.stl(v0, out_ptr, 0)
+    kb.stl(v1, out_ptr, 4)
+    kb.addq(in_ptr, in_ptr, Imm(8))
+    kb.addq(out_ptr, out_ptr, Imm(8))
+    kb.subq(count, count, Imm(1))
+    kb.bne(count, "block_loop")
+    kb.halt()
+    return kb.build()
+
+
+def main() -> None:
+    key_words = [0x01020304, 0x05060708, 0x090A0B0C, 0x0D0E0F10]
+    nblocks = 32
+    plaintext = bytes((i * 7 + 3) & 0xFF for i in range(8 * nblocks))
+    expected = b"".join(
+        xtea_encrypt_block(plaintext[8 * i : 8 * i + 8], key_words)
+        for i in range(nblocks)
+    )
+
+    for features in (Features.NOROT, Features.OPT):
+        program = build_xtea_kernel(features, nblocks)
+        memory = Memory(1 << 16)
+        memory.write_words32(KEY_BASE, key_words)
+        memory.write_bytes(INPUT_BASE, plaintext)
+        result = Machine(program, memory).run()
+        assert memory.read_bytes(OUTPUT_BASE, len(plaintext)) == expected, \
+            "kernel diverges from the reference!"
+        stats = simulate(result.trace, FOURW)
+        print(f"XTEA [{features.label:>10}]: validated; "
+              f"{result.instructions} instructions, {stats.cycles} cycles, "
+              f"{stats.bytes_per_kilocycle(len(plaintext)):.1f} bytes/1000cyc")
+
+    print("\nXTEA is shift/xor/add only -- no S-boxes, no multiplies, no "
+          "data-dependent rotates --\nso the extensions buy it nothing: "
+          "exactly the generality boundary the paper draws.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run:  python examples/paper_tables.py [--session 1024]
+
+``--session 4096`` reproduces the paper's session length exactly (slower).
+"""
+
+from repro.analysis.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Secure web-server capacity planning with the paper's SSL session model.
+
+Combines Figure 2's session cost model with the simulator's measured cipher
+rates: how many SSL sessions per second can a 1 GHz server core sustain,
+per cipher, before and after the ISA extensions -- and how the bottleneck
+shifts from public-key to private-key work as pages grow.
+
+Run:  python examples/secure_web_server.py
+"""
+
+from repro import FOURW, FOURW_PLUS, Features, make_kernel, simulate
+from repro.analysis.ssl_model import SSLModelParams, breakdown, from_measured_rate
+
+CLOCK_HZ = 1e9
+PAGE_BYTES = 21 * 1024        # a typical 1999 web page object set (paper sec 1)
+SAMPLE_SESSION = 1024
+
+
+def measured_rate(name: str, features: Features, config) -> float:
+    kernel = make_kernel(name, features)
+    run = kernel.encrypt(bytes(i & 0xFF for i in range(SAMPLE_SESSION)))
+    stats = simulate(run.trace, config, run.warm_ranges)
+    return stats.bytes_per_kilocycle(SAMPLE_SESSION)
+
+
+def sessions_per_second(params: SSLModelParams, page_bytes: int) -> float:
+    total_cycles = (
+        params.public_key_cycles
+        + page_bytes * (params.private_per_byte + params.other_per_byte)
+        + params.other_per_session
+    )
+    return CLOCK_HZ / total_cycles
+
+
+def main() -> None:
+    print(f"SSL capacity on a 1 GHz core, {PAGE_BYTES // 1024} KB pages\n")
+    print(f"{'Cipher':<10} {'base sess/s':>12} {'opt sess/s':>12} "
+          f"{'gain':>6}  priv-key share (base -> opt)")
+    for name in ("3DES", "RC4", "Rijndael", "Twofish"):
+        base_params = from_measured_rate(measured_rate(name, Features.ROT, FOURW))
+        opt_params = from_measured_rate(
+            measured_rate(name, Features.OPT, FOURW_PLUS)
+        )
+        base_sps = sessions_per_second(base_params, PAGE_BYTES)
+        opt_sps = sessions_per_second(opt_params, PAGE_BYTES)
+        base_share = breakdown(PAGE_BYTES, base_params).private_fraction
+        opt_share = breakdown(PAGE_BYTES, opt_params).private_fraction
+        print(
+            f"{name:<10} {base_sps:>12.0f} {opt_sps:>12.0f} "
+            f"{opt_sps / base_sps - 1:>6.0%}  "
+            f"{base_share:.0%} -> {opt_share:.0%}"
+        )
+
+    print(
+        "\nAs pages grow, private-key work dominates (paper Figure 2), so\n"
+        "the symmetric-cipher ISA extensions translate directly into server\n"
+        "session throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of Burke, McDonald & Austin, "Architectural Support for Fast
+Symmetric-Key Cryptography" (ASPLOS 2000).
+
+Public API layers:
+
+* :mod:`repro.ciphers` -- reference implementations of the paper's eight
+  symmetric ciphers plus ECB/CBC modes,
+* :mod:`repro.isa` -- the RISC-A instruction set (Alpha-like base plus the
+  paper's crypto extensions), text assembler and kernel builder,
+* :mod:`repro.sim` -- functional simulator, dynamic traces, and the
+  out-of-order timing model with the paper's machine configurations,
+* :mod:`repro.kernels` -- hand-optimized RISC-A cipher kernels at three
+  ISA feature levels, plus key-setup routines,
+* :mod:`repro.analysis` -- harnesses regenerating every table and figure of
+  the paper's evaluation.
+"""
+
+from repro.ciphers import SUITE, get_cipher_info
+from repro.isa import Features, KernelBuilder, assemble
+from repro.kernels import make_kernel
+from repro.sim import (
+    BASE4W,
+    DATAFLOW,
+    EIGHTW_PLUS,
+    FOURW,
+    FOURW_PLUS,
+    Machine,
+    Memory,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SUITE",
+    "get_cipher_info",
+    "Features",
+    "KernelBuilder",
+    "assemble",
+    "make_kernel",
+    "BASE4W",
+    "DATAFLOW",
+    "EIGHTW_PLUS",
+    "FOURW",
+    "FOURW_PLUS",
+    "Machine",
+    "Memory",
+    "simulate",
+    "__version__",
+]

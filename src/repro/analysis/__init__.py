@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per paper table/figure."""
+
+from repro.analysis import (
+    bottlenecks,
+    multisession,
+    opmix,
+    setup_cost,
+    speedups,
+    ssl_model,
+    tables,
+    throughput,
+    value_prediction,
+)
+
+__all__ = [
+    "bottlenecks",
+    "multisession",
+    "opmix",
+    "setup_cost",
+    "speedups",
+    "ssl_model",
+    "tables",
+    "throughput",
+    "value_prediction",
+]

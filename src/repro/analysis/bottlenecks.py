@@ -1,0 +1,66 @@
+"""Figure 5: analysis of bottlenecks in the cipher kernels.
+
+The paper's methodology: start from the dataflow machine and re-insert one
+bottleneck at a time -- *Alias* (conservative load/store ordering), *Branch*
+(real predictor + misprediction penalty), *Issue* (4-wide issue), *Mem*
+(realistic cache hierarchy), *Res* (limited functional units), *Window*
+(finite instruction window) -- plus *All* (the full baseline machine).
+Each bar is that machine's performance relative to the dataflow machine:
+a bar near 1.0 means the bottleneck does not constrain the cipher at all.
+
+The paper plots the ciphers that were not already running at dataflow speed;
+this harness measures all eight and lets the caller filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import Features
+from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.sim import DATAFLOW_BASEISA, BOTTLENECKS, bottleneck_config, simulate
+
+DEFAULT_SESSION_BYTES = 1024
+
+
+@dataclass
+class BottleneckRow:
+    cipher: str
+    dataflow_cycles: int
+    #: bottleneck name -> performance relative to dataflow (<= 1.0).
+    relative: dict[str, float] = field(default_factory=dict)
+
+
+def measure_cipher(
+    name: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+) -> BottleneckRow:
+    kernel = make_kernel(name, features)
+    plaintext = bytes(i & 0xFF for i in range(session_bytes))
+    run = kernel.encrypt(plaintext)
+    dataflow = simulate(run.trace, DATAFLOW_BASEISA, run.warm_ranges)
+    row = BottleneckRow(cipher=name, dataflow_cycles=dataflow.cycles)
+    for which in BOTTLENECKS:
+        stats = simulate(run.trace, bottleneck_config(which), run.warm_ranges)
+        row.relative[which] = dataflow.cycles / stats.cycles
+    return row
+
+
+def figure5(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[BottleneckRow]:
+    return [measure_cipher(name, session_bytes) for name in ciphers]
+
+
+def render_figure5(rows: list[BottleneckRow]) -> str:
+    header = f"{'Cipher':<10}" + "".join(f"{b:>9}" for b in BOTTLENECKS)
+    lines = [
+        "Figure 5: Bottleneck Analysis (performance relative to dataflow)",
+        header,
+    ]
+    for row in rows:
+        cells = "".join(f"{row.relative[b]:>9.3f}" for b in BOTTLENECKS)
+        lines.append(f"{row.cipher:<10}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Full-evaluation driver: regenerate every table and figure in one call.
+
+``python -m repro.analysis.report [--session N]`` prints the complete
+reproduction of the paper's evaluation section.  The benchmark suite under
+``benchmarks/`` calls the same entry points one experiment at a time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    bottlenecks,
+    opmix,
+    setup_cost,
+    speedups,
+    ssl_model,
+    tables,
+    throughput,
+    value_prediction,
+)
+
+
+def full_report(session_bytes: int = 1024, stream=sys.stdout) -> None:
+    """Run every experiment and print the paper-format results."""
+
+    def emit(text: str) -> None:
+        print(text, file=stream)
+        print(file=stream)
+
+    start = time.time()
+    emit(tables.render_table1())
+    emit(ssl_model.render_figure2(ssl_model.figure2()))
+    emit(throughput.render_figure4(throughput.figure4(session_bytes)))
+    emit(bottlenecks.render_figure5(bottlenecks.figure5(session_bytes)))
+    emit(setup_cost.render_figure6(setup_cost.figure6()))
+    emit(opmix.render_figure7(opmix.figure7(min(session_bytes, 512))))
+    emit(value_prediction.render(
+        value_prediction.study(min(session_bytes, 512))
+    ))
+    emit(tables.render_table2())
+    emit(speedups.render_figure10(speedups.figure10(session_bytes)))
+    print(f"[report generated in {time.time() - start:.1f}s, "
+          f"session={session_bytes}B]", file=stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--session", type=int, default=1024,
+        help="session length in bytes for the simulated experiments "
+             "(the paper uses 4096; smaller is faster)",
+    )
+    args = parser.parse_args(argv)
+    full_report(session_bytes=args.session)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""Figure 6: cipher setup cost as a function of session length.
+
+For each cipher: run the RISC-A key-setup routine once and the encryption
+kernel over a sample session on the baseline machine, then report setup's
+share of total session time, ``setup / (setup + n * cycles_per_byte)``, over
+the paper's 16 B .. 64 KB session sweep.  Setup is paid once per session
+(the paper's SSL session model), so long sessions amortize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import Features
+from repro.kernels import make_kernel
+from repro.kernels.registry import KERNEL_NAMES
+from repro.kernels.setup_registry import make_setup
+from repro.sim import BASE4W, simulate
+
+SESSION_LENGTHS = (16, 64, 256, 1024, 4096, 16384, 65536)
+_SAMPLE_BYTES = 512
+
+
+@dataclass
+class SetupCostRow:
+    cipher: str
+    setup_cycles: int
+    kernel_cycles_per_byte: float
+    #: session length -> fraction of run time spent in setup.
+    fraction: dict[int, float] = field(default_factory=dict)
+
+
+def measure_cipher(
+    name: str,
+    lengths: tuple[int, ...] = SESSION_LENGTHS,
+    features: Features = Features.ROT,
+) -> SetupCostRow:
+    setup_run = make_setup(name).run()
+    setup_cycles = simulate(setup_run.trace, BASE4W).cycles
+
+    kernel = make_kernel(name, features)
+    plaintext = bytes(i & 0xFF for i in range(_SAMPLE_BYTES))
+    kernel_run = kernel.encrypt(plaintext)
+    kernel_cycles = simulate(
+        kernel_run.trace, BASE4W, kernel_run.warm_ranges
+    ).cycles
+    per_byte = kernel_cycles / _SAMPLE_BYTES
+
+    row = SetupCostRow(
+        cipher=name,
+        setup_cycles=setup_cycles,
+        kernel_cycles_per_byte=per_byte,
+    )
+    for length in lengths:
+        total = setup_cycles + length * per_byte
+        row.fraction[length] = setup_cycles / total
+    return row
+
+
+def figure6(
+    lengths: tuple[int, ...] = SESSION_LENGTHS,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[SetupCostRow]:
+    return [measure_cipher(name, lengths) for name in ciphers]
+
+
+def render_figure6(rows: list[SetupCostRow]) -> str:
+    lengths = sorted(rows[0].fraction) if rows else []
+    header = f"{'Cipher':<10} {'setup-cyc':>10}" + "".join(
+        f"{_fmt_len(n):>8}" for n in lengths
+    )
+    lines = ["Figure 6: Setup Cost as a Function of Session Length "
+             "(fraction of session time)", header]
+    for row in rows:
+        cells = "".join(f"{row.fraction[n]:>8.1%}" for n in lengths)
+        lines.append(f"{row.cipher:<10} {row.setup_cycles:>10}{cells}")
+    return "\n".join(lines)
+
+
+def _fmt_len(n: int) -> str:
+    return f"{n // 1024}k" if n >= 1024 else str(n)

@@ -1,0 +1,121 @@
+"""Figure 10: relative performance of the optimized kernels.
+
+Five bars per cipher, each a speedup in total cycles for a session,
+normalized to the original code *with rotates* on the 4W machine:
+
+* ``Orig/4W``  -- original code without rotate instructions on 4W
+  (shows the penalty of an ISA lacking rotates; < 1.0),
+* ``Opt/4W``   -- the fully optimized kernel on 4W,
+* ``Opt/4W+``  -- plus SBox caches and extra rotator units,
+* ``Opt/8W+``  -- double execution bandwidth,
+* ``Opt/DF``   -- the optimized kernel on the dataflow machine.
+
+The section 6 headline numbers -- mean optimized speedup versus the
+rotate baseline and versus the no-rotate baseline -- fall out of the same
+measurements (:func:`summary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import Features
+from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.sim import DATAFLOW, EIGHTW_PLUS, FOURW, FOURW_PLUS, simulate
+
+DEFAULT_SESSION_BYTES = 1024
+
+BARS = ("orig/4W", "opt/4W", "opt/4W+", "opt/8W+", "opt/DF")
+
+
+@dataclass
+class SpeedupRow:
+    cipher: str
+    baseline_cycles: int            # orig-rot on 4W (the normalization)
+    orig_4w: float                  # orig-norot on 4W
+    opt_4w: float
+    opt_4w_plus: float
+    opt_8w_plus: float
+    opt_dataflow: float
+
+    def bar(self, name: str) -> float:
+        return {
+            "orig/4W": self.orig_4w,
+            "opt/4W": self.opt_4w,
+            "opt/4W+": self.opt_4w_plus,
+            "opt/8W+": self.opt_8w_plus,
+            "opt/DF": self.opt_dataflow,
+        }[name]
+
+
+def measure_cipher(name: str, session_bytes: int = DEFAULT_SESSION_BYTES) -> SpeedupRow:
+    plaintext = bytes(i & 0xFF for i in range(session_bytes))
+
+    rot_run = make_kernel(name, Features.ROT).encrypt(plaintext)
+    norot_run = make_kernel(name, Features.NOROT).encrypt(plaintext)
+    opt_run = make_kernel(name, Features.OPT).encrypt(plaintext)
+
+    baseline = simulate(rot_run.trace, FOURW, rot_run.warm_ranges).cycles
+    norot = simulate(norot_run.trace, FOURW, norot_run.warm_ranges).cycles
+    opt_4w = simulate(opt_run.trace, FOURW, opt_run.warm_ranges).cycles
+    opt_4wp = simulate(opt_run.trace, FOURW_PLUS, opt_run.warm_ranges).cycles
+    opt_8wp = simulate(opt_run.trace, EIGHTW_PLUS, opt_run.warm_ranges).cycles
+    opt_df = simulate(opt_run.trace, DATAFLOW, opt_run.warm_ranges).cycles
+
+    return SpeedupRow(
+        cipher=name,
+        baseline_cycles=baseline,
+        orig_4w=baseline / norot,
+        opt_4w=baseline / opt_4w,
+        opt_4w_plus=baseline / opt_4wp,
+        opt_8w_plus=baseline / opt_8wp,
+        opt_dataflow=baseline / opt_df,
+    )
+
+
+def figure10(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[SpeedupRow]:
+    return [measure_cipher(name, session_bytes) for name in ciphers]
+
+
+@dataclass
+class SpeedupSummary:
+    """Section 6 headline aggregates (geometric means over the suite)."""
+
+    mean_opt_vs_rot: float     # paper: 1.59 (59% speedup)
+    mean_opt_vs_norot: float   # paper: 1.74 (74% speedup)
+
+
+def summary(rows: list[SpeedupRow]) -> SpeedupSummary:
+    def geomean(values: list[float]) -> float:
+        product = 1.0
+        for value in values:
+            product *= value
+        return product ** (1.0 / len(values))
+
+    vs_rot = geomean([row.opt_4w for row in rows])
+    # Against the no-rotate baseline: opt speedup / norot slowdown.
+    vs_norot = geomean([row.opt_4w / row.orig_4w for row in rows])
+    return SpeedupSummary(mean_opt_vs_rot=vs_rot, mean_opt_vs_norot=vs_norot)
+
+
+def render_figure10(rows: list[SpeedupRow]) -> str:
+    lines = [
+        "Figure 10: Optimized Kernel Speedups (vs orig-with-rotates on 4W)",
+        f"{'Cipher':<10}" + "".join(f"{bar:>10}" for bar in BARS),
+    ]
+    for row in rows:
+        cells = "".join(f"{row.bar(bar):>10.2f}" for bar in BARS)
+        lines.append(f"{row.cipher:<10}{cells}")
+    agg = summary(rows)
+    lines.append(
+        f"mean Opt/4W speedup vs rot baseline: "
+        f"{(agg.mean_opt_vs_rot - 1) * 100:.0f}%  (paper: 59%)"
+    )
+    lines.append(
+        f"mean Opt/4W speedup vs no-rotate baseline: "
+        f"{(agg.mean_opt_vs_norot - 1) * 100:.0f}%  (paper: 74%)"
+    )
+    return "\n".join(lines)

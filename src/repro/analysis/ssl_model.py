@@ -1,0 +1,94 @@
+"""Figure 2: SSL web-server time breakdown versus session length.
+
+The paper's Figure 2 reproduces Intel measurements of a loaded SSL web
+server: the fraction of run time in public-key cipher code, private-key
+cipher code, and everything else, as session length grows.  We do not have
+Intel's workload, so per DESIGN.md substitution #5 this is an analytical
+session-cost model
+
+    total(n) = pub + n * priv_per_byte + n * other_per_byte + other_per_session
+
+with parameters anchored to the paper's own statements: private-key share
+reaches ~48% at 32 KB sessions, public-key work dominates very short
+sessions, and strong public-key operations cost ~1000x a private-key block
+(section 1).  ``from_measured_rate`` ties ``priv_per_byte`` to this
+repository's own simulated cipher throughput so the figure tracks the rest
+of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SSLModelParams:
+    """Cost model in cycles.  Defaults fit the paper's anchor points."""
+
+    #: One RSA-1024 private-key operation (server side of the handshake).
+    public_key_cycles: float = 2.0e6
+    #: Symmetric encryption cost (3DES on the paper's baseline: ~90 cyc/B).
+    private_per_byte: float = 90.0
+    #: Web server + TCP/IP + OS cost per transferred byte.
+    other_per_byte: float = 36.6
+    #: Connection handling cost independent of payload and crypto.
+    other_per_session: float = 50_000.0
+
+
+@dataclass
+class SSLBreakdown:
+    session_bytes: int
+    public_fraction: float
+    private_fraction: float
+    other_fraction: float
+
+
+DEFAULT_LENGTHS = (64, 256, 1024, 4096, 16384, 21 * 1024, 32768, 131072, 1 << 20)
+
+
+def breakdown(
+    session_bytes: int, params: SSLModelParams = SSLModelParams()
+) -> SSLBreakdown:
+    public = params.public_key_cycles
+    private = session_bytes * params.private_per_byte
+    other = session_bytes * params.other_per_byte + params.other_per_session
+    total = public + private + other
+    return SSLBreakdown(
+        session_bytes=session_bytes,
+        public_fraction=public / total,
+        private_fraction=private / total,
+        other_fraction=other / total,
+    )
+
+
+def figure2(
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    params: SSLModelParams = SSLModelParams(),
+) -> list[SSLBreakdown]:
+    return [breakdown(n, params) for n in lengths]
+
+
+def from_measured_rate(
+    bytes_per_kilocycle: float,
+    base: SSLModelParams = SSLModelParams(),
+) -> SSLModelParams:
+    """Derive parameters whose private-key cost comes from a simulated rate."""
+    return SSLModelParams(
+        public_key_cycles=base.public_key_cycles,
+        private_per_byte=1000.0 / bytes_per_kilocycle,
+        other_per_byte=base.other_per_byte,
+        other_per_session=base.other_per_session,
+    )
+
+
+def render_figure2(rows: list[SSLBreakdown]) -> str:
+    lines = [
+        "Figure 2: SSL Characterization by Session Length (fraction of time)",
+        f"{'Session':>10} {'PublicKey':>10} {'PrivateKey':>11} {'Other':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.session_bytes:>10} {row.public_fraction:>10.2%} "
+            f"{row.private_fraction:>11.2%} {row.other_fraction:>8.2%}"
+        )
+    return "\n".join(lines)

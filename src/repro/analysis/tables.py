@@ -1,0 +1,51 @@
+"""Renderers for the paper's Table 1 (cipher suite) and Table 2 (machines)."""
+
+from __future__ import annotations
+
+from repro.ciphers.suite import SUITE
+from repro.sim.config import DATAFLOW, EIGHTW_PLUS, FOURW, FOURW_PLUS, MachineConfig
+
+
+def render_table1() -> str:
+    lines = [
+        "Table 1: Private Key Symmetric Ciphers Analyzed",
+        f"{'Cipher':<10} {'Key':>5} {'Blk':>5} {'Rnds':>5}  "
+        f"{'Author':<14} {'Example Application'}",
+    ]
+    for info in SUITE:
+        lines.append(
+            f"{info.name:<10} {info.key_bits:>5} {info.block_bits:>5} "
+            f"{info.rounds_per_block:>5}  {info.author:<14} "
+            f"{info.example_application}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None or (isinstance(value, int) and value >= 10**6):
+        return "inf"
+    return str(value)
+
+
+def render_table2(
+    configs: tuple[MachineConfig, ...] = (FOURW, FOURW_PLUS, EIGHTW_PLUS, DATAFLOW),
+) -> str:
+    rows = [
+        ("Fetch width", lambda c: _fmt(c.fetch_width)),
+        ("Fetch groups/cycle", lambda c: _fmt(c.fetch_groups_per_cycle)),
+        ("Window size", lambda c: _fmt(c.window_size)),
+        ("Issue width", lambda c: _fmt(c.issue_width)),
+        ("IALU resources", lambda c: _fmt(c.num_ialu)),
+        ("Mult slots (64b=2)", lambda c: _fmt(c.mul_slots)),
+        ("Mul32/MULMOD lat", lambda c: f"{c.mul32_latency}/{c.mulmod_latency}"),
+        ("D-cache ports", lambda c: _fmt(c.dcache_ports)),
+        ("SBox caches", lambda c: _fmt(c.sbox_caches)),
+        ("SBox cache ports", lambda c: _fmt(c.sbox_cache_ports)),
+        ("Rotator/XBOX units", lambda c: _fmt(c.num_rotator)),
+    ]
+    header = f"{'':<20}" + "".join(f"{c.name:>12}" for c in configs)
+    lines = ["Table 2: Microarchitecture Models", header]
+    for label, getter in rows:
+        cells = "".join(f"{getter(c):>12}" for c in configs)
+        lines.append(f"{label:<20}{cells}")
+    return "\n".join(lines)

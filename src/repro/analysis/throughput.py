@@ -1,0 +1,80 @@
+"""Figure 4: cipher encryption performance (bytes per 1000 cycles).
+
+For each cipher the paper reports four columns:
+
+* **1 CPI** -- the rate a machine retiring one instruction per cycle would
+  achieve: ``1000 / (instructions per byte)``,
+* **Alpha** -- a real 600 MHz 21264 workstation (here: the ``ALPHA21264``
+  simulator configuration, DESIGN.md substitution #2),
+* **4W** -- the detailed baseline model (section 3.2), and
+* **DF** -- the dataflow machine (infinite resources, perfect everything).
+
+All columns run the *original* kernels with rotate instructions (the
+``ROT`` feature level), matching the paper's baseline code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import Features
+from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.sim import ALPHA21264, BASE4W, DATAFLOW_BASEISA, simulate
+
+DEFAULT_SESSION_BYTES = 1024
+
+
+@dataclass
+class ThroughputRow:
+    cipher: str
+    cpi1: float
+    alpha: float
+    four_wide: float
+    dataflow: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.cpi1, self.alpha, self.four_wide, self.dataflow)
+
+
+def measure_cipher(
+    name: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+) -> ThroughputRow:
+    """Measure one cipher's Figure 4 row."""
+    kernel = make_kernel(name, features)
+    plaintext = bytes(i & 0xFF for i in range(session_bytes))
+    run = kernel.encrypt(plaintext)
+    cpi1 = 1000.0 / run.instructions_per_byte
+    results = {}
+    for config in (ALPHA21264, BASE4W, DATAFLOW_BASEISA):
+        stats = simulate(run.trace, config, run.warm_ranges)
+        results[config.name] = stats.bytes_per_kilocycle(session_bytes)
+    return ThroughputRow(
+        cipher=name,
+        cpi1=cpi1,
+        alpha=results[ALPHA21264.name],
+        four_wide=results[BASE4W.name],
+        dataflow=results[DATAFLOW_BASEISA.name],
+    )
+
+
+def figure4(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[ThroughputRow]:
+    """Regenerate Figure 4 for all (or selected) ciphers."""
+    return [measure_cipher(name, session_bytes) for name in ciphers]
+
+
+def render_figure4(rows: list[ThroughputRow]) -> str:
+    lines = [
+        "Figure 4: Cipher Encryption Performance (bytes / 1000 cycles)",
+        f"{'Cipher':<10} {'1-CPI':>8} {'Alpha':>8} {'4W':>8} {'DF':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.cipher:<10} {row.cpi1:>8.2f} {row.alpha:>8.2f} "
+            f"{row.four_wide:>8.2f} {row.dataflow:>8.2f}"
+        )
+    return "\n".join(lines)

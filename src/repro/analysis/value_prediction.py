@@ -1,0 +1,125 @@
+"""Section 4.3's value-prediction study.
+
+The paper instrumented an infinite last-value predictor on every instruction
+in each cipher kernel and found the most predictable dependence edge was
+right only 6.3% of the time -- diffusion destroys value locality, so value
+speculation cannot break the cipher recurrences.
+
+We replay that experiment: record every destination value during functional
+execution, compute per-static-instruction last-value hit rates, and report
+the maximum over the *diffusion* operations (logic/rotate/multiply/
+substitution/permute results).  Loop-overhead arithmetic (pointer
+increments, counters) and loop-invariant key loads are reported separately:
+they are trivially predictable or trivially unpredictable in ways that say
+nothing about the cipher itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import Features
+from repro.isa import opcodes as op
+from repro.kernels import KERNEL_NAMES, make_kernel
+
+DIFFUSION_CATEGORIES = frozenset(
+    {op.LOGIC, op.ROTATE, op.MULTIPLY, op.SUBST, op.PERMUTE}
+)
+
+DEFAULT_SESSION_BYTES = 512
+
+
+@dataclass
+class ValuePredictionRow:
+    cipher: str
+    #: Highest per-instruction last-value hit rate among diffusion ops.
+    best_diffusion_hit_rate: float
+    #: Mean hit rate over all diffusion ops.
+    mean_diffusion_hit_rate: float
+    #: Highest hit rate over *all* instructions (loop overhead included).
+    best_overall_hit_rate: float
+
+
+def measure_cipher(
+    name: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+) -> ValuePredictionRow:
+    kernel = make_kernel(name, features)
+    plaintext = bytes((i * 131 + 7) & 0xFF for i in range(session_bytes))
+    run = kernel.encrypt(plaintext, record_values=True)
+    trace = run.trace
+    last_value: dict[int, int] = {}
+    hits: dict[int, int] = {}
+    totals: dict[int, int] = {}
+    constant: dict[int, bool] = {}
+    dest = trace.static.dest
+    for position, static_index in enumerate(trace.seq):
+        if dest[static_index] < 0:
+            continue
+        value = trace.values[position]
+        if static_index in last_value:
+            totals[static_index] = totals.get(static_index, 0) + 1
+            if last_value[static_index] == value:
+                hits[static_index] = hits.get(static_index, 0) + 1
+            else:
+                constant[static_index] = False
+        else:
+            constant[static_index] = True
+        last_value[static_index] = value
+
+    categories = trace.static.category
+    diffusion_rates = []
+    all_rates = []
+    for static_index, total in totals.items():
+        if total < 8:
+            continue  # too few samples to call it an edge
+        rate = hits.get(static_index, 0) / total
+        all_rates.append(rate)
+        if constant.get(static_index, True) and rate == 1.0:
+            # Loop-invariant value (key masking, materialized constants):
+            # trivially predictable and not a dependence edge of the cipher.
+            continue
+        if trace.static.is_flag[static_index]:
+            # Single-bit compare flags (e.g. the software multiply's borrow
+            # correction) are branch-predictor material; predicting them
+            # cannot break a diffusion recurrence.
+            continue
+        if categories[static_index] in DIFFUSION_CATEGORIES:
+            diffusion_rates.append(rate)
+    return ValuePredictionRow(
+        cipher=name,
+        best_diffusion_hit_rate=max(diffusion_rates, default=0.0),
+        mean_diffusion_hit_rate=(
+            sum(diffusion_rates) / len(diffusion_rates)
+            if diffusion_rates else 0.0
+        ),
+        best_overall_hit_rate=max(all_rates, default=0.0),
+    )
+
+
+def study(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[ValuePredictionRow]:
+    return [measure_cipher(name, session_bytes) for name in ciphers]
+
+
+def render(rows: list[ValuePredictionRow]) -> str:
+    lines = [
+        "Value prediction study (sec 4.3): last-value predictor hit rates",
+        f"{'Cipher':<10} {'best-diffusion':>15} {'mean-diffusion':>15} "
+        f"{'best-overall':>13}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.cipher:<10} {row.best_diffusion_hit_rate:>14.1%} "
+            f"{row.mean_diffusion_hit_rate:>15.1%} "
+            f"{row.best_overall_hit_rate:>13.1%}"
+        )
+    best = max(row.best_diffusion_hit_rate for row in rows)
+    lines.append(
+        f"most predictable diffusion edge across the suite: {best:.1%} "
+        f"(paper: 6.3%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Reference implementations of the paper's eight symmetric-key ciphers."""
+
+from repro.ciphers.base import BlockCipher, StreamCipher
+from repro.ciphers.blowfish import Blowfish
+from repro.ciphers.des import DES
+from repro.ciphers.des3 import TripleDES
+from repro.ciphers.idea import IDEA
+from repro.ciphers.mars import MARS
+from repro.ciphers.modes import CBC, ecb_decrypt, ecb_encrypt
+from repro.ciphers.rc4 import RC4
+from repro.ciphers.rc6 import RC6
+from repro.ciphers.rijndael import Rijndael
+from repro.ciphers.suite import SUITE, SUITE_BY_NAME, CipherInfo, get_cipher_info
+from repro.ciphers.twofish import Twofish
+
+__all__ = [
+    "BlockCipher",
+    "StreamCipher",
+    "Blowfish",
+    "DES",
+    "TripleDES",
+    "IDEA",
+    "MARS",
+    "CBC",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "RC4",
+    "RC6",
+    "Rijndael",
+    "Twofish",
+    "SUITE",
+    "SUITE_BY_NAME",
+    "CipherInfo",
+    "get_cipher_info",
+]

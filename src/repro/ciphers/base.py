@@ -1,0 +1,63 @@
+"""Common interfaces for the eight symmetric ciphers the paper studies.
+
+Two kinds of cipher appear in the paper's benchmark suite:
+
+* seven *block ciphers* (3DES, Blowfish, IDEA, MARS, RC6, Rijndael, Twofish)
+  which encrypt fixed-size blocks and are run in chaining-block-cipher (CBC)
+  mode, and
+* one *stream cipher* (RC4), a key-based random number generator whose
+  keystream is XOR'ed onto the data.
+
+Key setup happens in ``__init__`` so that the setup-cost experiments
+(paper Figure 6) have a clean boundary to instrument.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class BlockCipher(ABC):
+    """A keyed block cipher: encrypts/decrypts one ``block_size``-byte block."""
+
+    #: Block size in bytes; subclasses override.
+    block_size: int = 0
+    #: Human-readable cipher name.
+    name: str = ""
+
+    @abstractmethod
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one block of plaintext."""
+
+    @abstractmethod
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one block of ciphertext."""
+
+    def _check_block(self, block: bytes) -> None:
+        if len(block) != self.block_size:
+            raise ValueError(
+                f"{self.name}: block must be {self.block_size} bytes, "
+                f"got {len(block)}"
+            )
+
+
+class StreamCipher(ABC):
+    """A keyed stream cipher; encryption and decryption are the same XOR."""
+
+    name: str = ""
+
+    @abstractmethod
+    def keystream(self, length: int) -> bytes:
+        """Produce the next ``length`` keystream bytes (stateful)."""
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` by XOR with the keystream."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def check_key_length(name: str, key: bytes, valid_lengths: tuple[int, ...]) -> None:
+    """Raise ``ValueError`` unless ``key`` has one of ``valid_lengths`` bytes."""
+    if len(key) not in valid_lengths:
+        lengths = ", ".join(str(n) for n in valid_lengths)
+        raise ValueError(f"{name}: key must be {lengths} bytes, got {len(key)}")

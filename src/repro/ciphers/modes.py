@@ -1,0 +1,89 @@
+"""Block cipher modes of operation.
+
+The paper runs every block cipher in chaining-block-cipher (CBC) mode: the
+ciphertext of block *i* is XOR'ed with plaintext block *i+1* before that block
+is encrypted.  CBC is what makes the cipher kernels one long recurrence with
+essentially no inter-block parallelism (paper section 2), so using it is
+essential for the performance experiments to be meaningful.
+
+ECB mode is provided for test vectors and key-schedule validation only.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.base import BlockCipher
+
+
+def _check_data(mode: str, cipher: BlockCipher, data: bytes) -> None:
+    if len(data) % cipher.block_size:
+        raise ValueError(
+            f"{mode}: data length {len(data)} is not a multiple of the "
+            f"{cipher.block_size}-byte block size of {cipher.name}"
+        )
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ecb_encrypt(cipher: BlockCipher, plaintext: bytes) -> bytes:
+    """Encrypt ``plaintext`` (a whole number of blocks) in ECB mode."""
+    _check_data("ECB", cipher, plaintext)
+    size = cipher.block_size
+    return b"".join(
+        cipher.encrypt_block(plaintext[i : i + size])
+        for i in range(0, len(plaintext), size)
+    )
+
+
+def ecb_decrypt(cipher: BlockCipher, ciphertext: bytes) -> bytes:
+    """Decrypt ``ciphertext`` (a whole number of blocks) in ECB mode."""
+    _check_data("ECB", cipher, ciphertext)
+    size = cipher.block_size
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i : i + size])
+        for i in range(0, len(ciphertext), size)
+    )
+
+
+class CBC:
+    """Stateful CBC encryptor/decryptor around a block cipher.
+
+    The intermediate vector (IV) persists across calls, matching the paper's
+    session model where one IV chains an entire communication stream.
+    """
+
+    def __init__(self, cipher: BlockCipher, iv: bytes):
+        if len(iv) != cipher.block_size:
+            raise ValueError(
+                f"CBC: IV must be {cipher.block_size} bytes, got {len(iv)}"
+            )
+        self.cipher = cipher
+        self._encrypt_iv = iv
+        self._decrypt_iv = iv
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt a whole number of blocks, chaining from the previous call."""
+        _check_data("CBC", self.cipher, plaintext)
+        size = self.cipher.block_size
+        chain = self._encrypt_iv
+        out = bytearray()
+        for i in range(0, len(plaintext), size):
+            block = _xor_bytes(plaintext[i : i + size], chain)
+            chain = self.cipher.encrypt_block(block)
+            out += chain
+        self._encrypt_iv = chain
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt a whole number of blocks, chaining from the previous call."""
+        _check_data("CBC", self.cipher, ciphertext)
+        size = self.cipher.block_size
+        chain = self._decrypt_iv
+        out = bytearray()
+        for i in range(0, len(ciphertext), size):
+            block = ciphertext[i : i + size]
+            out += _xor_bytes(self.cipher.decrypt_block(block), chain)
+            chain = block
+        self._decrypt_iv = chain
+        return bytes(out)

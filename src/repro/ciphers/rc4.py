@@ -1,0 +1,45 @@
+"""RC4 stream cipher (Rivest, 1987; public description 1994).
+
+RC4 is the one stream cipher in the paper's suite and its performance
+outlier: the keystream generator's iterations are (mostly) independent, so it
+is the only cipher with substantial instruction-level parallelism.  It is also
+the only cipher that *stores into* its S-box inside the kernel, which is why
+the paper's SBOX instruction grew an ``aliased`` bit.
+
+The paper configures RC4 with a 128-bit key and counts one keystream byte as
+one "round" over an 8-bit "block".
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.base import StreamCipher
+
+
+class RC4(StreamCipher):
+    """RC4 with the standard 256-byte state and key-scheduling algorithm."""
+
+    name = "RC4"
+
+    def __init__(self, key: bytes):
+        if not 1 <= len(key) <= 256:
+            raise ValueError(f"RC4: key must be 1..256 bytes, got {len(key)}")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, length: int) -> bytes:
+        state = self._state
+        i, j = self._i, self._j
+        out = bytearray(length)
+        for n in range(length):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            out[n] = state[(state[i] + state[j]) & 0xFF]
+        self._i, self._j = i, j
+        return bytes(out)

@@ -1,0 +1,221 @@
+"""Twofish block cipher (Schneier et al., 1998).
+
+Twofish is the paper's running example (its kernel opens section 2): a
+16-round Feistel network whose g-function applies four *key-dependent*
+S-boxes followed by an MDS matrix multiply over GF(2^8), plus the
+pseudo-Hadamard transform, 1-bit rotates, and key whitening.
+
+The optimized software implementation the paper measured ("full keying")
+precomputes the four key-dependent S-boxes fused with the MDS columns into
+four 256 x 32-bit tables at setup time, reducing g() to four table lookups and
+three XORs -- which is exactly what the RISC-A kernel does via SBOX
+instructions.  :meth:`Twofish.fused_sboxes` exports those tables.
+
+Configuration per the paper: 128-bit key, 128-bit block, 16 rounds.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.base import BlockCipher, check_key_length
+from repro.util.bits import MASK32, rotl32, rotr32
+from repro.util.gf import GF2_8, TWOFISH_MDS_POLY, TWOFISH_RS_POLY
+
+ROUNDS = 16
+
+_MDS_FIELD = GF2_8(TWOFISH_MDS_POLY)
+_RS_FIELD = GF2_8(TWOFISH_RS_POLY)
+
+MDS = (
+    (0x01, 0xEF, 0x5B, 0x5B),
+    (0x5B, 0xEF, 0xEF, 0x01),
+    (0xEF, 0x5B, 0x01, 0xEF),
+    (0xEF, 0x01, 0xEF, 0x5B),
+)
+
+RS = (
+    (0x01, 0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E),
+    (0xA4, 0x56, 0x82, 0xF3, 0x1E, 0xC6, 0x68, 0xE5),
+    (0x02, 0xA1, 0xFC, 0xC1, 0x47, 0xAE, 0x3D, 0x19),
+    (0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E, 0x03),
+)
+
+# The fixed 4-bit permutations that build the q0/q1 byte permutations.
+_Q0_T = (
+    (0x8, 0x1, 0x7, 0xD, 0x6, 0xF, 0x3, 0x2, 0x0, 0xB, 0x5, 0x9, 0xE, 0xC, 0xA, 0x4),
+    (0xE, 0xC, 0xB, 0x8, 0x1, 0x2, 0x3, 0x5, 0xF, 0x4, 0xA, 0x6, 0x7, 0x0, 0x9, 0xD),
+    (0xB, 0xA, 0x5, 0xE, 0x6, 0xD, 0x9, 0x0, 0xC, 0x8, 0xF, 0x3, 0x2, 0x4, 0x7, 0x1),
+    (0xD, 0x7, 0xF, 0x4, 0x1, 0x2, 0x6, 0xE, 0x9, 0xB, 0x3, 0x0, 0x8, 0x5, 0xC, 0xA),
+)
+_Q1_T = (
+    (0x2, 0x8, 0xB, 0xD, 0xF, 0x7, 0x6, 0xE, 0x3, 0x1, 0x9, 0x4, 0x0, 0xA, 0xC, 0x5),
+    (0x1, 0xE, 0x2, 0xB, 0x4, 0xC, 0x3, 0x7, 0x6, 0xD, 0xA, 0x5, 0xF, 0x9, 0x0, 0x8),
+    (0x4, 0xC, 0x7, 0x5, 0x1, 0x6, 0x9, 0xA, 0x0, 0xE, 0xD, 0x8, 0x2, 0xB, 0x3, 0xF),
+    (0xB, 0x9, 0x5, 0x1, 0xC, 0x3, 0xD, 0xE, 0x6, 0x4, 0x7, 0xF, 0x2, 0x0, 0x8, 0xA),
+)
+
+
+def _build_q(t: tuple[tuple[int, ...], ...]) -> tuple[int, ...]:
+    """Construct a q permutation from its four 4-bit tables (spec section 4.3.5)."""
+    table = []
+    for x in range(256):
+        a, b = x >> 4, x & 0xF
+        a, b = a ^ b, (a ^ ((b >> 1) | ((b & 1) << 3)) ^ ((8 * a) & 0xF))
+        a, b = t[0][a], t[1][b]
+        a, b = a ^ b, (a ^ ((b >> 1) | ((b & 1) << 3)) ^ ((8 * a) & 0xF))
+        a, b = t[2][a], t[3][b]
+        table.append((b << 4) | a)
+    return tuple(table)
+
+
+Q0 = _build_q(_Q0_T)
+Q1 = _build_q(_Q1_T)
+
+
+def _mds_column(byte: int, column: int) -> int:
+    """MDS * unit-vector column: the 32-bit word for input byte in position."""
+    word = 0
+    for row in range(4):
+        word |= _MDS_FIELD.mul(MDS[row][column], byte) << (8 * row)
+    return word
+
+
+def h_function(x: int, key_words: tuple[int, ...]) -> int:
+    """Twofish h: chained q-permutations keyed by ``key_words``, then MDS.
+
+    ``key_words`` is (l0, l1) for a 128-bit key; longer keys prepend stages.
+    """
+    y = [(x >> (8 * i)) & 0xFF for i in range(4)]
+    k = len(key_words)
+    if k >= 4:
+        b = key_words[3]
+        y = [
+            Q1[y[0]] ^ (b & 0xFF),
+            Q0[y[1]] ^ ((b >> 8) & 0xFF),
+            Q0[y[2]] ^ ((b >> 16) & 0xFF),
+            Q1[y[3]] ^ ((b >> 24) & 0xFF),
+        ]
+    if k >= 3:
+        b = key_words[2]
+        y = [
+            Q1[y[0]] ^ (b & 0xFF),
+            Q1[y[1]] ^ ((b >> 8) & 0xFF),
+            Q0[y[2]] ^ ((b >> 16) & 0xFF),
+            Q0[y[3]] ^ ((b >> 24) & 0xFF),
+        ]
+    b1, b0 = key_words[1], key_words[0]
+    y = [
+        Q1[Q0[Q0[y[0]] ^ (b1 & 0xFF)] ^ (b0 & 0xFF)],
+        Q0[Q0[Q1[y[1]] ^ ((b1 >> 8) & 0xFF)] ^ ((b0 >> 8) & 0xFF)],
+        Q1[Q1[Q0[y[2]] ^ ((b1 >> 16) & 0xFF)] ^ ((b0 >> 16) & 0xFF)],
+        Q0[Q1[Q1[y[3]] ^ ((b1 >> 24) & 0xFF)] ^ ((b0 >> 24) & 0xFF)],
+    ]
+    result = 0
+    for column in range(4):
+        result ^= _mds_column(y[column], column)
+    return result
+
+
+def _rs_encode(key_chunk: bytes) -> int:
+    """RS matrix times 8 key bytes -> one 32-bit S-box key word."""
+    word = 0
+    for row in range(4):
+        acc = 0
+        for col in range(8):
+            acc ^= _RS_FIELD.mul(RS[row][col], key_chunk[col])
+        word |= acc << (8 * row)
+    return word
+
+
+class Twofish(BlockCipher):
+    """Twofish-128 with full-keying precomputed S-box tables."""
+
+    name = "Twofish"
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        check_key_length("Twofish", key, (16,))
+        m = [int.from_bytes(key[4 * i : 4 * i + 4], "little") for i in range(4)]
+        m_even = (m[0], m[2])
+        m_odd = (m[1], m[3])
+        rho = 0x01010101
+        self.round_keys = []
+        for i in range(20):
+            a = h_function((2 * i * rho) & MASK32, m_even)
+            b = rotl32(h_function(((2 * i + 1) * rho) & MASK32, m_odd), 8)
+            self.round_keys.append((a + b) & MASK32)
+            self.round_keys.append(rotl32((a + 2 * b) & MASK32, 9))
+        # S-box key words, used in reverse chunk order.
+        s_words = tuple(
+            _rs_encode(key[8 * i : 8 * i + 8]) for i in range(len(key) // 8)
+        )
+        self._s_words = tuple(reversed(s_words))
+        self._g_tables = self._build_fused_sboxes()
+
+    def _build_fused_sboxes(self) -> list[list[int]]:
+        """Precompute g() as four 256x32 tables (the "full keying" option)."""
+        b1, b0 = self._s_words[1], self._s_words[0]
+        tables = []
+        spec = [
+            (lambda x: Q1[Q0[Q0[x] ^ (b1 & 0xFF)] ^ (b0 & 0xFF)], 0),
+            (lambda x: Q0[Q0[Q1[x] ^ ((b1 >> 8) & 0xFF)] ^ ((b0 >> 8) & 0xFF)], 1),
+            (lambda x: Q1[Q1[Q0[x] ^ ((b1 >> 16) & 0xFF)] ^ ((b0 >> 16) & 0xFF)], 2),
+            (lambda x: Q0[Q1[Q1[x] ^ ((b1 >> 24) & 0xFF)] ^ ((b0 >> 24) & 0xFF)], 3),
+        ]
+        for sbox_fn, column in spec:
+            tables.append([_mds_column(sbox_fn(x), column) for x in range(256)])
+        return tables
+
+    def fused_sboxes(self) -> list[list[int]]:
+        """The four key-dependent 256x32 g-tables, for the RISC-A kernel."""
+        return [list(t) for t in self._g_tables]
+
+    def g(self, x: int) -> int:
+        t = self._g_tables
+        return (
+            t[0][x & 0xFF]
+            ^ t[1][(x >> 8) & 0xFF]
+            ^ t[2][(x >> 16) & 0xFF]
+            ^ t[3][(x >> 24) & 0xFF]
+        )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        k = self.round_keys
+        r = [
+            int.from_bytes(block[4 * i : 4 * i + 4], "little") ^ k[i]
+            for i in range(4)
+        ]
+        for round_index in range(ROUNDS):
+            t0 = self.g(r[0])
+            t1 = self.g(rotl32(r[1], 8))
+            f0 = (t0 + t1 + k[2 * round_index + 8]) & MASK32
+            f1 = (t0 + 2 * t1 + k[2 * round_index + 9]) & MASK32
+            r2 = rotr32(r[2] ^ f0, 1)
+            r3 = rotl32(r[3], 1) ^ f1
+            r = [r2, r3, r[0], r[1]]
+        # Output whitening; the (i+2)%4 indexing undoes the last round's swap.
+        out = bytearray()
+        for i in range(4):
+            out += ((r[(i + 2) % 4] ^ k[4 + i]) & MASK32).to_bytes(4, "little")
+        return bytes(out)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        self._check_block(block)
+        k = self.round_keys
+        c = [
+            int.from_bytes(block[4 * i : 4 * i + 4], "little") ^ k[4 + i]
+            for i in range(4)
+        ]
+        # Invert the output whitening's swap-undoing index: R16_i = c[(i+2)%4].
+        r = [c[2], c[3], c[0], c[1]]
+        for round_index in range(ROUNDS - 1, -1, -1):
+            a, b, cc, d = r
+            t0 = self.g(cc)
+            t1 = self.g(rotl32(d, 8))
+            f0 = (t0 + t1 + k[2 * round_index + 8]) & MASK32
+            f1 = (t0 + 2 * t1 + k[2 * round_index + 9]) & MASK32
+            r = [cc, d, rotl32(a, 1) ^ f0, rotr32(b ^ f1, 1)]
+        out = bytearray()
+        for i in range(4):
+            out += ((r[i] ^ k[i]) & MASK32).to_bytes(4, "little")
+        return bytes(out)

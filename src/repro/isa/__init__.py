@@ -1,0 +1,18 @@
+"""RISC-A: the reproduction's Alpha-like ISA plus the paper's crypto extensions."""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.builder import Imm, KernelBuilder, SCRATCH_REGS
+from repro.isa.features import Features
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "Imm",
+    "KernelBuilder",
+    "SCRATCH_REGS",
+    "Features",
+    "Instruction",
+    "Program",
+]

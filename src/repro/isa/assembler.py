@@ -1,0 +1,168 @@
+"""Text assembler for RISC-A.
+
+The kernels ship as :class:`KernelBuilder` sources, but a plain-text syntax is
+useful for examples, tests, and exploratory work.  Syntax (one instruction
+per line, ``;`` starts a comment; ``#`` introduces literals)::
+
+    loop:
+        ldl   r1, 8(r2)        ; load 32-bit, zero-extended
+        addq  r3, r1, r4       ; dest first, Alpha-style operand order
+        xor   r3, r3, #255     ; 8-bit literal second source
+        roll  r5, r3, #13      ; crypto extension: 32-bit rotate
+        rolxl r6, r5, #7       ; dest ^= rotl32(src, 7)
+        sbox.2.1 r7, r8, r9    ; table 2, byte 1: r9 = SBOX(base=r7, idx=r8)
+        sbox.0.0.a r7, r8, r9  ; aliased form
+        sboxsync.2
+        xbox.3 r1, r2, r3      ; permute into destination byte 3
+        ldiq  r10, 0x123456789abc
+        stl   r3, 0(r2)
+        bne   r4, loop
+        halt
+
+Operand order note: the textual form puts the destination first (common
+assembler style); the in-memory :class:`Instruction` stores Alpha-style
+ra/rb/rc fields.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa import opcodes as op
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.registers import parse_reg
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+class AssemblyError(ValueError):
+    """Raised with a line number when assembly fails."""
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise ValueError(f"bad integer {token!r}") from exc
+
+
+def _operand(token: str):
+    """Parse an operand: register index, or ('lit', value) for #literals."""
+    token = token.strip()
+    if token.startswith("#"):
+        return ("lit", _parse_int(token[1:]))
+    return parse_reg(token)
+
+
+def assemble(text: str) -> Program:
+    """Assemble RISC-A text into a finalized :class:`Program`."""
+    program = Program()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        # ';' starts a comment ('#' introduces literals, so it cannot).
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _assemble_line(program, line)
+        except ValueError as exc:
+            raise AssemblyError(f"line {line_number}: {exc}") from exc
+    return program.finalize()
+
+
+def _assemble_line(program: Program, line: str) -> None:
+    while line.endswith(":") or ":" in line.split()[0]:
+        label, _, rest = line.partition(":")
+        program.mark_label(label.strip())
+        line = rest.strip()
+        if not line:
+            return
+    mnemonic, _, operand_text = line.partition(" ")
+    operands = [t.strip() for t in operand_text.split(",")] if operand_text else []
+    operands = [t for t in operands if t]
+
+    name, *modifiers = mnemonic.lower().split(".")
+    spec = op.SPECS_BY_NAME.get(name)
+    if spec is None:
+        raise ValueError(f"unknown mnemonic {name!r}")
+
+    if spec.fmt == "none":
+        program.add(Instruction(spec.code))
+        return
+
+    if spec.fmt == "sync":
+        if len(modifiers) != 1:
+            raise ValueError("sboxsync needs a table suffix, e.g. sboxsync.2")
+        program.add(Instruction(spec.code, table=_parse_int(modifiers[0])))
+        return
+
+    if spec.fmt == "ldi":
+        dest, value = operands
+        program.add(Instruction(spec.code, dest=parse_reg(dest),
+                                lit=_parse_int(value.lstrip("#"))))
+        return
+
+    if spec.fmt == "mem":
+        if spec.klass == "store":
+            value, address = operands
+            base, disp = _parse_address(address)
+            program.add(Instruction(spec.code, src1=parse_reg(value),
+                                    src2=base, disp=disp))
+        else:
+            dest, address = operands
+            base, disp = _parse_address(address)
+            program.add(Instruction(spec.code, dest=parse_reg(dest),
+                                    src2=base, disp=disp))
+        return
+
+    if spec.fmt == "br":
+        if spec.code == op.BR:
+            (target,) = operands
+            program.add(Instruction(spec.code, target=target))
+        else:
+            reg, target = operands
+            program.add(Instruction(spec.code, src1=parse_reg(reg),
+                                    target=target))
+        return
+
+    if spec.fmt == "sbox":
+        if len(modifiers) < 2:
+            raise ValueError("sbox needs .table.byte modifiers, e.g. sbox.0.2")
+        aliased = len(modifiers) > 2 and modifiers[2] == "a"
+        base, index, dest = operands
+        program.add(Instruction(
+            spec.code, src1=parse_reg(base), src2=parse_reg(index),
+            dest=parse_reg(dest), table=_parse_int(modifiers[0]),
+            bsel=_parse_int(modifiers[1]), aliased=aliased,
+        ))
+        return
+
+    if spec.fmt == "xbox":
+        if len(modifiers) != 1:
+            raise ValueError("xbox needs a byte modifier, e.g. xbox.3")
+        ra, map_reg, dest = operands
+        program.add(Instruction(
+            spec.code, src1=parse_reg(ra), src2=parse_reg(map_reg),
+            dest=parse_reg(dest), bsel=_parse_int(modifiers[0]),
+        ))
+        return
+
+    # operate format: dest, ra, rb-or-literal
+    dest, ra, rb = operands
+    parsed = _operand(rb)
+    if isinstance(parsed, tuple):
+        program.add(Instruction(spec.code, dest=parse_reg(dest),
+                                src1=parse_reg(ra), lit=parsed[1]))
+    else:
+        program.add(Instruction(spec.code, dest=parse_reg(dest),
+                                src1=parse_reg(ra), src2=parsed))
+
+
+def _parse_address(token: str) -> tuple[int, int]:
+    """Parse 'disp(rN)' or '(rN)' into (base register, displacement)."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"bad address {token!r} (expected disp(rN))")
+    disp_text, reg_text = match.groups()
+    disp = _parse_int(disp_text) if disp_text else 0
+    return parse_reg(reg_text), disp

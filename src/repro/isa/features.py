@@ -1,0 +1,39 @@
+"""Kernel feature levels: which ISA the kernel is compiled against.
+
+The paper evaluates three codings of every cipher kernel:
+
+* ``NOROT`` -- the original code on a machine *without* rotate instructions
+  (like the real Alpha): rotates are synthesized from shifts, S-box lookups
+  are three-instruction load sequences, permutations are shift/mask idioms,
+  and IDEA's modular multiply is the software low-high decomposition.
+* ``ROT`` -- the original code plus ROL/ROR (the paper's normalization
+  baseline: "many architectures have fast rotates").
+* ``OPT`` -- the hand-optimized kernels using every proposed extension:
+  rotates, ROLX/RORX combining, MULMOD, SBOX/SBOXSYNC, and XBOX.
+
+The same kernel source is emitted at each level; the
+:class:`~repro.isa.builder.KernelBuilder` idiom helpers expand differently.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Features(enum.IntEnum):
+    NOROT = 0
+    ROT = 1
+    OPT = 2
+
+    @property
+    def has_rotates(self) -> bool:
+        return self >= Features.ROT
+
+    @property
+    def has_crypto(self) -> bool:
+        """ROLX/RORX, MULMOD, SBOX, XBOX available."""
+        return self >= Features.OPT
+
+    @property
+    def label(self) -> str:
+        return {0: "orig-norot", 1: "orig-rot", 2: "opt"}[int(self)]

@@ -1,0 +1,77 @@
+"""RISC-A program container: instructions, labels, finalization.
+
+A :class:`Program` is built by the assembler or the :class:`KernelBuilder`,
+then *finalized*: labels resolve to instruction indices and per-instruction
+static metadata is frozen.  The simulators require a finalized program.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BRANCH_CODES
+
+
+class Program:
+    """An ordered list of instructions plus label definitions."""
+
+    def __init__(self) -> None:
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def add(self, instruction: Instruction) -> int:
+        """Append an instruction; returns its index."""
+        if self._finalized:
+            raise RuntimeError("cannot modify a finalized program")
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def mark_label(self, name: str) -> None:
+        """Define ``name`` at the next instruction's index."""
+        if self._finalized:
+            raise RuntimeError("cannot modify a finalized program")
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def finalize(self) -> "Program":
+        """Resolve branch targets; freeze the program.  Returns self."""
+        if self._finalized:
+            return self
+        for index, instruction in enumerate(self.instructions):
+            if instruction.code in BRANCH_CODES:
+                target = instruction.target
+                if isinstance(target, str):
+                    if target not in self.labels:
+                        raise ValueError(
+                            f"instruction {index}: undefined label {target!r}"
+                        )
+                    instruction.target = self.labels[target]
+                elif not isinstance(target, int):
+                    raise ValueError(f"instruction {index}: missing branch target")
+                if not 0 <= instruction.target <= len(self.instructions):
+                    raise ValueError(
+                        f"instruction {index}: branch target "
+                        f"{instruction.target} out of range"
+                    )
+        self._finalized = True
+        return self
+
+    def listing(self) -> str:
+        """Disassembly listing with labels, for debugging and examples."""
+        by_index: dict[int, list[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            for name in by_index.get(index, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {index:5d}  {instruction.render()}")
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""RISC-A register file conventions.
+
+32 integer registers of 64 bits.  ``r31`` always reads as zero and writes to
+it are discarded, like the Alpha.  The paper's ISA extensions deliberately
+stay within two register sources and one destination (plus an in-instruction
+literal) to avoid adding register file ports -- see paper section 5.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+ZERO_REG = 31
+
+
+def reg_name(index: int) -> str:
+    """Canonical name for a register index."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index {index} out of range")
+    return f"r{index}"
+
+
+def parse_reg(token: str) -> int:
+    """Parse 'r<N>' (or 'zero') into a register index."""
+    token = token.strip().lower()
+    if token == "zero":
+        return ZERO_REG
+    if token.startswith("r"):
+        try:
+            index = int(token[1:])
+        except ValueError as exc:
+            raise ValueError(f"bad register {token!r}") from exc
+        if 0 <= index < NUM_REGS:
+            return index
+    raise ValueError(f"bad register {token!r}")

@@ -1,0 +1,18 @@
+"""RISC-A cipher kernels: the paper's hand-optimized implementations."""
+
+from repro.kernels.registry import KERNEL_NAMES, KERNELS, make_kernel
+from repro.kernels.runtime import CipherKernel, KernelRun, Layout
+from repro.kernels.setup_base import SetupKernel
+from repro.kernels.setup_registry import SETUP_KERNELS, make_setup
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KERNELS",
+    "make_kernel",
+    "CipherKernel",
+    "KernelRun",
+    "Layout",
+    "SetupKernel",
+    "SETUP_KERNELS",
+    "make_setup",
+]

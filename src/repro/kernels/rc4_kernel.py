@@ -1,0 +1,101 @@
+"""RC4 RISC-A kernel.
+
+RC4 is the suite's outlier (paper sections 4 and 6): a key-based random
+number generator whose per-byte iterations are *mostly* independent, giving
+it an order of magnitude more ILP than the block ciphers -- and it is the
+only kernel that stores into its S-box, which is why the paper's SBOX
+instruction has an ``aliased`` bit.  Aliased SBOX reads keep optimized
+address generation but behave like loads in the memory-ordering logic, so
+on a dynamically-scheduled machine the (rarely dependent, probability 1/256)
+stores from the previous iteration stall them -- the paper's Figure 5
+*Alias* bottleneck for RC4.
+
+The state is held as 256 x 32-bit entries (the paper's 8-bit-entry scheme:
+upper 24 bits zero), so it exactly fits one 1 KB SBOX table.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.rc4 import RC4
+from repro.isa import Imm
+from repro.isa import opcodes as op
+from repro.isa.program import Program
+from repro.kernels.runtime import CipherKernel, Layout
+from repro.sim.memory import Memory
+
+
+class RC4Kernel(CipherKernel):
+    name = "RC4"
+    block_bytes = 1
+    word_order = "raw"
+    tables_bytes = 1024
+    keys_bytes = 64
+
+    def __init__(self, key: bytes, features):
+        super().__init__(key, features)
+        self.cipher = RC4(key)
+
+    def reference_encrypt(self, plaintext: bytes, iv: bytes) -> bytes:
+        return RC4(self.key).process(plaintext)
+
+    def reference_decrypt(self, ciphertext: bytes, iv: bytes) -> bytes:
+        return RC4(self.key).process(ciphertext)
+
+    def build_decrypt_program(self, layout, nblocks):
+        """Stream cipher: decryption is the identical keystream XOR."""
+        return self.build_program(layout, nblocks)
+
+    def write_tables(self, memory: Memory, layout: Layout) -> None:
+        memory.write_words32(layout.tables, list(self.cipher._state))
+
+    def _state_read(self, kb, dest, base, index) -> None:
+        """dest = S[index]; aliased SBOX at OPT, scaled-add load at baseline."""
+        if self.features.has_crypto:
+            kb.sbox(dest, base, index, byte_index=0, table_id=0,
+                    aliased=True, category=op.SUBST)
+        else:
+            from repro.isa.builder import SCRATCH_REGS
+
+            t0 = SCRATCH_REGS[0]
+            kb.s4addq(t0, index, base, category=op.SUBST)
+            kb.ldl(dest, t0, 0, category=op.SUBST)
+
+    def build_program(self, layout: Layout, nblocks: int) -> Program:
+        kb = self.builder()
+        in_ptr, out_ptr, count = kb.regs("in_ptr", "out_ptr", "count")
+        s_base = kb.reg("s_base")
+        i_reg, j_reg = kb.regs("i", "j")
+        si, sj, t, addr = kb.regs("si", "sj", "t", "addr")
+
+        kb.ldiq(in_ptr, layout.input)
+        kb.ldiq(out_ptr, layout.output)
+        kb.ldiq(count, nblocks)
+        kb.ldiq(s_base, layout.tables)
+        # i and j resume from the key-setup state (0 after setup).
+        kb.ldl(i_reg, kb.zero, layout.iv)
+        kb.ldl(j_reg, kb.zero, layout.iv + 4)
+
+        kb.label("byte_loop")
+        kb.addl(i_reg, i_reg, Imm(1), category=op.ARITH)
+        kb.and_(i_reg, i_reg, Imm(0xFF), category=op.LOGIC)
+        self._state_read(kb, si, s_base, i_reg)
+        kb.addl(j_reg, j_reg, si, category=op.ARITH)
+        kb.and_(j_reg, j_reg, Imm(0xFF), category=op.LOGIC)
+        self._state_read(kb, sj, s_base, j_reg)
+        # Swap S[i] and S[j]: the stores go through normal d-cache ports.
+        kb.s4addq(addr, i_reg, s_base, category=op.SUBST)
+        kb.stl(sj, addr, 0, category=op.SUBST)
+        kb.s4addq(addr, j_reg, s_base, category=op.SUBST)
+        kb.stl(si, addr, 0, category=op.SUBST)
+        kb.addl(t, si, sj, category=op.ARITH)
+        kb.and_(t, t, Imm(0xFF), category=op.LOGIC)
+        self._state_read(kb, t, s_base, t)
+        kb.ldbu(si, in_ptr, 0)
+        kb.xor(si, si, t, category=op.LOGIC)
+        kb.stb(si, out_ptr, 0)
+        kb.addq(in_ptr, in_ptr, Imm(1))
+        kb.addq(out_ptr, out_ptr, Imm(1))
+        kb.subq(count, count, Imm(1))
+        kb.bne(count, "byte_loop")
+        kb.halt()
+        return kb.build()

@@ -1,0 +1,42 @@
+"""Registry mapping cipher names to their RISC-A kernel implementations."""
+
+from __future__ import annotations
+
+from repro.ciphers.suite import SUITE_BY_NAME
+from repro.isa import Features
+from repro.kernels.blowfish_kernel import BlowfishKernel
+from repro.kernels.des3_kernel import TripleDESKernel
+from repro.kernels.idea_kernel import IDEAKernel
+from repro.kernels.mars_kernel import MARSKernel
+from repro.kernels.rc4_kernel import RC4Kernel
+from repro.kernels.rc6_kernel import RC6Kernel
+from repro.kernels.rijndael_kernel import RijndaelKernel
+from repro.kernels.runtime import CipherKernel
+from repro.kernels.twofish_kernel import TwofishKernel
+
+KERNELS: dict[str, type[CipherKernel]] = {
+    "3DES": TripleDESKernel,
+    "Blowfish": BlowfishKernel,
+    "IDEA": IDEAKernel,
+    "Mars": MARSKernel,
+    "RC4": RC4Kernel,
+    "RC6": RC6Kernel,
+    "Rijndael": RijndaelKernel,
+    "Twofish": TwofishKernel,
+}
+
+#: Paper order (Table 1).
+KERNEL_NAMES = tuple(KERNELS)
+
+
+def make_kernel(
+    name: str,
+    features: Features = Features.OPT,
+    key: bytes | None = None,
+) -> CipherKernel:
+    """Instantiate a cipher kernel by suite name with a default-size key."""
+    if name not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; have {sorted(KERNELS)}")
+    if key is None:
+        key = bytes(range(SUITE_BY_NAME[name].key_bytes))
+    return KERNELS[name](key, features)

@@ -1,0 +1,109 @@
+"""Base harness for key-setup kernels (paper Figure 6).
+
+Setup kernels run the cipher's key schedule *in RISC-A*, writing tables and
+round keys to the exact memory layout the encryption kernel expects; the
+harness validates the produced bytes against the reference cipher's
+schedule.  Setup code is emitted at the ``ROT`` feature level regardless of
+the encryption kernel's level: the paper measured unoptimized setup routines
+(optimizing them is listed as future work in its section 8).
+
+Layout additions: the raw key is staged at ``KEY_INPUT``; ciphers with
+static helper tables (q-permutations, MDS/RS columns, the AES S-box source)
+get them at ``STATIC_BASE`` -- those are key-independent program constants,
+not products of setup.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.isa import Features, KernelBuilder
+from repro.isa import opcodes as op
+from repro.isa.builder import SCRATCH_REGS, Imm
+from repro.isa.program import Program
+from repro.kernels.runtime import IV_BASE, Layout
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+from repro.sim.trace import Trace
+
+KEY_INPUT = IV_BASE + 0x100
+STATIC_BASE = 0x3000  # inside the tables region, above the runtime tables
+
+
+@dataclass
+class SetupRun:
+    trace: Trace
+    instructions: int
+
+
+class SetupKernel(ABC):
+    """One cipher's RISC-A key-setup routine."""
+
+    name: str = ""
+
+    def __init__(self, key: bytes):
+        self.key = key
+
+    @abstractmethod
+    def stage_inputs(self, memory: Memory, layout: Layout) -> None:
+        """Write the raw key and any static helper tables into memory."""
+
+    @abstractmethod
+    def build_program(self, layout: Layout) -> Program:
+        """Emit the setup routine."""
+
+    @abstractmethod
+    def expected_regions(self, layout: Layout) -> list[tuple[int, bytes]]:
+        """(address, bytes) pairs the setup must have produced."""
+
+    def layout(self) -> Layout:
+        return Layout(
+            tables=0x1000, keys=0xD000, iv=IV_BASE,
+            input=0x10000, output=0x10040, session_bytes=0,
+        )
+
+    def run(self, validate: bool = True) -> SetupRun:
+        layout = self.layout()
+        memory = Memory(0x12000)
+        self.stage_inputs(memory, layout)
+        program = self.build_program(layout)
+        result = Machine(program, memory).run()
+        if validate:
+            for address, expected in self.expected_regions(layout):
+                produced = memory.read_bytes(address, len(expected))
+                if produced != expected:
+                    raise AssertionError(
+                        f"{self.name} setup diverges at 0x{address:x}: "
+                        f"{produced[:16].hex()} != {expected[:16].hex()}"
+                    )
+        return SetupRun(trace=result.trace, instructions=result.instructions)
+
+    def builder(self) -> KernelBuilder:
+        return KernelBuilder(Features.ROT)
+
+
+def emit_bit_gather(
+    kb: KernelBuilder,
+    dest: int,
+    src: int,
+    bit_map: list[tuple[int, int]],
+    category: str = op.PERMUTE,
+) -> None:
+    """dest = gather of ``src`` bits: (src_bit, dest_bit) pairs, unrolled.
+
+    The straightforward compiled-C shape for an arbitrary bit permutation:
+    shift / mask / shift / OR per bit (the cost the paper's XBOX attacks).
+    """
+    t = SCRATCH_REGS[0]
+    first = True
+    for src_bit, dest_bit in bit_map:
+        kb.srl(t, src, Imm(src_bit), category=category)
+        kb.and_(t, t, Imm(1), category=category)
+        if dest_bit:
+            kb.sll(t, t, Imm(dest_bit), category=category)
+        if first:
+            kb.mov(dest, t, category=category)
+            first = False
+        else:
+            kb.bis(dest, dest, t, category=category)

@@ -1,0 +1,389 @@
+"""Setup kernels for Twofish, MARS and 3DES.
+
+* **Twofish** uses the "full keying" option the encryption kernel assumes:
+  the setup computes the RS-coded S-box words, derives the 40 round keys via
+  the h-function, and materializes the four fused g-tables (1024 entries of
+  q-permutation chains + MDS column lookups).  The q tables and MDS/RS
+  column tables are static program constants staged at ``STATIC_BASE``.
+* **MARS** runs the submission's key expansion: linear stirring, S-box
+  stirring, harvesting, and the multiplication-key fixing pass with the
+  bit-parallel long-run mask.
+* **3DES** runs the DES key schedule three times (PC1, sixteen 28-bit
+  rotations, PC2) with the PC2 gather emitted directly into the encryption
+  kernel's rotated (k0, k1) word format, middle schedule stored reversed.
+  Bit permutations use the straightforward shift/mask gathers compiled C
+  produces.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers import mars as mars_mod
+from repro.ciphers.des import KEY_SHIFTS, PC1, PC2
+from repro.ciphers.twofish import MDS, Q0, Q1, RS, Twofish
+from repro.isa import opcodes as op
+from repro.isa.builder import Imm, SCRATCH_REGS
+from repro.isa.program import Program
+from repro.kernels.des3_kernel import ede_round_keys
+from repro.kernels.runtime import Layout
+from repro.kernels.setup_base import (
+    KEY_INPUT,
+    STATIC_BASE,
+    SetupKernel,
+    emit_bit_gather,
+)
+from repro.sim.memory import Memory
+from repro.util.gf import GF2_8, TWOFISH_MDS_POLY, TWOFISH_RS_POLY
+
+_MDS_FIELD = GF2_8(TWOFISH_MDS_POLY)
+_RS_FIELD = GF2_8(TWOFISH_RS_POLY)
+
+
+def _mds_column_table(column: int) -> list[int]:
+    """Static 256-entry table: MDS * (byte at ``column``) as a 32-bit word."""
+    table = []
+    for byte in range(256):
+        word = 0
+        for row in range(4):
+            word |= _MDS_FIELD.mul(MDS[row][column], byte) << (8 * row)
+        table.append(word)
+    return table
+
+
+def _rs_column_table(column: int) -> list[int]:
+    """Static 256-entry table: RS column ``column`` times a key byte."""
+    table = []
+    for byte in range(256):
+        word = 0
+        for row in range(4):
+            word |= _RS_FIELD.mul(RS[row][column], byte) << (8 * row)
+        table.append(word)
+    return table
+
+
+class TwofishSetup(SetupKernel):
+    name = "Twofish"
+
+    # Static-table offsets relative to STATIC_BASE (each 1 KB).
+    _Q0 = 0x000
+    _Q1 = 0x400
+    _MDS = 0x800          # four tables, 0x800 + 0x400*c
+    _RS = 0x1800          # eight tables, 0x1800 + 0x400*c
+
+    def stage_inputs(self, memory: Memory, layout: Layout) -> None:
+        memory.write_bytes(KEY_INPUT, self.key)
+        memory.write_words32(STATIC_BASE + self._Q0, list(Q0))
+        memory.write_words32(STATIC_BASE + self._Q1, list(Q1))
+        for column in range(4):
+            memory.write_words32(
+                STATIC_BASE + self._MDS + 0x400 * column,
+                _mds_column_table(column),
+            )
+        for column in range(8):
+            memory.write_words32(
+                STATIC_BASE + self._RS + 0x400 * column,
+                _rs_column_table(column),
+            )
+
+    def expected_regions(self, layout: Layout) -> list[tuple[int, bytes]]:
+        cipher = Twofish(self.key)
+        regions = [
+            (layout.keys,
+             b"".join(w.to_bytes(4, "little") for w in cipher.round_keys))
+        ]
+        for i, table in enumerate(cipher.fused_sboxes()):
+            regions.append(
+                (layout.tables + 0x400 * i,
+                 b"".join(w.to_bytes(4, "little") for w in table))
+            )
+        return regions
+
+    def _lookup(self, kb, dest, base_reg, index, offset=0) -> None:
+        """dest = 32-bit table[byte index] at base+offset (baseline idiom)."""
+        t = SCRATCH_REGS[0]
+        kb.s4addq(t, index, base_reg, category=op.SUBST)
+        kb.ldl(dest, t, offset, category=op.SUBST)
+
+    def _h_byte_chain(self, kb, dest, x_reg, pos, key_bytes, static_base) -> None:
+        """dest = MDS column of the stage-2 q chain for byte position pos.
+
+        chain: q_a[ q_b[ q_c[x] ^ b1 ] ^ b0 ]  then the MDS column table.
+        """
+        chains = {
+            0: (self._Q0, self._Q0, self._Q1),
+            1: (self._Q1, self._Q0, self._Q0),
+            2: (self._Q0, self._Q1, self._Q1),
+            3: (self._Q1, self._Q1, self._Q0),
+        }
+        first, second, third = chains[pos]
+        b1, b0 = key_bytes
+        self._lookup(kb, dest, static_base, x_reg, first)
+        kb.xor(dest, dest, b1, category=op.LOGIC)
+        self._lookup(kb, dest, static_base, dest, second)
+        kb.xor(dest, dest, b0, category=op.LOGIC)
+        self._lookup(kb, dest, static_base, dest, third)
+        self._lookup(kb, dest, static_base, dest, self._MDS + 0x400 * pos)
+
+    def build_program(self, layout: Layout) -> Program:
+        kb = self.builder()
+        static_base, g_out, k_out = kb.regs("static", "g_out", "k_out")
+        x, acc, t1 = kb.regs("x", "acc", "t1")
+        count = kb.reg("count")
+        # Per-byte key material for the two h stages of g (s-words) and the
+        # round-key h calls (m-words): 16 registers total is too many, so
+        # key bytes are re-extracted per use from four word registers.
+        s0w, s1w = kb.regs("s0w", "s1w")
+        m_even0, m_even1, m_odd0, m_odd1 = kb.regs("me0", "me1", "mo0", "mo1")
+        b1, b0, a_reg, b_reg = kb.regs("b1", "b0", "a_val", "b_val")
+
+        kb.ldiq(static_base, STATIC_BASE)
+        kb.ldiq(g_out, layout.tables)
+        kb.ldiq(k_out, layout.keys)
+
+        # Key words (little-endian): M0..M3.
+        kb.ldl(m_even0, kb.zero, KEY_INPUT)       # M0
+        kb.ldl(m_odd0, kb.zero, KEY_INPUT + 4)    # M1
+        kb.ldl(m_even1, kb.zero, KEY_INPUT + 8)   # M2
+        kb.ldl(m_odd1, kb.zero, KEY_INPUT + 12)   # M3
+
+        # ---- RS-code the two key chunks into the S words --------------------
+        # s_words (reversed chunk order): s0w = RS(key[8:16]), s1w = RS(key[0:8])
+        for dest, chunk_base in ((s0w, 8), (s1w, 0)):
+            kb.ldiq(dest, 0)
+            for column in range(8):
+                kb.ldbu(x, kb.zero, KEY_INPUT + chunk_base + column)
+                self._lookup(kb, acc, static_base, x, self._RS + 0x400 * column)
+                kb.xor(dest, dest, acc, category=op.LOGIC)
+
+        # ---- fused g-tables: 4 x 256 entries --------------------------------
+        for pos in range(4):
+            kb.extbl(b1, s1w, Imm(pos), category=op.LOGIC)
+            kb.extbl(b0, s0w, Imm(pos), category=op.LOGIC)
+            kb.ldiq(x, 0)
+            kb.ldiq(count, 256)
+            loop = kb.unique_label("gtab")
+            kb.label(loop)
+            self._h_byte_chain(kb, acc, x, pos, (b1, b0), static_base)
+            kb.s4addq(t1, x, g_out)
+            kb.stl(acc, t1, 0x400 * pos)
+            kb.addl(x, x, Imm(1))
+            kb.subq(count, count, Imm(1))
+            kb.bne(count, loop)
+
+        # ---- round keys: K[2i], K[2i+1] from two h evaluations ---------------
+        rho_step = kb.reg("rho_step")
+        x_val = kb.reg("x_val")
+        kb.ldiq(rho_step, 0x01010101)
+        kb.ldiq(x_val, 0)  # h input for A_i: (2i) * rho
+        for i in range(20):
+            # A = h(x_val, (M0, M2)); all four input bytes equal 2i.
+            kb.ldiq(a_reg, 0)
+            for pos in range(4):
+                kb.extbl(b1, m_even1, Imm(pos), category=op.LOGIC)
+                kb.extbl(b0, m_even0, Imm(pos), category=op.LOGIC)
+                kb.extbl(x, x_val, Imm(pos), category=op.LOGIC)
+                self._h_byte_chain(kb, acc, x, pos, (b1, b0), static_base)
+                kb.xor(a_reg, a_reg, acc, category=op.LOGIC)
+            kb.addl(x_val, x_val, rho_step, category=op.ARITH)  # (2i+1)*rho
+            kb.ldiq(b_reg, 0)
+            for pos in range(4):
+                kb.extbl(b1, m_odd1, Imm(pos), category=op.LOGIC)
+                kb.extbl(b0, m_odd0, Imm(pos), category=op.LOGIC)
+                kb.extbl(x, x_val, Imm(pos), category=op.LOGIC)
+                self._h_byte_chain(kb, acc, x, pos, (b1, b0), static_base)
+                kb.xor(b_reg, b_reg, acc, category=op.LOGIC)
+            kb.addl(x_val, x_val, rho_step, category=op.ARITH)  # next 2i*rho
+            kb.rotl32(b_reg, b_reg, 8)
+            kb.addl(acc, a_reg, b_reg, category=op.ARITH)       # K[2i]
+            kb.stl(acc, k_out, 8 * i)
+            kb.addl(acc, acc, b_reg, category=op.ARITH)         # A + 2B
+            kb.rotl32(acc, acc, 9)
+            kb.stl(acc, k_out, 8 * i + 4)                       # K[2i+1]
+        kb.halt()
+        return kb.build()
+
+
+class MARSSetup(SetupKernel):
+    name = "Mars"
+
+    _T_SCRATCH = 0x400  # inside the keys region: 15-word working buffer
+
+    def stage_inputs(self, memory: Memory, layout: Layout) -> None:
+        memory.write_bytes(KEY_INPUT, self.key)
+        # The 512-word S-box doubles as the stirring table; the encryption
+        # kernel's write_tables puts it at layout.tables, and setup reads it
+        # from there (S0 || S1 contiguous via 9-bit indexing needs a single
+        # flat copy).
+        memory.write_words32(STATIC_BASE, list(mars_mod.sbox()))
+
+    def expected_regions(self, layout: Layout) -> list[tuple[int, bytes]]:
+        expected = b"".join(
+            w.to_bytes(4, "little") for w in mars_mod.expand_key(self.key)
+        )
+        return [(layout.keys, expected)]
+
+    def build_program(self, layout: Layout) -> Program:
+        kb = self.builder()
+        s_base, t_base, k_out = kb.regs("s_base", "t_base", "k_out")
+        val, t0, t1, mask1ff = kb.regs("val", "t0", "t1", "mask1ff")
+        kb.ldiq(s_base, STATIC_BASE)
+        kb.ldiq(t_base, layout.keys + self._T_SCRATCH)
+        kb.ldiq(k_out, layout.keys)
+        kb.ldiq(mask1ff, 0x1FF)
+
+        # T init: key words, then n=4, then zeros.
+        n = len(self.key) // 4
+        for i in range(n):
+            kb.ldl(val, kb.zero, KEY_INPUT + 4 * i)
+            kb.stl(val, t_base, 4 * i)
+        kb.ldiq(val, n)
+        kb.stl(val, t_base, 4 * n)
+        kb.ldiq(val, 0)
+        for i in range(n + 1, 15):
+            kb.stl(val, t_base, 4 * i)
+
+        for generation in range(4):
+            # Linear stirring (unrolled 15).
+            for i in range(15):
+                kb.ldl(t0, t_base, 4 * ((i - 7) % 15))
+                kb.ldl(t1, t_base, 4 * ((i - 2) % 15))
+                kb.xor(t0, t0, t1, category=op.LOGIC)
+                kb.rotl32(t0, t0, 3)
+                kb.ldl(val, t_base, 4 * i)
+                kb.xor(val, val, t0, category=op.LOGIC)
+                kb.xor(val, val, Imm(4 * i + generation), category=op.LOGIC)
+                kb.stl(val, t_base, 4 * i)
+            # S-box stirring, four passes (unrolled 60).
+            for _ in range(4):
+                for i in range(15):
+                    kb.ldl(t0, t_base, 4 * ((i - 1) % 15))
+                    kb.and_(t0, t0, mask1ff, category=op.SUBST)
+                    kb.s4addq(t0, t0, s_base, category=op.SUBST)
+                    kb.ldl(t0, t0, 0, category=op.SUBST)
+                    kb.ldl(val, t_base, 4 * i)
+                    kb.addl(val, val, t0, category=op.ARITH)
+                    kb.rotl32(val, val, 9)
+                    kb.stl(val, t_base, 4 * i)
+            # Harvest ten key words.
+            for i in range(10):
+                kb.ldl(val, t_base, 4 * ((4 * i) % 15))
+                kb.stl(val, k_out, 4 * (10 * generation + i))
+
+        # Fix multiplication keys K[5], K[7], ..., K[35].
+        w_reg, m_reg, r_reg, b_reg = kb.regs("w", "m", "r", "b")
+        mask7ffc, mask7fff = kb.regs("mask7ffc", "mask7fff")
+        kb.ldiq(mask7ffc, 0x7FFFFFFC)
+        kb.ldiq(mask7fff, 0x7FFFFFFF)
+        for i in range(5, 36, 2):
+            kb.ldl(val, k_out, 4 * i)
+            kb.and_(t0, val, Imm(3), category=op.LOGIC)       # low two bits
+            kb.bis(w_reg, val, Imm(3), category=op.LOGIC)     # w = K | 3
+            # Bit-parallel long-run mask (see repro.ciphers.mars).
+            kb.srl(t1, w_reg, Imm(1), category=op.LOGIC)
+            kb.xor(t1, w_reg, t1, category=op.LOGIC)          # d = w ^ (w>>1)
+            kb.ornot(t1, kb.zero, t1, category=op.LOGIC)      # ~d
+            kb.and_(t1, t1, mask7fff, category=op.LOGIC)      # 31 live bits
+            kb.mov(m_reg, t1)
+            for k in range(1, 9):
+                kb.srl(b_reg, t1, Imm(k), category=op.LOGIC)
+                kb.and_(m_reg, m_reg, b_reg, category=op.LOGIC)
+            # m_reg = r9 (run >= 10 start bits); expand over interiors.
+            kb.sll(b_reg, m_reg, Imm(1), category=op.LOGIC)
+            for k in range(2, 9):
+                kb.sll(r_reg, m_reg, Imm(k), category=op.LOGIC)
+                kb.bis(b_reg, b_reg, r_reg, category=op.LOGIC)
+            kb.and_(m_reg, b_reg, mask7ffc, category=op.LOGIC)
+            # B[j] = S[265 + j]; rotate by K[i-1] & 31; mask; xor into w.
+            kb.s4addq(t1, t0, s_base, category=op.SUBST)
+            kb.ldl(b_reg, t1, 4 * 265, category=op.SUBST)
+            kb.ldl(r_reg, k_out, 4 * (i - 1))
+            kb.rotl32_var(b_reg, b_reg, r_reg)
+            kb.and_(b_reg, b_reg, m_reg, category=op.LOGIC)
+            kb.xor(w_reg, w_reg, b_reg, category=op.LOGIC)
+            kb.stl(w_reg, k_out, 4 * i)
+        kb.halt()
+        return kb.build()
+
+
+class TripleDESSetup(SetupKernel):
+    name = "3DES"
+
+    def stage_inputs(self, memory: Memory, layout: Layout) -> None:
+        # Three 64-bit big-endian keys, byte-reversed for LDQ.
+        for i in range(3):
+            memory.write_bytes(KEY_INPUT + 8 * i, self.key[8 * i : 8 * i + 8][::-1])
+
+    def expected_regions(self, layout: Layout) -> list[tuple[int, bytes]]:
+        expected = b"".join(
+            w.to_bytes(4, "little") for w in ede_round_keys(self.key)
+        )
+        return [(layout.keys, expected)]
+
+    @staticmethod
+    def _pc1_maps() -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """(src_bit, dest_bit) gathers for the C and D 28-bit halves."""
+        c_map, d_map = [], []
+        for out_index, src_spec in enumerate(PC1):
+            src_bit = 64 - src_spec          # spec position -> LSB index
+            if out_index < 28:
+                c_map.append((src_bit, 27 - out_index))
+            else:
+                d_map.append((src_bit, 27 - (out_index - 28)))
+        return c_map, d_map
+
+    @staticmethod
+    def _pc2_rot_maps() -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """PC2 gathers emitted directly into the kernel's (k0, k1) format.
+
+        Source is the 56-bit (C << 28) | D value; destinations are the bit
+        positions of each 6-bit chunk inside the rotated-domain k0/k1 words
+        (see des3_kernel.rotated_round_keys).
+        """
+        chunk_slots_k0 = {0: 2, 2: 26, 4: 18, 6: 10}
+        chunk_slots_k1 = {7: 2, 5: 10, 3: 18, 1: 26}
+        k0_map, k1_map = [], []
+        for out_index, src_spec in enumerate(PC2):
+            src_bit = 56 - src_spec
+            chunk, bit_in_chunk = divmod(out_index, 6)
+            dest_bit_offset = 5 - bit_in_chunk
+            if chunk in chunk_slots_k0:
+                k0_map.append((src_bit, chunk_slots_k0[chunk] + dest_bit_offset))
+            else:
+                k1_map.append((src_bit, chunk_slots_k1[chunk] + dest_bit_offset))
+        return k0_map, k1_map
+
+    def build_program(self, layout: Layout) -> Program:
+        kb = self.builder()
+        key64, c_half, d_half, cd, out_val = kb.regs(
+            "key64", "c_half", "d_half", "cd", "out_val"
+        )
+        mask28, k_out = kb.regs("mask28", "k_out")
+        kb.ldiq(mask28, 0xFFFFFFF)
+        kb.ldiq(k_out, layout.keys)
+        c_map, d_map = self._pc1_maps()
+        k0_map, k1_map = self._pc2_rot_maps()
+        t = SCRATCH_REGS[1]
+
+        for stage in range(3):
+            kb.ldq(key64, kb.zero, KEY_INPUT + 8 * stage)
+            emit_bit_gather(kb, c_half, key64, c_map)
+            emit_bit_gather(kb, d_half, key64, d_map)
+            for round_index, shift in enumerate(KEY_SHIFTS):
+                # 28-bit rotate left by 1 or 2.
+                for half in (c_half, d_half):
+                    kb.sll(t, half, Imm(shift), category=op.ROTATE)
+                    kb.srl(half, half, Imm(28 - shift), category=op.ROTATE)
+                    kb.bis(half, half, t, category=op.ROTATE)
+                    kb.and_(half, half, mask28, category=op.ROTATE)
+                kb.sll(cd, c_half, Imm(28), category=op.PERMUTE)
+                kb.bis(cd, cd, d_half, category=op.PERMUTE)
+                # Middle schedule is used in reverse order (EDE decrypt).
+                if stage == 1:
+                    slot = 16 + (15 - round_index)
+                else:
+                    slot = 16 * stage + round_index
+                emit_bit_gather(kb, out_val, cd, k0_map)
+                kb.stl(out_val, k_out, 8 * slot)
+                emit_bit_gather(kb, out_val, cd, k1_map)
+                kb.stl(out_val, k_out, 8 * slot + 4)
+        kb.halt()
+        return kb.build()

@@ -1,0 +1,33 @@
+"""Registry for the key-setup kernels (Figure 6)."""
+
+from __future__ import annotations
+
+from repro.ciphers.suite import SUITE_BY_NAME
+from repro.kernels.setup_base import SetupKernel
+from repro.kernels.setup_complex import MARSSetup, TripleDESSetup, TwofishSetup
+from repro.kernels.setup_simple import (
+    BlowfishSetup,
+    IDEASetup,
+    RC4Setup,
+    RC6Setup,
+    RijndaelSetup,
+)
+
+SETUP_KERNELS: dict[str, type[SetupKernel]] = {
+    "3DES": TripleDESSetup,
+    "Blowfish": BlowfishSetup,
+    "IDEA": IDEASetup,
+    "Mars": MARSSetup,
+    "RC4": RC4Setup,
+    "RC6": RC6Setup,
+    "Rijndael": RijndaelSetup,
+    "Twofish": TwofishSetup,
+}
+
+
+def make_setup(name: str, key: bytes | None = None) -> SetupKernel:
+    if name not in SETUP_KERNELS:
+        raise KeyError(f"unknown setup kernel {name!r}")
+    if key is None:
+        key = bytes(range(SUITE_BY_NAME[name].key_bytes))
+    return SETUP_KERNELS[name](key)

@@ -1,0 +1,184 @@
+"""Twofish RISC-A kernel (full-keying implementation).
+
+The "full keying" software option the paper measured: at setup time the four
+key-dependent S-boxes are fused with the MDS matrix columns into four
+256 x 32-bit tables, so the round's g-function is four table lookups and
+three XORs.  ``g(rol(r1, 8))`` needs no rotate at all -- rotating the input
+by 8 just relabels which byte feeds which table, so the kernel picks bytes
+(3, 0, 1, 2) instead (the standard trick in the reference C code).
+
+Per round: 8 S-box lookups, PHT adds, two round-key loads, a 1-bit rotate
+each way.  ``r3' = rol(r3, 1) ^ f1`` maps exactly onto the paper's ROLX
+instruction at the OPT level.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.modes import CBC
+from repro.ciphers.twofish import Twofish
+from repro.isa import Imm
+from repro.isa import opcodes as op
+from repro.isa.program import Program
+from repro.kernels.runtime import CipherKernel, Layout
+from repro.sim.memory import Memory
+
+
+class TwofishKernel(CipherKernel):
+    name = "Twofish"
+    block_bytes = 16
+    word_order = "raw"  # Twofish is specified little-endian
+    tables_bytes = 4096
+    keys_bytes = 160
+
+    def __init__(self, key: bytes, features):
+        super().__init__(key, features)
+        self.cipher = Twofish(key)
+
+    def reference_encrypt(self, plaintext: bytes, iv: bytes) -> bytes:
+        return CBC(Twofish(self.key), iv).encrypt(plaintext)
+
+    def reference_decrypt(self, ciphertext: bytes, iv: bytes) -> bytes:
+        return CBC(Twofish(self.key), iv).decrypt(ciphertext)
+
+    def write_tables(self, memory: Memory, layout: Layout) -> None:
+        for i, table in enumerate(self.cipher.fused_sboxes()):
+            memory.write_words32(layout.tables + 0x400 * i, table)
+        memory.write_words32(layout.keys, self.cipher.round_keys)
+
+    def _g(self, kb, dest, src, bases, t_reg, rotated: bool) -> None:
+        """dest = g(src) (or g(rol(src, 8)) when ``rotated``)."""
+        byte_map = (3, 0, 1, 2) if rotated else (0, 1, 2, 3)
+        kb.sbox_lookup(dest, bases[0], src, byte_index=byte_map[0], table_id=0)
+        for table_id in (1, 2, 3):
+            kb.sbox_lookup(t_reg, bases[table_id], src,
+                           byte_index=byte_map[table_id], table_id=table_id)
+            kb.xor(dest, dest, t_reg, category=op.LOGIC)
+
+    def build_program(self, layout: Layout, nblocks: int) -> Program:
+        kb = self.builder()
+        in_ptr, out_ptr, count = kb.regs("in_ptr", "out_ptr", "count")
+        k_base = kb.reg("k_base")
+        bases = kb.regs("g0", "g1", "g2", "g3")
+        chain = kb.regs("c0", "c1", "c2", "c3")
+        state = kb.regs("r0", "r1", "r2", "r3")
+        t0, t1, kp, tmp = kb.regs("t0", "t1", "kp", "tmp")
+
+        kb.ldiq(in_ptr, layout.input)
+        kb.ldiq(out_ptr, layout.output)
+        kb.ldiq(count, nblocks)
+        kb.ldiq(k_base, layout.keys)
+        for i, base in enumerate(bases):
+            kb.ldiq(base, layout.tables + 0x400 * i)
+        for i in range(4):
+            kb.ldl(chain[i], kb.zero, layout.iv + 4 * i)
+        if self.features.has_crypto:
+            for table_id in range(4):
+                kb.sboxsync(table_id)
+
+        kb.label("block_loop")
+        r = list(state)
+        for i in range(4):
+            kb.ldl(r[i], in_ptr, 4 * i)
+            kb.xor(r[i], r[i], chain[i])
+            # Input whitening K0..K3.
+            kb.ldl(kp, k_base, 4 * i)
+            kb.xor(r[i], r[i], kp)
+
+        for round_index in range(16):
+            self._g(kb, t0, r[0], bases, tmp, rotated=False)
+            self._g(kb, t1, r[1], bases, tmp, rotated=True)
+            # PHT + round keys: f0 = t0+t1+K[2r+8], f1 = t0+2*t1+K[2r+9].
+            kb.ldl(kp, k_base, 4 * (2 * round_index + 8))
+            kb.addl(t0, t0, t1, category=op.ARITH)        # t0+t1
+            kb.addl(tmp, t0, t1, category=op.ARITH)       # t0+2*t1
+            kb.addl(t0, t0, kp, category=op.ARITH)        # f0
+            kb.ldl(kp, k_base, 4 * (2 * round_index + 9))
+            kb.addl(tmp, tmp, kp, category=op.ARITH)      # f1
+            # r2' = ror(r2 ^ f0, 1); r3' = rol(r3, 1) ^ f1 (ROLX at OPT).
+            kb.xor(r[2], r[2], t0, category=op.LOGIC)
+            kb.rotr32(r[2], r[2], 1)
+            kb.rotl32_xor(tmp, r[3], 1)                   # tmp = rol(r3,1)^f1
+            # Swap-by-renaming: tmp's register is the new r1; the register
+            # that held r3 becomes the new scratch.
+            r, tmp = [r[2], tmp, r[0], r[1]], r[3]
+
+        # Output whitening (the (i+2)%4 indexing undoes the last swap) and
+        # CBC chain update.
+        for i in range(4):
+            kb.ldl(kp, k_base, 4 * (4 + i))
+            kb.xor(chain[i], r[(i + 2) % 4], kp)
+            kb.stl(chain[i], out_ptr, 4 * i)
+
+        kb.addq(in_ptr, in_ptr, Imm(16))
+        kb.addq(out_ptr, out_ptr, Imm(16))
+        kb.subq(count, count, Imm(1))
+        kb.bne(count, "block_loop")
+        kb.halt()
+        return kb.build()
+
+    def build_decrypt_program(self, layout: Layout, nblocks: int) -> Program:
+        """Inverse rounds: same g-tables, PHT subtractions become the mirror
+        whitening order, and the 1-bit rotates swap direction (paper: the
+        decryption kernel is the reversed, inverted network)."""
+        kb = self.builder()
+        in_ptr, out_ptr, count = kb.regs("in_ptr", "out_ptr", "count")
+        k_base = kb.reg("k_base")
+        bases = kb.regs("g0", "g1", "g2", "g3")
+        chain = kb.regs("c0", "c1", "c2", "c3")
+        saved = kb.regs("n0", "n1", "n2", "n3")
+        state = kb.regs("r0", "r1", "r2", "r3")
+        t0, t1, kp, tmp = kb.regs("t0", "t1", "kp", "tmp")
+
+        kb.ldiq(in_ptr, layout.input)
+        kb.ldiq(out_ptr, layout.output)
+        kb.ldiq(count, nblocks)
+        kb.ldiq(k_base, layout.keys)
+        for i, base in enumerate(bases):
+            kb.ldiq(base, layout.tables + 0x400 * i)
+        for i in range(4):
+            kb.ldl(chain[i], kb.zero, layout.iv + 4 * i)
+        if self.features.has_crypto:
+            for table_id in range(4):
+                kb.sboxsync(table_id)
+
+        kb.label("block_loop")
+        r = list(state)
+        # Input whitening with K4..K7; R16_i = c[(i+2)%4] (see the reference
+        # cipher's decrypt_block).
+        loaded = list(saved)
+        for i in range(4):
+            kb.ldl(loaded[i], in_ptr, 4 * i)
+        for i in range(4):
+            kb.ldl(kp, k_base, 4 * (4 + ((i + 2) % 4)))
+            kb.xor(r[i], loaded[(i + 2) % 4], kp)
+
+        for round_index in range(15, -1, -1):
+            self._g(kb, t0, r[2], bases, tmp, rotated=False)
+            self._g(kb, t1, r[3], bases, tmp, rotated=True)
+            kb.addl(tmp, t0, t1, category=op.ARITH)        # t0+t1
+            kb.ldl(kp, k_base, 4 * (2 * round_index + 8))
+            kb.addl(t0, tmp, kp, category=op.ARITH)        # f0
+            kb.addl(tmp, tmp, t1, category=op.ARITH)       # t0+2*t1
+            kb.ldl(kp, k_base, 4 * (2 * round_index + 9))
+            kb.addl(tmp, tmp, kp, category=op.ARITH)       # f1
+            # new r2 = rol(a,1) ^ f0; new r3 = ror(b ^ f1, 1).
+            kb.rotl32_xor(t0, r[0], 1)
+            kb.xor(r[1], r[1], tmp, category=op.LOGIC)
+            kb.rotr32(r[1], r[1], 1)
+            r, t0 = [r[2], r[3], t0, r[1]], r[0]
+
+        # Output whitening with K0..K3, CBC chain XOR, chain update.
+        for i in range(4):
+            kb.ldl(kp, k_base, 4 * i)
+            kb.xor(r[i], r[i], kp)
+            kb.xor(r[i], r[i], chain[i])
+            kb.stl(r[i], out_ptr, 4 * i)
+        for i in range(4):
+            kb.mov(chain[i], loaded[i])
+
+        kb.addq(in_ptr, in_ptr, Imm(16))
+        kb.addq(out_ptr, out_ptr, Imm(16))
+        kb.subq(count, count, Imm(1))
+        kb.bne(count, "block_loop")
+        kb.halt()
+        return kb.build()

@@ -1,0 +1,39 @@
+"""RISC-A simulators: functional execution, traces, and OoO timing models."""
+
+from repro.sim.config import (
+    ALPHA21264,
+    BASE4W,
+    BOTTLENECKS,
+    DATAFLOW,
+    DATAFLOW_BASEISA,
+    EIGHTW_PLUS,
+    FOURW,
+    FOURW_PLUS,
+    MachineConfig,
+    bottleneck_config,
+)
+from repro.sim.machine import Machine, SimulationError
+from repro.sim.memory import Memory
+from repro.sim.stats import SimStats
+from repro.sim.timing import simulate
+from repro.sim.trace import StaticInfo, Trace
+
+__all__ = [
+    "ALPHA21264",
+    "BASE4W",
+    "BOTTLENECKS",
+    "DATAFLOW",
+    "DATAFLOW_BASEISA",
+    "EIGHTW_PLUS",
+    "FOURW",
+    "FOURW_PLUS",
+    "MachineConfig",
+    "bottleneck_config",
+    "Machine",
+    "SimulationError",
+    "Memory",
+    "SimStats",
+    "simulate",
+    "StaticInfo",
+    "Trace",
+]

@@ -1,0 +1,407 @@
+"""Functional RISC-A simulator.
+
+Executes a finalized program against a :class:`~repro.sim.memory.Memory`,
+optionally recording the compact dynamic trace the timing models consume.
+The interpreter is a single dispatch loop over precompiled per-instruction
+field arrays -- the fastest portable shape for a pure-Python ISA interpreter.
+
+Architectural notes (see ``repro.isa.opcodes`` for the full list):
+* registers hold unsigned 64-bit values; ``r31`` reads as zero (writes to it
+  are compiled to a shadow slot),
+* 32-bit results (``ADDL`` family, ``ROLL``, ``ROLXL``, SBOX loads, ``LDL``)
+  are zero-extended,
+* SBOXSYNC is a timing-only instruction: the functional model reads S-box
+  tables from live memory, which is equivalent because kernels only store to
+  a non-aliased S-box region before the matching SBOXSYNC (RC4's in-kernel
+  stores use the aliased SBOX form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import opcodes as op
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+from repro.sim.trace import StaticInfo, Trace
+
+M32 = 0xFFFFFFFF
+M64 = 0xFFFFFFFFFFFFFFFF
+
+_ZAPNOT_MASKS = [
+    sum(0xFF << (8 * bit) for bit in range(8) if mask & (1 << bit))
+    for mask in range(256)
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when execution fails (bad memory access, runaway program)."""
+
+
+@dataclass
+class RunResult:
+    instructions: int
+    trace: Trace | None
+
+
+class Machine:
+    """Functional executor for one program instance."""
+
+    def __init__(self, program: Program, memory: Memory):
+        if not program.finalized:
+            raise ValueError("program must be finalized")
+        self.program = program
+        self.memory = memory
+        self.regs = [0] * 33  # slot 32 swallows writes to r31
+        self._compile()
+
+    def _compile(self) -> None:
+        """Flatten instruction fields into parallel arrays for the hot loop."""
+        instructions = self.program.instructions
+        n = len(instructions)
+        self.code = [0] * n
+        self.dest = [32] * n
+        self.src1 = [31] * n
+        self.src2 = [31] * n
+        self.lit = [None] * n
+        self.disp = [0] * n
+        self.target = [0] * n
+        self.tbl = [0] * n
+        self.bsel = [0] * n
+        for i, instr in enumerate(instructions):
+            self.code[i] = instr.code
+            if instr.dest is not None:
+                self.dest[i] = 32 if instr.dest == 31 else instr.dest
+            if instr.src1 is not None:
+                self.src1[i] = instr.src1
+            if instr.src2 is not None:
+                self.src2[i] = instr.src2
+            self.lit[i] = instr.lit
+            self.disp[i] = instr.disp
+            if isinstance(instr.target, int):
+                self.target[i] = instr.target
+            self.tbl[i] = instr.table
+            self.bsel[i] = instr.bsel
+
+    def run(
+        self,
+        max_instructions: int = 200_000_000,
+        record_trace: bool = True,
+        record_values: bool = False,
+    ) -> RunResult:
+        """Execute from instruction 0 until HALT.
+
+        Returns the executed-instruction count and, when requested, the
+        compact dynamic trace for the timing models.
+        """
+        regs = self.regs
+        regs[31] = 0
+        memory = self.memory
+        data = memory.data
+        mem_size = memory.size
+        code, dest, src1, src2 = self.code, self.dest, self.src1, self.src2
+        lit, disp, target = self.lit, self.disp, self.target
+        tbl, bsel = self.tbl, self.bsel
+        n = len(code)
+
+        seq: list[int] = []
+        addrs: list[int] = []
+        values: list[int] = [] if record_values else None
+        seq_append = seq.append
+        addrs_append = addrs.append
+
+        pc = 0
+        executed = 0
+        while True:
+            if pc >= n:
+                raise SimulationError(f"fell off program end at pc={pc}")
+            c = code[pc]
+            executed += 1
+            if executed > max_instructions:
+                raise SimulationError(
+                    f"exceeded {max_instructions} instructions (runaway loop?)"
+                )
+            addr = 0
+            next_pc = pc + 1
+            if c == 7:  # XOR
+                regs[dest[pc]] = regs[src1[pc]] ^ (
+                    lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                )
+            elif c == 3:  # ADDL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] + b) & M32
+            elif c == 1:  # ADDQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] + b) & M64
+            elif c == 5:  # AND
+                regs[dest[pc]] = regs[src1[pc]] & (
+                    lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                )
+            elif c == 6:  # BIS
+                regs[dest[pc]] = regs[src1[pc]] | (
+                    lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                )
+            elif c == 10:  # SLL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] << (b & 63)) & M64
+            elif c == 11:  # SRL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = regs[src1[pc]] >> (b & 63)
+            elif c == 20:  # EXTBL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] >> ((b & 7) * 8)) & 0xFF
+            elif c == 57:  # SBOX
+                base = regs[src1[pc]]
+                index = (regs[src2[pc]] >> (bsel[pc] * 8)) & 0xFF
+                addr = (base & ~0x3FF) | (index << 2)
+                if addr + 4 > mem_size:
+                    raise SimulationError(f"SBOX access at 0x{addr:x} oob")
+                regs[dest[pc]] = int.from_bytes(data[addr : addr + 4], "little")
+            elif c == 31:  # LDL
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr % 4 or addr + 4 > mem_size:
+                    raise SimulationError(f"LDL at 0x{addr:x} (pc {pc})")
+                regs[dest[pc]] = int.from_bytes(data[addr : addr + 4], "little")
+            elif c == 30:  # LDQ
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr % 8 or addr + 8 > mem_size:
+                    raise SimulationError(f"LDQ at 0x{addr:x} (pc {pc})")
+                regs[dest[pc]] = int.from_bytes(data[addr : addr + 8], "little")
+            elif c == 33:  # LDBU
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr >= mem_size:
+                    raise SimulationError(f"LDBU at 0x{addr:x} (pc {pc})")
+                regs[dest[pc]] = data[addr]
+            elif c == 32:  # LDWU
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr % 2 or addr + 2 > mem_size:
+                    raise SimulationError(f"LDWU at 0x{addr:x} (pc {pc})")
+                regs[dest[pc]] = int.from_bytes(data[addr : addr + 2], "little")
+            elif c == 35:  # STL
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr % 4 or addr + 4 > mem_size:
+                    raise SimulationError(f"STL at 0x{addr:x} (pc {pc})")
+                data[addr : addr + 4] = (regs[src1[pc]] & M32).to_bytes(4, "little")
+            elif c == 34:  # STQ
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr % 8 or addr + 8 > mem_size:
+                    raise SimulationError(f"STQ at 0x{addr:x} (pc {pc})")
+                data[addr : addr + 8] = regs[src1[pc]].to_bytes(8, "little")
+            elif c == 37:  # STB
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr >= mem_size:
+                    raise SimulationError(f"STB at 0x{addr:x} (pc {pc})")
+                data[addr] = regs[src1[pc]] & 0xFF
+            elif c == 36:  # STW
+                addr = (regs[src2[pc]] + disp[pc]) & M64
+                if addr % 2 or addr + 2 > mem_size:
+                    raise SimulationError(f"STW at 0x{addr:x} (pc {pc})")
+                data[addr : addr + 2] = (regs[src1[pc]] & 0xFFFF).to_bytes(2, "little")
+            elif c == 50:  # ROLL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                amount = b & 31
+                value = regs[src1[pc]] & M32
+                regs[dest[pc]] = (
+                    ((value << amount) | (value >> (32 - amount))) & M32
+                    if amount else value
+                )
+            elif c == 51:  # RORL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                amount = (32 - (b & 31)) & 31
+                value = regs[src1[pc]] & M32
+                regs[dest[pc]] = (
+                    ((value << amount) | (value >> (32 - amount))) & M32
+                    if amount else value
+                )
+            elif c == 54:  # ROLXL
+                amount = lit[pc] & 31
+                value = regs[src1[pc]] & M32
+                rotated = (
+                    ((value << amount) | (value >> (32 - amount))) & M32
+                    if amount else value
+                )
+                regs[dest[pc]] = (rotated ^ regs[dest[pc]]) & M32
+            elif c == 55:  # RORXL
+                amount = (32 - (lit[pc] & 31)) & 31
+                value = regs[src1[pc]] & M32
+                rotated = (
+                    ((value << amount) | (value >> (32 - amount))) & M32
+                    if amount else value
+                )
+                regs[dest[pc]] = (rotated ^ regs[dest[pc]]) & M32
+            elif c == 56:  # MULMOD (IDEA multiply, 0 represents 2^16)
+                a = regs[src1[pc]] & 0xFFFF
+                b = (lit[pc] if lit[pc] is not None else regs[src2[pc]]) & 0xFFFF
+                if a == 0:
+                    a = 0x10000
+                if b == 0:
+                    b = 0x10000
+                regs[dest[pc]] = ((a * b) % 0x10001) & 0xFFFF
+            elif c == 59:  # XBOX
+                operand = regs[src1[pc]]
+                perm_map = regs[src2[pc]]
+                result = 0
+                base_bit = bsel[pc] * 8
+                for j in range(8):
+                    bit = (operand >> ((perm_map >> (6 * j)) & 0x3F)) & 1
+                    result |= bit << (base_bit + j)
+                regs[dest[pc]] = result
+            elif c == 2:  # SUBQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] - b) & M64
+            elif c == 4:  # SUBL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] - b) & M32
+            elif c == 8:  # BIC
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = regs[src1[pc]] & ~b & M64
+            elif c == 9:  # ORNOT
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] | (~b & M64)) & M64
+            elif c == 12:  # SRA
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                value = regs[src1[pc]]
+                if value & 0x8000000000000000:
+                    value -= 1 << 64
+                regs[dest[pc]] = (value >> (b & 63)) & M64
+            elif c == 13:  # MULL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = ((regs[src1[pc]] & M32) * (b & M32)) & M32
+            elif c == 14:  # MULQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] * b) & M64
+            elif c == 15:  # CMPEQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = 1 if regs[src1[pc]] == b else 0
+            elif c == 16:  # CMPULT
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = 1 if regs[src1[pc]] < b else 0
+            elif c == 17:  # CMPULE
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = 1 if regs[src1[pc]] <= b else 0
+            elif c == 18:  # CMPLT
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                a = regs[src1[pc]]
+                if a & 0x8000000000000000:
+                    a -= 1 << 64
+                if b & 0x8000000000000000:
+                    b -= 1 << 64
+                regs[dest[pc]] = 1 if a < b else 0
+            elif c == 19:  # CMPLE
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                a = regs[src1[pc]]
+                if a & 0x8000000000000000:
+                    a -= 1 << 64
+                if b & 0x8000000000000000:
+                    b -= 1 << 64
+                regs[dest[pc]] = 1 if a <= b else 0
+            elif c == 21:  # INSBL
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] & 0xFF) << ((b & 7) * 8)
+            elif c == 22:  # ZAPNOT
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = regs[src1[pc]] & _ZAPNOT_MASKS[b & 0xFF]
+            elif c == 23:  # S4ADDQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] * 4 + b) & M64
+            elif c == 24:  # S8ADDQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                regs[dest[pc]] = (regs[src1[pc]] * 8 + b) & M64
+            elif c == 25:  # CMOVEQ
+                if regs[src1[pc]] == 0:
+                    b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                    regs[dest[pc]] = b
+            elif c == 26:  # CMOVNE
+                if regs[src1[pc]] != 0:
+                    b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                    regs[dest[pc]] = b
+            elif c == 27:  # LDA
+                regs[dest[pc]] = (regs[src2[pc]] + disp[pc]) & M64
+            elif c == 28:  # LDIQ
+                regs[dest[pc]] = lit[pc]
+            elif c == 40:  # BR
+                next_pc = target[pc]
+            elif c == 41:  # BEQ
+                if regs[src1[pc]] == 0:
+                    next_pc = target[pc]
+            elif c == 42:  # BNE
+                if regs[src1[pc]] != 0:
+                    next_pc = target[pc]
+            elif c == 43:  # BLT
+                if regs[src1[pc]] & 0x8000000000000000:
+                    next_pc = target[pc]
+            elif c == 44:  # BLE
+                a = regs[src1[pc]]
+                if a == 0 or a & 0x8000000000000000:
+                    next_pc = target[pc]
+            elif c == 45:  # BGT
+                a = regs[src1[pc]]
+                if a != 0 and not a & 0x8000000000000000:
+                    next_pc = target[pc]
+            elif c == 46:  # BGE
+                if not regs[src1[pc]] & 0x8000000000000000:
+                    next_pc = target[pc]
+            elif c == 52:  # ROLQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                amount = b & 63
+                value = regs[src1[pc]]
+                regs[dest[pc]] = (
+                    ((value << amount) | (value >> (64 - amount))) & M64
+                    if amount else value
+                )
+            elif c == 53:  # RORQ
+                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                amount = (64 - (b & 63)) & 63
+                value = regs[src1[pc]]
+                regs[dest[pc]] = (
+                    ((value << amount) | (value >> (64 - amount))) & M64
+                    if amount else value
+                )
+            elif c == 48 or c == 49:  # GRPL / GRPQ (Shi & Lee)
+                width = 32 if c == 48 else 64
+                x = regs[src1[pc]]
+                ctrl = lit[pc] if lit[pc] is not None else regs[src2[pc]]
+                low = high = 0
+                low_count = high_count = 0
+                for i in range(width):
+                    bit = (x >> i) & 1
+                    if (ctrl >> i) & 1:
+                        high |= bit << high_count
+                        high_count += 1
+                    else:
+                        low |= bit << low_count
+                        low_count += 1
+                regs[dest[pc]] = low | (high << low_count)
+            elif c == 58:  # SBOXSYNC: timing-only
+                pass
+            elif c == 0:  # HALT
+                if record_trace:
+                    seq_append(pc)
+                    addrs_append(0)
+                    if values is not None:
+                        values.append(0)
+                break
+            else:
+                raise SimulationError(f"unimplemented opcode {c} at pc {pc}")
+
+            # Writes to r31 were remapped to shadow slot 32 at compile time,
+            # so regs[31] stays zero without a per-instruction reset.
+            if record_trace:
+                seq_append(pc)
+                addrs_append(addr)
+                if values is not None:
+                    d = dest[pc]
+                    values.append(regs[d] if d != 32 else 0)
+            pc = next_pc
+
+        trace = None
+        if record_trace:
+            trace = Trace(
+                program=self.program,
+                static=StaticInfo.from_program(self.program),
+                seq=seq,
+                addrs=addrs,
+                values=values,
+                instructions_executed=executed,
+            )
+        return RunResult(instructions=executed, trace=trace)

@@ -1,0 +1,53 @@
+"""Flat little-endian memory for the RISC-A simulators.
+
+The kernels and their data (S-box tables, key schedules, plaintext and
+ciphertext buffers) live in one flat byte-addressed space.  Accesses must be
+naturally aligned -- the Alpha faults on unaligned accesses and the cipher
+kernels never need them, so the model simply rejects them.
+"""
+
+from __future__ import annotations
+
+
+class Memory:
+    """A fixed-size little-endian byte-addressable memory."""
+
+    def __init__(self, size: int = 1 << 20):
+        self.size = size
+        self.data = bytearray(size)
+
+    def _check(self, address: int, width: int) -> None:
+        if address % width:
+            raise ValueError(
+                f"unaligned {width}-byte access at 0x{address:x}"
+            )
+        if not 0 <= address <= self.size - width:
+            raise ValueError(f"access at 0x{address:x} outside memory")
+
+    def read(self, address: int, width: int) -> int:
+        self._check(address, width)
+        return int.from_bytes(self.data[address : address + width], "little")
+
+    def write(self, address: int, value: int, width: int) -> None:
+        self._check(address, width)
+        self.data[address : address + width] = (
+            value & ((1 << (8 * width)) - 1)
+        ).to_bytes(width, "little")
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        if not 0 <= address <= self.size - length:
+            raise ValueError(f"access at 0x{address:x} outside memory")
+        return bytes(self.data[address : address + length])
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        if not 0 <= address <= self.size - len(payload):
+            raise ValueError(f"access at 0x{address:x} outside memory")
+        self.data[address : address + len(payload)] = payload
+
+    def write_words32(self, address: int, words: list[int]) -> None:
+        """Write a list of 32-bit words starting at ``address``."""
+        for i, word in enumerate(words):
+            self.write(address + 4 * i, word, 4)
+
+    def read_words32(self, address: int, count: int) -> list[int]:
+        return [self.read(address + 4 * i, 4) for i in range(count)]

@@ -1,0 +1,84 @@
+"""ASCII pipeline viewer -- this reproduction's SimpleView.
+
+The paper's authors used the SimpleView visualization framework to watch
+instructions stall in the modeled pipeline and find what slowed each cipher
+kernel.  This module renders the same picture from the timing model's
+schedule hook: one row per dynamic instruction, one column per cycle,
+
+    F  fetch            =  waiting for operands / resources after fetch
+    X  executing        (issue .. complete)
+    .  completed, waiting to retire
+    R  retire
+
+Usage::
+
+    stats = simulate(trace, FOURW, warm, schedule_range=(100, 140))
+    print(render_pipeline(trace, stats.extra["schedule"]))
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace
+
+_MAX_COLUMNS = 120
+
+
+def render_pipeline(
+    trace: Trace,
+    schedule: list[tuple[int, int, int, int, int, int]],
+    max_columns: int = _MAX_COLUMNS,
+) -> str:
+    """Render a schedule window as an ASCII timeline."""
+    if not schedule:
+        return "(empty schedule)"
+    base_cycle = min(entry[2] for entry in schedule)
+    last_cycle = max(entry[5] for entry in schedule)
+    span = last_cycle - base_cycle + 1
+    clipped = span > max_columns
+
+    instructions = trace.program.instructions
+    label_width = max(
+        len(instructions[entry[1]].render()) for entry in schedule
+    )
+    label_width = min(label_width, 36)
+
+    header = (
+        f"{'pos':>6} {'instruction':<{label_width}} cycle {base_cycle}"
+        f"{' (clipped)' if clipped else ''}"
+    )
+    lines = [header]
+    for position, static_index, fetch, issue, complete, retire in schedule:
+        row = []
+        for cycle in range(base_cycle, min(last_cycle, base_cycle + max_columns) + 1):
+            if cycle == fetch:
+                row.append("F")
+            elif cycle == retire:
+                row.append("R")
+            elif issue <= cycle < complete:
+                row.append("X")
+            elif fetch < cycle < issue:
+                row.append("=")
+            elif complete <= cycle < retire:
+                row.append(".")
+            else:
+                row.append(" ")
+        text = instructions[static_index].render()[:label_width]
+        lines.append(f"{position:>6} {text:<{label_width}} {''.join(row)}")
+    return "\n".join(lines)
+
+
+def stall_summary(
+    schedule: list[tuple[int, int, int, int, int, int]]
+) -> dict[str, float]:
+    """Average cycles per pipeline stage over the window."""
+    if not schedule:
+        return {}
+    n = len(schedule)
+    wait = sum(issue - fetch for _, _, fetch, issue, _, _ in schedule)
+    execute = sum(complete - issue for _, _, _, issue, complete, _ in schedule)
+    drain = sum(retire - complete for _, _, _, _, complete, retire in schedule)
+    return {
+        "mean_wait_cycles": wait / n,
+        "mean_execute_cycles": execute / n,
+        "mean_retire_wait_cycles": drain / n,
+    }

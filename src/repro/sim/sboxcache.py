@@ -1,0 +1,71 @@
+"""Dedicated SBox caches (the paper's 4W+/8W+ configurations).
+
+Each SBox cache is a one-line *sector cache*: a single tag (the 1 KB-aligned
+table base address) plus a valid bit per 32-byte sector.  On a tag mismatch
+the cache is flushed and the touched sector is demand-fetched from the data
+cache; SBOXSYNC clears all sector valid bits, forcing refetch (that is how
+stores to S-box storage become visible).  The caches are virtually tagged and
+read-only, so task switches just invalidate the tag -- none of which the
+kernels exercise, but the model implements the paper's stated semantics.
+"""
+
+from __future__ import annotations
+
+TABLE_BYTES = 1024
+SECTOR_BYTES = 32
+NUM_SECTORS = TABLE_BYTES // SECTOR_BYTES
+
+
+class SBoxCache:
+    """One single-tag sector cache."""
+
+    def __init__(self) -> None:
+        self.tag: int | None = None
+        self.valid = [False] * NUM_SECTORS
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def access(self, address: int) -> bool:
+        """Access a 32-bit entry; True on sector hit, False on demand fetch."""
+        base = address & ~(TABLE_BYTES - 1)
+        sector = (address >> 5) & (NUM_SECTORS - 1)
+        if self.tag != base:
+            self.tag = base
+            self.valid = [False] * NUM_SECTORS
+            self.flushes += 1
+        if self.valid[sector]:
+            self.hits += 1
+            return True
+        self.valid[sector] = True
+        self.misses += 1
+        return False
+
+    def sync(self) -> None:
+        """SBOXSYNC: invalidate every sector (keep the tag)."""
+        self.valid = [False] * NUM_SECTORS
+
+
+class SBoxCacheArray:
+    """The set of per-table SBox caches (4 in the paper's 4W+/8W+)."""
+
+    def __init__(self, count: int = 4):
+        self.count = count
+        self.caches = [SBoxCache() for _ in range(count)]
+
+    def cache_for(self, table_id: int) -> SBoxCache:
+        return self.caches[table_id % self.count]
+
+    def access(self, table_id: int, address: int) -> bool:
+        return self.cache_for(table_id).access(address)
+
+    def sync(self, table_id: int) -> None:
+        self.cache_for(table_id).sync()
+
+    @property
+    def total_hits(self) -> int:
+        return sum(c.hits for c in self.caches)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(c.misses for c in self.caches)

@@ -1,0 +1,42 @@
+"""Result record for one timing simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Cycle counts and event counters from one timing run."""
+
+    config_name: str
+    instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    tlb_misses: int = 0
+    sbox_accesses: int = 0
+    sbox_cache_misses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def bytes_per_kilocycle(self, payload_bytes: int) -> float:
+        """The paper's Figure 4 metric: bytes encrypted per 1000 cycles.
+
+        On a 1 GHz machine this number equals MB/s of encryption throughput.
+        """
+        return 1000.0 * payload_bytes / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.config_name}: {self.instructions} insts, "
+            f"{self.cycles} cycles, IPC {self.ipc:.2f}"
+        )

@@ -1,0 +1,377 @@
+"""Trace-driven out-of-order timing model.
+
+One pass over a dynamic trace assigns every instruction a fetch, issue,
+completion and retirement cycle subject to the configured machine's
+constraints:
+
+* **Fetch** proceeds in program order at ``fetch_width`` instructions per
+  cycle; with ``fetch_break_on_taken``, at most ``fetch_groups_per_cycle``
+  taken branches are crossed per cycle (the paper's "1 block/cycle").  A
+  mispredicted branch redirects fetch to ``complete + mispredict_penalty``.
+* **Dispatch** into the window requires a free slot: instruction *i* may not
+  enter until instruction *i - window_size* has retired.
+* **Issue** waits for source operands, an issue slot (``issue_width`` per
+  cycle) and a functional unit *in the same cycle*: IALUs, rotator/XBOX
+  units, multiplier slots (a 64-bit multiply costs ``mul64_cost`` slots),
+  data-cache ports, or a per-table SBox-cache port.  Older instructions
+  claim slots first because the pass runs in program order -- the same
+  priority an age-ordered scheduler gives.
+* **Stores** resolve their address one cycle after their base register is
+  ready; **loads** obey memory ordering: unless ``perfect_alias``, a load's
+  cache access may not start before every prior store's address is known
+  (the paper's conservative baseline).  A load overlapping a recent store
+  forwards from it.  Non-aliased SBOX instructions skip ordering entirely
+  (paper section 5); the aliased form (RC4's) is treated as a load.
+* **Completion** adds the operation latency (plus cache-hierarchy extra
+  latency when the memory system is realistic).
+* **Retirement** is in-order, ``retire_width`` per cycle.
+
+This is the standard cycle-assignment formulation of an out-of-order
+machine; DESIGN.md substitution #1 discusses fidelity versus the paper's
+execution-driven simulator.  With every constraint disabled (the DF config)
+the pass computes the pure dataflow critical path.
+"""
+
+from __future__ import annotations
+
+from repro.sim.branch import BimodalPredictor
+from repro.sim.caches import MemoryHierarchy
+from repro.sim.config import MachineConfig
+from repro.sim.sboxcache import SBoxCacheArray
+from repro.sim.stats import SimStats
+from repro.sim.trace import Trace
+
+_UNLIMITED = 1 << 30
+
+
+def simulate(
+    trace: Trace,
+    config: MachineConfig,
+    warm_ranges: list[tuple[int, int]] | None = None,
+    schedule_range: tuple[int, int] | None = None,
+) -> SimStats:
+    """Run the timing model over ``trace``; returns cycle-level statistics.
+
+    ``warm_ranges`` -- list of ``(start, length)`` address ranges installed
+    into the cache hierarchy before timing begins (the tables and key
+    schedules the setup code just wrote; see ``MemoryHierarchy.warm``).
+
+    ``schedule_range`` -- optional ``(start, end)`` trace-position window;
+    per-instruction ``(position, static_index, fetch, issue, complete,
+    retire)`` tuples for that window are returned in
+    ``stats.extra["schedule"]`` (the pipeline-viewer hook).
+    """
+    static = trace.static
+    seq = trace.seq
+    addrs = trace.addrs
+    n = len(seq)
+    stats = SimStats(config_name=config.name, instructions=n)
+    if n == 0:
+        return stats
+
+    klass = static.klass
+    dest = static.dest
+    srcs = static.srcs
+    addr_srcs = static.addr_srcs
+    is_branch = static.is_branch
+    is_cond = static.is_cond_branch
+    mem_size = static.mem_size
+    sbox_table = static.sbox_table
+    sbox_aliased = static.sbox_aliased
+
+    predictor = (
+        None if config.perfect_branch_prediction
+        else BimodalPredictor(config.predictor_entries)
+    )
+    hierarchy = None
+    if not config.perfect_memory:
+        hierarchy = MemoryHierarchy(
+            l1_size=config.l1_size, l1_assoc=config.l1_assoc,
+            l1_block=config.l1_block, l2_size=config.l2_size,
+            l2_assoc=config.l2_assoc, l2_hit_latency=config.l2_hit_latency,
+            memory_latency=config.memory_latency,
+            tlb_entries=config.tlb_entries, tlb_assoc=config.tlb_assoc,
+            page_size=config.page_size,
+            tlb_miss_latency=config.tlb_miss_latency,
+        )
+        for start, length in warm_ranges or ():
+            hierarchy.warm(start, length)
+    sbox_array = SBoxCacheArray(config.sbox_caches) if config.sbox_caches else None
+
+    # Per-cycle resource usage maps.  A limit of _UNLIMITED disables the
+    # constraint without branching in the hot loop.
+    issue_used: dict[int, int] = {}
+    ialu_used: dict[int, int] = {}
+    rot_used: dict[int, int] = {}
+    mul_used: dict[int, int] = {}
+    dport_used: dict[int, int] = {}
+    sport_used = [dict() for _ in range(config.sbox_caches or 0)]
+    retire_used: dict[int, int] = {}
+
+    def limit(value):
+        return _UNLIMITED if value is None else value
+
+    issue_width = limit(config.issue_width)
+    num_ialu = limit(config.num_ialu)
+    num_rot = limit(config.num_rotator)
+    mul_slots = limit(config.mul_slots)
+    dports = limit(config.dcache_ports)
+    retire_width = limit(config.retire_width)
+    sbox_ports = limit(config.sbox_cache_ports)
+    window = config.window_size
+    frontend = config.frontend_depth
+    alu_lat = config.alu_latency
+    rot_lat = config.rotator_latency
+    load_lat = config.load_latency
+    store_lat = config.store_latency
+    perfect_alias = config.perfect_alias
+    track_issue = issue_width != _UNLIMITED
+
+    # Size the register scoreboard for the trace: interleaved multi-thread
+    # traces remap each thread into its own 32-register window.
+    max_reg = 31
+    for d in dest:
+        if d > max_reg:
+            max_reg = d
+    for sources in srcs:
+        for r in sources:
+            if r > max_reg:
+                max_reg = r
+    reg_ready = [0] * (max_reg + 1)
+    retire_ring = [0] * window if window else None
+    retire_prev = 0
+    max_complete = 0
+
+    fetch_cycle = 0
+    fetch_slots_used = 0
+    fetch_groups_used = 0
+    fetch_width = config.fetch_width
+    groups_per_cycle = config.fetch_groups_per_cycle
+    break_on_taken = config.fetch_break_on_taken
+
+    last_store_addr_known = 0
+    recent_stores: list[tuple[int, int, int]] = []
+    lsq_size = config.lsq_size
+    sync_barrier = 0
+
+    def issue_at(cycle: int, fu_used: dict, fu_limit: int, cost: int = 1) -> int:
+        """First cycle >= ``cycle`` with an issue slot and FU capacity."""
+        while True:
+            if track_issue and issue_used.get(cycle, 0) >= issue_width:
+                cycle += 1
+                continue
+            if fu_limit != _UNLIMITED and fu_used.get(cycle, 0) + cost > fu_limit:
+                cycle += 1
+                continue
+            break
+        if track_issue:
+            issue_used[cycle] = issue_used.get(cycle, 0) + 1
+        if fu_limit != _UNLIMITED:
+            fu_used[cycle] = fu_used.get(cycle, 0) + cost
+        return cycle
+
+    _no_fu: dict[int, int] = {}
+    prune_mark = 0
+    schedule: list[tuple[int, int, int, int, int, int]] | None = None
+    if schedule_range is not None:
+        schedule = []
+        stats.extra["schedule"] = schedule
+        sched_start, sched_end = schedule_range
+
+    for i in range(n):
+        s = seq[i]
+        k = klass[s]
+
+        # ---- fetch ----------------------------------------------------
+        this_fetch = fetch_cycle
+        if fetch_width is not None:
+            if fetch_slots_used >= fetch_width:
+                fetch_cycle += 1
+                fetch_slots_used = 0
+                fetch_groups_used = 0
+                this_fetch = fetch_cycle
+            fetch_slots_used += 1
+
+        # ---- dispatch / operands ---------------------------------------
+        earliest = this_fetch + frontend
+        if window:
+            freed = retire_ring[i % window]
+            if freed > earliest:
+                earliest = freed
+        dispatch_floor = earliest
+        for r in srcs[s]:
+            t = reg_ready[r]
+            if t > earliest:
+                earliest = t
+
+        # ---- issue + execute --------------------------------------------
+        if k == "ialu":
+            issued = issue_at(earliest, ialu_used, num_ialu)
+            complete = issued + alu_lat
+        elif k == "rotator":
+            issued = issue_at(earliest, rot_used, num_rot)
+            complete = issued + rot_lat
+        elif k == "load":
+            # Address generation, then ordered cache access.
+            addr_ready = earliest + 1
+            if not perfect_alias and last_store_addr_known > addr_ready:
+                addr_ready = last_store_addr_known
+            addr = addrs[i]
+            size = mem_size[s]
+            forward = 0
+            for start, end, data_ready in reversed(recent_stores):
+                if addr < end and start < addr + size:
+                    forward = data_ready
+                    break
+            if forward:
+                issued = issue_at(max(addr_ready, forward), _no_fu, _UNLIMITED)
+                complete = issued + 1
+                stats.store_forwards += 1
+            else:
+                issued = issue_at(addr_ready, dport_used, dports)
+                extra = 0
+                if hierarchy is not None:
+                    extra = hierarchy.access(addr)
+                complete = issued + (load_lat - 1) + extra
+            stats.loads += 1
+        elif k == "store":
+            # The address resolves when the base register is ready.
+            addr_known = dispatch_floor
+            for r in addr_srcs[s]:
+                t = reg_ready[r]
+                if t > addr_known:
+                    addr_known = t
+            addr_known += 1
+            issued = issue_at(max(earliest, addr_known), dport_used, dports)
+            addr = addrs[i]
+            if hierarchy is not None:
+                hierarchy.access(addr, is_store=True)
+            complete = issued + store_lat
+            if not perfect_alias and addr_known > last_store_addr_known:
+                last_store_addr_known = addr_known
+            recent_stores.append((addr, addr + mem_size[s], complete))
+            if len(recent_stores) > lsq_size:
+                recent_stores.pop(0)
+            stats.stores += 1
+        elif k == "sbox":
+            aliased = sbox_aliased[s]
+            addr = addrs[i]
+            stats.sbox_accesses += 1
+            access_ready = earliest
+            if aliased and not perfect_alias and last_store_addr_known > access_ready:
+                access_ready = last_store_addr_known
+            if not aliased and sync_barrier > access_ready:
+                access_ready = sync_barrier
+            forward = 0
+            if aliased:
+                for start, end, data_ready in reversed(recent_stores):
+                    if addr < end and start < addr + 4:
+                        forward = data_ready
+                        break
+            if forward:
+                issued = issue_at(max(access_ready, forward), _no_fu, _UNLIMITED)
+                complete = issued + 1
+                stats.store_forwards += 1
+            elif (sbox_array is not None and not aliased
+                  and sbox_table[s] < sbox_array.count):
+                # The table designator schedules this access onto a dedicated
+                # SBox cache; ids beyond the cache count (e.g. 3DES's eight
+                # logical tables) deliberately stay on the d-cache path so a
+                # single-tag sector cache is not thrashed between tables.
+                table = sbox_table[s]
+                port = table % sbox_array.count
+                issued = issue_at(access_ready, sport_used[port], sbox_ports)
+                if sbox_array.access(table, addr):
+                    complete = issued + config.sbox_cache_latency
+                else:
+                    stats.sbox_cache_misses += 1
+                    complete = (issued + config.sbox_cache_latency
+                                + config.sbox_dcache_latency)
+            else:
+                issued = issue_at(access_ready, dport_used, dports)
+                extra = 0
+                if hierarchy is not None:
+                    extra = hierarchy.access(addr)
+                complete = issued + config.sbox_dcache_latency + extra
+        elif k == "mul32":
+            issued = issue_at(earliest, mul_used, mul_slots, config.mul32_cost)
+            complete = issued + config.mul32_latency
+        elif k == "mul64":
+            issued = issue_at(earliest, mul_used, mul_slots, config.mul64_cost)
+            complete = issued + config.mul64_latency
+        elif k == "mulmod":
+            issued = issue_at(earliest, mul_used, mul_slots, config.mulmod_cost)
+            complete = issued + config.mulmod_latency
+        elif k == "sync":
+            issued = issue_at(earliest, _no_fu, _UNLIMITED)
+            complete = issued + 1
+            if sbox_array is not None:
+                sbox_array.sync(sbox_table[s])
+            sync_barrier = complete
+        else:
+            issued = issue_at(earliest, _no_fu, _UNLIMITED)
+            complete = issued + alu_lat
+
+        # ---- branch resolution / fetch redirect --------------------------
+        if is_branch[s]:
+            taken = trace.taken(i)
+            stats.branches += 1
+            correct = True
+            if predictor is not None and is_cond[s]:
+                correct = predictor.predict_and_update(s, taken)
+            if not correct:
+                stats.mispredictions += 1
+                redirect = complete + config.mispredict_penalty
+                if redirect > fetch_cycle:
+                    fetch_cycle = redirect
+                    fetch_slots_used = 0
+                    fetch_groups_used = 0
+            elif taken and break_on_taken and fetch_width is not None:
+                fetch_groups_used += 1
+                if fetch_groups_used >= groups_per_cycle:
+                    fetch_cycle += 1
+                    fetch_slots_used = 0
+                    fetch_groups_used = 0
+
+        # ---- writeback / retire -------------------------------------------
+        d = dest[s]
+        if d >= 0:
+            reg_ready[d] = complete
+        if complete > max_complete:
+            max_complete = complete
+
+        r = complete + 1
+        if r < retire_prev:
+            r = retire_prev
+        if retire_width != _UNLIMITED:
+            while retire_used.get(r, 0) >= retire_width:
+                r += 1
+            retire_used[r] = retire_used.get(r, 0) + 1
+        retire_prev = r
+        if window:
+            retire_ring[i % window] = r
+        if schedule is not None and sched_start <= i < sched_end:
+            # dispatch_floor = window entry (fetch throttled by ROB space),
+            # the honest "F" column for visualization.
+            schedule.append((i, s, dispatch_floor, issued, complete, r))
+
+        # ---- prune resource maps ------------------------------------------
+        if i - prune_mark >= 250_000:
+            prune_mark = i
+            horizon = min(this_fetch, retire_prev) - 8192
+            for counters in (issue_used, ialu_used, rot_used, mul_used,
+                             dport_used, retire_used, *sport_used):
+                if len(counters) > 200_000:
+                    for cycle in [c for c in counters if c < horizon]:
+                        del counters[cycle]
+
+    stats.cycles = max(max_complete, retire_prev)
+    if hierarchy is not None:
+        stats.l1_misses = hierarchy.l1.misses
+        stats.l2_misses = hierarchy.l2.misses
+        stats.tlb_misses = hierarchy.tlb.misses
+    if sbox_array is not None:
+        stats.extra["sbox_cache_hits"] = sbox_array.total_hits
+    if predictor is not None:
+        stats.extra["predictor_lookups"] = predictor.lookups
+    return stats

@@ -1,0 +1,119 @@
+"""Dynamic instruction traces and per-program static metadata.
+
+The functional simulator executes a program once and records a *compact*
+trace: the sequence of static instruction indices, plus the effective address
+of every memory-touching instruction.  Everything else the timing model needs
+(opcode class, register sources/destination, branch-ness, SBOX modifiers,
+Figure 7 category) is a property of the *static* instruction, precomputed
+here into parallel arrays for fast indexed access.
+
+Branch outcomes need no explicit recording: a branch at static index ``s``
+was taken iff the next trace entry is not ``s + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import opcodes as op
+from repro.isa.program import Program
+
+
+@dataclass
+class StaticInfo:
+    """Parallel per-static-instruction arrays derived from a program."""
+
+    klass: list[str]
+    dest: list[int]            # -1 when no register result
+    srcs: list[tuple[int, ...]]
+    is_load: list[bool]
+    is_store: list[bool]
+    is_branch: list[bool]
+    is_cond_branch: list[bool]
+    mem_size: list[int]        # 0 for non-memory ops
+    sbox_table: list[int]
+    sbox_aliased: list[bool]
+    is_sync: list[bool]
+    category: list[str]
+    #: True for CMP*-family results (single-bit flags, not data values).
+    is_flag: list[bool]
+    # Store address source registers (for the alias/memory-ordering model):
+    # the registers the *address* depends on, excluding the stored value.
+    addr_srcs: list[tuple[int, ...]]
+
+    @classmethod
+    def from_program(cls, program: Program) -> "StaticInfo":
+        if not program.finalized:
+            raise ValueError("program must be finalized")
+        info = cls([], [], [], [], [], [], [], [], [], [], [], [], [], [])
+        compare_codes = {op.CMPEQ, op.CMPULT, op.CMPULE, op.CMPLT, op.CMPLE}
+        for instruction in program.instructions:
+            spec = instruction.spec
+            info.klass.append(spec.klass)
+            dest = instruction.dest if spec.writes_dest else None
+            info.dest.append(-1 if dest in (None, 31) else dest)
+            sources = tuple(r for r in instruction.source_regs() if r != 31)
+            info.srcs.append(sources)
+            is_load = instruction.code in op.LOAD_CODES
+            is_store = instruction.code in op.STORE_CODES
+            info.is_load.append(is_load)
+            info.is_store.append(is_store)
+            info.is_branch.append(instruction.code in op.BRANCH_CODES)
+            info.is_cond_branch.append(
+                instruction.code in op.COND_BRANCH_CODES
+            )
+            if instruction.code == op.SBOX:
+                info.mem_size.append(4)
+            else:
+                info.mem_size.append(op.MEM_SIZES.get(instruction.code, 0))
+            info.sbox_table.append(instruction.table)
+            info.sbox_aliased.append(instruction.aliased)
+            info.is_sync.append(instruction.code == op.SBOXSYNC)
+            info.category.append(instruction.category)
+            info.is_flag.append(instruction.code in compare_codes)
+            if is_store:
+                base = instruction.src2
+                info.addr_srcs.append(() if base in (None, 31) else (base,))
+            else:
+                info.addr_srcs.append(sources)
+        return info
+
+
+@dataclass
+class Trace:
+    """One dynamic execution: static indices + memory addresses (+ values).
+
+    ``addrs[i]`` is meaningful only when the static instruction at ``seq[i]``
+    touches memory.  ``values`` is populated only when the functional run was
+    asked to record destination values (the value-prediction study).
+    ``taken_flags`` is populated for synthetic traces (thread interleavings)
+    where branch outcomes cannot be inferred from trace adjacency.
+    """
+
+    program: Program
+    static: StaticInfo
+    seq: list[int]
+    addrs: list[int]
+    values: list[int] | None = None
+    instructions_executed: int = 0
+    taken_flags: list[bool] | None = None
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def taken(self, position: int) -> bool:
+        """Was the branch at trace position ``position`` taken?"""
+        if self.taken_flags is not None:
+            return self.taken_flags[position]
+        if position + 1 >= len(self.seq):
+            return True
+        return self.seq[position + 1] != self.seq[position] + 1
+
+    def category_counts(self) -> dict[str, int]:
+        """Dynamic operation-category histogram (paper Figure 7)."""
+        counts: dict[str, int] = {}
+        category = self.static.category
+        for static_index in self.seq:
+            name = category[static_index]
+            counts[name] = counts.get(name, 0) + 1
+        return counts

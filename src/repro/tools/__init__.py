@@ -1,0 +1,1 @@
+"""Command-line tools: encrypt/decrypt files, assemble RISC-A, measure kernels."""

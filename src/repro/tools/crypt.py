@@ -1,0 +1,80 @@
+"""File encryption CLI over the reference cipher suite.
+
+    python -m repro.tools.crypt encrypt --cipher Twofish --key <hex> \
+        --iv <hex> input.bin output.bin
+    python -m repro.tools.crypt decrypt --cipher Twofish --key <hex> \
+        --iv <hex> output.bin recovered.bin
+
+Zero-pads the final block (and records nothing about original length):
+a demonstration tool for the reproduction, not a secure container format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ciphers import CBC, get_cipher_info
+
+
+def _pad(data: bytes, block: int) -> bytes:
+    remainder = len(data) % block
+    return data + bytes(block - remainder) if remainder else data
+
+
+def run(args: argparse.Namespace) -> int:
+    info = get_cipher_info(args.cipher)
+    key = bytes.fromhex(args.key)
+    cipher = info.make(key)
+    data = _read(args.input)
+
+    if info.is_stream:
+        result = cipher.process(data)
+    else:
+        iv = bytes.fromhex(args.iv) if args.iv else bytes(info.block_bytes)
+        if len(iv) != info.block_bytes:
+            raise SystemExit(f"IV must be {info.block_bytes} bytes")
+        mode = CBC(cipher, iv)
+        data = _pad(data, info.block_bytes)
+        result = mode.encrypt(data) if args.action == "encrypt" else \
+            mode.decrypt(data)
+    _write(args.output, result)
+    print(f"{args.action}ed {len(data)} bytes with {info.name}",
+          file=sys.stderr)
+    return 0
+
+
+def _read(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write(path: str, data: bytes) -> None:
+    if path == "-":
+        sys.stdout.buffer.write(data)
+        return
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.tools.crypt",
+                                     description=__doc__)
+    parser.add_argument("action", choices=("encrypt", "decrypt"))
+    parser.add_argument("--cipher", required=True,
+                        help="suite cipher name, e.g. Twofish")
+    parser.add_argument("--key", required=True, help="hex key")
+    parser.add_argument("--iv", default="", help="hex IV (CBC modes)")
+    parser.add_argument("input", help="input file, or - for stdin")
+    parser.add_argument("output", help="output file, or - for stdout")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""One-shot kernel measurement CLI.
+
+    python -m repro.tools.kernelbench --cipher Twofish --features opt \
+        --configs 4W 4W+ 8W+ DF --session 1024
+
+Prints instructions/byte, cycles, IPC, and bytes/1000cyc (== MB/s at 1 GHz)
+for the chosen cipher kernel on each machine model, plus the decryption
+direction with --decrypt.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.isa import Features
+from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.tools.riscasim import CONFIGS
+from repro.sim import simulate
+
+FEATURE_LEVELS = {
+    "norot": Features.NOROT,
+    "rot": Features.ROT,
+    "opt": Features.OPT,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.kernelbench",
+                                     description=__doc__)
+    parser.add_argument("--cipher", required=True, choices=KERNEL_NAMES)
+    parser.add_argument("--features", default="opt",
+                        choices=sorted(FEATURE_LEVELS))
+    parser.add_argument("--configs", nargs="+", default=["4W", "DF"],
+                        choices=sorted(CONFIGS))
+    parser.add_argument("--session", type=int, default=1024)
+    parser.add_argument("--decrypt", action="store_true",
+                        help="measure the decryption kernel instead")
+    args = parser.parse_args(argv)
+
+    kernel = make_kernel(args.cipher, FEATURE_LEVELS[args.features])
+    block = max(kernel.block_bytes, 1)
+    session = (args.session // block) * block
+    data = bytes(i & 0xFF for i in range(session))
+    iv = bytes(kernel.block_bytes) if kernel.block_bytes > 1 else None
+    if args.decrypt:
+        ciphertext = kernel.encrypt(data, iv).ciphertext
+        run = kernel.decrypt(ciphertext, iv)
+    else:
+        run = kernel.encrypt(data, iv)
+
+    direction = "decrypt" if args.decrypt else "encrypt"
+    print(f"{args.cipher} [{kernel.features.label}] {direction} "
+          f"{session} bytes: {run.instructions} instructions "
+          f"({run.instructions_per_byte:.1f}/byte)")
+    print(f"{'config':<8} {'cycles':>9} {'IPC':>6} {'B/1000cyc':>10}")
+    for name in args.configs:
+        stats = simulate(run.trace, CONFIGS[name], run.warm_ranges)
+        print(f"{name:<8} {stats.cycles:>9} {stats.ipc:>6.2f} "
+              f"{stats.bytes_per_kilocycle(session):>10.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""RISC-A assembler/simulator CLI -- the reproduction's sim-outorder.
+
+    python -m repro.tools.riscasim program.s                 # run + stats
+    python -m repro.tools.riscasim program.s --config DF     # pick a machine
+    python -m repro.tools.riscasim program.s --list          # disassemble
+    python -m repro.tools.riscasim program.s --view 0:30     # pipeline view
+    python -m repro.tools.riscasim program.s --bottlenecks   # Figure 5 sweep
+
+The program runs against a fresh 1 MB memory; use LDIQ-materialized
+addresses and STL/STQ to produce observable results (dumped with --dump).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.isa import assemble
+from repro.sim import (
+    ALPHA21264,
+    BASE4W,
+    BOTTLENECKS,
+    DATAFLOW,
+    DATAFLOW_BASEISA,
+    EIGHTW_PLUS,
+    FOURW,
+    FOURW_PLUS,
+    Machine,
+    Memory,
+    bottleneck_config,
+    simulate,
+)
+from repro.sim.pipeview import render_pipeline, stall_summary
+
+CONFIGS = {
+    "base": BASE4W,
+    "alpha": ALPHA21264,
+    "4W": FOURW,
+    "4W+": FOURW_PLUS,
+    "8W+": EIGHTW_PLUS,
+    "DF": DATAFLOW,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.riscasim",
+                                     description=__doc__)
+    parser.add_argument("source", help="assembly file, or - for stdin")
+    parser.add_argument("--config", default="4W", choices=sorted(CONFIGS),
+                        help="machine model (default 4W)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the disassembly and exit")
+    parser.add_argument("--view", metavar="START:END",
+                        help="render the pipeline for a trace window")
+    parser.add_argument("--bottlenecks", action="store_true",
+                        help="run the Figure 5 single-bottleneck sweep")
+    parser.add_argument("--dump", metavar="ADDR:LEN",
+                        help="hex-dump a memory range after the run")
+    parser.add_argument("--memory", type=int, default=1 << 20,
+                        help="memory size in bytes")
+    args = parser.parse_args(argv)
+
+    text = (sys.stdin.read() if args.source == "-"
+            else open(args.source).read())
+    program = assemble(text)
+    if args.list:
+        print(program.listing())
+        return 0
+
+    memory = Memory(args.memory)
+    result = Machine(program, memory).run()
+    trace = result.trace
+    config = CONFIGS[args.config]
+    stats = simulate(trace, config)
+    print(f"{result.instructions} instructions; {stats.summary()}")
+
+    if args.dump:
+        address, length = (int(part, 0) for part in args.dump.split(":"))
+        print(memory.read_bytes(address, length).hex())
+
+    if args.view:
+        start, end = (int(part) for part in args.view.split(":"))
+        window_stats = simulate(trace, config, schedule_range=(start, end))
+        schedule = window_stats.extra["schedule"]
+        print(render_pipeline(trace, schedule))
+        print(", ".join(f"{k}={v:.1f}"
+                        for k, v in stall_summary(schedule).items()))
+
+    if args.bottlenecks:
+        dataflow = simulate(trace, DATAFLOW_BASEISA).cycles
+        print(f"{'bottleneck':<10} rel-to-DF")
+        for which in BOTTLENECKS:
+            cycles = simulate(trace, bottleneck_config(which)).cycles
+            print(f"{which:<10} {dataflow / cycles:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Shared low-level utilities: bit manipulation, GF(2^8) math, pi digits."""
+
+from repro.util.bits import (
+    MASK8,
+    MASK16,
+    MASK32,
+    MASK64,
+    bytes_to_words_be,
+    bytes_to_words_le,
+    rotl32,
+    rotl64,
+    rotr32,
+    rotr64,
+    sign_extend,
+    words_to_bytes_be,
+    words_to_bytes_le,
+)
+from repro.util.gf import GF2_8, gf_mul
+from repro.util.pi import pi_hex_words
+
+__all__ = [
+    "MASK8",
+    "MASK16",
+    "MASK32",
+    "MASK64",
+    "bytes_to_words_be",
+    "bytes_to_words_le",
+    "rotl32",
+    "rotl64",
+    "rotr32",
+    "rotr64",
+    "sign_extend",
+    "words_to_bytes_be",
+    "words_to_bytes_le",
+    "GF2_8",
+    "gf_mul",
+    "pi_hex_words",
+]

@@ -1,0 +1,74 @@
+"""Fixed-width integer helpers used by ciphers, the ISA, and the simulator.
+
+Python integers are unbounded, so every operation that models 8/16/32/64-bit
+hardware arithmetic masks explicitly.  These helpers centralize the masking so
+cipher and simulator code reads like the algorithm specifications.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value left by ``amount`` bits (amount taken mod 32)."""
+    amount &= 31
+    value &= MASK32
+    return ((value << amount) | (value >> (32 - amount))) & MASK32 if amount else value
+
+
+def rotr32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value right by ``amount`` bits (amount taken mod 32)."""
+    return rotl32(value, (32 - amount) & 31)
+
+
+def rotl64(value: int, amount: int) -> int:
+    """Rotate a 64-bit value left by ``amount`` bits (amount taken mod 64)."""
+    amount &= 63
+    value &= MASK64
+    return ((value << amount) | (value >> (64 - amount))) & MASK64 if amount else value
+
+
+def rotr64(value: int, amount: int) -> int:
+    """Rotate a 64-bit value right by ``amount`` bits (amount taken mod 64)."""
+    return rotl64(value, (64 - amount) & 63)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def bytes_to_words_be(data: bytes, word_bytes: int = 4) -> list[int]:
+    """Split ``data`` into big-endian words of ``word_bytes`` bytes each."""
+    if len(data) % word_bytes:
+        raise ValueError(f"data length {len(data)} not a multiple of {word_bytes}")
+    return [
+        int.from_bytes(data[i : i + word_bytes], "big")
+        for i in range(0, len(data), word_bytes)
+    ]
+
+
+def words_to_bytes_be(words: list[int], word_bytes: int = 4) -> bytes:
+    """Join words into bytes, big-endian."""
+    return b"".join(w.to_bytes(word_bytes, "big") for w in words)
+
+
+def bytes_to_words_le(data: bytes, word_bytes: int = 4) -> list[int]:
+    """Split ``data`` into little-endian words of ``word_bytes`` bytes each."""
+    if len(data) % word_bytes:
+        raise ValueError(f"data length {len(data)} not a multiple of {word_bytes}")
+    return [
+        int.from_bytes(data[i : i + word_bytes], "little")
+        for i in range(0, len(data), word_bytes)
+    ]
+
+
+def words_to_bytes_le(words: list[int], word_bytes: int = 4) -> bytes:
+    """Join words into bytes, little-endian."""
+    return b"".join(w.to_bytes(word_bytes, "little") for w in words)

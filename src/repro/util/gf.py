@@ -1,0 +1,69 @@
+"""Arithmetic in GF(2^8), parameterized by reduction polynomial.
+
+Rijndael, Twofish's MDS matrix, and Twofish's RS code all multiply bytes in
+GF(2^8) but each uses a different reduction polynomial:
+
+* Rijndael: x^8 + x^4 + x^3 + x + 1            (0x11B)
+* Twofish MDS: x^8 + x^6 + x^5 + x^3 + 1       (0x169)
+* Twofish RS:  x^8 + x^6 + x^3 + x^2 + 1       (0x14D)
+"""
+
+from __future__ import annotations
+
+RIJNDAEL_POLY = 0x11B
+TWOFISH_MDS_POLY = 0x169
+TWOFISH_RS_POLY = 0x14D
+
+
+def gf_mul(a: int, b: int, poly: int = RIJNDAEL_POLY) -> int:
+    """Multiply two field elements modulo ``poly`` (carry-less then reduce)."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= poly
+    return result & 0xFF
+
+
+class GF2_8:
+    """A GF(2^8) field with a fixed reduction polynomial.
+
+    Provides multiplication, exponentiation and inversion, plus a full 256x256
+    multiplication is deliberately *not* precomputed -- callers that need
+    tables (Rijndael T-tables, Twofish MDS) build per-constant tables, which
+    is how the optimized C implementations the paper measured work too.
+    """
+
+    def __init__(self, poly: int = RIJNDAEL_POLY):
+        if not poly & 0x100:
+            raise ValueError("reduction polynomial must be degree 8")
+        self.poly = poly
+
+    def mul(self, a: int, b: int) -> int:
+        return gf_mul(a, b, self.poly)
+
+    def pow(self, a: int, exponent: int) -> int:
+        result = 1
+        base = a & 0xFF
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse; by convention inverse(0) == 0."""
+        if a == 0:
+            return 0
+        # The multiplicative group has order 255.
+        return self.pow(a, 254)
+
+    def mul_table(self, constant: int) -> list[int]:
+        """Return the 256-entry table of ``constant * x`` for all bytes x."""
+        return [self.mul(constant, x) for x in range(256)]

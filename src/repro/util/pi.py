@@ -1,0 +1,62 @@
+"""Hexadecimal digits of pi, computed from scratch with integer arithmetic.
+
+Blowfish initializes its P-array and S-boxes from the fractional hexadecimal
+digits of pi (a classic "nothing up my sleeve" constant source).  This module
+computes those digits locally -- the repository has no network access and ships
+no constant blobs -- using Machin's formula
+
+    pi = 16*atan(1/5) - 4*atan(1/239)
+
+evaluated with scaled big-integer arithmetic.  The same digit stream (at a
+disjoint offset) seeds this repository's documented substitute for the MARS
+S-box (see DESIGN.md, substitution #4).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+_GUARD_HEX_DIGITS = 12
+
+
+def _atan_inv(x: int, one: int) -> int:
+    """Return ``atan(1/x) * one`` for integer ``x > 1``, by Taylor series."""
+    power = one // x
+    total = power
+    x_squared = x * x
+    divisor = 1
+    sign = -1
+    while power:
+        power //= x_squared
+        divisor += 2
+        total += sign * (power // divisor)
+        sign = -sign
+    return total
+
+
+@lru_cache(maxsize=8)
+def _pi_fraction_hex(num_digits: int) -> str:
+    """Return the first ``num_digits`` hex digits of pi's fractional part."""
+    scale_digits = num_digits + _GUARD_HEX_DIGITS
+    one = 1 << (4 * scale_digits)
+    pi_scaled = 16 * _atan_inv(5, one) - 4 * _atan_inv(239, one)
+    fraction = pi_scaled - 3 * one
+    if not 0 < fraction < one:
+        raise AssertionError("pi computation out of range")
+    hex_digits = format(fraction, "x").zfill(scale_digits)
+    return hex_digits[:num_digits]
+
+
+def pi_hex_words(count: int, offset: int = 0) -> list[int]:
+    """Return ``count`` 32-bit words of pi's fractional hex expansion.
+
+    Word ``i`` packs fractional hex digits ``8*(offset+i) .. 8*(offset+i)+7``
+    big-endian, so ``pi_hex_words(1)[0] == 0x243F6A88`` -- the first Blowfish
+    P-array entry.
+    """
+    if count < 0 or offset < 0:
+        raise ValueError("count and offset must be non-negative")
+    digits = _pi_fraction_hex(8 * (offset + count))
+    return [
+        int(digits[8 * i : 8 * i + 8], 16) for i in range(offset, offset + count)
+    ]

@@ -1,0 +1,113 @@
+"""Quantitative calibration against the numbers the paper prints.
+
+The paper states a handful of absolute values; this module pins our
+measurements against them with explicit tolerance bands, so any simulator
+or kernel change that drifts the reproduction away from the paper's
+quantitative landscape fails loudly.  The bands encode the expected
+systematic bias (our hand kernels are leaner than 2000-era compiled C, so
+absolute rates run ~1-2x high) while the *relations* the paper emphasizes
+are held tight.
+"""
+
+import pytest
+
+from repro.analysis.throughput import figure4
+from repro.analysis.speedups import figure10, summary
+
+
+@pytest.fixture(scope="module")
+def fig4_rows():
+    return {row.cipher: row for row in figure4(session_bytes=512)}
+
+
+@pytest.fixture(scope="module")
+def fig10_rows():
+    return {row.cipher: row for row in figure10(session_bytes=512)}
+
+
+def test_3des_absolute_rate_order_of_magnitude(fig4_rows):
+    """Paper: 7.32 bytes/1000cyc on the 4W baseline (section 4.1)."""
+    rate = fig4_rows["3DES"].four_wide
+    assert 5.0 <= rate <= 18.0  # same decade, lean-kernel bias upward
+
+
+def test_rc4_absolute_rate_order_of_magnitude(fig4_rows):
+    """Paper: 88.16 bytes/1000cyc."""
+    rate = fig4_rows["RC4"].four_wide
+    assert 60.0 <= rate <= 180.0
+
+
+def test_rijndael_absolute_rate_order_of_magnitude(fig4_rows):
+    """Paper: 48.51 bytes/1000cyc, best among the AES candidates."""
+    rate = fig4_rows["Rijndael"].four_wide
+    assert 35.0 <= rate <= 110.0
+
+
+def test_rc4_to_3des_ratio(fig4_rows):
+    """Paper: 'more than 10 times the performance of 3DES.'"""
+    ratio = fig4_rows["RC4"].four_wide / fig4_rows["3DES"].four_wide
+    assert 8.0 <= ratio <= 20.0
+
+
+def test_t3_saturation_claim(fig4_rows):
+    """Paper: 1 GHz 3DES = ~7 MB/s, 'barely enough to saturate a low-cost
+    T3' (5.6 MB/s) and below 100 Mb Ethernet (12.5 MB/s).  Our rate lands
+    in the same narrow band around those two thresholds."""
+    mbytes_per_s = fig4_rows["3DES"].four_wide  # B/1000cyc == MB/s at 1 GHz
+    assert 4.0 <= mbytes_per_s <= 15.0
+
+
+def test_serial_ciphers_near_dataflow(fig4_rows):
+    """Paper: Blowfish, IDEA, RC6 within 10% of dataflow; Mars 13%."""
+    for name, headroom in (("Blowfish", 0.15), ("IDEA", 0.15),
+                           ("RC6", 0.15), ("Mars", 0.18)):
+        row = fig4_rows[name]
+        assert row.four_wide >= (1 - headroom) * row.dataflow, name
+
+
+def test_twofish_moderate_headroom(fig4_rows):
+    """Paper: Twofish has ~32% potential speedup at dataflow."""
+    row = fig4_rows["Twofish"]
+    headroom = row.dataflow / row.four_wide
+    assert 1.1 <= headroom <= 1.6
+
+
+def test_norot_slowdowns_match_paper_band(fig10_rows):
+    """Paper: Mars 40% and RC6 24% slower without rotates."""
+    assert 0.65 <= fig10_rows["Mars"].orig_4w <= 0.90
+    assert 0.70 <= fig10_rows["RC6"].orig_4w <= 0.90
+
+
+def test_idea_best_optimized_speedup(fig10_rows):
+    """Paper: IDEA 159% (2.59x); ours compresses but stays the best and >=1.8x."""
+    assert fig10_rows["IDEA"].opt_4w >= 1.8
+    assert fig10_rows["IDEA"].opt_4w == max(
+        row.opt_4w for row in fig10_rows.values()
+    )
+
+
+def test_rijndael_near_doubling(fig10_rows):
+    """Paper: Rijndael 'performance almost doubling'."""
+    assert fig10_rows["Rijndael"].opt_4w >= 1.5
+
+
+def test_mean_speedups_in_band(fig10_rows):
+    """Paper headline: 59% vs rotate baseline, 74% vs no-rotate baseline."""
+    agg = summary(list(fig10_rows.values()))
+    assert 1.30 <= agg.mean_opt_vs_rot <= 1.75
+    assert 1.40 <= agg.mean_opt_vs_norot <= 1.95
+    assert agg.mean_opt_vs_norot > agg.mean_opt_vs_rot
+
+
+def test_ciphers_saturating_at_8wplus(fig10_rows):
+    """Paper: 'In all cases except RC4, doubling the execution bandwidth
+    ... permit[s] the ciphers to run at dataflow speed.'  Our Rijndael
+    kernel keeps slightly more ILP than 8-wide exploits (0.8 of DF); every
+    serial cipher sits at >= 0.95 of dataflow."""
+    for name, row in fig10_rows.items():
+        if name == "RC4":
+            assert row.opt_dataflow > 1.5 * row.opt_8w_plus
+        elif name == "Rijndael":
+            assert row.opt_8w_plus >= 0.75 * row.opt_dataflow
+        else:
+            assert row.opt_8w_plus >= 0.90 * row.opt_dataflow, name

@@ -1,0 +1,71 @@
+"""Unit tests for Blowfish internals: pi tables, key setup, F-function."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.blowfish import Blowfish, _initial_tables
+
+
+def test_initial_tables_are_pi():
+    p_array, sboxes = _initial_tables()
+    assert p_array[0] == 0x243F6A88
+    assert p_array[17] == 0x8979FB1B
+    assert len(sboxes) == 4
+    assert all(len(sbox) == 256 for sbox in sboxes)
+    # First S-box word continues pi where the P-array stops.
+    from repro.util.pi import pi_hex_words
+
+    assert sboxes[0][0] == pi_hex_words(19)[18]
+
+
+def test_initial_tables_fresh_copies():
+    """Key setup mutates the tables; instances must not share them."""
+    a = Blowfish(b"a" * 16)
+    b = Blowfish(b"b" * 16)
+    assert a.p_array != b.p_array
+    assert a.sboxes[0] != b.sboxes[0]
+
+
+def test_setup_changes_every_p_entry():
+    cipher = Blowfish(bytes(range(16)))
+    p_initial, _ = _initial_tables()
+    assert all(x != y for x, y in zip(cipher.p_array, p_initial))
+
+
+def test_feistel_uses_all_four_boxes():
+    cipher = Blowfish(bytes(range(16)))
+    # Perturbing any single byte of the input changes F's output.
+    base = cipher._feistel(0x00000000)
+    for byte_index in range(4):
+        assert cipher._feistel(1 << (8 * byte_index)) != base
+
+
+def test_key_length_bounds():
+    Blowfish(b"k")            # 1 byte: legal
+    Blowfish(b"k" * 56)       # max
+    with pytest.raises(ValueError):
+        Blowfish(b"")
+    with pytest.raises(ValueError):
+        Blowfish(b"k" * 57)
+
+
+def test_key_longer_than_p_array_wraps():
+    """Keys longer than 18 words cycle correctly through the P-XOR."""
+    long_key = bytes(range(56))
+    cipher = Blowfish(long_key)
+    block = cipher.encrypt_block(bytes(8))
+    assert cipher.decrypt_block(block) == bytes(8)
+
+
+@given(st.binary(min_size=4, max_size=56), st.binary(min_size=8, max_size=8))
+@settings(max_examples=10, deadline=None)
+def test_roundtrip_any_key_length(key, block):
+    cipher = Blowfish(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_different_keys_different_tables():
+    a = Blowfish(b"0" * 16)
+    b = Blowfish(b"1" * 16)
+    assert a.encrypt_block(bytes(8)) != b.encrypt_block(bytes(8))

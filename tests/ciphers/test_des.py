@@ -1,0 +1,120 @@
+"""Unit tests for DES internals: permutations, key schedule, SP tables."""
+
+import random
+
+import pytest
+
+from repro.ciphers.des import (
+    EXPANSION,
+    FINAL_PERMUTATION,
+    INITIAL_PERMUTATION,
+    P_PERMUTATION,
+    SBOXES,
+    DES,
+    feistel,
+    key_schedule,
+    permute,
+    sp_tables,
+)
+
+
+def test_ip_fp_are_inverses():
+    random.seed(7)
+    for _ in range(50):
+        value = random.getrandbits(64)
+        assert permute(permute(value, 64, INITIAL_PERMUTATION), 64,
+                       FINAL_PERMUTATION) == value
+
+
+def test_permute_identity():
+    identity = tuple(range(1, 33))
+    assert permute(0xDEADBEEF, 32, identity) == 0xDEADBEEF
+
+
+def test_permute_bit_positions():
+    # Table (32,) selects only the LSB into a 1-bit output.
+    assert permute(0x1, 32, (32,)) == 1
+    assert permute(0x2, 32, (32,)) == 0
+    # Table (1,) selects the MSB.
+    assert permute(0x80000000, 32, (1,)) == 1
+
+
+def test_sbox_tables_shape():
+    assert len(SBOXES) == 8
+    for sbox in SBOXES:
+        assert len(sbox) == 64
+        assert all(0 <= v <= 15 for v in sbox)
+        # Each row of a DES S-box is a permutation of 0..15.
+        for row in range(4):
+            assert sorted(sbox[16 * row : 16 * row + 16]) == list(range(16))
+
+
+def test_expansion_table_duplicates_edges():
+    # E expands 32 -> 48 bits by duplicating the edge bits of each 4-bit group.
+    assert len(EXPANSION) == 48
+    assert sorted(set(EXPANSION)) == list(range(1, 33))
+
+
+def test_p_is_permutation():
+    assert sorted(P_PERMUTATION) == list(range(1, 33))
+
+
+def test_key_schedule_produces_16_48bit_keys():
+    subkeys = key_schedule(bytes(range(8)))
+    assert len(subkeys) == 16
+    assert all(0 <= k < (1 << 48) for k in subkeys)
+
+
+def test_key_schedule_ignores_parity_bits():
+    # Flipping only parity bits (LSB of each key byte) leaves subkeys alone.
+    key = bytes(range(8))
+    flipped = bytes(b ^ 1 for b in key)
+    assert key_schedule(key) == key_schedule(flipped)
+
+
+def test_sp_tables_match_feistel():
+    random.seed(11)
+    from repro.ciphers.des import EXPANSION as E
+
+    tables = sp_tables()
+    for _ in range(100):
+        right = random.getrandbits(32)
+        subkey = random.getrandbits(48)
+        expanded = permute(right, 32, E) ^ subkey
+        via_sp = 0
+        for i in range(8):
+            via_sp ^= tables[i][(expanded >> (42 - 6 * i)) & 0x3F]
+        assert via_sp == feistel(right, subkey)
+
+
+def test_sp_tables_shape():
+    tables = sp_tables()
+    assert len(tables) == 8
+    assert all(len(t) == 64 for t in tables)
+
+
+def test_complementation_property():
+    """DES(~k, ~p) == ~DES(k, p) -- the classic complementation property.
+
+    This exercises every table in concert; getting it right by accident with
+    a wrong S-box is essentially impossible.
+    """
+    random.seed(13)
+    for _ in range(5):
+        key = random.randbytes(8)
+        plaintext = random.randbytes(8)
+        ct = DES(key).encrypt_block(plaintext)
+        inv_key = bytes(b ^ 0xFF for b in key)
+        inv_pt = bytes(b ^ 0xFF for b in plaintext)
+        inv_ct = DES(inv_key).encrypt_block(inv_pt)
+        assert inv_ct == bytes(b ^ 0xFF for b in ct)
+
+
+def test_bad_key_length():
+    with pytest.raises(ValueError):
+        DES(bytes(7))
+
+
+def test_bad_block_length():
+    with pytest.raises(ValueError):
+        DES(bytes(8)).encrypt_block(bytes(7))

@@ -1,0 +1,77 @@
+"""Unit tests for IDEA internals: the modular group operations and key inversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ciphers.idea import (
+    IDEA,
+    _add_inverse,
+    _mul_inverse,
+    add_mod,
+    expand_key,
+    invert_key,
+    mul_mod,
+)
+
+words16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@given(words16, words16)
+def test_mul_mod_closed(a, b):
+    assert 0 <= mul_mod(a, b) <= 0xFFFF
+
+
+@given(words16)
+def test_mul_identity(a):
+    assert mul_mod(a, 1) == a
+
+
+@given(words16)
+def test_mul_inverse_property(a):
+    assert mul_mod(a, _mul_inverse(a)) == 1
+
+
+def test_mul_zero_is_two_to_16():
+    # 0 represents 2^16; 2^16 * 2^16 mod (2^16+1) = 1.
+    assert mul_mod(0, 0) == 1
+    # 2^16 * 1 = 2^16 -> represented as 0.
+    assert mul_mod(0, 1) == 0
+
+
+@given(words16, words16)
+def test_mul_commutative(a, b):
+    assert mul_mod(a, b) == mul_mod(b, a)
+
+
+@given(words16)
+def test_add_inverse_property(a):
+    assert add_mod(a, _add_inverse(a)) == 0
+
+
+def test_expand_key_structure():
+    subkeys = expand_key(bytes(range(16)))
+    assert len(subkeys) == 52
+    assert all(0 <= k <= 0xFFFF for k in subkeys)
+    # First 8 subkeys are the raw key words.
+    assert subkeys[0] == 0x0001
+    assert subkeys[7] == 0x0E0F
+
+
+def test_invert_key_is_involution_on_crypt():
+    key = bytes(range(16))
+    enc = expand_key(key)
+    dec = invert_key(enc)
+    # Inverting the decryption schedule returns the encryption schedule.
+    assert invert_key(dec) == enc
+
+
+def test_key_length_enforced():
+    with pytest.raises(ValueError):
+        IDEA(bytes(8))
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=8, max_size=8))
+def test_idea_roundtrip(key, block):
+    cipher = IDEA(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

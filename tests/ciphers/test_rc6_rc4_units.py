@@ -1,0 +1,76 @@
+"""Unit tests for RC6 key schedule and RC4 state machine internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.rc4 import RC4
+from repro.ciphers.rc6 import RC6, ROUNDS, expand_key
+
+
+def test_rc6_schedule_shape():
+    schedule = expand_key(bytes(16))
+    assert len(schedule) == 2 * ROUNDS + 4 == 44
+    assert all(0 <= w <= 0xFFFFFFFF for w in schedule)
+
+
+def test_rc6_schedule_magic_constants_visible():
+    """With an all-zero key, the first mixing pass still starts from P32."""
+    schedule_a = expand_key(bytes(16))
+    schedule_b = expand_key(bytes([1]) + bytes(15))
+    assert schedule_a != schedule_b
+
+
+def test_rc6_key_lengths():
+    for size in (16, 24, 32):
+        assert len(expand_key(bytes(size))) == 44
+    with pytest.raises(ValueError):
+        expand_key(bytes(15))
+
+
+def test_rc6_single_bit_key_avalanche():
+    a = RC6(bytes(16)).encrypt_block(bytes(16))
+    b = RC6(bytes([0x80] + [0] * 15)).encrypt_block(bytes(16))
+    differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    assert differing > 32
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+@settings(max_examples=10, deadline=None)
+def test_rc6_roundtrip(key, block):
+    cipher = RC6(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_rc4_state_is_a_permutation_after_ksa():
+    cipher = RC4(bytes(range(16)))
+    assert sorted(cipher._state) == list(range(256))
+
+
+def test_rc4_state_remains_permutation_during_prga():
+    cipher = RC4(b"key material!!!!")
+    cipher.keystream(1000)
+    assert sorted(cipher._state) == list(range(256))
+
+
+def test_rc4_key_length_bounds():
+    RC4(b"k")
+    RC4(bytes(256))
+    with pytest.raises(ValueError):
+        RC4(b"")
+    with pytest.raises(ValueError):
+        RC4(bytes(257))
+
+
+def test_rc4_keystream_bias_sanity():
+    """The keystream should look byte-uniform at coarse granularity."""
+    stream = RC4(bytes(range(16))).keystream(65536)
+    counts = [0] * 256
+    for byte in stream:
+        counts[byte] += 1
+    mean = len(stream) / 256
+    assert all(0.5 * mean < c < 1.5 * mean for c in counts)
+
+
+def test_rc4_distinct_keys_distinct_streams():
+    assert RC4(b"A" * 16).keystream(64) != RC4(b"B" * 16).keystream(64)

@@ -1,0 +1,116 @@
+"""Property-based round-trip and diffusion tests across the whole suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers import CBC, SUITE
+
+BLOCK_CIPHERS = [info for info in SUITE if not info.is_stream]
+STREAM_CIPHERS = [info for info in SUITE if info.is_stream]
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_block_roundtrip(info, data):
+    key = data.draw(st.binary(min_size=info.key_bytes, max_size=info.key_bytes))
+    plaintext = data.draw(
+        st.binary(min_size=info.block_bytes, max_size=info.block_bytes)
+    )
+    cipher = info.make(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(plaintext)) == plaintext
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+@given(data=st.data())
+@settings(max_examples=5, deadline=None)
+def test_cbc_roundtrip(info, data):
+    key = data.draw(st.binary(min_size=info.key_bytes, max_size=info.key_bytes))
+    iv = data.draw(st.binary(min_size=info.block_bytes, max_size=info.block_bytes))
+    blocks = data.draw(st.integers(min_value=1, max_value=4))
+    plaintext = data.draw(
+        st.binary(
+            min_size=blocks * info.block_bytes, max_size=blocks * info.block_bytes
+        )
+    )
+    ciphertext = CBC(info.make(key), iv).encrypt(plaintext)
+    assert CBC(info.make(key), iv).decrypt(ciphertext) == plaintext
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+def test_encryption_changes_data(info):
+    key = bytes(range(info.key_bytes))
+    plaintext = bytes(info.block_bytes)
+    assert info.make(key).encrypt_block(plaintext) != plaintext
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+def test_single_bit_flip_diffuses(info):
+    """Strong ciphers flip ~half the output bits for a 1-bit input change."""
+    key = bytes(range(info.key_bytes))
+    cipher = info.make(key)
+    base = cipher.encrypt_block(bytes(info.block_bytes))
+    flipped_input = bytes([0x01] + [0] * (info.block_bytes - 1))
+    flipped = cipher.encrypt_block(flipped_input)
+    differing_bits = sum(
+        bin(a ^ b).count("1") for a, b in zip(base, flipped)
+    )
+    total_bits = 8 * info.block_bytes
+    # Expect roughly 50%; accept a generous band (binomial tail is tiny).
+    assert 0.25 * total_bits <= differing_bits <= 0.75 * total_bits
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+def test_key_change_diffuses(info):
+    plaintext = bytes(range(info.block_bytes))
+    key_a = bytes(info.key_bytes)
+    key_b = bytes([0x80] + [0] * (info.key_bytes - 1))
+    ct_a = info.make(key_a).encrypt_block(plaintext)
+    ct_b = info.make(key_b).encrypt_block(plaintext)
+    assert ct_a != ct_b
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+def test_cbc_identical_blocks_encrypt_differently(info):
+    """CBC chaining must break ECB's equal-plaintext/equal-ciphertext leak."""
+    key = bytes(range(info.key_bytes))
+    iv = bytes(info.block_bytes)
+    ciphertext = CBC(info.make(key), iv).encrypt(bytes(2 * info.block_bytes))
+    first, second = (
+        ciphertext[: info.block_bytes],
+        ciphertext[info.block_bytes :],
+    )
+    assert first != second
+
+
+@pytest.mark.parametrize("info", BLOCK_CIPHERS, ids=lambda i: i.name)
+def test_cbc_is_stateful_across_calls(info):
+    """Two calls must chain exactly like one call over the concatenation."""
+    key = bytes(range(info.key_bytes))
+    iv = bytes(range(info.block_bytes))
+    data = bytes(range(4 * info.block_bytes & 0xFF)) * 1
+    data = (data * 4)[: 4 * info.block_bytes]
+    one_shot = CBC(info.make(key), iv).encrypt(data)
+    split = CBC(info.make(key), iv)
+    half = 2 * info.block_bytes
+    assert split.encrypt(data[:half]) + split.encrypt(data[half:]) == one_shot
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    data=st.binary(min_size=0, max_size=256),
+)
+@settings(max_examples=20, deadline=None)
+def test_rc4_roundtrip(key, data):
+    from repro.ciphers import RC4
+
+    assert RC4(key).process(RC4(key).process(data)) == data
+
+
+def test_rc4_keystream_is_stateful():
+    from repro.ciphers import RC4
+
+    key = bytes(range(16))
+    split = RC4(key)
+    assert split.keystream(10) + split.keystream(10) == RC4(key).keystream(20)

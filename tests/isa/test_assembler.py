@@ -1,0 +1,125 @@
+"""Tests for the text assembler: syntax, labels, errors, listings."""
+
+import pytest
+
+from repro.isa import AssemblyError, assemble
+from repro.isa import opcodes as op
+
+
+def test_labels_and_comments():
+    program = assemble("""
+    ; setup
+    ldiq r1, 5
+top:  subq r1, r1, #1
+    bne r1, top     ; loop back
+    halt
+    """)
+    assert program.labels["top"] == 1
+    assert program.instructions[2].target == 1
+
+
+def test_forward_label():
+    program = assemble("""
+    br end
+    addq r1, r1, #1
+end:
+    halt
+    """)
+    assert program.instructions[0].target == 2
+
+
+def test_undefined_label_rejected():
+    with pytest.raises((AssemblyError, ValueError)):
+        assemble("br nowhere\nhalt")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises((AssemblyError, ValueError)):
+        assemble("x: halt\nx: halt")
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblyError, match="unknown mnemonic"):
+        assemble("frobnicate r1, r2, r3")
+
+
+def test_bad_register():
+    with pytest.raises(AssemblyError):
+        assemble("addq r1, r99, r2")
+
+
+def test_literal_operand():
+    program = assemble("xor r1, r2, #255\nhalt")
+    instruction = program.instructions[0]
+    assert instruction.lit == 255
+    assert instruction.src2 is None
+
+
+def test_hex_literals_and_negative_disp():
+    program = assemble("""
+    ldiq r1, 0xDEAD
+    ldl r2, -8(r3)
+    halt
+    """)
+    assert program.instructions[0].lit == 0xDEAD
+    assert program.instructions[1].disp == -8
+
+
+def test_store_operand_order():
+    program = assemble("stl r4, 12(r5)\nhalt")
+    instruction = program.instructions[0]
+    assert instruction.src1 == 4      # value
+    assert instruction.src2 == 5      # base
+    assert instruction.disp == 12
+
+
+def test_sbox_modifiers():
+    program = assemble("sbox.2.3.a r1, r2, r3\nhalt")
+    instruction = program.instructions[0]
+    assert instruction.table == 2
+    assert instruction.bsel == 3
+    assert instruction.aliased
+    plain = assemble("sbox.1.0 r1, r2, r3\nhalt").instructions[0]
+    assert not plain.aliased
+
+
+def test_sbox_requires_modifiers():
+    with pytest.raises(AssemblyError):
+        assemble("sbox r1, r2, r3")
+
+
+def test_sboxsync_table():
+    program = assemble("sboxsync.3\nhalt")
+    assert program.instructions[0].table == 3
+
+
+def test_xbox_byte_modifier():
+    program = assemble("xbox.5 r1, r2, r3\nhalt")
+    assert program.instructions[0].bsel == 5
+
+
+def test_zero_alias():
+    program = assemble("addq r1, zero, #1\nhalt")
+    assert program.instructions[0].src1 == 31
+
+
+def test_listing_roundtrips_mnemonics():
+    program = assemble("""
+start:
+    addq r1, r2, r3
+    ldl r4, 8(r5)
+    beq r1, start
+    halt
+    """)
+    listing = program.listing()
+    assert "start:" in listing
+    assert "addq r1" in listing
+    assert "ldl r4, 8(r5)" in listing
+
+
+def test_finalized_program_rejects_additions():
+    from repro.isa.instruction import Instruction
+
+    program = assemble("halt")
+    with pytest.raises(RuntimeError):
+        program.add(Instruction(op.HALT))

@@ -1,0 +1,218 @@
+"""Tests for the KernelBuilder's register allocation and idiom expansion."""
+
+import pytest
+
+from repro.isa import Features, Imm, KernelBuilder
+from repro.isa import opcodes as op
+from repro.sim import Machine, Memory
+from repro.util.bits import rotl32, rotr32
+
+
+def run_builder(kb: KernelBuilder, memory: Memory | None = None) -> Memory:
+    memory = memory or Memory(1 << 16)
+    Machine(kb.build(), memory).run()
+    return memory
+
+
+def test_register_allocation_is_stable():
+    kb = KernelBuilder()
+    a = kb.reg("a")
+    assert kb.reg("a") == a
+    b = kb.reg("b")
+    assert a != b
+
+
+def test_register_exhaustion():
+    kb = KernelBuilder()
+    for i in range(28):  # 32 - zero - 3 scratch
+        kb.reg(f"v{i}")
+    with pytest.raises(RuntimeError):
+        kb.reg("one_too_many")
+
+
+def test_free_recycles_registers():
+    kb = KernelBuilder()
+    a = kb.reg("a")
+    kb.free("a")
+    assert kb.reg("b") == a
+
+
+def test_crypto_emits_rejected_below_feature_level():
+    kb = KernelBuilder(Features.NOROT)
+    with pytest.raises(RuntimeError):
+        kb.roll(kb.reg("a"), kb.reg("b"), Imm(3))
+    kb_rot = KernelBuilder(Features.ROT)
+    with pytest.raises(RuntimeError):
+        kb_rot.mulmod(kb_rot.reg("a"), kb_rot.reg("b"), kb_rot.reg("c"))
+
+
+@pytest.mark.parametrize("features", list(Features))
+@pytest.mark.parametrize("amount", [0, 1, 13, 31])
+def test_rotl32_idiom_all_levels(features, amount):
+    kb = KernelBuilder(features)
+    a, d = kb.reg("a"), kb.reg("d")
+    kb.ldiq(a, 0xDEADBEEF)
+    kb.rotl32(d, a, amount)
+    kb.stq(d, kb.zero, 0x400)
+    kb.halt()
+    memory = run_builder(kb)
+    assert memory.read(0x400, 8) == rotl32(0xDEADBEEF, amount)
+
+
+@pytest.mark.parametrize("features", list(Features))
+@pytest.mark.parametrize("amount", [0, 5, 31, 33])
+def test_rotl32_var_idiom_all_levels(features, amount):
+    kb = KernelBuilder(features)
+    a, n, d = kb.regs("a", "n", "d")
+    kb.ldiq(a, 0x12345678)
+    kb.ldiq(n, amount)
+    kb.rotl32_var(d, a, n)
+    kb.stq(d, kb.zero, 0x400)
+    kb.halt()
+    memory = run_builder(kb)
+    assert memory.read(0x400, 8) == rotl32(0x12345678, amount & 31)
+
+
+@pytest.mark.parametrize("features", list(Features))
+@pytest.mark.parametrize("amount", [1, 7, 24])
+def test_rotr32_var_idiom_all_levels(features, amount):
+    kb = KernelBuilder(features)
+    a, n, d = kb.regs("a", "n", "d")
+    kb.ldiq(a, 0x12345678)
+    kb.ldiq(n, amount)
+    kb.rotr32_var(d, a, n)
+    kb.stq(d, kb.zero, 0x400)
+    kb.halt()
+    memory = run_builder(kb)
+    assert memory.read(0x400, 8) == rotr32(0x12345678, amount)
+
+
+@pytest.mark.parametrize("features", list(Features))
+def test_rotl32_xor_idiom(features):
+    kb = KernelBuilder(features)
+    a, d = kb.regs("a", "d")
+    kb.ldiq(a, 0xCAFEBABE)
+    kb.ldiq(d, 0x11111111)
+    kb.rotl32_xor(d, a, 9)
+    kb.stq(d, kb.zero, 0x400)
+    kb.halt()
+    memory = run_builder(kb)
+    assert memory.read(0x400, 8) == rotl32(0xCAFEBABE, 9) ^ 0x11111111
+
+
+@pytest.mark.parametrize("features", list(Features))
+def test_sbox_lookup_idiom(features):
+    memory = Memory(1 << 16)
+    table_base = 0x2000
+    for i in range(256):
+        memory.write(table_base + 4 * i, 0x5500 | i, 4)
+    kb = KernelBuilder(features)
+    base, idx, d = kb.regs("base", "idx", "d")
+    kb.ldiq(base, table_base)
+    kb.ldiq(idx, 0x00AB12CD)
+    kb.sbox_lookup(d, base, idx, byte_index=2, table_id=1)
+    kb.stq(d, kb.zero, 0x400)
+    kb.halt()
+    run_builder(kb, memory)
+    assert memory.read(0x400, 8) == 0x55AB
+
+
+@pytest.mark.parametrize("features", list(Features))
+@pytest.mark.parametrize("a,b", [(0, 0), (0, 5), (7, 0), (3, 5),
+                                 (0xFFFF, 0xFFFF), (1, 0x8000)])
+def test_mulmod16_idiom(features, a, b):
+    from repro.ciphers.idea import mul_mod
+
+    kb = KernelBuilder(features)
+    ra, rb, d = kb.regs("a", "b", "d")
+    kb.ldiq(ra, a)
+    kb.ldiq(rb, b)
+    kb.mulmod16(d, ra, rb)
+    kb.stq(d, kb.zero, 0x400)
+    kb.halt()
+    memory = run_builder(kb)
+    assert memory.read(0x400, 8) == mul_mod(a, b)
+
+
+def test_mulmod16_opt_is_single_instruction():
+    kb = KernelBuilder(Features.OPT)
+    a, b, d = kb.regs("a", "b", "d")
+    before = len(kb.program)
+    kb.mulmod16(d, a, b)
+    assert len(kb.program) - before == 1
+
+
+def test_mulmod16_baseline_is_software_sequence():
+    kb = KernelBuilder(Features.ROT)
+    a, b, d = kb.regs("a", "b", "d")
+    before = len(kb.program)
+    kb.mulmod16(d, a, b)
+    assert len(kb.program) - before > 5
+
+
+def test_permute64_idiom():
+    import random
+
+    random.seed(9)
+    permutation = list(range(64))
+    random.shuffle(permutation)
+    kb = KernelBuilder(Features.OPT)
+    src, dst = kb.reg("src"), kb.reg("dst")
+    map_regs = kb.regs(*[f"map{i}" for i in range(8)])
+    value = random.getrandbits(64)
+    kb.ldiq(src, value)
+    for byte_index in range(8):
+        m = 0
+        for j in range(8):
+            m |= permutation[8 * byte_index + j] << (6 * j)
+        kb.ldiq(map_regs[byte_index], m)
+    kb.permute64(dst, src, map_regs)
+    kb.stq(dst, kb.zero, 0x400)
+    kb.halt()
+    memory = run_builder(kb)
+    expected = 0
+    for out_bit in range(64):
+        expected |= ((value >> permutation[out_bit]) & 1) << out_bit
+    assert memory.read(0x400, 8) == expected
+
+
+def test_permute64_instruction_count_matches_paper():
+    """8 XBOX + 7 OR: the 64-bit analogue of the paper's 7-instruction case."""
+    kb = KernelBuilder(Features.OPT)
+    src, dst = kb.reg("src"), kb.reg("dst")
+    map_regs = kb.regs(*[f"map{i}" for i in range(8)])
+    before = len(kb.program)
+    kb.permute64(dst, src, map_regs)
+    assert len(kb.program) - before == 15
+
+
+def test_rotate_count_matches_paper():
+    """Constant rotate: 3 instructions without rotates, 1 with (paper sec 6)."""
+    kb = KernelBuilder(Features.NOROT)
+    a, d = kb.regs("a", "d")
+    before = len(kb.program)
+    kb.rotl32(d, a, 13)
+    assert len(kb.program) - before == 3
+    kb2 = KernelBuilder(Features.ROT)
+    a2, d2 = kb2.regs("a", "d")
+    before = len(kb2.program)
+    kb2.rotl32(d2, a2, 13)
+    assert len(kb2.program) - before == 1
+
+
+def test_sbox_count_matches_paper():
+    """SBox access: 3 instructions baseline, 1 optimized (paper sec 6)."""
+    for features, expected in [(Features.ROT, 3), (Features.OPT, 1)]:
+        kb = KernelBuilder(features)
+        base, idx, d = kb.regs("base", "idx", "d")
+        before = len(kb.program)
+        kb.sbox_lookup(d, base, idx, byte_index=0, table_id=0)
+        assert len(kb.program) - before == expected
+
+
+def test_category_tagging():
+    kb = KernelBuilder(Features.NOROT)
+    a, d = kb.regs("a", "d")
+    kb.rotl32(d, a, 5)
+    categories = {i.category for i in kb.program.instructions}
+    assert categories == {op.ROTATE}

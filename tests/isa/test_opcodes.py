@@ -1,0 +1,87 @@
+"""Consistency invariants of the opcode table itself."""
+
+from repro.isa import opcodes as op
+
+
+def test_codes_are_unique():
+    codes = [spec.code for spec in op.SPECS.values()]
+    assert len(codes) == len(set(codes))
+
+
+def test_names_are_unique_and_lowercase():
+    names = [spec.name for spec in op.SPECS.values()]
+    assert len(names) == len(set(names))
+    assert all(name == name.lower() for name in names)
+
+
+def test_lookup_tables_agree():
+    for code, spec in op.SPECS.items():
+        assert op.SPECS_BY_NAME[spec.name] is spec
+        assert spec.code == code
+
+
+def test_branch_sets_consistent():
+    assert op.COND_BRANCH_CODES < op.BRANCH_CODES
+    assert op.BR in op.BRANCH_CODES and op.BR not in op.COND_BRANCH_CODES
+    for code in op.BRANCH_CODES:
+        assert op.SPECS[code].fmt == "br"
+        assert not op.SPECS[code].writes_dest
+
+
+def test_memory_sets_consistent():
+    for code in op.LOAD_CODES:
+        assert op.SPECS[code].klass == op.LOAD
+        assert op.SPECS[code].writes_dest
+        assert code in op.MEM_SIZES
+    for code in op.STORE_CODES:
+        assert op.SPECS[code].klass == op.STORE
+        assert not op.SPECS[code].writes_dest
+        assert code in op.MEM_SIZES
+
+
+def test_mem_sizes_are_load_store_widths():
+    assert op.MEM_SIZES[op.LDQ] == 8
+    assert op.MEM_SIZES[op.LDL] == 4
+    assert op.MEM_SIZES[op.LDWU] == 2
+    assert op.MEM_SIZES[op.LDBU] == 1
+    assert op.MEM_SIZES[op.STQ] == 8
+
+
+def test_read_modify_write_opcodes():
+    """ROLX/RORX and CMOV read their destination (paper's 2-in-1-out rule:
+    the third input is the destination itself or an immediate)."""
+    for code in (op.ROLXL, op.RORXL, op.CMOVEQ, op.CMOVNE):
+        assert op.SPECS[code].reads_dest
+    for code in (op.ROLL, op.RORL, op.ADDQ, op.SBOX):
+        assert not op.SPECS[code].reads_dest
+
+
+def test_crypto_extension_timing_classes():
+    assert op.SPECS[op.SBOX].klass == op.SBOX_UNIT
+    assert op.SPECS[op.MULMOD].klass == op.MULMOD_UNIT
+    for code in (op.ROLL, op.RORL, op.ROLQ, op.RORQ, op.ROLXL, op.RORXL,
+                 op.XBOX, op.GRPL, op.GRPQ):
+        assert op.SPECS[code].klass == op.ROTATOR
+
+
+def test_default_categories_cover_paper_taxonomy():
+    categories = {spec.category for spec in op.SPECS.values()}
+    assert {op.ARITH, op.LOGIC, op.ROTATE, op.MULTIPLY, op.SUBST,
+            op.PERMUTE, op.LDST, op.CONTROL} >= categories
+
+
+def test_every_spec_renderable():
+    from repro.isa.instruction import Instruction
+
+    for code, spec in op.SPECS.items():
+        instruction = Instruction(
+            code,
+            dest=1 if spec.writes_dest else None,
+            src1=2 if spec.fmt in ("op", "br", "sbox", "xbox") else None,
+            src2=3 if spec.fmt in ("op", "mem", "sbox", "xbox") else None,
+            lit=0 if spec.fmt == "ldi" else None,
+            target=0 if spec.fmt == "br" else None,
+        )
+        if spec.fmt == "br" and code == op.BR:
+            instruction.src1 = None
+        assert isinstance(instruction.render(), str)

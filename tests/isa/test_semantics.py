@@ -1,0 +1,206 @@
+"""Directed semantics tests for every RISC-A opcode via the assembler."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import Machine, Memory, SimulationError
+
+
+def run_and_read(source: str, result_addr: int = 0x400, width: int = 8,
+                 memory: Memory | None = None) -> int:
+    memory = memory or Memory(1 << 16)
+    Machine(assemble(source), memory).run()
+    return memory.read(result_addr, width)
+
+
+def _store_result(expr_lines: str, result_reg: str = "r9") -> str:
+    return f"{expr_lines}\n    stq {result_reg}, 0x400(r31)\n    halt\n"
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("addq", 3, 4, 7),
+    ("addq", 0xFFFFFFFFFFFFFFFF, 1, 0),
+    ("subq", 3, 4, 0xFFFFFFFFFFFFFFFF),
+    ("addl", 0xFFFFFFFF, 1, 0),                      # zero-extended 32-bit
+    ("subl", 0, 1, 0xFFFFFFFF),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("bis", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("bic", 0b1111, 0b1010, 0b0101),
+    ("sll", 1, 63, 1 << 63),
+    ("srl", 1 << 63, 63, 1),
+    ("mull", 0xFFFFFFFF, 2, 0xFFFFFFFE),             # 32-bit wraparound
+    ("mulq", 1 << 32, 1 << 32, 0),                   # 64-bit wraparound
+    ("cmpeq", 5, 5, 1),
+    ("cmpeq", 5, 6, 0),
+    ("cmpult", 3, 4, 1),
+    ("cmpult", 4, 3, 0),
+    ("cmpule", 4, 4, 1),
+    ("s4addq", 3, 100, 112),
+    ("s8addq", 3, 100, 124),
+    ("extbl", 0x0123456789ABCDEF, 2, 0xAB),
+    ("insbl", 0xEF, 2, 0xEF0000),
+    ("zapnot", 0x0123456789ABCDEF, 0x0F, 0x89ABCDEF),
+])
+def test_operate_register_forms(op, a, b, expected):
+    source = _store_result(f"""
+    ldiq r1, {a}
+    ldiq r2, {b}
+    {op} r9, r1, r2
+    """)
+    assert run_and_read(source) == expected
+
+
+def test_operate_literal_form():
+    assert run_and_read(_store_result("""
+    ldiq r1, 40
+    addq r9, r1, #2
+    """)) == 42
+
+
+def test_sra_sign_extension():
+    assert run_and_read(_store_result("""
+    ldiq r1, 0x8000000000000000
+    sra  r9, r1, #60
+    """)) == 0xFFFFFFFFFFFFFFF8
+
+
+def test_cmplt_signed():
+    assert run_and_read(_store_result("""
+    ldiq r1, 0xFFFFFFFFFFFFFFFF   ; -1
+    ldiq r2, 1
+    cmplt r9, r1, r2
+    """)) == 1
+
+
+def test_ornot():
+    assert run_and_read(_store_result("""
+    ldiq r1, 0
+    ldiq r2, 0xFFFFFFFFFFFFFFF0
+    ornot r9, r1, r2
+    """)) == 0xF
+
+
+def test_cmov_both_ways():
+    assert run_and_read(_store_result("""
+    ldiq r1, 0
+    ldiq r2, 111
+    ldiq r9, 5
+    cmoveq r9, r1, r2
+    """)) == 111
+    assert run_and_read(_store_result("""
+    ldiq r1, 7
+    ldiq r2, 111
+    ldiq r9, 5
+    cmovne r9, r1, r2
+    """)) == 111
+    assert run_and_read(_store_result("""
+    ldiq r1, 7
+    ldiq r2, 111
+    ldiq r9, 5
+    cmoveq r9, r1, r2
+    """)) == 5
+
+
+def test_lda_displacement():
+    assert run_and_read(_store_result("""
+    ldiq r1, 1000
+    lda  r9, 24(r1)
+    """)) == 1024
+    assert run_and_read(_store_result("""
+    ldiq r1, 1000
+    lda  r9, -24(r1)
+    """)) == 976
+
+
+def test_r31_reads_zero_and_ignores_writes():
+    assert run_and_read(_store_result("""
+    ldiq r31, 123
+    addq r9, r31, #0
+    """)) == 0
+
+
+def test_memory_roundtrip_all_widths():
+    memory = Memory(1 << 16)
+    source = """
+    ldiq r1, 0x0123456789ABCDEF
+    stq r1, 0x500(r31)
+    ldq r2, 0x500(r31)
+    stl r2, 0x510(r31)
+    ldl r3, 0x510(r31)
+    stw r3, 0x520(r31)
+    ldwu r4, 0x520(r31)
+    stb r4, 0x530(r31)
+    ldbu r5, 0x530(r31)
+    stq r5, 0x400(r31)
+    halt
+    """
+    assert run_and_read(source, memory=memory) == 0xEF
+    assert memory.read(0x510, 4) == 0x89ABCDEF
+
+
+def test_ldl_zero_extends():
+    assert run_and_read(_store_result("""
+    ldiq r1, 0xFFFFFFFF
+    stl r1, 0x500(r31)
+    ldl r9, 0x500(r31)
+    """)) == 0xFFFFFFFF
+
+
+def test_branches():
+    source = """
+    ldiq r1, 3
+    ldiq r9, 0
+loop:
+    addq r9, r9, #10
+    subq r1, r1, #1
+    bne r1, loop
+    stq r9, 0x400(r31)
+    halt
+    """
+    assert run_and_read(source) == 30
+
+
+@pytest.mark.parametrize("br,value,branches", [
+    ("beq", 0, True), ("beq", 1, False),
+    ("bne", 0, False), ("bne", 1, True),
+    ("blt", 0xFFFFFFFFFFFFFFFF, True), ("blt", 0, False), ("blt", 1, False),
+    ("ble", 0, True), ("ble", 1, False),
+    ("bgt", 1, True), ("bgt", 0, False),
+    ("bge", 0, True), ("bge", 0xFFFFFFFFFFFFFFFF, False),
+])
+def test_conditional_branches(br, value, branches):
+    source = f"""
+    ldiq r1, {value}
+    ldiq r9, 1
+    {br} r1, yes
+    ldiq r9, 2
+yes:
+    stq r9, 0x400(r31)
+    halt
+    """
+    assert run_and_read(source) == (1 if branches else 2)
+
+
+def test_unconditional_branch():
+    source = """
+    ldiq r9, 1
+    br skip
+    ldiq r9, 2
+skip:
+    stq r9, 0x400(r31)
+    halt
+    """
+    assert run_and_read(source) == 1
+
+
+def test_runaway_detection():
+    with pytest.raises(SimulationError):
+        Machine(assemble("loop: br loop\n halt"), Memory(1024)).run(
+            max_instructions=1000
+        )
+
+
+def test_unaligned_access_faults():
+    with pytest.raises(SimulationError):
+        Machine(assemble("ldl r1, 2(r31)\n halt"), Memory(1024)).run()

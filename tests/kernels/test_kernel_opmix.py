@@ -1,0 +1,119 @@
+"""Per-kernel structural expectations: instruction mixes and coding deltas.
+
+These pin the *mechanical* properties of each hand-written kernel --
+which extensions each cipher actually uses, and how the instruction
+budget shifts between feature levels -- so a kernel edit that silently
+changes a coding's character fails a test before it skews an experiment.
+"""
+
+import pytest
+
+from repro.isa import Features
+from repro.isa import opcodes as op
+from repro.kernels import make_kernel
+
+SESSION = {
+    "3DES": 64, "Blowfish": 128, "IDEA": 128, "Mars": 128,
+    "RC4": 128, "RC6": 128, "Rijndael": 128, "Twofish": 128,
+}
+
+
+def _counts(name, features):
+    run = make_kernel(name, features).encrypt(bytes(SESSION[name]))
+    return run.trace.category_counts(), run.instructions
+
+
+def _opcode_counts(name, features):
+    run = make_kernel(name, features).encrypt(bytes(SESSION[name]))
+    trace = run.trace
+    counts = {}
+    instructions = trace.program.instructions
+    for static_index in trace.seq:
+        mnemonic = instructions[static_index].name
+        counts[mnemonic] = counts.get(mnemonic, 0) + 1
+    return counts
+
+
+def test_idea_opt_uses_mulmod_hardware():
+    opcodes = _opcode_counts("IDEA", Features.OPT)
+    assert opcodes.get("mulmod", 0) > 0
+    assert opcodes.get("mull", 0) == 0
+    baseline = _opcode_counts("IDEA", Features.ROT)
+    assert baseline.get("mulmod", 0) == 0
+    assert baseline.get("mull", 0) > 0
+    # 34 multiplies per 8-byte block.
+    blocks = SESSION["IDEA"] // 8
+    assert opcodes["mulmod"] == 34 * blocks
+
+
+def test_blowfish_opt_uses_sbox():
+    opcodes = _opcode_counts("Blowfish", Features.OPT)
+    blocks = SESSION["Blowfish"] // 8
+    # 4 lookups x 16 rounds per block.
+    assert opcodes["sbox"] == 64 * blocks
+    assert _opcode_counts("Blowfish", Features.ROT).get("sbox", 0) == 0
+
+
+def test_rijndael_opt_sbox_count():
+    opcodes = _opcode_counts("Rijndael", Features.OPT)
+    blocks = SESSION["Rijndael"] // 16
+    # 16 lookups x 9 inner rounds + 16 final-round lookups.
+    assert opcodes["sbox"] == (16 * 9 + 16) * blocks
+
+
+def test_twofish_opt_sbox_count():
+    opcodes = _opcode_counts("Twofish", Features.OPT)
+    blocks = SESSION["Twofish"] // 16
+    assert opcodes["sbox"] == 8 * 16 * blocks  # 8 per round, 16 rounds
+
+
+def test_3des_opt_uses_xbox_and_sbox():
+    opcodes = _opcode_counts("3DES", Features.OPT)
+    blocks = SESSION["3DES"] // 8
+    assert opcodes["xbox"] == 16 * blocks      # 8 for IP + 8 for FP
+    assert opcodes["sbox"] == 8 * 48 * blocks  # 8 per round, 48 rounds
+    baseline = _opcode_counts("3DES", Features.ROT)
+    assert baseline.get("xbox", 0) == 0
+
+
+def test_rc6_and_mars_use_rolx_at_opt():
+    for name in ("RC6", "Mars"):
+        opcodes = _opcode_counts(name, Features.OPT)
+        assert opcodes.get("rolxl", 0) > 0, name
+        assert _opcode_counts(name, Features.ROT).get("rolxl", 0) == 0, name
+
+
+def test_rc4_opt_uses_aliased_sbox():
+    run = make_kernel("RC4", Features.OPT).encrypt(bytes(64))
+    trace = run.trace
+    aliased = [
+        s for s in trace.seq
+        if trace.static.klass[s] == "sbox" and trace.static.sbox_aliased[s]
+    ]
+    assert len(aliased) == 3 * 64  # three state reads per byte
+    # And RC4 stores into its table from inside the kernel.
+    stores = sum(1 for s in trace.seq if trace.static.is_store[s])
+    assert stores >= 2 * 64
+
+
+def test_norot_adds_shift_instructions():
+    for name in ("Mars", "RC6", "Twofish"):
+        rot_counts, rot_total = _counts(name, Features.ROT)
+        norot_counts, norot_total = _counts(name, Features.NOROT)
+        assert norot_total > rot_total, name
+        # The extra instructions are classified as rotate work.
+        assert norot_counts[op.ROTATE] > rot_counts.get(op.ROTATE, 0), name
+
+
+@pytest.mark.parametrize("name", list(SESSION))
+def test_opt_shrinks_or_preserves_every_category_total(name):
+    _, norot_total = _counts(name, Features.NOROT)
+    _, opt_total = _counts(name, Features.OPT)
+    assert opt_total <= norot_total
+
+
+def test_sboxsync_emitted_once_per_table():
+    run = make_kernel("Twofish", Features.OPT).encrypt(bytes(32))
+    trace = run.trace
+    syncs = [s for s in trace.seq if trace.static.is_sync[s]]
+    assert len(syncs) == 4  # once per g-table, at program start

@@ -1,0 +1,103 @@
+"""Unit tests for the branch predictor and the trace/static-info layer."""
+
+from repro.isa import assemble
+from repro.sim import Machine, Memory
+from repro.sim.branch import BimodalPredictor
+from repro.sim.trace import StaticInfo
+
+
+def test_predictor_learns_a_loop():
+    predictor = BimodalPredictor()
+    correct = [predictor.predict_and_update(5, True) for _ in range(20)]
+    # Weakly-taken init: a loop branch predicts correctly from the start.
+    assert all(correct)
+    # The loop exit (not taken) costs one misprediction.
+    assert not predictor.predict_and_update(5, False)
+    assert predictor.mispredictions == 1
+
+
+def test_predictor_saturates():
+    predictor = BimodalPredictor()
+    for _ in range(10):
+        predictor.predict_and_update(1, False)
+    # Now strongly not-taken; one taken outcome mispredicts but a single
+    # not-taken afterwards is still predicted correctly (2-bit hysteresis).
+    assert not predictor.predict_and_update(1, True)
+    assert predictor.predict_and_update(1, False)
+
+
+def test_predictor_alternating_pattern_is_hard():
+    predictor = BimodalPredictor()
+    outcomes = [predictor.predict_and_update(2, bool(i % 2))
+                for i in range(100)]
+    accuracy = sum(outcomes) / len(outcomes)
+    assert accuracy < 0.75  # bimodal cannot learn strict alternation
+
+
+def test_predictor_indexes_by_static_instruction():
+    predictor = BimodalPredictor(entries=16)
+    predictor.predict_and_update(0, False)
+    predictor.predict_and_update(0, False)
+    # Entry 16 aliases entry 0 (modulo indexing).
+    assert not predictor.predict_and_update(16, True)
+
+
+def _trace(source):
+    return Machine(assemble(source), Memory(1 << 16)).run().trace
+
+
+def test_taken_detection():
+    trace = _trace("""
+    ldiq r1, 2
+top:
+    subq r1, r1, #1
+    bne r1, top
+    halt
+    """)
+    # Dynamic sequence: ldiq, subq, bne(taken), subq, bne(not), halt.
+    assert trace.seq == [0, 1, 2, 1, 2, 3]
+    assert trace.taken(2)
+    assert not trace.taken(4)
+
+
+def test_static_info_classifies():
+    program = assemble("""
+    ldl r1, 0(r2)
+    stl r1, 8(r2)
+    sbox.1.2 r3, r4, r5
+    mulmod r6, r1, r5
+    beq r6, end
+    addq r7, r7, #1
+end:
+    halt
+    """)
+    info = StaticInfo.from_program(program)
+    assert info.is_load[0] and not info.is_store[0]
+    assert info.is_store[1] and not info.is_load[1]
+    assert info.klass[2] == "sbox"
+    assert info.sbox_table[2] == 1
+    assert info.klass[3] == "mulmod"
+    assert info.is_branch[4] and info.is_cond_branch[4]
+    assert info.mem_size[0] == 4
+    assert info.mem_size[2] == 4  # SBOX reads a 32-bit entry
+
+
+def test_static_info_store_addr_srcs_exclude_value():
+    program = assemble("stl r1, 8(r2)\nhalt")
+    info = StaticInfo.from_program(program)
+    assert info.addr_srcs[0] == (2,)
+    assert set(info.srcs[0]) == {1, 2}
+
+
+def test_category_counts_match_length():
+    trace = _trace("""
+    ldiq r1, 5
+loop:
+    addq r2, r2, #1
+    subq r1, r1, #1
+    bne r1, loop
+    halt
+    """)
+    counts = trace.category_counts()
+    assert sum(counts.values()) == len(trace)
+    assert counts["control"] == 6  # five BNEs plus the HALT

@@ -1,0 +1,120 @@
+"""Invariants of the machine-configuration presets (paper Table 2 / sec 3.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    ALPHA21264,
+    BASE4W,
+    DATAFLOW,
+    DATAFLOW_BASEISA,
+    EIGHTW_PLUS,
+    FOURW,
+    FOURW_PLUS,
+    MachineConfig,
+    bottleneck_config,
+)
+
+
+def test_presets_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        FOURW.issue_width = 8
+
+
+def test_with_returns_modified_copy():
+    modified = FOURW.with_(issue_width=6)
+    assert modified.issue_width == 6
+    assert FOURW.issue_width == 4
+    assert modified.num_ialu == FOURW.num_ialu
+
+
+def test_table2_ladder_fields():
+    # 4W+ differs from 4W only in SBox caches and rotator units.
+    assert FOURW_PLUS.sbox_caches == 4 and FOURW.sbox_caches == 0
+    assert FOURW_PLUS.num_rotator > FOURW.num_rotator
+    assert FOURW_PLUS.issue_width == FOURW.issue_width
+    assert FOURW_PLUS.window_size == FOURW.window_size
+    # 8W+ doubles execution bandwidth.
+    assert EIGHTW_PLUS.issue_width == 2 * FOURW_PLUS.issue_width
+    assert EIGHTW_PLUS.num_ialu == 2 * FOURW_PLUS.num_ialu
+    assert EIGHTW_PLUS.dcache_ports == 2 * FOURW_PLUS.dcache_ports
+    assert EIGHTW_PLUS.window_size == 2 * FOURW_PLUS.window_size
+    assert EIGHTW_PLUS.fetch_groups_per_cycle == 2
+
+
+def test_dataflow_is_unconstrained():
+    for field in ("fetch_width", "window_size", "issue_width", "num_ialu",
+                  "num_rotator", "mul_slots", "dcache_ports", "retire_width"):
+        assert getattr(DATAFLOW, field) is None, field
+    assert DATAFLOW.perfect_branch_prediction
+    assert DATAFLOW.perfect_memory
+    assert DATAFLOW.perfect_alias
+
+
+def test_baseline_latencies_match_paper():
+    # Section 3.2: ALU 1 cycle, MULT 7 cycles, loads via a pipelined L1,
+    # 8-cycle minimum misprediction penalty, 256-entry window, 64-entry LSQ.
+    assert BASE4W.alu_latency == 1
+    assert BASE4W.mul32_latency == 7
+    assert BASE4W.mul64_latency == 7
+    assert BASE4W.mispredict_penalty == 8
+    assert BASE4W.window_size == 256
+    assert BASE4W.lsq_size == 64
+    assert BASE4W.l1_size == 32768 and BASE4W.l1_assoc == 2
+    assert BASE4W.l2_hit_latency == 12
+    assert BASE4W.memory_latency == 120
+    assert BASE4W.tlb_miss_latency == 30
+
+
+def test_table2_multiplier_spec():
+    # "1-64 (7 cycles) / 2-32 (4 cycles)": a 64-bit multiply fills both
+    # slots; two 32-bit multiplies (or MULMODs) issue per cycle at 4 cycles.
+    assert FOURW.mul_slots == 2
+    assert FOURW.mul64_cost == 2 and FOURW.mul64_latency == 7
+    assert FOURW.mul32_cost == 1 and FOURW.mul32_latency == 4
+    assert FOURW.mulmod_cost == 1 and FOURW.mulmod_latency == 4
+    assert EIGHTW_PLUS.mul_slots == 4
+
+
+def test_sbox_latency_constants():
+    # Paper section 5: SBOX via d-cache port = 2 cycles, SBox cache = 1.
+    for config in (FOURW, FOURW_PLUS, EIGHTW_PLUS):
+        assert config.sbox_dcache_latency == 2
+        assert config.sbox_cache_latency == 1
+
+
+def test_alpha_validation_config_differs_plausibly():
+    assert ALPHA21264.window_size < BASE4W.window_size
+    assert ALPHA21264.load_latency >= BASE4W.load_latency
+
+
+def test_dataflow_baseisa_keeps_slow_multiplies():
+    assert DATAFLOW_BASEISA.mul32_latency == BASE4W.mul32_latency
+    assert DATAFLOW.mul32_latency < DATAFLOW_BASEISA.mul32_latency
+
+
+def test_bottleneck_configs_change_one_dimension():
+    dataflow = DATAFLOW_BASEISA
+    single = bottleneck_config("window")
+    assert single.window_size == BASE4W.window_size
+    assert single.issue_width is None
+    assert single.perfect_memory == dataflow.perfect_memory
+
+    issue = bottleneck_config("issue")
+    assert issue.issue_width == BASE4W.issue_width
+    assert issue.window_size is None
+
+    mem = bottleneck_config("mem")
+    assert not mem.perfect_memory
+    assert mem.issue_width is None
+
+    res = bottleneck_config("res")
+    assert res.num_ialu == BASE4W.num_ialu
+    assert res.dcache_ports == BASE4W.dcache_ports
+    assert res.window_size is None
+
+
+def test_custom_config_construction():
+    config = MachineConfig(name="tiny", issue_width=1, num_ialu=1)
+    assert config.issue_width == 1

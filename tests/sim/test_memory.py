@@ -1,0 +1,69 @@
+"""Unit tests for the flat simulator memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.memory import Memory
+
+
+def test_read_write_roundtrip_all_widths():
+    memory = Memory(4096)
+    for width, value in ((1, 0xAB), (2, 0xBEEF), (4, 0xDEADBEEF),
+                         (8, 0x0123456789ABCDEF)):
+        memory.write(256, value, width)
+        assert memory.read(256, width) == value
+
+
+def test_little_endian_layout():
+    memory = Memory(64)
+    memory.write(0, 0x0102030405060708, 8)
+    assert memory.read(0, 1) == 0x08
+    assert memory.read(1, 1) == 0x07
+    assert memory.read(0, 4) == 0x05060708
+
+
+def test_unaligned_rejected():
+    memory = Memory(64)
+    with pytest.raises(ValueError):
+        memory.read(1, 4)
+    with pytest.raises(ValueError):
+        memory.write(2, 0, 8)
+
+
+def test_out_of_bounds_rejected():
+    memory = Memory(64)
+    with pytest.raises(ValueError):
+        memory.read(64, 4)
+    with pytest.raises(ValueError):
+        memory.write(60, 0, 8)
+    with pytest.raises(ValueError):
+        memory.read_bytes(60, 8)
+    with pytest.raises(ValueError):
+        memory.write_bytes(62, b"abc")
+
+
+def test_write_masks_to_width():
+    memory = Memory(64)
+    memory.write(0, 0x1FF, 1)
+    assert memory.read(0, 1) == 0xFF
+
+
+def test_bytes_helpers():
+    memory = Memory(64)
+    memory.write_bytes(8, b"hello")
+    assert memory.read_bytes(8, 5) == b"hello"
+
+
+def test_words32_helpers():
+    memory = Memory(64)
+    memory.write_words32(0, [1, 2, 0xFFFFFFFF])
+    assert memory.read_words32(0, 3) == [1, 2, 0xFFFFFFFF]
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFFFFFFFFFF),
+       st.sampled_from([1, 2, 4, 8]))
+def test_roundtrip_property(value, width):
+    memory = Memory(64)
+    memory.write(0, value, width)
+    assert memory.read(0, width) == value & ((1 << (8 * width)) - 1)

@@ -1,0 +1,70 @@
+"""Tests for the pipeline viewer (SimpleView analog)."""
+
+from repro.isa import assemble
+from repro.sim import FOURW, Machine, Memory, simulate
+from repro.sim.pipeview import render_pipeline, stall_summary
+
+
+def _trace():
+    return Machine(assemble("""
+    ldiq r1, 20
+loop:
+    addq r2, r2, #1
+    addq r2, r2, #2
+    subq r1, r1, #1
+    bne r1, loop
+    halt
+    """), Memory(4096)).run().trace
+
+
+def test_schedule_hook_returns_window():
+    trace = _trace()
+    stats = simulate(trace, FOURW, schedule_range=(10, 20))
+    schedule = stats.extra["schedule"]
+    assert len(schedule) == 10
+    assert [entry[0] for entry in schedule] == list(range(10, 20))
+
+
+def test_schedule_times_are_ordered():
+    trace = _trace()
+    schedule = simulate(trace, FOURW, schedule_range=(0, 30)).extra["schedule"]
+    for _, _, fetch, issue, complete, retire in schedule:
+        assert fetch <= issue < complete < retire + 1
+
+
+def test_schedule_retire_is_in_order():
+    trace = _trace()
+    schedule = simulate(trace, FOURW, schedule_range=(0, 40)).extra["schedule"]
+    retires = [entry[5] for entry in schedule]
+    assert retires == sorted(retires)
+
+
+def test_render_contains_stage_markers():
+    trace = _trace()
+    schedule = simulate(trace, FOURW, schedule_range=(5, 15)).extra["schedule"]
+    text = render_pipeline(trace, schedule)
+    assert "F" in text
+    assert "R" in text
+    assert "addq" in text
+
+
+def test_render_empty():
+    trace = _trace()
+    assert render_pipeline(trace, []) == "(empty schedule)"
+
+
+def test_stall_summary_fields():
+    trace = _trace()
+    schedule = simulate(trace, FOURW, schedule_range=(0, 20)).extra["schedule"]
+    summary = stall_summary(schedule)
+    assert set(summary) == {
+        "mean_wait_cycles", "mean_execute_cycles", "mean_retire_wait_cycles",
+    }
+    assert summary["mean_execute_cycles"] >= 1.0
+    assert stall_summary([]) == {}
+
+
+def test_no_schedule_without_request():
+    trace = _trace()
+    stats = simulate(trace, FOURW)
+    assert "schedule" not in stats.extra

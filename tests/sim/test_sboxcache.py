@@ -1,0 +1,71 @@
+"""Unit tests for the single-tag SBox sector caches (paper section 5)."""
+
+from repro.sim.sboxcache import NUM_SECTORS, SBoxCache, SBoxCacheArray
+
+
+def test_sector_fill_then_hit():
+    cache = SBoxCache()
+    base = 0x1000
+    assert not cache.access(base)          # demand fetch of sector 0
+    assert cache.access(base + 4)          # same 32-byte sector
+    assert not cache.access(base + 32)     # next sector
+    assert cache.hits == 1
+    assert cache.misses == 2
+
+
+def test_tag_mismatch_flushes():
+    cache = SBoxCache()
+    cache.access(0x1000)
+    cache.access(0x1000 + 4)
+    assert not cache.access(0x2000)        # different table: flush
+    assert cache.flushes == 2              # initial fill + the switch
+    assert not cache.access(0x1000)        # back: everything refetched
+
+
+def test_low_address_bits_share_a_tag():
+    cache = SBoxCache()
+    cache.access(0x1000)
+    # Address within the same 1KB table: same tag, different sector.
+    assert cache.tag == 0x1000
+    cache.access(0x13FC)
+    assert cache.tag == 0x1000
+    assert cache.flushes == 1
+
+
+def test_sync_invalidates_sectors_but_keeps_tag():
+    cache = SBoxCache()
+    cache.access(0x1000)
+    cache.sync()
+    assert cache.tag == 0x1000
+    assert not cache.access(0x1000)        # refetch after SBOXSYNC
+    assert cache.flushes == 1
+
+
+def test_full_table_fits():
+    cache = SBoxCache()
+    for sector in range(NUM_SECTORS):
+        cache.access(0x1000 + 32 * sector)
+    # Second sweep: all hits.
+    assert all(cache.access(0x1000 + 32 * s) for s in range(NUM_SECTORS))
+
+
+def test_array_routes_by_table_id():
+    array = SBoxCacheArray(count=4)
+    array.access(0, 0x1000)
+    array.access(1, 0x2000)
+    assert array.caches[0].tag == 0x1000
+    assert array.caches[1].tag == 0x2000
+    # Table 4 maps onto cache 0 (mod count) and flushes it.
+    array.access(4, 0x3000)
+    assert array.caches[0].tag == 0x3000
+
+
+def test_array_sync_targets_one_cache():
+    array = SBoxCacheArray(count=4)
+    array.access(0, 0x1000)
+    array.access(1, 0x2000)
+    array.sync(0)
+    assert not array.access(0, 0x1000)     # invalidated
+    assert array.access(1, 0x2000)         # untouched
+    assert array.total_hits == 1
+    assert array.total_misses == 3

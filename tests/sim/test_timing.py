@@ -1,0 +1,275 @@
+"""Timing-model behaviour tests: latencies, widths, bottleneck toggles."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import (
+    BASE4W,
+    DATAFLOW,
+    FOURW,
+    FOURW_PLUS,
+    EIGHTW_PLUS,
+    Machine,
+    Memory,
+    bottleneck_config,
+    simulate,
+)
+
+
+def trace_of(source: str, memory: Memory | None = None):
+    memory = memory or Memory(1 << 16)
+    return Machine(assemble(source), memory).run().trace
+
+
+def test_dependent_chain_runs_at_one_per_cycle():
+    trace = trace_of("""
+    ldiq r1, 0
+    ldiq r2, 1000
+loop:
+    addq r1, r1, #1
+    addq r1, r1, #2
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """)
+    stats = simulate(trace, DATAFLOW)
+    # The r1 chain is 2 adds per iteration: ~2000 cycles.
+    assert 1990 <= stats.cycles <= 2100
+
+
+def test_dataflow_is_lower_bound():
+    trace = trace_of("""
+    ldiq r2, 500
+loop:
+    addq r1, r1, #1
+    addq r3, r3, #1
+    addq r4, r4, #1
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """)
+    df = simulate(trace, DATAFLOW).cycles
+    for config in (BASE4W, FOURW, FOURW_PLUS, EIGHTW_PLUS):
+        assert simulate(trace, config).cycles >= df
+
+
+def test_wider_machine_is_never_slower():
+    trace = trace_of("""
+    ldiq r2, 500
+loop:
+    addq r1, r1, #1
+    addq r3, r3, #1
+    addq r4, r4, #1
+    addq r5, r5, #1
+    addq r6, r6, #1
+    addq r7, r7, #1
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """)
+    four = simulate(trace, FOURW).cycles
+    eight = simulate(trace, EIGHTW_PLUS).cycles
+    assert eight <= four
+    # 7 independent ops/iteration: the 8-wide should be meaningfully faster.
+    assert eight < 0.8 * four
+
+
+def test_multiplier_latency_differs_between_baseline_and_4w():
+    trace = trace_of("""
+    ldiq r1, 3
+    ldiq r2, 1000
+loop:
+    mull r1, r1, r1
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """)
+    base = simulate(trace, BASE4W).cycles   # 7-cycle multiplies
+    fast = simulate(trace, FOURW).cycles    # 4-cycle early-out multiplies
+    assert base > fast
+    assert base >= 6500  # ~7 cycles per serial multiply
+    assert fast <= 5000
+
+
+def test_mulmod_unit_latency():
+    trace = trace_of("""
+    ldiq r1, 3
+    ldiq r2, 500
+loop:
+    mulmod r1, r1, r1
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """)
+    stats = simulate(trace, FOURW)
+    # Serial MULMOD chain at 4 cycles each.
+    assert 1900 <= stats.cycles <= 2300
+
+
+def test_branch_mispredict_penalty_applied():
+    # A data-dependent unpredictable branch pattern: alternating taken /
+    # not-taken resolves to predictable for a 2-bit counter?  Use an
+    # irregular pattern via xor-shift parity.
+    source = """
+    ldiq r1, 0x9E3779B97F4A7C15
+    ldiq r2, 2000
+loop:
+    srl r3, r1, #7
+    xor r1, r1, r3
+    sll r3, r1, #9
+    xor r1, r1, r3
+    and r4, r1, #1
+    beq r4, skip
+    addq r5, r5, #1
+skip:
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """
+    trace = trace_of(source)
+    real = simulate(trace, bottleneck_config("branch"))
+    perfect = simulate(trace, DATAFLOW)
+    assert real.mispredictions > 200
+    assert real.cycles > perfect.cycles
+
+
+def test_loop_branches_are_predictable():
+    trace = trace_of("""
+    ldiq r2, 5000
+loop:
+    addq r1, r1, #1
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """)
+    stats = simulate(trace, BASE4W)
+    assert stats.mispredictions <= 3
+
+
+def test_alias_stalls_loads_behind_stores():
+    # Store then load to *different* addresses: conservative ordering stalls,
+    # perfect alias does not.
+    source = """
+    ldiq r1, 0x1000
+    ldiq r2, 0x2000
+    ldiq r3, 500
+loop:
+    addq r4, r4, #1
+    stq r4, 0(r1)
+    ldq r5, 0(r2)
+    addq r6, r5, r6
+    subq r3, r3, #1
+    bne r3, loop
+    halt
+    """
+    trace = trace_of(source)
+    with_alias = simulate(trace, bottleneck_config("alias"))
+    without = simulate(trace, DATAFLOW)
+    assert with_alias.cycles >= without.cycles
+
+
+def test_store_forwarding():
+    source = """
+    ldiq r1, 0x1000
+    ldiq r3, 200
+loop:
+    addq r4, r4, #1
+    stq r4, 0(r1)
+    ldq r5, 0(r1)
+    addq r6, r5, r6
+    subq r3, r3, #1
+    bne r3, loop
+    halt
+    """
+    trace = trace_of(source)
+    stats = simulate(trace, BASE4W)
+    assert stats.store_forwards >= 199
+
+
+def test_issue_width_limits_throughput():
+    source = """
+    ldiq r2, 1000
+loop:
+    addq r1, r1, #1
+    addq r3, r3, #1
+    addq r4, r4, #1
+    addq r5, r5, #1
+    addq r6, r6, #1
+    addq r7, r7, #1
+    addq r8, r8, #1
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """
+    trace = trace_of(source)
+    narrow = simulate(trace, bottleneck_config("issue"))
+    free = simulate(trace, DATAFLOW)
+    # 9 instructions/iteration at width 4 needs > 2 cycles/iteration.
+    assert narrow.cycles > 2 * free.cycles * 0.8
+    assert narrow.cycles > free.cycles
+
+
+def test_window_bottleneck_config_only_adds_window():
+    config = bottleneck_config("window")
+    assert config.window_size == BASE4W.window_size
+    assert config.issue_width is None
+    assert config.perfect_memory
+
+
+def test_all_bottleneck_is_baseline():
+    assert bottleneck_config("all") is BASE4W
+
+
+def test_unknown_bottleneck_rejected():
+    with pytest.raises(ValueError):
+        bottleneck_config("alu")
+
+
+def test_cache_model_counts_misses_once_warm():
+    # Sequential walk over 64 KB: with 32 KB L1 + next-line prefetch nearly
+    # everything after the first touch per line is a hit.
+    source = """
+    ldiq r1, 0x0
+    ldiq r2, 8192
+loop:
+    ldq r3, 0(r1)
+    addq r1, r1, #8
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """
+    trace = trace_of(source, Memory(1 << 17))
+    stats = simulate(trace, BASE4W)
+    assert stats.loads == 8192
+    # 8 loads per 64-byte... 32-byte line = 4 loads/line; prefetch covers
+    # most line boundaries.
+    assert stats.l1_misses < 8192 // 4 + 64
+
+
+def test_sbox_cache_faster_than_dcache_sbox():
+    memory = Memory(1 << 16)
+    for i in range(256):
+        memory.write(0x1000 + 4 * i, i, 4)
+    source = """
+    ldiq r1, 0x1000
+    ldiq r2, 2000
+loop:
+    sbox.0.0 r1, r7, r3
+    sbox.1.0 r1, r3, r4
+    sbox.2.0 r1, r4, r5
+    sbox.3.0 r1, r5, r7
+    subq r2, r2, #1
+    bne r2, loop
+    halt
+    """
+    trace = trace_of(source, memory)
+    plain = simulate(trace, FOURW)        # SBOX via d-cache: 2 cycles
+    cached = simulate(trace, FOURW_PLUS)  # SBox caches: 1 cycle
+    assert cached.cycles < plain.cycles
+
+
+def test_stats_bytes_per_kilocycle():
+    trace = trace_of("ldiq r1, 1\nhalt")
+    stats = simulate(trace, DATAFLOW)
+    assert stats.bytes_per_kilocycle(1000) == 1000.0 * 1000 / stats.cycles
+    assert stats.ipc > 0

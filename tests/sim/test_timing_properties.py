@@ -1,0 +1,119 @@
+"""Property-based invariants of the timing model over random programs.
+
+Hypothesis generates random (but well-formed, terminating) straight-line
+and loop programs; the invariants must hold for any machine configuration:
+
+* the dataflow machine lower-bounds every constrained machine,
+* relaxing a resource never slows a program down,
+* retirement is in-order,
+* cycle counts are deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Features, Imm, KernelBuilder
+from repro.sim import (
+    BASE4W,
+    DATAFLOW,
+    EIGHTW_PLUS,
+    FOURW,
+    FOURW_PLUS,
+    Machine,
+    Memory,
+    simulate,
+)
+
+_OPS = ("addq", "subq", "xor", "and_", "bis", "sll", "srl", "mull",
+        "roll", "rotl32ish")
+
+
+@st.composite
+def random_programs(draw):
+    """A random terminating loop over a handful of registers."""
+    kb = KernelBuilder(Features.OPT)
+    regs = kb.regs("a", "b", "c", "d")
+    counter = kb.reg("count")
+    for i, reg in enumerate(regs):
+        kb.ldiq(reg, draw(st.integers(0, 0xFFFFFFFF)))
+    iterations = draw(st.integers(1, 12))
+    kb.ldiq(counter, iterations)
+    body_length = draw(st.integers(1, 12))
+    kb.label("loop")
+    for _ in range(body_length):
+        op = draw(st.sampled_from(_OPS))
+        dst = draw(st.sampled_from(regs))
+        src = draw(st.sampled_from(regs))
+        if op == "rotl32ish":
+            kb.rotl32(dst, src, draw(st.integers(0, 31)))
+        elif op in ("sll", "srl", "roll"):
+            getattr(kb, op)(dst, src, Imm(draw(st.integers(0, 31))))
+        else:
+            getattr(kb, op)(dst, src, draw(st.sampled_from(regs)))
+    # Occasional memory traffic.
+    if draw(st.booleans()):
+        kb.stq(regs[0], kb.zero, 0x800)
+        kb.ldq(regs[1], kb.zero, 0x800)
+    kb.subq(counter, counter, Imm(1))
+    kb.bne(counter, "loop")
+    kb.halt()
+    return kb.build()
+
+
+def _trace(program):
+    return Machine(program, Memory(1 << 13)).run().trace
+
+
+@given(random_programs())
+@settings(max_examples=30, deadline=None)
+def test_dataflow_lower_bounds_all_machines(program):
+    trace = _trace(program)
+    dataflow = simulate(trace, DATAFLOW).cycles
+    for config in (BASE4W, FOURW, FOURW_PLUS, EIGHTW_PLUS):
+        assert simulate(trace, config).cycles >= dataflow
+
+
+@given(random_programs())
+@settings(max_examples=20, deadline=None)
+def test_machine_ladder_monotonicity(program):
+    """4W+ adds resources to 4W, 8W+ to 4W+: cycles must not increase."""
+    trace = _trace(program)
+    four = simulate(trace, FOURW).cycles
+    four_plus = simulate(trace, FOURW_PLUS).cycles
+    eight_plus = simulate(trace, EIGHTW_PLUS).cycles
+    assert four_plus <= four
+    assert eight_plus <= four_plus
+
+
+@given(random_programs())
+@settings(max_examples=20, deadline=None)
+def test_simulation_is_deterministic(program):
+    trace = _trace(program)
+    assert simulate(trace, FOURW).cycles == simulate(trace, FOURW).cycles
+
+
+@given(random_programs())
+@settings(max_examples=20, deadline=None)
+def test_retirement_is_in_order(program):
+    trace = _trace(program)
+    stats = simulate(trace, FOURW, schedule_range=(0, len(trace)))
+    retires = [entry[5] for entry in stats.extra["schedule"]]
+    assert retires == sorted(retires)
+
+
+@given(random_programs(), st.integers(1, 16))
+@settings(max_examples=15, deadline=None)
+def test_wider_issue_never_hurts(program, width):
+    trace = _trace(program)
+    narrow = simulate(trace, FOURW.with_(issue_width=width)).cycles
+    wide = simulate(trace, FOURW.with_(issue_width=width + 4)).cycles
+    assert wide <= narrow
+
+
+@given(random_programs())
+@settings(max_examples=15, deadline=None)
+def test_bigger_window_never_hurts(program):
+    trace = _trace(program)
+    small = simulate(trace, FOURW.with_(window_size=16)).cycles
+    large = simulate(trace, FOURW.with_(window_size=256)).cycles
+    assert large <= small

@@ -1,0 +1,92 @@
+"""Unit and property tests for fixed-width bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    MASK32,
+    MASK64,
+    bytes_to_words_be,
+    bytes_to_words_le,
+    rotl32,
+    rotl64,
+    rotr32,
+    rotr64,
+    sign_extend,
+    words_to_bytes_be,
+    words_to_bytes_le,
+)
+
+words32 = st.integers(min_value=0, max_value=MASK32)
+words64 = st.integers(min_value=0, max_value=MASK64)
+amounts = st.integers(min_value=-100, max_value=100)
+
+
+def test_rotl32_known():
+    assert rotl32(0x80000000, 1) == 1
+    assert rotl32(0x00000001, 31) == 0x80000000
+    assert rotl32(0x12345678, 0) == 0x12345678
+    assert rotl32(0x12345678, 32) == 0x12345678
+    assert rotl32(0xDEADBEEF, 16) == 0xBEEFDEAD
+
+
+def test_rotr32_known():
+    assert rotr32(1, 1) == 0x80000000
+    assert rotr32(0xBEEFDEAD, 16) == 0xDEADBEEF
+
+
+def test_rotl64_known():
+    assert rotl64(0x8000000000000000, 1) == 1
+    assert rotl64(0x0123456789ABCDEF, 8) == 0x23456789ABCDEF01
+
+
+@given(words32, amounts)
+def test_rot32_inverse(value, amount):
+    assert rotr32(rotl32(value, amount), amount) == value
+
+
+@given(words64, amounts)
+def test_rot64_inverse(value, amount):
+    assert rotr64(rotl64(value, amount), amount) == value
+
+
+@given(words32, amounts, amounts)
+def test_rot32_composes(value, a, b):
+    assert rotl32(rotl32(value, a), b) == rotl32(value, a + b)
+
+
+@given(words32)
+def test_rot32_by_zero_is_identity(value):
+    assert rotl32(value, 0) == value
+    assert rotr32(value, 0) == value
+
+
+def test_sign_extend():
+    assert sign_extend(0xFF, 8) == -1
+    assert sign_extend(0x7F, 8) == 127
+    assert sign_extend(0x8000, 16) == -32768
+    assert sign_extend(0x1FF, 8) == -1  # high bits ignored
+
+
+@given(st.binary(min_size=0, max_size=64).filter(lambda b: len(b) % 4 == 0))
+def test_words_bytes_roundtrip_be(data):
+    assert words_to_bytes_be(bytes_to_words_be(data)) == data
+
+
+@given(st.binary(min_size=0, max_size=64).filter(lambda b: len(b) % 4 == 0))
+def test_words_bytes_roundtrip_le(data):
+    assert words_to_bytes_le(bytes_to_words_le(data)) == data
+
+
+def test_words_be_vs_le_differ():
+    data = b"\x01\x02\x03\x04"
+    assert bytes_to_words_be(data) == [0x01020304]
+    assert bytes_to_words_le(data) == [0x04030201]
+
+
+def test_bytes_to_words_rejects_ragged():
+    with pytest.raises(ValueError):
+        bytes_to_words_be(b"\x01\x02\x03")
+    with pytest.raises(ValueError):
+        bytes_to_words_le(b"\x01\x02\x03\x04\x05")

@@ -1,0 +1,79 @@
+"""Tests for GF(2^8) arithmetic under the three polynomials the ciphers use."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.gf import (
+    GF2_8,
+    RIJNDAEL_POLY,
+    TWOFISH_MDS_POLY,
+    TWOFISH_RS_POLY,
+    gf_mul,
+)
+
+bytes_st = st.integers(min_value=0, max_value=255)
+polys = st.sampled_from([RIJNDAEL_POLY, TWOFISH_MDS_POLY, TWOFISH_RS_POLY])
+
+
+def test_rijndael_known_products():
+    # FIPS-197 worked example: {57} * {83} = {c1}
+    assert gf_mul(0x57, 0x83) == 0xC1
+    assert gf_mul(0x57, 0x13) == 0xFE
+    assert gf_mul(0x02, 0x80) == 0x1B  # single reduction step
+
+
+@given(bytes_st, bytes_st, polys)
+def test_mul_commutative(a, b, poly):
+    assert gf_mul(a, b, poly) == gf_mul(b, a, poly)
+
+
+@given(bytes_st, bytes_st, bytes_st, polys)
+def test_mul_associative(a, b, c, poly):
+    assert gf_mul(gf_mul(a, b, poly), c, poly) == gf_mul(a, gf_mul(b, c, poly), poly)
+
+
+@given(bytes_st, bytes_st, bytes_st, polys)
+def test_mul_distributes_over_xor(a, b, c, poly):
+    assert gf_mul(a, b ^ c, poly) == gf_mul(a, b, poly) ^ gf_mul(a, c, poly)
+
+
+@given(bytes_st, polys)
+def test_one_is_identity(a, poly):
+    assert gf_mul(a, 1, poly) == a
+
+
+@given(bytes_st, polys)
+def test_zero_annihilates(a, poly):
+    assert gf_mul(a, 0, poly) == 0
+
+
+@given(st.integers(min_value=1, max_value=255), polys)
+def test_inverse(a, poly):
+    field = GF2_8(poly)
+    assert field.mul(a, field.inverse(a)) == 1
+
+
+def test_inverse_of_zero_is_zero():
+    assert GF2_8().inverse(0) == 0
+
+
+@given(bytes_st, st.integers(min_value=0, max_value=20))
+def test_pow_matches_repeated_mul(a, exponent):
+    field = GF2_8()
+    expected = 1
+    for _ in range(exponent):
+        expected = field.mul(expected, a)
+    assert field.pow(a, exponent) == expected
+
+
+def test_mul_table():
+    field = GF2_8()
+    table = field.mul_table(3)
+    assert table[0x57] == field.mul(3, 0x57)
+    assert len(table) == 256
+
+
+def test_bad_poly_rejected():
+    with pytest.raises(ValueError):
+        GF2_8(0x1B)  # degree < 8

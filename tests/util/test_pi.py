@@ -1,0 +1,41 @@
+"""Tests for the from-scratch pi hex digit generator."""
+
+import pytest
+
+from repro.util.pi import pi_hex_words
+
+
+def test_first_words_match_known_pi_digits():
+    # pi = 3.243F6A88 85A308D3 13198A2E 03707344 ...
+    words = pi_hex_words(4)
+    assert words == [0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344]
+
+
+def test_blowfish_p_array_constants():
+    # The first 18 words are Blowfish's published initial P-array.
+    words = pi_hex_words(18)
+    assert words[8] == 0x452821E6
+    assert words[16] == 0x9216D5D9
+    assert words[17] == 0x8979FB1B
+
+
+def test_offset_slices_consistently():
+    full = pi_hex_words(32)
+    assert pi_hex_words(8, offset=24) == full[24:32]
+    assert pi_hex_words(1, offset=0) == full[:1]
+
+
+def test_words_are_32_bit():
+    for word in pi_hex_words(64, offset=1000):
+        assert 0 <= word <= 0xFFFFFFFF
+
+
+def test_negative_arguments_rejected():
+    with pytest.raises(ValueError):
+        pi_hex_words(-1)
+    with pytest.raises(ValueError):
+        pi_hex_words(1, offset=-1)
+
+
+def test_zero_count():
+    assert pi_hex_words(0) == []

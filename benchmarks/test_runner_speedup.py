@@ -1,0 +1,51 @@
+"""Acceptance benchmark: the result cache makes re-runs dramatically cheaper.
+
+A cold Figure 4 throughput sweep (all eight ciphers, three machine models)
+simulates everything; a warm sweep against the same cache directory should
+be pure JSON reads.  The tentpole acceptance criterion is a >= 5x win.
+"""
+
+import time
+
+from repro.analysis import throughput
+from repro.runner import ExperimentOptions, ResultCache, Runner
+
+
+def _figure4_options(session_bytes):
+    return throughput.default_options(session_bytes)
+
+
+def _sweep(cache_dir, session_bytes):
+    runner = Runner(cache=ResultCache(cache_dir))
+    start = time.perf_counter()
+    rows = throughput.run(_figure4_options(session_bytes), runner=runner)
+    return rows, time.perf_counter() - start, runner
+
+
+def test_warm_cache_figure4_at_least_5x_faster(tmp_path, session_bytes, show):
+    cache_dir = tmp_path / "cache"
+    cold_rows, cold_time, cold_runner = _sweep(cache_dir, session_bytes)
+    warm_rows, warm_time, warm_runner = _sweep(cache_dir, session_bytes)
+
+    experiments = len(_figure4_options(session_bytes)) * len(
+        throughput.THROUGHPUT_CONFIGS
+    )
+    assert cold_runner.stats.cache_misses == experiments
+    assert warm_runner.stats.cache_hits == experiments
+    assert warm_runner.stats.functional_runs == 0
+
+    # Bit-identical results either way.
+    assert [row.as_tuple() for row in warm_rows] == [
+        row.as_tuple() for row in cold_rows
+    ]
+
+    speedup = cold_time / warm_time if warm_time else float("inf")
+    show(
+        f"figure 4 sweep ({experiments} experiments, "
+        f"{session_bytes}B sessions): cold {cold_time:.2f}s, "
+        f"warm {warm_time * 1000:.0f}ms -> {speedup:.0f}x"
+    )
+    assert speedup >= 5.0, (
+        f"warm cache only {speedup:.1f}x faster "
+        f"(cold {cold_time:.3f}s, warm {warm_time:.3f}s)"
+    )

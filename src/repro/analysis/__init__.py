@@ -1,4 +1,19 @@
-"""Experiment harnesses: one module per paper table/figure."""
+"""Experiment harnesses: one module per paper table/figure.
+
+Every simulation-backed module exposes the same surface:
+
+* ``run(options=None, *, runner=None) -> list[Row]`` -- the uniform entry
+  point.  ``options`` is ``None`` (paper defaults), one
+  :class:`repro.runner.ExperimentOptions`, or a list of them.
+* ``measure(*, cipher=..., ...) -> Row`` -- keyword-only single-cipher
+  convenience.
+* a figure/table alias (``figure4``, ``figure5``, ...) matching the paper's
+  numbering, and a ``render_*`` text formatter.
+* a ``*Row`` dataclass with ``as_dict()`` / ``as_tuple()``.
+
+The legacy positional ``measure_cipher(name, ...)`` helpers remain as
+shims that emit :class:`DeprecationWarning`.
+"""
 
 from repro.analysis import (
     bottlenecks,
@@ -11,8 +26,30 @@ from repro.analysis import (
     throughput,
     value_prediction,
 )
+from repro.analysis.bottlenecks import BottleneckRow
+from repro.analysis.multisession import MultisessionRow
+from repro.analysis.opmix import OpMixRow
+from repro.analysis.rows import Row
+from repro.analysis.setup_cost import SetupCostRow
+from repro.analysis.speedups import SpeedupRow, SpeedupSummary
+from repro.analysis.ssl_model import SSLBreakdown, SSLModelParams
+from repro.analysis.tables import Table1Row
+from repro.analysis.throughput import ThroughputRow
+from repro.analysis.value_prediction import ValuePredictionRow
 
 __all__ = [
+    "BottleneckRow",
+    "MultisessionRow",
+    "OpMixRow",
+    "Row",
+    "SSLBreakdown",
+    "SSLModelParams",
+    "SetupCostRow",
+    "SpeedupRow",
+    "SpeedupSummary",
+    "Table1Row",
+    "ThroughputRow",
+    "ValuePredictionRow",
     "bottlenecks",
     "multisession",
     "opmix",

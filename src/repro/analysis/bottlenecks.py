@@ -9,26 +9,101 @@ Each bar is that machine's performance relative to the dataflow machine:
 a bar near 1.0 means the bottleneck does not constrain the cipher at all.
 
 The paper plots the ciphers that were not already running at dataflow speed;
-this harness measures all eight and lets the caller filter.
+this harness measures all eight and lets the caller filter.  All eight
+timing configs per cipher share one functional trace via the runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
-from repro.kernels import KERNEL_NAMES, make_kernel
-from repro.sim import DATAFLOW_BASEISA, BOTTLENECKS, bottleneck_config, simulate
+from repro.kernels import KERNEL_NAMES
+from repro.runner import (
+    Experiment,
+    ExperimentOptions,
+    Runner,
+    default_runner,
+)
+from repro.sim import BOTTLENECKS, DATAFLOW_BASEISA, bottleneck_config
 
 DEFAULT_SESSION_BYTES = 1024
 
+#: The dataflow reference plus one config per re-inserted bottleneck.
+BOTTLENECK_CONFIGS = (DATAFLOW_BASEISA,) + tuple(
+    bottleneck_config(which) for which in BOTTLENECKS
+)
+
 
 @dataclass
-class BottleneckRow:
+class BottleneckRow(Row):
     cipher: str
     dataflow_cycles: int
     #: bottleneck name -> performance relative to dataflow (<= 1.0).
     relative: dict[str, float] = field(default_factory=dict)
+
+
+def default_options(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[ExperimentOptions]:
+    return [
+        ExperimentOptions(
+            cipher=name, features=Features.ROT, session_bytes=session_bytes
+        )
+        for name in ciphers
+    ]
+
+
+def run(
+    options=None,
+    *,
+    runner: Runner | None = None,
+) -> list[BottleneckRow]:
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    experiments = [
+        Experiment(opt, config)
+        for opt in option_list
+        for config in BOTTLENECK_CONFIGS
+    ]
+    results = runner.run(experiments)
+    width = len(BOTTLENECK_CONFIGS)
+    rows = []
+    for index, opt in enumerate(option_list):
+        per_config = results[index * width:(index + 1) * width]
+        dataflow_cycles = per_config[0].stats.cycles
+        row = BottleneckRow(cipher=opt.cipher,
+                            dataflow_cycles=dataflow_cycles)
+        for which, result in zip(BOTTLENECKS, per_config[1:]):
+            row.relative[which] = dataflow_cycles / result.stats.cycles
+        rows.append(row)
+    return rows
+
+
+def measure(
+    *,
+    cipher: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+    runner: Runner | None = None,
+) -> BottleneckRow:
+    return run(
+        ExperimentOptions(
+            cipher=cipher, features=features, session_bytes=session_bytes
+        ),
+        runner=runner,
+    )[0]
+
+
+def figure5(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+    *,
+    runner: Runner | None = None,
+) -> list[BottleneckRow]:
+    return run(default_options(session_bytes, ciphers), runner=runner)
 
 
 def measure_cipher(
@@ -36,22 +111,13 @@ def measure_cipher(
     session_bytes: int = DEFAULT_SESSION_BYTES,
     features: Features = Features.ROT,
 ) -> BottleneckRow:
-    kernel = make_kernel(name, features)
-    plaintext = bytes(i & 0xFF for i in range(session_bytes))
-    run = kernel.encrypt(plaintext)
-    dataflow = simulate(run.trace, DATAFLOW_BASEISA, run.warm_ranges)
-    row = BottleneckRow(cipher=name, dataflow_cycles=dataflow.cycles)
-    for which in BOTTLENECKS:
-        stats = simulate(run.trace, bottleneck_config(which), run.warm_ranges)
-        row.relative[which] = dataflow.cycles / stats.cycles
-    return row
-
-
-def figure5(
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    ciphers: tuple[str, ...] = KERNEL_NAMES,
-) -> list[BottleneckRow]:
-    return [measure_cipher(name, session_bytes) for name in ciphers]
+    """Deprecated positional shim for :func:`measure`."""
+    warn_deprecated(
+        "bottlenecks.measure_cipher()", "bottlenecks.measure(cipher=...)"
+    )
+    return measure(
+        cipher=name, session_bytes=session_bytes, features=features
+    )
 
 
 def render_figure5(rows: list[BottleneckRow]) -> str:

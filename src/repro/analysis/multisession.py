@@ -12,21 +12,31 @@ a fine-grained multithreaded fetch stage would supply -- and run through the
 shared-resource timing model.  Aggregate throughput versus thread count
 shows how quickly independent sessions fill the machine that a single
 session cannot.
+
+Per-session functional traces come from the runner (deduped with every
+other harness that touches the same cipher/key/offset combination), and the
+interleaved timing simulations are disk-cached keyed by the component
+session fingerprints plus the thread count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
-from repro.kernels import KERNELS
-from repro.sim import MachineConfig, EIGHTW_PLUS, simulate
+from repro.kernels import KERNEL_NAMES
+from repro.runner import ExperimentOptions, Runner, default_runner
+from repro.sim import MachineConfig, EIGHTW_PLUS
 from repro.sim.trace import StaticInfo, Trace
 
 #: Address-space stride between sessions: ~1 MB apart (disjoint), staggered
 #: by a non-power-of-two amount so sessions do not alias onto the same cache
 #: sets, and 1KB-aligned as the SBOX instruction requires.
 SESSION_STRIDE = 0x100000 + 0x4C00
+
+DEFAULT_SESSION_BYTES = 512
+DEFAULT_THREAD_COUNTS = (1, 2, 4, 8)
 
 
 def interleave_traces(traces: list[Trace]) -> Trace:
@@ -88,7 +98,7 @@ def interleave_traces(traces: list[Trace]) -> Trace:
 
 
 @dataclass
-class MultisessionRow:
+class MultisessionRow(Row):
     cipher: str
     threads: int
     total_bytes: int
@@ -97,45 +107,119 @@ class MultisessionRow:
     speedup_vs_one: float = 1.0
 
 
+def session_options(
+    base: ExperimentOptions, thread: int
+) -> ExperimentOptions:
+    """The options for session *thread* of a multisession run: its own key,
+    payload, and a disjoint slice of the address space."""
+    return base.with_(
+        key=bytes(
+            (thread * 31 + i) & 0xFF or 1
+            for i in range(_key_bytes(base.cipher))
+        ),
+        plaintext=bytes(
+            (thread * 17 + i) & 0xFF for i in range(base.session_bytes)
+        ),
+        base_offset=SESSION_STRIDE * thread,
+    )
+
+
+def default_options(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+    features: Features = Features.OPT,
+) -> list[ExperimentOptions]:
+    return [
+        ExperimentOptions(
+            cipher=name, features=features, session_bytes=session_bytes
+        )
+        for name in ciphers
+    ]
+
+
+def run(
+    options=None,
+    *,
+    thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
+    config: MachineConfig = EIGHTW_PLUS,
+    runner: Runner | None = None,
+) -> list[MultisessionRow]:
+    """Aggregate throughput of N interleaved sessions per option, one row
+    per (cipher, thread count)."""
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    rows = []
+    for opt in option_list:
+        max_threads = max(thread_counts)
+        per_thread = [
+            session_options(opt, thread) for thread in range(max_threads)
+        ]
+        runs = [runner.functional(o) for o in per_thread]
+        fingerprints = [runner.fingerprint(o) for o in per_thread]
+        base_rate = None
+        for threads in thread_counts:
+            merged = interleave_traces([run.trace for run in runs[:threads]])
+            warm = [r for run in runs[:threads] for r in run.warm_ranges]
+            stats = runner.simulate_trace(
+                merged,
+                config,
+                warm,
+                key_parts=["multisession", fingerprints[:threads], threads],
+            )
+            total_bytes = threads * opt.session_bytes
+            rate = stats.bytes_per_kilocycle(total_bytes)
+            if base_rate is None:
+                base_rate = rate
+            rows.append(MultisessionRow(
+                cipher=opt.cipher,
+                threads=threads,
+                total_bytes=total_bytes,
+                cycles=stats.cycles,
+                aggregate_rate=rate,
+                speedup_vs_one=rate / base_rate,
+            ))
+    return rows
+
+
 def measure(
-    name: str,
-    thread_counts: tuple[int, ...] = (1, 2, 4, 8),
-    session_bytes: int = 512,
+    *args,
+    cipher: str | None = None,
+    thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
     config: MachineConfig = EIGHTW_PLUS,
     features: Features = Features.OPT,
+    runner: Runner | None = None,
 ) -> list[MultisessionRow]:
-    """Aggregate throughput of N interleaved sessions of one cipher."""
-    max_threads = max(thread_counts)
-    runs = []
-    for thread in range(max_threads):
-        kernel = KERNELS[name](
-            bytes((thread * 31 + i) & 0xFF or 1 for i in range(
-                _key_bytes(name))),
-            features,
-        )
-        kernel.base_offset = SESSION_STRIDE * thread
-        plaintext = bytes((thread * 17 + i) & 0xFF for i in range(session_bytes))
-        runs.append(kernel.encrypt(plaintext))
+    """Aggregate throughput of N interleaved sessions of one cipher.
 
-    rows = []
-    base_rate = None
-    for threads in thread_counts:
-        merged = interleave_traces([run.trace for run in runs[:threads]])
-        warm = [r for run in runs[:threads] for r in run.warm_ranges]
-        stats = simulate(merged, config, warm)
-        total_bytes = threads * session_bytes
-        rate = stats.bytes_per_kilocycle(total_bytes)
-        if base_rate is None:
-            base_rate = rate
-        rows.append(MultisessionRow(
-            cipher=name,
-            threads=threads,
-            total_bytes=total_bytes,
-            cycles=stats.cycles,
-            aggregate_rate=rate,
-            speedup_vs_one=rate / base_rate,
-        ))
-    return rows
+    Positional use (``measure(name, ...)``) is deprecated; pass
+    ``cipher=...`` instead.
+    """
+    if args:
+        warn_deprecated(
+            "multisession.measure(name, ...)",
+            "multisession.measure(cipher=...)",
+        )
+        if cipher is not None or len(args) > 5:
+            raise TypeError("measure() got conflicting positional arguments")
+        names = ("cipher", "thread_counts", "session_bytes", "config",
+                 "features")
+        positional = dict(zip(names, args))
+        cipher = positional.get("cipher", cipher)
+        thread_counts = positional.get("thread_counts", thread_counts)
+        session_bytes = positional.get("session_bytes", session_bytes)
+        config = positional.get("config", config)
+        features = positional.get("features", features)
+    if cipher is None:
+        raise TypeError("measure() requires a cipher")
+    return run(
+        ExperimentOptions(
+            cipher=cipher, features=features, session_bytes=session_bytes
+        ),
+        thread_counts=thread_counts,
+        config=config,
+        runner=runner,
+    )
 
 
 def _key_bytes(name: str) -> int:

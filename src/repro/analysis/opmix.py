@@ -5,15 +5,21 @@ idiom expansions tagged as a unit (a shift inside a synthesized rotate counts
 as *rotate*; the address arithmetic and load of an S-box access count as
 *substitution*), reproducing the paper's by-hand classification.  This
 harness counts dynamic occurrences over a session and reports fractions.
+
+No timing simulation is involved; the histogram is a pure function of the
+functional trace, so it flows through the runner's derived-value cache
+(keyed by the kernel program's content hash).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
 from repro.isa import opcodes as op
-from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.kernels import KERNEL_NAMES
+from repro.runner import ExperimentOptions, Runner, default_runner
 
 #: Paper category order for rendering.
 CATEGORIES = (
@@ -42,7 +48,7 @@ DEFAULT_SESSION_BYTES = 512
 
 
 @dataclass
-class OpMixRow:
+class OpMixRow(Row):
     cipher: str
     total: int
     counts: dict[str, int] = field(default_factory=dict)
@@ -51,24 +57,86 @@ class OpMixRow:
         return self.counts.get(category, 0) / self.total if self.total else 0.0
 
 
-def measure_cipher(
-    name: str,
+def default_options(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+    features: Features = Features.ROT,
+) -> list[ExperimentOptions]:
+    return [
+        ExperimentOptions(
+            cipher=name, features=features, session_bytes=session_bytes
+        )
+        for name in ciphers
+    ]
+
+
+def run(
+    options=None,
+    *,
+    runner: Runner | None = None,
+) -> list[OpMixRow]:
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    rows = []
+    for opt in option_list:
+        record = runner.cached_value(
+            ["opmix", runner.fingerprint(opt)],
+            lambda opt=opt: _histogram(runner, opt),
+        )
+        rows.append(OpMixRow(
+            cipher=opt.cipher,
+            total=int(record["total"]),
+            counts={name: int(count)
+                    for name, count in record["counts"].items()},
+        ))
+    return rows
+
+
+def _histogram(runner: Runner, options: ExperimentOptions) -> dict:
+    kernel_run = runner.functional(options)
+    return {
+        "total": kernel_run.instructions,
+        "counts": kernel_run.trace.category_counts(),
+    }
+
+
+def measure(
+    *,
+    cipher: str,
     session_bytes: int = DEFAULT_SESSION_BYTES,
     features: Features = Features.ROT,
+    runner: Runner | None = None,
 ) -> OpMixRow:
-    kernel = make_kernel(name, features)
-    plaintext = bytes(i & 0xFF for i in range(session_bytes))
-    run = kernel.encrypt(plaintext)
-    counts = run.trace.category_counts()
-    return OpMixRow(cipher=name, total=run.instructions, counts=counts)
+    return run(
+        ExperimentOptions(
+            cipher=cipher, features=features, session_bytes=session_bytes
+        ),
+        runner=runner,
+    )[0]
 
 
 def figure7(
     session_bytes: int = DEFAULT_SESSION_BYTES,
     ciphers: tuple[str, ...] = KERNEL_NAMES,
     features: Features = Features.ROT,
+    *,
+    runner: Runner | None = None,
 ) -> list[OpMixRow]:
-    return [measure_cipher(name, session_bytes, features) for name in ciphers]
+    return run(
+        default_options(session_bytes, ciphers, features), runner=runner
+    )
+
+
+def measure_cipher(
+    name: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+) -> OpMixRow:
+    """Deprecated positional shim for :func:`measure`."""
+    warn_deprecated("opmix.measure_cipher()", "opmix.measure(cipher=...)")
+    return measure(
+        cipher=name, session_bytes=session_bytes, features=features
+    )
 
 
 def render_figure7(rows: list[OpMixRow]) -> str:

@@ -5,24 +5,33 @@ kernel over a sample session on the baseline machine, then report setup's
 share of total session time, ``setup / (setup + n * cycles_per_byte)``, over
 the paper's 16 B .. 64 KB session sweep.  Setup is paid once per session
 (the paper's SSL session model), so long sessions amortize it.
+
+Both cycle counts are ordinary runner experiments (``kind='setup'`` and
+``kind='encrypt'`` on the baseline machine), so the whole figure is two
+cached timing results per cipher.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
-from repro.kernels import make_kernel
 from repro.kernels.registry import KERNEL_NAMES
-from repro.kernels.setup_registry import make_setup
-from repro.sim import BASE4W, simulate
+from repro.runner import (
+    Experiment,
+    ExperimentOptions,
+    Runner,
+    default_runner,
+)
+from repro.sim import BASE4W
 
 SESSION_LENGTHS = (16, 64, 256, 1024, 4096, 16384, 65536)
 _SAMPLE_BYTES = 512
 
 
 @dataclass
-class SetupCostRow:
+class SetupCostRow(Row):
     cipher: str
     setup_cycles: int
     kernel_cycles_per_byte: float
@@ -30,38 +39,87 @@ class SetupCostRow:
     fraction: dict[int, float] = field(default_factory=dict)
 
 
-def measure_cipher(
-    name: str,
+def default_options(
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+    features: Features = Features.ROT,
+) -> list[ExperimentOptions]:
+    return [
+        ExperimentOptions(
+            cipher=name, features=features, session_bytes=_SAMPLE_BYTES
+        )
+        for name in ciphers
+    ]
+
+
+def run(
+    options=None,
+    *,
+    lengths: tuple[int, ...] = SESSION_LENGTHS,
+    runner: Runner | None = None,
+) -> list[SetupCostRow]:
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    experiments = []
+    for opt in option_list:
+        setup_options = ExperimentOptions(
+            cipher=opt.cipher, kind="setup", session_bytes=0, key=opt.key
+        )
+        kernel_options = opt.with_(session_bytes=_SAMPLE_BYTES,
+                                   plaintext=None)
+        experiments.append(Experiment(setup_options, BASE4W))
+        experiments.append(Experiment(kernel_options, BASE4W))
+    results = runner.run(experiments)
+    rows = []
+    for index, opt in enumerate(option_list):
+        setup_cycles = results[2 * index].stats.cycles
+        per_byte = results[2 * index + 1].stats.cycles / _SAMPLE_BYTES
+        row = SetupCostRow(
+            cipher=opt.cipher,
+            setup_cycles=setup_cycles,
+            kernel_cycles_per_byte=per_byte,
+        )
+        for length in lengths:
+            total = setup_cycles + length * per_byte
+            row.fraction[length] = setup_cycles / total
+        rows.append(row)
+    return rows
+
+
+def measure(
+    *,
+    cipher: str,
     lengths: tuple[int, ...] = SESSION_LENGTHS,
     features: Features = Features.ROT,
+    runner: Runner | None = None,
 ) -> SetupCostRow:
-    setup_run = make_setup(name).run()
-    setup_cycles = simulate(setup_run.trace, BASE4W).cycles
-
-    kernel = make_kernel(name, features)
-    plaintext = bytes(i & 0xFF for i in range(_SAMPLE_BYTES))
-    kernel_run = kernel.encrypt(plaintext)
-    kernel_cycles = simulate(
-        kernel_run.trace, BASE4W, kernel_run.warm_ranges
-    ).cycles
-    per_byte = kernel_cycles / _SAMPLE_BYTES
-
-    row = SetupCostRow(
-        cipher=name,
-        setup_cycles=setup_cycles,
-        kernel_cycles_per_byte=per_byte,
-    )
-    for length in lengths:
-        total = setup_cycles + length * per_byte
-        row.fraction[length] = setup_cycles / total
-    return row
+    return run(
+        ExperimentOptions(
+            cipher=cipher, features=features, session_bytes=_SAMPLE_BYTES
+        ),
+        lengths=lengths,
+        runner=runner,
+    )[0]
 
 
 def figure6(
     lengths: tuple[int, ...] = SESSION_LENGTHS,
     ciphers: tuple[str, ...] = KERNEL_NAMES,
+    *,
+    runner: Runner | None = None,
 ) -> list[SetupCostRow]:
-    return [measure_cipher(name, lengths) for name in ciphers]
+    return run(default_options(ciphers), lengths=lengths, runner=runner)
+
+
+def measure_cipher(
+    name: str,
+    lengths: tuple[int, ...] = SESSION_LENGTHS,
+    features: Features = Features.ROT,
+) -> SetupCostRow:
+    """Deprecated positional shim for :func:`measure`."""
+    warn_deprecated(
+        "setup_cost.measure_cipher()", "setup_cost.measure(cipher=...)"
+    )
+    return measure(cipher=name, lengths=lengths, features=features)
 
 
 def render_figure6(rows: list[SetupCostRow]) -> str:

@@ -12,16 +12,24 @@ normalized to the original code *with rotates* on the 4W machine:
 
 The section 6 headline numbers -- mean optimized speedup versus the
 rotate baseline and versus the no-rotate baseline -- fall out of the same
-measurements (:func:`summary`).
+measurements (:func:`summary`).  Each cipher needs three functional traces
+(ROT, NOROT, OPT) and six timing runs; the runner dedups and caches them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
-from repro.kernels import KERNEL_NAMES, make_kernel
-from repro.sim import DATAFLOW, EIGHTW_PLUS, FOURW, FOURW_PLUS, simulate
+from repro.kernels import KERNEL_NAMES
+from repro.runner import (
+    Experiment,
+    ExperimentOptions,
+    Runner,
+    default_runner,
+)
+from repro.sim import DATAFLOW, EIGHTW_PLUS, FOURW, FOURW_PLUS
 
 DEFAULT_SESSION_BYTES = 1024
 
@@ -29,7 +37,7 @@ BARS = ("orig/4W", "opt/4W", "opt/4W+", "opt/8W+", "opt/DF")
 
 
 @dataclass
-class SpeedupRow:
+class SpeedupRow(Row):
     cipher: str
     baseline_cycles: int            # orig-rot on 4W (the normalization)
     orig_4w: float                  # orig-norot on 4W
@@ -48,40 +56,95 @@ class SpeedupRow:
         }[name]
 
 
-def measure_cipher(name: str, session_bytes: int = DEFAULT_SESSION_BYTES) -> SpeedupRow:
-    plaintext = bytes(i & 0xFF for i in range(session_bytes))
+def default_options(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[ExperimentOptions]:
+    return [
+        ExperimentOptions(
+            cipher=name, features=Features.ROT, session_bytes=session_bytes
+        )
+        for name in ciphers
+    ]
 
-    rot_run = make_kernel(name, Features.ROT).encrypt(plaintext)
-    norot_run = make_kernel(name, Features.NOROT).encrypt(plaintext)
-    opt_run = make_kernel(name, Features.OPT).encrypt(plaintext)
 
-    baseline = simulate(rot_run.trace, FOURW, rot_run.warm_ranges).cycles
-    norot = simulate(norot_run.trace, FOURW, norot_run.warm_ranges).cycles
-    opt_4w = simulate(opt_run.trace, FOURW, opt_run.warm_ranges).cycles
-    opt_4wp = simulate(opt_run.trace, FOURW_PLUS, opt_run.warm_ranges).cycles
-    opt_8wp = simulate(opt_run.trace, EIGHTW_PLUS, opt_run.warm_ranges).cycles
-    opt_df = simulate(opt_run.trace, DATAFLOW, opt_run.warm_ranges).cycles
+def _experiments(opt: ExperimentOptions) -> list[Experiment]:
+    rot = opt.with_(features=Features.ROT)
+    norot = opt.with_(features=Features.NOROT)
+    optimized = opt.with_(features=Features.OPT)
+    return [
+        Experiment(rot, FOURW),
+        Experiment(norot, FOURW),
+        Experiment(optimized, FOURW),
+        Experiment(optimized, FOURW_PLUS),
+        Experiment(optimized, EIGHTW_PLUS),
+        Experiment(optimized, DATAFLOW),
+    ]
 
-    return SpeedupRow(
-        cipher=name,
-        baseline_cycles=baseline,
-        orig_4w=baseline / norot,
-        opt_4w=baseline / opt_4w,
-        opt_4w_plus=baseline / opt_4wp,
-        opt_8w_plus=baseline / opt_8wp,
-        opt_dataflow=baseline / opt_df,
-    )
+
+def run(
+    options=None,
+    *,
+    runner: Runner | None = None,
+) -> list[SpeedupRow]:
+    """Measure Figure 10 rows (``options.features`` is ignored -- the bars
+    fix the feature level per experiment)."""
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    batches = [_experiments(opt) for opt in option_list]
+    results = runner.run([exp for batch in batches for exp in batch])
+    rows = []
+    width = 6
+    for index, opt in enumerate(option_list):
+        (rot_4w, norot_4w, opt_4w, opt_4wp, opt_8wp, opt_df) = (
+            result.stats.cycles
+            for result in results[index * width:(index + 1) * width]
+        )
+        rows.append(SpeedupRow(
+            cipher=opt.cipher,
+            baseline_cycles=rot_4w,
+            orig_4w=rot_4w / norot_4w,
+            opt_4w=rot_4w / opt_4w,
+            opt_4w_plus=rot_4w / opt_4wp,
+            opt_8w_plus=rot_4w / opt_8wp,
+            opt_dataflow=rot_4w / opt_df,
+        ))
+    return rows
+
+
+def measure(
+    *,
+    cipher: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    runner: Runner | None = None,
+) -> SpeedupRow:
+    return run(
+        ExperimentOptions(cipher=cipher, session_bytes=session_bytes),
+        runner=runner,
+    )[0]
 
 
 def figure10(
     session_bytes: int = DEFAULT_SESSION_BYTES,
     ciphers: tuple[str, ...] = KERNEL_NAMES,
+    *,
+    runner: Runner | None = None,
 ) -> list[SpeedupRow]:
-    return [measure_cipher(name, session_bytes) for name in ciphers]
+    return run(default_options(session_bytes, ciphers), runner=runner)
+
+
+def measure_cipher(
+    name: str, session_bytes: int = DEFAULT_SESSION_BYTES
+) -> SpeedupRow:
+    """Deprecated positional shim for :func:`measure`."""
+    warn_deprecated(
+        "speedups.measure_cipher()", "speedups.measure(cipher=...)"
+    )
+    return measure(cipher=name, session_bytes=session_bytes)
 
 
 @dataclass
-class SpeedupSummary:
+class SpeedupSummary(Row):
     """Section 6 headline aggregates (geometric means over the suite)."""
 
     mean_opt_vs_rot: float     # paper: 1.59 (59% speedup)

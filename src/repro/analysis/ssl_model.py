@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.rows import Row
+
 
 @dataclass(frozen=True)
 class SSLModelParams:
@@ -36,7 +38,7 @@ class SSLModelParams:
 
 
 @dataclass
-class SSLBreakdown:
+class SSLBreakdown(Row):
     session_bytes: int
     public_fraction: float
     private_fraction: float
@@ -61,11 +63,23 @@ def breakdown(
     )
 
 
+def run(
+    options=None,
+    *,
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    params: SSLModelParams = SSLModelParams(),
+) -> list[SSLBreakdown]:
+    """Uniform entry point; the model is analytic, so ``options`` (accepted
+    for signature parity with the simulation-backed modules) is unused."""
+    del options
+    return [breakdown(n, params) for n in lengths]
+
+
 def figure2(
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     params: SSLModelParams = SSLModelParams(),
 ) -> list[SSLBreakdown]:
-    return [breakdown(n, params) for n in lengths]
+    return run(lengths=lengths, params=params)
 
 
 def from_measured_rate(

@@ -2,8 +2,38 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.analysis.rows import Row
 from repro.ciphers.suite import SUITE
 from repro.sim.config import DATAFLOW, EIGHTW_PLUS, FOURW, FOURW_PLUS, MachineConfig
+
+
+@dataclass
+class Table1Row(Row):
+    cipher: str
+    key_bits: int
+    block_bits: int
+    rounds: int
+    author: str
+    example_application: str
+
+
+def run(options=None) -> list[Table1Row]:
+    """Uniform entry point; Table 1 is static metadata, so ``options``
+    (accepted for signature parity) is unused."""
+    del options
+    return [
+        Table1Row(
+            cipher=info.name,
+            key_bits=info.key_bits,
+            block_bits=info.block_bits,
+            rounds=info.rounds_per_block,
+            author=info.author,
+            example_application=info.example_application,
+        )
+        for info in SUITE
+    ]
 
 
 def render_table1() -> str:
@@ -12,11 +42,11 @@ def render_table1() -> str:
         f"{'Cipher':<10} {'Key':>5} {'Blk':>5} {'Rnds':>5}  "
         f"{'Author':<14} {'Example Application'}",
     ]
-    for info in SUITE:
+    for row in run():
         lines.append(
-            f"{info.name:<10} {info.key_bits:>5} {info.block_bits:>5} "
-            f"{info.rounds_per_block:>5}  {info.author:<14} "
-            f"{info.example_application}"
+            f"{row.cipher:<10} {row.key_bits:>5} {row.block_bits:>5} "
+            f"{row.rounds:>5}  {row.author:<14} "
+            f"{row.example_application}"
         )
     return "\n".join(lines)
 

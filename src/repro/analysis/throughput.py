@@ -10,22 +10,35 @@ For each cipher the paper reports four columns:
 * **DF** -- the dataflow machine (infinite resources, perfect everything).
 
 All columns run the *original* kernels with rotate instructions (the
-``ROT`` feature level), matching the paper's baseline code.
+``ROT`` feature level), matching the paper's baseline code.  Measurements
+go through the :mod:`repro.runner` engine: the three timing configs share
+one functional trace, and results are served from the content-hashed cache
+when available.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
-from repro.kernels import KERNEL_NAMES, make_kernel
-from repro.sim import ALPHA21264, BASE4W, DATAFLOW_BASEISA, simulate
+from repro.kernels import KERNEL_NAMES
+from repro.runner import (
+    Experiment,
+    ExperimentOptions,
+    Runner,
+    default_runner,
+)
+from repro.sim import ALPHA21264, BASE4W, DATAFLOW_BASEISA
 
 DEFAULT_SESSION_BYTES = 1024
 
+#: The figure's machine columns (besides the analytic 1-CPI column).
+THROUGHPUT_CONFIGS = (ALPHA21264, BASE4W, DATAFLOW_BASEISA)
+
 
 @dataclass
-class ThroughputRow:
+class ThroughputRow(Row):
     cipher: str
     cpi1: float
     alpha: float
@@ -33,7 +46,80 @@ class ThroughputRow:
     dataflow: float
 
     def as_tuple(self) -> tuple[float, float, float, float]:
+        """Metric columns only (historical shape; ``as_dict`` has all)."""
         return (self.cpi1, self.alpha, self.four_wide, self.dataflow)
+
+
+def default_options(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[ExperimentOptions]:
+    """The figure's standard sweep: every cipher, ROT kernels."""
+    return [
+        ExperimentOptions(
+            cipher=name, features=Features.ROT, session_bytes=session_bytes
+        )
+        for name in ciphers
+    ]
+
+
+def run(
+    options=None,
+    *,
+    runner: Runner | None = None,
+) -> list[ThroughputRow]:
+    """Measure Figure 4 rows for ``options`` (default: the full suite).
+
+    ``options`` may be one ``ExperimentOptions``, an iterable of them, or
+    ``None``.
+    """
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    experiments = [
+        Experiment(opt, config)
+        for opt in option_list
+        for config in THROUGHPUT_CONFIGS
+    ]
+    results = runner.run(experiments)
+    width = len(THROUGHPUT_CONFIGS)
+    rows = []
+    for index, opt in enumerate(option_list):
+        per_config = results[index * width:(index + 1) * width]
+        by_name = {result.config_name: result for result in per_config}
+        rows.append(ThroughputRow(
+            cipher=opt.cipher,
+            cpi1=1000.0 / per_config[0].instructions_per_byte,
+            alpha=by_name[ALPHA21264.name].bytes_per_kilocycle(),
+            four_wide=by_name[BASE4W.name].bytes_per_kilocycle(),
+            dataflow=by_name[DATAFLOW_BASEISA.name].bytes_per_kilocycle(),
+        ))
+    return rows
+
+
+def measure(
+    *,
+    cipher: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+    runner: Runner | None = None,
+) -> ThroughputRow:
+    """Measure one cipher's Figure 4 row."""
+    return run(
+        ExperimentOptions(
+            cipher=cipher, features=features, session_bytes=session_bytes
+        ),
+        runner=runner,
+    )[0]
+
+
+def figure4(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+    *,
+    runner: Runner | None = None,
+) -> list[ThroughputRow]:
+    """Regenerate Figure 4 for all (or selected) ciphers."""
+    return run(default_options(session_bytes, ciphers), runner=runner)
 
 
 def measure_cipher(
@@ -41,30 +127,13 @@ def measure_cipher(
     session_bytes: int = DEFAULT_SESSION_BYTES,
     features: Features = Features.ROT,
 ) -> ThroughputRow:
-    """Measure one cipher's Figure 4 row."""
-    kernel = make_kernel(name, features)
-    plaintext = bytes(i & 0xFF for i in range(session_bytes))
-    run = kernel.encrypt(plaintext)
-    cpi1 = 1000.0 / run.instructions_per_byte
-    results = {}
-    for config in (ALPHA21264, BASE4W, DATAFLOW_BASEISA):
-        stats = simulate(run.trace, config, run.warm_ranges)
-        results[config.name] = stats.bytes_per_kilocycle(session_bytes)
-    return ThroughputRow(
-        cipher=name,
-        cpi1=cpi1,
-        alpha=results[ALPHA21264.name],
-        four_wide=results[BASE4W.name],
-        dataflow=results[DATAFLOW_BASEISA.name],
+    """Deprecated positional shim for :func:`measure`."""
+    warn_deprecated(
+        "throughput.measure_cipher()", "throughput.measure(cipher=...)"
     )
-
-
-def figure4(
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    ciphers: tuple[str, ...] = KERNEL_NAMES,
-) -> list[ThroughputRow]:
-    """Regenerate Figure 4 for all (or selected) ciphers."""
-    return [measure_cipher(name, session_bytes) for name in ciphers]
+    return measure(
+        cipher=name, session_bytes=session_bytes, features=features
+    )
 
 
 def render_figure4(rows: list[ThroughputRow]) -> str:

@@ -12,15 +12,21 @@ substitution/permute results).  Loop-overhead arithmetic (pointer
 increments, counters) and loop-invariant key loads are reported separately:
 they are trivially predictable or trivially unpredictable in ways that say
 nothing about the cipher itself.
+
+The three headline rates are derived values cached by the runner against
+the kernel program's content hash, so a warm re-run skips the (expensive)
+value-recording functional simulation entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.rows import Row, coerce_options, warn_deprecated
 from repro.isa import Features
 from repro.isa import opcodes as op
-from repro.kernels import KERNEL_NAMES, make_kernel
+from repro.kernels import KERNEL_NAMES
+from repro.runner import ExperimentOptions, Runner, default_runner
 
 DIFFUSION_CATEGORIES = frozenset(
     {op.LOGIC, op.ROTATE, op.MULTIPLY, op.SUBST, op.PERMUTE}
@@ -29,8 +35,13 @@ DIFFUSION_CATEGORIES = frozenset(
 DEFAULT_SESSION_BYTES = 512
 
 
+def _study_plaintext(session_bytes: int) -> bytes:
+    """The study's sample payload (deliberately not the runner default)."""
+    return bytes((i * 131 + 7) & 0xFF for i in range(session_bytes))
+
+
 @dataclass
-class ValuePredictionRow:
+class ValuePredictionRow(Row):
     cipher: str
     #: Highest per-instruction last-value hit rate among diffusion ops.
     best_diffusion_hit_rate: float
@@ -40,15 +51,87 @@ class ValuePredictionRow:
     best_overall_hit_rate: float
 
 
+def default_options(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+) -> list[ExperimentOptions]:
+    return [
+        ExperimentOptions(
+            cipher=name,
+            features=Features.ROT,
+            session_bytes=session_bytes,
+            plaintext=_study_plaintext(session_bytes),
+            record_values=True,
+        )
+        for name in ciphers
+    ]
+
+
+def run(
+    options=None,
+    *,
+    runner: Runner | None = None,
+) -> list[ValuePredictionRow]:
+    runner = runner or default_runner()
+    option_list = coerce_options(options, default_options)
+    rows = []
+    for opt in option_list:
+        if not opt.record_values:
+            opt = opt.with_(record_values=True)
+        record = runner.cached_value(
+            ["value-prediction", runner.fingerprint(opt)],
+            lambda opt=opt: _hit_rates(runner, opt),
+        )
+        rows.append(ValuePredictionRow(cipher=opt.cipher, **record))
+    return rows
+
+
+def measure(
+    *,
+    cipher: str,
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    features: Features = Features.ROT,
+    runner: Runner | None = None,
+) -> ValuePredictionRow:
+    return run(
+        ExperimentOptions(
+            cipher=cipher,
+            features=features,
+            session_bytes=session_bytes,
+            plaintext=_study_plaintext(session_bytes),
+            record_values=True,
+        ),
+        runner=runner,
+    )[0]
+
+
+def study(
+    session_bytes: int = DEFAULT_SESSION_BYTES,
+    ciphers: tuple[str, ...] = KERNEL_NAMES,
+    *,
+    runner: Runner | None = None,
+) -> list[ValuePredictionRow]:
+    return run(default_options(session_bytes, ciphers), runner=runner)
+
+
 def measure_cipher(
     name: str,
     session_bytes: int = DEFAULT_SESSION_BYTES,
     features: Features = Features.ROT,
 ) -> ValuePredictionRow:
-    kernel = make_kernel(name, features)
-    plaintext = bytes((i * 131 + 7) & 0xFF for i in range(session_bytes))
-    run = kernel.encrypt(plaintext, record_values=True)
-    trace = run.trace
+    """Deprecated positional shim for :func:`measure`."""
+    warn_deprecated(
+        "value_prediction.measure_cipher()",
+        "value_prediction.measure(cipher=...)",
+    )
+    return measure(
+        cipher=name, session_bytes=session_bytes, features=features
+    )
+
+
+def _hit_rates(runner: Runner, options: ExperimentOptions) -> dict:
+    kernel_run = runner.functional(options)
+    trace = kernel_run.trace
     last_value: dict[int, int] = {}
     hits: dict[int, int] = {}
     totals: dict[int, int] = {}
@@ -87,22 +170,14 @@ def measure_cipher(
             continue
         if categories[static_index] in DIFFUSION_CATEGORIES:
             diffusion_rates.append(rate)
-    return ValuePredictionRow(
-        cipher=name,
-        best_diffusion_hit_rate=max(diffusion_rates, default=0.0),
-        mean_diffusion_hit_rate=(
+    return {
+        "best_diffusion_hit_rate": max(diffusion_rates, default=0.0),
+        "mean_diffusion_hit_rate": (
             sum(diffusion_rates) / len(diffusion_rates)
             if diffusion_rates else 0.0
         ),
-        best_overall_hit_rate=max(all_rates, default=0.0),
-    )
-
-
-def study(
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    ciphers: tuple[str, ...] = KERNEL_NAMES,
-) -> list[ValuePredictionRow]:
-    return [measure_cipher(name, session_bytes) for name in ciphers]
+        "best_overall_hit_rate": max(all_rates, default=0.0),
+    }
 
 
 def render(rows: list[ValuePredictionRow]) -> str:

@@ -7,6 +7,8 @@ static metadata is frozen.  The simulators require a finalized program.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import BRANCH_CODES
 
@@ -63,6 +65,22 @@ class Program:
                     )
         self._finalized = True
         return self
+
+    def digest(self) -> str:
+        """SHA-256 over the program's instruction bytes.
+
+        Hashes every instruction's rendering plus its operation category
+        (idiom tags affect analysis results but not the rendering), so any
+        change to the emitted code changes the digest.  Requires a
+        finalized program -- branch targets must be resolved indices.
+        """
+        if not self._finalized:
+            raise ValueError("program must be finalized before hashing")
+        hasher = hashlib.sha256()
+        for instruction in self.instructions:
+            hasher.update(instruction.render().encode("utf-8"))
+            hasher.update(f"|{instruction.category}\n".encode("utf-8"))
+        return hasher.hexdigest()
 
     def listing(self) -> str:
         """Disassembly listing with labels, for debugging and examples."""

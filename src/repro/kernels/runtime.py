@@ -165,30 +165,39 @@ class CipherKernel(ABC):
         size = layout.output + layout.session_bytes + 4096
         return Memory(size)
 
-    def prepare(
-        self, data: bytes, iv: bytes | None, decrypt: bool = False
-    ) -> tuple[Program, Memory, Layout]:
-        """Build the program and a fully initialized memory image."""
-        if self.block_bytes > 1 and len(data) % self.block_bytes:
+    def program_for(self, session_bytes: int, decrypt: bool = False) -> Program:
+        """Build (or reuse) the kernel program for a session length.
+
+        Cheap relative to simulation -- the experiment runner uses this to
+        content-hash a kernel without executing it.
+        """
+        if self.block_bytes > 1 and session_bytes % self.block_bytes:
             raise ValueError(
                 f"{self.name}: session must be a whole number of "
                 f"{self.block_bytes}-byte blocks"
             )
-        layout = self.layout_for(len(data))
-        memory = self.make_memory(layout)
-        self.write_tables(memory, layout)
-        if iv is not None:
-            memory.write_bytes(layout.iv, self._pack(iv))
-        memory.write_bytes(layout.input, self._pack(data))
-        nblocks = len(data) // max(self.block_bytes, 1)
+        nblocks = session_bytes // max(self.block_bytes, 1)
         cache_key = (nblocks, decrypt)
         program = self._program_cache.get(cache_key)
         if program is None:
             builder_fn = (
                 self.build_decrypt_program if decrypt else self.build_program
             )
-            program = builder_fn(layout, nblocks)
+            program = builder_fn(self.layout_for(session_bytes), nblocks)
             self._program_cache[cache_key] = program
+        return program
+
+    def prepare(
+        self, data: bytes, iv: bytes | None, decrypt: bool = False
+    ) -> tuple[Program, Memory, Layout]:
+        """Build the program and a fully initialized memory image."""
+        program = self.program_for(len(data), decrypt=decrypt)
+        layout = self.layout_for(len(data))
+        memory = self.make_memory(layout)
+        self.write_tables(memory, layout)
+        if iv is not None:
+            memory.write_bytes(layout.iv, self._pack(iv))
+        memory.write_bytes(layout.input, self._pack(data))
         return program, memory, layout
 
     def _run(

@@ -1,0 +1,145 @@
+"""Content-hashed on-disk result cache for the experiment runner.
+
+Every cached record is keyed by a SHA-256 over a canonical JSON rendering
+of *what produced it*: the kernel program bytes (disassembly digest), the
+functional inputs (key, IV, plaintext), the machine configuration, and
+:data:`RUNNER_VERSION`.  Changing any of those -- including editing a
+kernel so it emits different code -- changes the key, so stale results are
+never returned; they are simply orphaned on disk.
+
+The cache is a plain directory of JSON files (``<root>/<k[:2]>/<k>.json``),
+safe to delete at any time.  Reads that hit a corrupted, truncated or
+schema-mismatched file are treated as misses (the bad file is removed
+best-effort) and the result is recomputed; writes are atomic
+(temp file + ``os.replace``) so concurrent runners never observe partial
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+#: Bump whenever the simulators, kernels' table layouts, or the record
+#: schema change in a way the content hash cannot see.
+RUNNER_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/repro-runner``, else ``~/.cache/repro-runner``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-runner"
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-stable primitives; bytes become digests."""
+    if isinstance(value, bytes):
+        return {"__bytes_sha256__": hashlib.sha256(value).hexdigest()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):           # covers IntEnum (Features)
+        return int(value)
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def content_key(parts) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``parts``."""
+    blob = json.dumps(_canonical(parts), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed JSON store addressed by content key.
+
+    ``enabled=False`` turns every operation into a no-op (the ``--no-cache``
+    path); the runner logic stays identical either way.
+    """
+
+    def __init__(self, root: Path | str | None = None, enabled: bool = True):
+        self.enabled = enabled
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    @classmethod
+    def from_env(cls) -> "ResultCache":
+        """Default cache: honors ``REPRO_NO_CACHE`` and ``REPRO_CACHE_DIR``."""
+        return cls(enabled=not os.environ.get("REPRO_NO_CACHE"))
+
+    @classmethod
+    def disabled(cls) -> "ResultCache":
+        return cls(enabled=False)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Fetch a record; any corruption is a miss, never an exception."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._discard(path)
+            self.misses += 1
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key`` (best effort)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(dict(record, key=key), handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            # A full disk or unserializable record must never fail a run.
+            self.errors += 1
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def _discard(self, path: Path) -> None:
+        self.errors += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,438 @@
+"""The unified experiment engine: dedup, fan-out, and result caching.
+
+One :class:`Runner` serves every analysis harness and CLI tool:
+
+* **Functional dedup** -- one dynamic trace per distinct
+  :class:`~repro.runner.experiment.ExperimentOptions` value is generated
+  once (in-process memo) and shared across all timing configurations.
+* **Fan-out** -- cache-missing work is grouped by options and dispatched
+  across a ``multiprocessing`` pool when ``jobs > 1``; each worker runs the
+  group's functional simulation once, then every timing config against the
+  shared trace.  Timing simulation is deterministic, so parallel results
+  are bit-identical to serial ones.  If a pool cannot be created (restricted
+  sandboxes) the runner falls back to serial execution.
+* **Result caching** -- per-(experiment, config) :class:`SimStats` records
+  persist in a :class:`~repro.runner.cache.ResultCache` keyed by a content
+  hash of the kernel program bytes, functional inputs, machine config and
+  runner version, so repeated report/benchmark invocations are near-instant.
+* **Metrics** -- per-run wall time, cache hit/miss and instructions
+  simulated flow through :class:`RunnerStats` and an optional per-result
+  ``stats_hook`` callable.
+
+See ``docs/runner.md`` for the full API walkthrough.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import warnings
+from dataclasses import asdict, dataclass, fields
+
+from repro.ciphers.suite import SUITE_BY_NAME
+from repro.kernels import registry as kernel_registry
+from repro.kernels.setup_registry import make_setup
+from repro.runner.cache import RUNNER_VERSION, ResultCache, content_key
+from repro.runner.experiment import Experiment, ExperimentOptions
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimStats
+from repro.sim.timing import simulate
+from repro.sim.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment: timing stats plus provenance metadata."""
+
+    experiment: Experiment
+    stats: SimStats
+    #: Functional instruction count of the underlying kernel run.
+    instructions: int
+    session_bytes: int
+    cached: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def cipher(self) -> str:
+        return self.experiment.options.cipher
+
+    @property
+    def config_name(self) -> str:
+        return self.experiment.config.name
+
+    @property
+    def instructions_per_byte(self) -> float:
+        return self.instructions / self.session_bytes if self.session_bytes \
+            else 0.0
+
+    def bytes_per_kilocycle(self) -> float:
+        return self.stats.bytes_per_kilocycle(self.session_bytes)
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate counters for one runner's lifetime."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    functional_runs: int = 0
+    timing_runs: int = 0
+    instructions_simulated: int = 0
+    wall_time: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"runner: {self.cache_hits} cache hits, "
+            f"{self.cache_misses} misses, {self.functional_runs} functional "
+            f"+ {self.timing_runs} timing runs, "
+            f"{self.instructions_simulated} instructions simulated, "
+            f"{self.wall_time:.1f}s simulating"
+        )
+
+
+def _stats_to_dict(stats: SimStats) -> dict:
+    record = asdict(stats)
+    record["extra"] = {
+        key: value for key, value in stats.extra.items()
+        if isinstance(value, (bool, int, float, str))
+    }
+    return record
+
+
+def _stats_from_dict(record: dict) -> SimStats:
+    known = {field.name for field in fields(SimStats)}
+    if "config_name" not in record:
+        raise KeyError("config_name")
+    return SimStats(**{key: record[key] for key in record if key in known})
+
+
+class Runner:
+    """Parallel, cached driver for kernel timing experiments."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+        stats_hook=None,
+    ):
+        self.cache = cache if cache is not None else ResultCache.from_env()
+        self.jobs = max(1, int(jobs))
+        self.stats_hook = stats_hook
+        self.stats = RunnerStats()
+        self._kernels: dict[tuple, object] = {}
+        self._functional: dict[ExperimentOptions, object] = {}
+        self._fingerprints: dict[ExperimentOptions, str] = {}
+
+    # -- kernel construction and content hashing ---------------------------
+
+    def _resolved_key(self, options: ExperimentOptions) -> bytes:
+        if options.key is not None:
+            return options.key
+        return bytes(range(SUITE_BY_NAME[options.cipher].key_bytes))
+
+    def _kernel(self, options: ExperimentOptions):
+        memo_key = (options.cipher, int(options.features),
+                    self._resolved_key(options), options.base_offset)
+        kernel = self._kernels.get(memo_key)
+        if kernel is None:
+            kernel = kernel_registry.KERNELS[options.cipher](
+                self._resolved_key(options), options.features
+            )
+            kernel.base_offset = options.base_offset
+            self._kernels[memo_key] = kernel
+        return kernel
+
+    def _warm_ranges(self, options: ExperimentOptions):
+        """The cache-warm ranges a kernel run reports, without running it."""
+        if options.kind == "setup":
+            return None
+        kernel = self._kernel(options)
+        layout = kernel.layout_for(options.session_bytes)
+        return [
+            (layout.tables, kernel.tables_bytes),
+            (layout.keys, kernel.keys_bytes),
+            (layout.iv, 64),
+        ]
+
+    def fingerprint(self, options: ExperimentOptions) -> str:
+        """Content hash of one functional run: program bytes + inputs.
+
+        ``record_values`` is deliberately excluded -- recording destination
+        values changes what the trace carries in memory, not any simulated
+        result.
+        """
+        cached = self._fingerprints.get(options)
+        if cached is not None:
+            return cached
+        key = self._resolved_key(options)
+        if options.kind == "setup":
+            setup = make_setup(options.cipher, key)
+            program = setup.build_program(setup.layout()).finalize()
+            inputs = {"plaintext": b"", "iv": b""}
+        else:
+            kernel = self._kernel(options)
+            program = kernel.program_for(
+                options.session_bytes, decrypt=options.kind == "decrypt"
+            )
+            inputs = {
+                "plaintext": options.resolved_plaintext(),
+                "iv": options.iv if options.iv is not None else b"",
+            }
+        digest = content_key({
+            "runner_version": RUNNER_VERSION,
+            "kind": options.kind,
+            "cipher": options.cipher,
+            "features": options.features.label,
+            "session_bytes": options.session_bytes,
+            "base_offset": options.base_offset,
+            "key": key,
+            "program": program.digest(),
+            "warm": self._warm_ranges(options),
+            **inputs,
+        })
+        self._fingerprints[options] = digest
+        return digest
+
+    def experiment_key(self, experiment: Experiment) -> str:
+        """Content hash naming one (functional run, machine config) result."""
+        return content_key({
+            "record": "experiment",
+            "fingerprint": self.fingerprint(experiment.options),
+            "config": asdict(experiment.config),
+        })
+
+    # -- functional simulation (memoized) ----------------------------------
+
+    def functional(self, options: ExperimentOptions):
+        """Run (or reuse) the functional simulation for ``options``.
+
+        Returns the kernel's ``KernelRun`` (or ``SetupRun`` for
+        ``kind='setup'``).  One trace per distinct options value per
+        process, shared by every timing config.
+        """
+        run = self._functional.get(options)
+        if run is not None:
+            return run
+        start = time.perf_counter()
+        if options.kind == "setup":
+            run = make_setup(options.cipher, self._resolved_key(options)).run()
+        else:
+            kernel = self._kernel(options)
+            data = options.resolved_plaintext()
+            if options.kind == "decrypt":
+                ciphertext = kernel.encrypt(data, options.iv).ciphertext
+                run = kernel.decrypt(
+                    ciphertext, options.iv,
+                    record_values=options.record_values,
+                )
+            else:
+                run = kernel.encrypt(
+                    data, options.iv, record_values=options.record_values
+                )
+        self.stats.functional_runs += 1
+        self.stats.wall_time += time.perf_counter() - start
+        self._functional[options] = run
+        return run
+
+    # -- the experiment pipeline -------------------------------------------
+
+    def run(self, experiments) -> list[RunResult]:
+        """Execute a batch of experiments; results keep the input order.
+
+        Cache hits are served from disk; misses are grouped by options (one
+        functional run per group) and executed serially or across the
+        process pool.
+        """
+        experiments = list(experiments)
+        results: list[RunResult | None] = [None] * len(experiments)
+        pending: dict[ExperimentOptions, list[tuple[int, Experiment, str]]]
+        pending = {}
+        for index, experiment in enumerate(experiments):
+            key = self.experiment_key(experiment)
+            result = self._lookup(experiment, key)
+            if result is not None:
+                self.stats.cache_hits += 1
+                results[index] = result
+                if self.stats_hook is not None:
+                    self.stats_hook(result)
+            else:
+                self.stats.cache_misses += 1
+                pending.setdefault(experiment.options, []).append(
+                    (index, experiment, key)
+                )
+        if pending:
+            self._execute_pending(pending, results)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, experiment: Experiment) -> RunResult:
+        return self.run([experiment])[0]
+
+    def _lookup(self, experiment: Experiment, key: str) -> RunResult | None:
+        record = self.cache.get(key)
+        if record is None:
+            return None
+        try:
+            return self._result_from_record(experiment, record, cached=True)
+        except (KeyError, TypeError, ValueError):
+            # Schema drift in an old record: recompute.
+            self.cache.errors += 1
+            return None
+
+    def _execute_pending(self, pending, results) -> None:
+        # Groups whose trace already lives in this process run locally; cold
+        # groups are eligible for the pool.
+        local = {opts: entries for opts, entries in pending.items()
+                 if opts in self._functional}
+        cold = {opts: entries for opts, entries in pending.items()
+                if opts not in self._functional}
+        computed: dict[ExperimentOptions, list[dict]] = {}
+        if cold and self.jobs > 1 and len(cold) > 1:
+            parallel = self._run_groups_parallel(cold)
+            if parallel is not None:
+                computed.update(parallel)
+                cold = {}
+        for options, entries in {**local, **cold}.items():
+            computed[options] = self._run_group_records(
+                options, [entry[1].config for entry in entries]
+            )
+        for options, entries in pending.items():
+            records = computed[options]
+            for (index, experiment, key), record in zip(entries, records):
+                self.cache.put(key, record)
+                result = self._result_from_record(
+                    experiment, record, cached=False
+                )
+                self.stats.timing_runs += 1
+                self.stats.instructions_simulated += result.stats.instructions
+                self.stats.wall_time += result.wall_time
+                results[index] = result
+                if self.stats_hook is not None:
+                    self.stats_hook(result)
+
+    def _run_groups_parallel(self, pending):
+        specs = [
+            (options, [entry[1].config for entry in entries])
+            for options, entries in pending.items()
+        ]
+        try:
+            with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
+                outputs = pool.map(_worker_run_group, specs)
+        except Exception as error:  # pool unavailable or worker died
+            warnings.warn(
+                f"parallel runner unavailable ({error!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        # Workers ran the functional simulations out of process.
+        self.stats.functional_runs += len(specs)
+        return dict(zip((spec[0] for spec in specs), outputs))
+
+    def _run_group_records(self, options, configs) -> list[dict]:
+        run = self.functional(options)
+        warm = None if options.kind == "setup" else run.warm_ranges
+        records = []
+        for config in configs:
+            start = time.perf_counter()
+            stats = simulate(run.trace, config, warm)
+            records.append({
+                "version": RUNNER_VERSION,
+                "cipher": options.cipher,
+                "config": config.name,
+                "instructions": run.instructions,
+                "session_bytes": options.session_bytes,
+                "stats": _stats_to_dict(stats),
+                "wall_time": time.perf_counter() - start,
+            })
+        return records
+
+    def _result_from_record(
+        self, experiment: Experiment, record: dict, cached: bool
+    ) -> RunResult:
+        return RunResult(
+            experiment=experiment,
+            stats=_stats_from_dict(record["stats"]),
+            instructions=int(record["instructions"]),
+            session_bytes=int(record["session_bytes"]),
+            cached=cached,
+            wall_time=float(record.get("wall_time", 0.0)),
+        )
+
+    # -- generic cached channels (synthetic traces, derived metrics) -------
+
+    def simulate_trace(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        warm_ranges=None,
+        *,
+        key_parts=None,
+    ) -> SimStats:
+        """Timing-simulate an arbitrary trace, optionally disk-cached.
+
+        ``key_parts`` must content-identify the trace (e.g. the component
+        fingerprints of a multisession interleaving, or a program digest);
+        without it the simulation runs uncached.
+        """
+        key = None
+        if key_parts is not None:
+            key = content_key({
+                "record": "trace-sim",
+                "version": RUNNER_VERSION,
+                "parts": key_parts,
+                "config": asdict(config),
+                "warm": warm_ranges,
+            })
+            record = self.cache.get(key)
+            if record is not None:
+                try:
+                    stats = _stats_from_dict(record["stats"])
+                except (KeyError, TypeError, ValueError):
+                    self.cache.errors += 1
+                else:
+                    self.stats.cache_hits += 1
+                    return stats
+            self.stats.cache_misses += 1
+        start = time.perf_counter()
+        stats = simulate(trace, config, warm_ranges)
+        self.stats.timing_runs += 1
+        self.stats.instructions_simulated += stats.instructions
+        self.stats.wall_time += time.perf_counter() - start
+        if key is not None:
+            self.cache.put(key, {
+                "version": RUNNER_VERSION,
+                "stats": _stats_to_dict(stats),
+            })
+        return stats
+
+    def cached_value(self, key_parts, compute):
+        """Disk-cache an arbitrary JSON-serializable derived value.
+
+        Used by harnesses whose result is not a :class:`SimStats` (op-mix
+        histograms, value-prediction hit rates).  ``key_parts`` must include
+        everything the value depends on -- typically a :meth:`fingerprint`.
+        """
+        key = content_key({
+            "record": "value",
+            "version": RUNNER_VERSION,
+            "parts": key_parts,
+        })
+        record = self.cache.get(key)
+        if record is not None and "value" in record:
+            self.stats.cache_hits += 1
+            return record["value"]
+        if record is not None:
+            self.cache.errors += 1
+        self.stats.cache_misses += 1
+        value = compute()
+        self.cache.put(key, {"version": RUNNER_VERSION, "value": value})
+        return value
+
+
+def _worker_run_group(spec):
+    """Pool entry point: one functional run + its timing configs."""
+    options, configs = spec
+    worker = Runner(cache=ResultCache.disabled(), jobs=1)
+    return worker._run_group_records(options, configs)

@@ -1,0 +1,121 @@
+"""Shared command-line vocabulary for the repro tools.
+
+Every experiment-running CLI in this repository speaks the same flags:
+
+* ``--cipher``         -- suite cipher name (Table 1),
+* ``--features``       -- ISA feature level (``norot``/``rot``/``opt``),
+* ``--config``         -- machine model name (Table 2 plus the baselines),
+* ``--session-bytes``  -- session length in bytes,
+* ``--jobs``           -- worker processes for the experiment runner,
+* ``--no-cache``       -- bypass the on-disk result cache.
+
+The helpers here add those arguments with consistent help text, defaults,
+and backwards-compatible aliases, and build a configured
+:class:`repro.runner.Runner` from the parsed namespace.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.isa import Features
+from repro.kernels import KERNEL_NAMES
+from repro.runner import ResultCache, Runner
+from repro.sim import (
+    ALPHA21264,
+    BASE4W,
+    DATAFLOW,
+    EIGHTW_PLUS,
+    FOURW,
+    FOURW_PLUS,
+)
+
+#: Machine model names accepted by ``--config`` everywhere.
+CONFIGS = {
+    "base": BASE4W,
+    "alpha": ALPHA21264,
+    "4W": FOURW,
+    "4W+": FOURW_PLUS,
+    "8W+": EIGHTW_PLUS,
+    "DF": DATAFLOW,
+}
+
+#: ISA feature levels accepted by ``--features`` everywhere.
+FEATURE_LEVELS = {
+    "norot": Features.NOROT,
+    "rot": Features.ROT,
+    "opt": Features.OPT,
+}
+
+
+def add_cipher_argument(
+    parser: argparse.ArgumentParser,
+    *,
+    required: bool = True,
+    choices: tuple[str, ...] = KERNEL_NAMES,
+) -> None:
+    parser.add_argument(
+        "--cipher", required=required, choices=choices,
+        help="suite cipher name, e.g. Twofish",
+    )
+
+
+def add_features_argument(
+    parser: argparse.ArgumentParser, *, default: str = "opt"
+) -> None:
+    parser.add_argument(
+        "--features", default=default, choices=sorted(FEATURE_LEVELS),
+        help="ISA feature level (default %(default)s)",
+    )
+
+
+def add_config_argument(
+    parser: argparse.ArgumentParser,
+    *,
+    multiple: bool = False,
+    default=None,
+) -> None:
+    """``--config NAME`` (or ``--config NAME...`` with ``multiple``).
+
+    ``--configs`` stays as a hidden alias for older scripts.
+    """
+    if multiple:
+        parser.add_argument(
+            "--config", "--configs", dest="configs", nargs="+",
+            default=list(default or ["4W", "DF"]), choices=sorted(CONFIGS),
+            help="machine model(s) (default %(default)s)",
+        )
+    else:
+        parser.add_argument(
+            "--config", default=default or "4W", choices=sorted(CONFIGS),
+            help="machine model (default %(default)s)",
+        )
+
+
+def add_session_argument(
+    parser: argparse.ArgumentParser, *, default: int = 1024
+) -> None:
+    """``--session-bytes N`` with ``--session`` kept as an alias."""
+    parser.add_argument(
+        "--session-bytes", "--session", dest="session_bytes", type=int,
+        default=default,
+        help="session length in bytes (default %(default)s)",
+    )
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for timing simulations (default 1: serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+
+
+def runner_from_args(args: argparse.Namespace, **kwargs) -> Runner:
+    """Build a :class:`Runner` from ``add_runner_arguments`` flags."""
+    cache = (ResultCache.disabled() if getattr(args, "no_cache", False)
+             else ResultCache.from_env())
+    return Runner(cache=cache, jobs=getattr(args, "jobs", 1), **kwargs)

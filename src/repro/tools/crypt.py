@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from repro.ciphers import CBC, get_cipher_info
+from repro.tools.cli import add_cipher_argument
 
 
 def _pad(data: bytes, block: int) -> bytes:
@@ -63,8 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.tools.crypt",
                                      description=__doc__)
     parser.add_argument("action", choices=("encrypt", "decrypt"))
-    parser.add_argument("--cipher", required=True,
-                        help="suite cipher name, e.g. Twofish")
+    add_cipher_argument(parser)
     parser.add_argument("--key", required=True, help="hex key")
     parser.add_argument("--iv", default="", help="hex IV (CBC modes)")
     parser.add_argument("input", help="input file, or - for stdin")

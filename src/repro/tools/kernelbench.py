@@ -1,60 +1,66 @@
 """One-shot kernel measurement CLI.
 
     python -m repro.tools.kernelbench --cipher Twofish --features opt \
-        --configs 4W 4W+ 8W+ DF --session 1024
+        --config 4W 4W+ 8W+ DF --session-bytes 1024
 
 Prints instructions/byte, cycles, IPC, and bytes/1000cyc (== MB/s at 1 GHz)
 for the chosen cipher kernel on each machine model, plus the decryption
-direction with --decrypt.
+direction with --decrypt.  Results come from the shared experiment runner:
+one functional simulation feeds every machine model, and repeat invocations
+hit the on-disk cache (disable with --no-cache, parallelize with --jobs).
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.isa import Features
-from repro.kernels import KERNEL_NAMES, make_kernel
-from repro.tools.riscasim import CONFIGS
-from repro.sim import simulate
-
-FEATURE_LEVELS = {
-    "norot": Features.NOROT,
-    "rot": Features.ROT,
-    "opt": Features.OPT,
-}
+from repro.kernels import make_kernel
+from repro.runner import Experiment, ExperimentOptions
+from repro.tools.cli import (
+    CONFIGS,
+    FEATURE_LEVELS,
+    add_cipher_argument,
+    add_config_argument,
+    add_features_argument,
+    add_runner_arguments,
+    add_session_argument,
+    runner_from_args,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools.kernelbench",
                                      description=__doc__)
-    parser.add_argument("--cipher", required=True, choices=KERNEL_NAMES)
-    parser.add_argument("--features", default="opt",
-                        choices=sorted(FEATURE_LEVELS))
-    parser.add_argument("--configs", nargs="+", default=["4W", "DF"],
-                        choices=sorted(CONFIGS))
-    parser.add_argument("--session", type=int, default=1024)
+    add_cipher_argument(parser)
+    add_features_argument(parser)
+    add_config_argument(parser, multiple=True)
+    add_session_argument(parser)
     parser.add_argument("--decrypt", action="store_true",
                         help="measure the decryption kernel instead")
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
-    kernel = make_kernel(args.cipher, FEATURE_LEVELS[args.features])
-    block = max(kernel.block_bytes, 1)
-    session = (args.session // block) * block
-    data = bytes(i & 0xFF for i in range(session))
-    iv = bytes(kernel.block_bytes) if kernel.block_bytes > 1 else None
-    if args.decrypt:
-        ciphertext = kernel.encrypt(data, iv).ciphertext
-        run = kernel.decrypt(ciphertext, iv)
-    else:
-        run = kernel.encrypt(data, iv)
+    features = FEATURE_LEVELS[args.features]
+    block = max(make_kernel(args.cipher, features).block_bytes, 1)
+    session = (args.session_bytes // block) * block
+    options = ExperimentOptions(
+        cipher=args.cipher,
+        features=features,
+        session_bytes=session,
+        kind="decrypt" if args.decrypt else "encrypt",
+    )
+    runner = runner_from_args(args)
+    results = runner.run([
+        Experiment(options, CONFIGS[name]) for name in args.configs
+    ])
 
-    direction = "decrypt" if args.decrypt else "encrypt"
-    print(f"{args.cipher} [{kernel.features.label}] {direction} "
-          f"{session} bytes: {run.instructions} instructions "
-          f"({run.instructions_per_byte:.1f}/byte)")
+    first = results[0]
+    print(f"{args.cipher} [{features.label}] {options.kind} "
+          f"{session} bytes: {first.instructions} instructions "
+          f"({first.instructions_per_byte:.1f}/byte)")
     print(f"{'config':<8} {'cycles':>9} {'IPC':>6} {'B/1000cyc':>10}")
-    for name in args.configs:
-        stats = simulate(run.trace, CONFIGS[name], run.warm_ranges)
+    for name, result in zip(args.configs, results):
+        stats = result.stats
         print(f"{name:<8} {stats.cycles:>9} {stats.ipc:>6.2f} "
               f"{stats.bytes_per_kilocycle(session):>10.2f}")
     return 0

@@ -8,6 +8,9 @@
 
 The program runs against a fresh 1 MB memory; use LDIQ-materialized
 addresses and STL/STQ to produce observable results (dumped with --dump).
+Timing results are cached on disk keyed by the assembled program's content
+hash (bypass with --no-cache); the functional run and the --view pipeline
+rendering always execute live.
 """
 
 from __future__ import annotations
@@ -17,37 +20,27 @@ import sys
 
 from repro.isa import assemble
 from repro.sim import (
-    ALPHA21264,
-    BASE4W,
     BOTTLENECKS,
-    DATAFLOW,
     DATAFLOW_BASEISA,
-    EIGHTW_PLUS,
-    FOURW,
-    FOURW_PLUS,
     Machine,
     Memory,
     bottleneck_config,
     simulate,
 )
 from repro.sim.pipeview import render_pipeline, stall_summary
-
-CONFIGS = {
-    "base": BASE4W,
-    "alpha": ALPHA21264,
-    "4W": FOURW,
-    "4W+": FOURW_PLUS,
-    "8W+": EIGHTW_PLUS,
-    "DF": DATAFLOW,
-}
+from repro.tools.cli import (
+    CONFIGS,
+    add_config_argument,
+    add_runner_arguments,
+    runner_from_args,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools.riscasim",
                                      description=__doc__)
     parser.add_argument("source", help="assembly file, or - for stdin")
-    parser.add_argument("--config", default="4W", choices=sorted(CONFIGS),
-                        help="machine model (default 4W)")
+    add_config_argument(parser)
     parser.add_argument("--list", action="store_true",
                         help="print the disassembly and exit")
     parser.add_argument("--view", metavar="START:END",
@@ -58,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="hex-dump a memory range after the run")
     parser.add_argument("--memory", type=int, default=1 << 20,
                         help="memory size in bytes")
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     text = (sys.stdin.read() if args.source == "-"
@@ -71,7 +65,9 @@ def main(argv: list[str] | None = None) -> int:
     result = Machine(program, memory).run()
     trace = result.trace
     config = CONFIGS[args.config]
-    stats = simulate(trace, config)
+    runner = runner_from_args(args)
+    key_base = ["riscasim", program.digest(), args.memory]
+    stats = runner.simulate_trace(trace, config, key_parts=key_base)
     print(f"{result.instructions} instructions; {stats.summary()}")
 
     if args.dump:
@@ -87,10 +83,14 @@ def main(argv: list[str] | None = None) -> int:
                         for k, v in stall_summary(schedule).items()))
 
     if args.bottlenecks:
-        dataflow = simulate(trace, DATAFLOW_BASEISA).cycles
+        dataflow = runner.simulate_trace(
+            trace, DATAFLOW_BASEISA, key_parts=key_base
+        ).cycles
         print(f"{'bottleneck':<10} rel-to-DF")
         for which in BOTTLENECKS:
-            cycles = simulate(trace, bottleneck_config(which)).cycles
+            cycles = runner.simulate_trace(
+                trace, bottleneck_config(which), key_parts=key_base
+            ).cycles
             print(f"{which:<10} {dataflow / cycles:.3f}")
     return 0
 

@@ -1,0 +1,126 @@
+"""The uniform analysis surface: run()/measure()/Row everywhere, with
+deprecated positional shims that still produce the same numbers."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    bottlenecks,
+    multisession,
+    opmix,
+    setup_cost,
+    speedups,
+    ssl_model,
+    tables,
+    throughput,
+    value_prediction,
+)
+from repro.runner import ExperimentOptions, ResultCache, Runner
+
+SIMULATION_MODULES = (
+    throughput, speedups, bottlenecks, opmix, setup_cost, value_prediction,
+    multisession,
+)
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return Runner(cache=ResultCache(tmp_path / "cache"))
+
+
+def test_every_module_exposes_the_uniform_surface():
+    for module in SIMULATION_MODULES:
+        assert callable(module.run), module.__name__
+        assert callable(module.measure), module.__name__
+    assert callable(ssl_model.run)
+    assert callable(tables.run)
+
+
+def test_run_accepts_none_single_and_list(runner):
+    single = ExperimentOptions(cipher="RC6", session_bytes=128)
+    as_single = throughput.run(single, runner=runner)
+    as_list = throughput.run([single], runner=runner)
+    assert len(as_single) == len(as_list) == 1
+    assert as_single[0].as_tuple() == as_list[0].as_tuple()
+
+
+def test_rows_expose_as_dict_and_as_tuple(runner):
+    row = opmix.measure(cipher="Mars", session_bytes=128, runner=runner)
+    mapping = row.as_dict()
+    assert mapping["cipher"] == "Mars"
+    assert set(mapping) == {
+        field.name for field in dataclasses.fields(row)
+    }
+    assert row.as_tuple() == tuple(mapping.values())
+
+
+def test_static_modules_have_rows_too():
+    table1 = tables.run()
+    assert {row.cipher for row in table1} >= {"RC6", "Rijndael"}
+    assert table1[0].as_dict()["key_bits"] > 0
+    ssl = ssl_model.run(lengths=(64, 32768))
+    assert len(ssl) == 2
+    assert ssl[0].as_dict()["session_bytes"] == 64
+
+
+@pytest.mark.parametrize(
+    "module,shim_args,measure_kwargs",
+    [
+        (throughput, ("Blowfish", 128), dict(cipher="Blowfish",
+                                             session_bytes=128)),
+        (speedups, ("RC4", 128), dict(cipher="RC4", session_bytes=128)),
+        (bottlenecks, ("RC4", 128), dict(cipher="RC4", session_bytes=128)),
+        (opmix, ("RC4", 128), dict(cipher="RC4", session_bytes=128)),
+        (setup_cost, ("RC4", (16, 1024)), dict(cipher="RC4",
+                                               lengths=(16, 1024))),
+        (value_prediction, ("RC4", 128), dict(cipher="RC4",
+                                              session_bytes=128)),
+    ],
+)
+def test_deprecated_shims_warn_and_match(module, shim_args, measure_kwargs,
+                                         runner, monkeypatch):
+    # Shims route through the module-default runner; pin it to this test's.
+    import repro.runner as runner_pkg
+
+    previous = runner_pkg.set_default_runner(runner)
+    try:
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            old = module.measure_cipher(*shim_args)
+    finally:
+        runner_pkg.set_default_runner(previous)
+    new = module.measure(runner=runner, **measure_kwargs)
+    assert old.as_tuple() == new.as_tuple()
+
+
+def test_multisession_positional_shim_warns_and_matches(runner):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        old = multisession.measure("RC4", (1, 2), 128, runner=runner)
+    new = multisession.measure(
+        cipher="RC4", thread_counts=(1, 2), session_bytes=128, runner=runner
+    )
+    assert [row.as_tuple() for row in old] == [
+        row.as_tuple() for row in new
+    ]
+
+
+def test_multisession_requires_a_cipher():
+    with pytest.raises(TypeError):
+        multisession.measure(thread_counts=(1,))
+
+
+def test_shared_runner_dedups_across_modules(runner):
+    """Figure 4 and Figure 7 at the same options share one trace."""
+    options = ExperimentOptions(cipher="RC6", session_bytes=128)
+    throughput.run(options, runner=runner)
+    functional_runs = runner.stats.functional_runs
+    opmix.run(options, runner=runner)
+    assert runner.stats.functional_runs == functional_runs
+
+
+def test_figure_aliases_match_run(runner):
+    rows = throughput.figure4(128, ("RC6",), runner=runner)
+    direct = throughput.run(
+        ExperimentOptions(cipher="RC6", session_bytes=128), runner=runner
+    )
+    assert rows[0].as_tuple() == direct[0].as_tuple()

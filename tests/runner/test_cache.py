@@ -1,0 +1,129 @@
+"""The content-hashed on-disk result cache."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner import ResultCache, content_key
+from repro.runner.cache import default_cache_dir
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_content_key_is_order_insensitive_for_dicts():
+    assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+
+def test_content_key_distinguishes_values():
+    base = {"cipher": "RC6", "session": 1024}
+    assert content_key(base) != content_key({**base, "session": 1025})
+    assert content_key(base) != content_key({**base, "cipher": "RC4"})
+
+
+def test_content_key_hashes_bytes_and_tuples():
+    assert content_key([b"abc", (1, 2)]) == content_key([b"abc", [1, 2]])
+    assert content_key(b"abc") != content_key(b"abd")
+
+
+def test_content_key_rejects_unhashable_types():
+    with pytest.raises(TypeError):
+        content_key(object())
+
+
+def test_content_key_stable_across_processes():
+    """sha256 over canonical JSON must not depend on PYTHONHASHSEED."""
+    parts = {"cipher": "RC6", "key": b"\x00\x01", "configs": ["4W", "DF"]}
+    local = content_key(parts)
+    script = (
+        "from repro.runner import content_key;"
+        "print(content_key({'cipher': 'RC6', 'key': bytes([0, 1]),"
+        " 'configs': ['4W', 'DF']}))"
+    )
+    for seed in ("0", "1", "random"):
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": SRC, "PYTHONHASHSEED": seed, "PATH": "/usr/bin"},
+        ).stdout.strip()
+        assert out == local
+
+
+def test_default_cache_dir_env_precedence(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "explicit"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-runner"
+    monkeypatch.delenv("XDG_CACHE_HOME")
+    assert default_cache_dir() == Path.home() / ".cache" / "repro-runner"
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key({"probe": 1})
+    assert cache.get(key) is None
+    cache.put(key, {"value": [1, 2, 3]})
+    record = cache.get(key)
+    assert record["value"] == [1, 2, 3]
+    assert record["key"] == key
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_corrupted_record_is_a_miss_and_removed(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key({"probe": 2})
+    cache.put(key, {"value": 42})
+    path = cache.path_for(key)
+    path.write_text("{ truncated json")
+    assert cache.get(key) is None
+    assert not path.exists()
+    assert cache.errors == 1
+    # The next put/get cycle recovers cleanly.
+    cache.put(key, {"value": 43})
+    assert cache.get(key)["value"] == 43
+
+
+def test_record_under_wrong_key_is_discarded(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key({"probe": 3})
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"key": "somebody-else", "value": 1}))
+    assert cache.get(key) is None
+    assert not path.exists()
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = ResultCache(tmp_path, enabled=False)
+    key = content_key({"probe": 4})
+    cache.put(key, {"value": 1})
+    assert cache.get(key) is None
+    assert not tmp_path.exists() or not any(tmp_path.iterdir())
+
+
+def test_unserializable_record_is_swallowed(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key({"probe": 5})
+    cache.put(key, {"value": object()})
+    assert cache.errors == 1
+    assert cache.get(key) is None
+    # No stray temp files left behind by the failed atomic write.
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(content_key({"probe": 6}), {"value": 1})
+    assert any((tmp_path / "cache").iterdir())
+    cache.clear()
+    assert not (tmp_path / "cache").exists()
+
+
+def test_from_env_honors_no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert ResultCache.from_env().enabled is False
+    monkeypatch.delenv("REPRO_NO_CACHE")
+    assert ResultCache.from_env().enabled is True

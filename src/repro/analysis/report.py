@@ -72,6 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.tools.cli import (
         add_runner_arguments,
         add_session_argument,
+        observability_from_args,
         runner_from_args,
     )
 
@@ -79,10 +80,26 @@ def main(argv: list[str] | None = None) -> int:
     add_session_argument(parser)
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
-    full_report(
-        session_bytes=args.session_bytes, runner=runner_from_args(args)
-    )
+    obs = observability_from_args(args, tool="report")
+    with _report_span(obs, args.session_bytes):
+        full_report(
+            session_bytes=args.session_bytes,
+            runner=runner_from_args(args, obs=obs),
+        )
+    for path in obs.write():
+        print(f"wrote {path}")
     return 0
+
+
+def _report_span(obs, session_bytes: int):
+    """One umbrella span so the whole report shows as a top-level track."""
+    from contextlib import nullcontext
+
+    if obs.tracer is None:
+        return nullcontext()
+    return obs.tracer.span(
+        "full-report", "runner", {"session_bytes": session_bytes}
+    )
 
 
 if __name__ == "__main__":

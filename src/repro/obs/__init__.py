@@ -1,0 +1,52 @@
+"""Observability layer: metrics, structured traces, and stall accounting.
+
+The paper's evaluation rests on *explaining* cycle counts, not just
+reporting them -- its SimpleView pipeline visualizations attribute each
+cipher's time to operand waits, fetch limits and cache behavior.  This
+package is that explanation machinery as reusable infrastructure:
+
+* :mod:`repro.obs.metrics` -- a lightweight labeled-metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`) with a stable
+  JSON snapshot schema, used by the timing simulator and the experiment
+  runner.
+* :mod:`repro.obs.tracing` -- a span/event tracer with a JSONL sink and
+  Chrome/Perfetto trace-event export (open the ``.json`` file at
+  https://ui.perfetto.dev).
+* :mod:`repro.obs.pipeline` -- the pipeline-schedule event stream shared
+  by the ASCII viewer (:mod:`repro.sim.pipeview`) and the Perfetto
+  exporter.
+* :mod:`repro.obs.schema` -- validators for the exported documents (used
+  by tests, CI, and ``repro.tools.obs --check``).
+* :mod:`repro.obs.session` -- the :class:`Observability` bundle the CLI
+  tools build from ``--metrics-out`` / ``--trace-out``.
+
+Stall-attribution itself lives in :mod:`repro.sim.timing`, which classifies
+every issue slot of every cycle; see ``docs/observability.md`` for the
+category definitions and their mapping to the paper's terminology.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.pipeline import schedule_spans, schedule_trace_events
+from repro.obs.schema import (
+    METRICS_SCHEMA,
+    validate_metrics,
+    validate_trace_events,
+)
+from repro.obs.session import Observability
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
+    "schedule_spans",
+    "schedule_trace_events",
+    "validate_metrics",
+    "validate_trace_events",
+]

@@ -1,0 +1,190 @@
+"""Labeled metrics registry with a stable JSON snapshot schema.
+
+Three instrument kinds, deliberately minimal (no exposition server, no
+background threads -- snapshots are taken explicitly and written to disk):
+
+* :class:`Counter` -- monotonically increasing count.
+* :class:`Gauge` -- a value that can move both ways (set/add).
+* :class:`Histogram` -- bucketed observations with count and sum.
+
+An instrument is identified by ``(name, labels)``; asking the registry for
+the same pair twice returns the same object, so call sites never need to
+hold references.  ``snapshot()`` renders every instrument into the
+documented ``repro.obs.metrics/1`` schema (see ``docs/observability.md``
+and :mod:`repro.obs.schema`), sorted deterministically so exported files
+diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+#: Default histogram bucket upper bounds (seconds-flavored; pass custom
+#: ``buckets`` for anything else).  The terminal +inf bucket is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _label_key(labels: dict | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common identity and snapshot plumbing for all instrument kinds."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, labels: dict | None):
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+
+    def _value_fields(self) -> dict:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            **self._value_fields(),
+        }
+
+
+class Counter(_Instrument):
+    """Monotonic counter; ``inc`` with a negative amount is an error."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict | None = None):
+        super().__init__(name, labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def _value_fields(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    """Last-written value; ``add`` for relative moves in either direction."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict | None = None):
+        super().__init__(name, labels)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def _value_fields(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (each bucket counts values <= its bound)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: tuple = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, labels)
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._bucket_counts = [0] * (len(self.bounds) + 1)  # +1 for +inf
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    def _value_fields(self) -> dict:
+        buckets = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self._bucket_counts):
+            cumulative += count
+            buckets.append({"le": bound, "count": cumulative})
+        buckets.append({"le": "+inf", "count": self.count})
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Process-local instrument store; thread-safe instrument creation."""
+
+    def __init__(self):
+        self._instruments: dict[tuple, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: dict | None, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, labels, **kwargs)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r}{dict(labels or {})} already registered "
+                    f"as {instrument.kind}, requested {cls.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict | None = None,
+        buckets: tuple = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self, generated_by: str | None = None) -> dict:
+        """The documented ``repro.obs.metrics/1`` export document."""
+        from repro.obs.schema import METRICS_SCHEMA
+
+        metrics = [
+            self._instruments[key].snapshot()
+            for key in sorted(self._instruments)
+        ]
+        document = {"schema": METRICS_SCHEMA, "metrics": metrics}
+        if generated_by:
+            document["generated_by"] = generated_by
+        return document
+
+    def to_json(self, generated_by: str | None = None, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(generated_by), indent=indent)
+
+    def write(self, path, generated_by: str | None = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(generated_by))
+            handle.write("\n")

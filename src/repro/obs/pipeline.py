@@ -1,0 +1,116 @@
+"""Pipeline-schedule event stream: one source, two renderers.
+
+The timing model's schedule hook captures ``(position, static_index,
+fetch, issue, complete, retire)`` tuples (see
+:func:`repro.sim.timing.simulate`).  This module turns that raw capture
+into a structured span stream consumed by both the ASCII viewer
+(:func:`repro.sim.pipeview.render_pipeline`) and the Perfetto exporter
+(:func:`schedule_trace_events`), so the two visualizations can never
+drift apart.
+
+This module deliberately knows nothing about :mod:`repro.sim`: label text
+is supplied by the caller (a list indexed by static instruction, or a
+callable), keeping ``repro.obs`` a leaf package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One Perfetto "thread" lane per in-flight instruction slot; reusing a
+#: small fixed pool keeps the track count readable for long windows.
+DEFAULT_LANES = 16
+
+
+@dataclass(frozen=True)
+class ScheduleSpan:
+    """One dynamic instruction's journey through the modeled pipeline."""
+
+    position: int       # trace position
+    static_index: int   # index into the program's static instructions
+    fetch: int          # window-entry cycle (pipeview's "F" column)
+    issue: int          # first execution cycle
+    complete: int       # result-ready cycle
+    retire: int         # in-order retirement cycle
+
+    @property
+    def wait_cycles(self) -> int:
+        """Cycles stalled between window entry and issue."""
+        return self.issue - self.fetch
+
+    @property
+    def execute_cycles(self) -> int:
+        return self.complete - self.issue
+
+    @property
+    def drain_cycles(self) -> int:
+        """Completed-but-not-retired cycles (in-order retire backpressure)."""
+        return self.retire - self.complete
+
+    @property
+    def lifetime(self) -> int:
+        return self.retire - self.fetch + 1
+
+
+def schedule_spans(schedule) -> list[ScheduleSpan]:
+    """Decode raw schedule tuples into :class:`ScheduleSpan` records."""
+    return [ScheduleSpan(*entry) for entry in schedule]
+
+
+def _label_for(labels, static_index: int) -> str:
+    if labels is None:
+        return f"inst[{static_index}]"
+    if callable(labels):
+        return labels(static_index)
+    return labels[static_index]
+
+
+def schedule_trace_events(
+    schedule,
+    labels=None,
+    *,
+    pid: int = 0,
+    lanes: int = DEFAULT_LANES,
+    cycle_us: float = 1.0,
+    track_prefix: str = "pipeline",
+) -> list[dict]:
+    """Chrome trace events for a schedule window (one cycle == ``cycle_us``).
+
+    Each instruction becomes a complete event spanning window entry to
+    retirement on one of ``lanes`` round-robin tracks, with the stage
+    boundaries attached as ``args`` -- hovering a slice in Perfetto shows
+    the full fetch/issue/complete/retire timeline.  ``labels`` maps a
+    static instruction index to its display text (list or callable).
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": track_prefix},
+    }]
+    spans = schedule_spans(schedule)
+    for lane in range(min(lanes, max(len(spans), 1))):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": lane,
+            "args": {"name": f"{track_prefix} lane {lane}"},
+        })
+    for span in spans:
+        events.append({
+            "name": _label_for(labels, span.static_index),
+            "cat": "pipeline",
+            "ph": "X",
+            "ts": span.fetch * cycle_us,
+            "dur": max(span.lifetime * cycle_us, cycle_us),
+            "pid": pid,
+            "tid": span.position % lanes,
+            "args": {
+                "position": span.position,
+                "static_index": span.static_index,
+                "fetch": span.fetch,
+                "issue": span.issue,
+                "complete": span.complete,
+                "retire": span.retire,
+                "wait_cycles": span.wait_cycles,
+                "execute_cycles": span.execute_cycles,
+                "drain_cycles": span.drain_cycles,
+            },
+        })
+    return events

@@ -1,0 +1,127 @@
+"""Validators for the exported observability documents.
+
+Pure-Python structural checks (no jsonschema dependency): each validator
+returns a list of human-readable error strings, empty when the document
+conforms.  CI and ``repro.tools.obs --check`` run these against freshly
+exported files; tests run them against in-memory snapshots.
+
+The schemas themselves are documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+METRICS_SCHEMA = "repro.obs.metrics/1"
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+_EVENT_PHASES = ("X", "B", "E", "i", "I", "C", "M")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_metrics(document) -> list[str]:
+    """Check a ``repro.obs.metrics/1`` document; return error strings."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return [f"metrics document must be an object, got {type(document).__name__}"]
+    if document.get("schema") != METRICS_SCHEMA:
+        errors.append(
+            f"schema must be {METRICS_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append("metrics must be a list")
+        return errors
+    for index, metric in enumerate(metrics):
+        where = f"metrics[{index}]"
+        if not isinstance(metric, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if not isinstance(metric.get("name"), str) or not metric.get("name"):
+            errors.append(f"{where}: missing non-empty 'name'")
+        kind = metric.get("type")
+        if kind not in _METRIC_TYPES:
+            errors.append(f"{where}: type must be one of {_METRIC_TYPES}")
+            continue
+        labels = metric.get("labels")
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+        ):
+            errors.append(f"{where}: labels must be a str->str object")
+        if kind in ("counter", "gauge"):
+            if not _is_number(metric.get("value")):
+                errors.append(f"{where}: missing numeric 'value'")
+            if kind == "counter" and _is_number(metric.get("value")) \
+                    and metric["value"] < 0:
+                errors.append(f"{where}: counter value must be >= 0")
+        else:
+            errors.extend(_validate_histogram(metric, where))
+    return errors
+
+
+def _validate_histogram(metric: dict, where: str) -> list[str]:
+    errors: list[str] = []
+    if not _is_number(metric.get("count")) or metric.get("count", -1) < 0:
+        errors.append(f"{where}: histogram needs a non-negative 'count'")
+    if not _is_number(metric.get("sum")):
+        errors.append(f"{where}: histogram needs a numeric 'sum'")
+    buckets = metric.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        return errors + [f"{where}: histogram needs a non-empty 'buckets' list"]
+    previous = -1
+    for bindex, bucket in enumerate(buckets):
+        bwhere = f"{where}.buckets[{bindex}]"
+        if not isinstance(bucket, dict):
+            errors.append(f"{bwhere}: must be an object")
+            continue
+        bound = bucket.get("le")
+        last = bindex == len(buckets) - 1
+        if last and bound != "+inf":
+            errors.append(f"{bwhere}: final bucket bound must be '+inf'")
+        if not last and not _is_number(bound):
+            errors.append(f"{bwhere}: bound 'le' must be numeric")
+        count = bucket.get("count")
+        if not _is_number(count) or count < previous:
+            errors.append(f"{bwhere}: counts must be cumulative and numeric")
+        else:
+            previous = count
+    if not errors and _is_number(metric.get("count")) \
+            and buckets[-1].get("count") != metric["count"]:
+        errors.append(f"{where}: +inf bucket count must equal 'count'")
+    return errors
+
+
+def validate_trace_events(document) -> list[str]:
+    """Check a Chrome/Perfetto trace document (object or bare event list)."""
+    errors: list[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["trace document must contain a 'traceEvents' list"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return [f"trace document must be an object or list, "
+                f"got {type(document).__name__}"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _EVENT_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing 'name'")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: missing integer 'pid'")
+        if phase != "M" and not _is_number(event.get("ts")):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if phase == "X" and (not _is_number(event.get("dur"))
+                             or event.get("dur", -1) < 0):
+            errors.append(f"{where}: complete event needs non-negative 'dur'")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: args must be an object")
+    return errors

@@ -1,0 +1,47 @@
+"""The CLI-facing observability bundle.
+
+Every experiment-running tool accepts ``--metrics-out`` / ``--trace-out``
+(see :func:`repro.tools.cli.add_observability_arguments`); this class
+turns those two optional paths into the registry/tracer pair handed to
+the :class:`repro.runner.Runner`, and writes the files on :meth:`write`.
+When neither path is given, ``metrics`` and ``tracer`` stay ``None`` and
+the instrumented code paths cost nothing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class Observability:
+    """Optional metrics registry + tracer bound to their output paths."""
+
+    def __init__(
+        self,
+        metrics_out: str | None = None,
+        trace_out: str | None = None,
+        tool: str | None = None,
+    ):
+        self.metrics_out = metrics_out
+        self.trace_out = trace_out
+        self.tool = tool
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if metrics_out else None
+        )
+        self.tracer: Tracer | None = Tracer() if trace_out else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics is not None or self.tracer is not None
+
+    def write(self) -> list[str]:
+        """Write whichever outputs were requested; returns written paths."""
+        written: list[str] = []
+        if self.metrics is not None and self.metrics_out:
+            self.metrics.write(self.metrics_out, generated_by=self.tool)
+            written.append(self.metrics_out)
+        if self.tracer is not None and self.trace_out:
+            self.tracer.write(self.trace_out)
+            written.append(self.trace_out)
+        return written

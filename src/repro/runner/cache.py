@@ -26,7 +26,7 @@ from pathlib import Path
 
 #: Bump whenever the simulators, kernels' table layouts, or the record
 #: schema change in a way the content hash cannot see.
-RUNNER_VERSION = 1
+RUNNER_VERSION = 2  # v2: SimStats stall-attribution fields (PR 2)
 
 
 def default_cache_dir() -> Path:

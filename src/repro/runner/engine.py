@@ -15,11 +15,19 @@ One :class:`Runner` serves every analysis harness and CLI tool:
   persist in a :class:`~repro.runner.cache.ResultCache` keyed by a content
   hash of the kernel program bytes, functional inputs, machine config and
   runner version, so repeated report/benchmark invocations are near-instant.
-* **Metrics** -- per-run wall time, cache hit/miss and instructions
-  simulated flow through :class:`RunnerStats` and an optional per-result
-  ``stats_hook`` callable.
+* **Metrics** -- per-run wall time (broken down by phase: functional
+  simulation, timing simulation, cache probing), cache hit/miss and
+  instructions simulated flow through :class:`RunnerStats` and an optional
+  per-result ``stats_hook`` callable.
+* **Observability** -- an optional :class:`repro.obs.MetricsRegistry`
+  receives runner and simulator counters, and an optional
+  :class:`repro.obs.Tracer` records spans for every phase (functional
+  runs, cache probes, per-config timing runs, the parallel fan-out), ready
+  for Chrome/Perfetto export.  Both default to ``None`` at zero cost; the
+  CLI tools enable them via ``--metrics-out`` / ``--trace-out``.
 
-See ``docs/runner.md`` for the full API walkthrough.
+See ``docs/runner.md`` and ``docs/observability.md`` for the full API
+walkthrough.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
 
 from repro.ciphers.suite import SUITE_BY_NAME
@@ -71,14 +80,34 @@ class RunResult:
 
 @dataclass
 class RunnerStats:
-    """Aggregate counters for one runner's lifetime."""
+    """Aggregate counters for one runner's lifetime.
+
+    Wall time is accounted per phase -- functional simulation, timing
+    simulation, and cache probing (key hashing + disk lookups) -- and
+    covers work done in pool workers too: workers report their functional
+    time back with their results.  ``wall_time`` is the sum of the phases.
+    """
 
     cache_hits: int = 0
     cache_misses: int = 0
     functional_runs: int = 0
     timing_runs: int = 0
     instructions_simulated: int = 0
-    wall_time: float = 0.0
+    wall_time_functional: float = 0.0
+    wall_time_timing: float = 0.0
+    wall_time_cache: float = 0.0
+
+    @property
+    def wall_time(self) -> float:
+        return (self.wall_time_functional + self.wall_time_timing
+                + self.wall_time_cache)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        return {
+            "functional": self.wall_time_functional,
+            "timing": self.wall_time_timing,
+            "cache": self.wall_time_cache,
+        }
 
     def summary(self) -> str:
         return (
@@ -86,7 +115,10 @@ class RunnerStats:
             f"{self.cache_misses} misses, {self.functional_runs} functional "
             f"+ {self.timing_runs} timing runs, "
             f"{self.instructions_simulated} instructions simulated, "
-            f"{self.wall_time:.1f}s simulating"
+            f"{self.wall_time:.1f}s wall "
+            f"(functional {self.wall_time_functional:.1f}s, "
+            f"timing {self.wall_time_timing:.1f}s, "
+            f"cache {self.wall_time_cache:.1f}s)"
         )
 
 
@@ -115,14 +147,24 @@ class Runner:
         cache: ResultCache | None = None,
         jobs: int = 1,
         stats_hook=None,
+        metrics=None,
+        tracer=None,
     ):
         self.cache = cache if cache is not None else ResultCache.from_env()
         self.jobs = max(1, int(jobs))
         self.stats_hook = stats_hook
+        self.metrics = metrics
+        self.tracer = tracer
         self.stats = RunnerStats()
         self._kernels: dict[tuple, object] = {}
         self._functional: dict[ExperimentOptions, object] = {}
         self._fingerprints: dict[ExperimentOptions, str] = {}
+
+    def _span(self, name: str, category: str, args: dict | None = None):
+        """A tracer span, or an inert stand-in when tracing is off."""
+        if self.tracer is not None:
+            return self.tracer.span(name, category, args)
+        return _null_span(args)
 
     # -- kernel construction and content hashing ---------------------------
 
@@ -215,23 +257,34 @@ class Runner:
         if run is not None:
             return run
         start = time.perf_counter()
-        if options.kind == "setup":
-            run = make_setup(options.cipher, self._resolved_key(options)).run()
-        else:
-            kernel = self._kernel(options)
-            data = options.resolved_plaintext()
-            if options.kind == "decrypt":
-                ciphertext = kernel.encrypt(data, options.iv).ciphertext
-                run = kernel.decrypt(
-                    ciphertext, options.iv,
-                    record_values=options.record_values,
-                )
+        with self._span(f"functional:{options.cipher}", "functional",
+                        {"cipher": options.cipher, "kind": options.kind,
+                         "session_bytes": options.session_bytes}):
+            if options.kind == "setup":
+                run = make_setup(
+                    options.cipher, self._resolved_key(options)
+                ).run()
             else:
-                run = kernel.encrypt(
-                    data, options.iv, record_values=options.record_values
-                )
+                kernel = self._kernel(options)
+                data = options.resolved_plaintext()
+                if options.kind == "decrypt":
+                    ciphertext = kernel.encrypt(data, options.iv).ciphertext
+                    run = kernel.decrypt(
+                        ciphertext, options.iv,
+                        record_values=options.record_values,
+                    )
+                else:
+                    run = kernel.encrypt(
+                        data, options.iv, record_values=options.record_values
+                    )
+        elapsed = time.perf_counter() - start
         self.stats.functional_runs += 1
-        self.stats.wall_time += time.perf_counter() - start
+        self.stats.wall_time_functional += elapsed
+        if self.metrics is not None:
+            self.metrics.counter("runner.functional_runs").inc()
+            self.metrics.histogram(
+                "runner.functional.seconds", {"cipher": options.cipher}
+            ).observe(elapsed)
         self._functional[options] = run
         return run
 
@@ -248,19 +301,32 @@ class Runner:
         results: list[RunResult | None] = [None] * len(experiments)
         pending: dict[ExperimentOptions, list[tuple[int, Experiment, str]]]
         pending = {}
-        for index, experiment in enumerate(experiments):
-            key = self.experiment_key(experiment)
-            result = self._lookup(experiment, key)
-            if result is not None:
-                self.stats.cache_hits += 1
-                results[index] = result
-                if self.stats_hook is not None:
-                    self.stats_hook(result)
-            else:
-                self.stats.cache_misses += 1
-                pending.setdefault(experiment.options, []).append(
-                    (index, experiment, key)
-                )
+        probe_start = time.perf_counter()
+        with self._span("cache-probe", "cache",
+                        {"experiments": len(experiments)}) as span_args:
+            for index, experiment in enumerate(experiments):
+                key = self.experiment_key(experiment)
+                result = self._lookup(experiment, key)
+                if result is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = result
+                    if self.stats_hook is not None:
+                        self.stats_hook(result)
+                else:
+                    self.stats.cache_misses += 1
+                    pending.setdefault(experiment.options, []).append(
+                        (index, experiment, key)
+                    )
+            span_args["hits"] = len(experiments) - sum(
+                len(entries) for entries in pending.values()
+            )
+            span_args["misses"] = len(experiments) - span_args["hits"]
+        self.stats.wall_time_cache += time.perf_counter() - probe_start
+        if self.metrics is not None:
+            self.metrics.counter("runner.cache.hits").inc(span_args["hits"])
+            self.metrics.counter("runner.cache.misses").inc(
+                span_args["misses"]
+            )
         if pending:
             self._execute_pending(pending, results)
         return results  # type: ignore[return-value]
@@ -305,7 +371,7 @@ class Runner:
                 )
                 self.stats.timing_runs += 1
                 self.stats.instructions_simulated += result.stats.instructions
-                self.stats.wall_time += result.wall_time
+                self.stats.wall_time_timing += result.wall_time
                 results[index] = result
                 if self.stats_hook is not None:
                     self.stats_hook(result)
@@ -316,8 +382,10 @@ class Runner:
             for options, entries in pending.items()
         ]
         try:
-            with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
-                outputs = pool.map(_worker_run_group, specs)
+            with self._span("parallel-fanout", "timing",
+                            {"groups": len(specs), "jobs": self.jobs}):
+                with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
+                    outputs = pool.map(_worker_run_group, specs)
         except Exception as error:  # pool unavailable or worker died
             warnings.warn(
                 f"parallel runner unavailable ({error!r}); "
@@ -326,9 +394,16 @@ class Runner:
                 stacklevel=3,
             )
             return None
-        # Workers ran the functional simulations out of process.
+        # Workers ran the functional simulations out of process; fold the
+        # wall time they report back into the per-phase account.
         self.stats.functional_runs += len(specs)
-        return dict(zip((spec[0] for spec in specs), outputs))
+        self.stats.wall_time_functional += sum(
+            output["functional_wall_time"] for output in outputs
+        )
+        return dict(zip(
+            (spec[0] for spec in specs),
+            (output["records"] for output in outputs),
+        ))
 
     def _run_group_records(self, options, configs) -> list[dict]:
         run = self.functional(options)
@@ -336,7 +411,19 @@ class Runner:
         records = []
         for config in configs:
             start = time.perf_counter()
-            stats = simulate(run.trace, config, warm)
+            with self._span(f"timing:{options.cipher}:{config.name}",
+                            "timing",
+                            {"cipher": options.cipher,
+                             "config": config.name}) as span_args:
+                stats = simulate(run.trace, config, warm,
+                                 metrics=self.metrics)
+                span_args["cycles"] = stats.cycles
+            elapsed = time.perf_counter() - start
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "runner.timing.seconds",
+                    {"cipher": options.cipher, "config": config.name},
+                ).observe(elapsed)
             records.append({
                 "version": RUNNER_VERSION,
                 "cipher": options.cipher,
@@ -344,7 +431,7 @@ class Runner:
                 "instructions": run.instructions,
                 "session_bytes": options.session_bytes,
                 "stats": _stats_to_dict(stats),
-                "wall_time": time.perf_counter() - start,
+                "wall_time": elapsed,
             })
         return records
 
@@ -396,10 +483,13 @@ class Runner:
                     return stats
             self.stats.cache_misses += 1
         start = time.perf_counter()
-        stats = simulate(trace, config, warm_ranges)
+        with self._span(f"trace-sim:{config.name}", "timing",
+                        {"config": config.name}):
+            stats = simulate(trace, config, warm_ranges,
+                             metrics=self.metrics)
         self.stats.timing_runs += 1
         self.stats.instructions_simulated += stats.instructions
-        self.stats.wall_time += time.perf_counter() - start
+        self.stats.wall_time_timing += time.perf_counter() - start
         if key is not None:
             self.cache.put(key, {
                 "version": RUNNER_VERSION,
@@ -431,8 +521,22 @@ class Runner:
         return value
 
 
+@contextmanager
+def _null_span(args: dict | None = None):
+    """Stand-in for :meth:`repro.obs.Tracer.span` when tracing is off."""
+    yield dict(args or {})
+
+
 def _worker_run_group(spec):
-    """Pool entry point: one functional run + its timing configs."""
+    """Pool entry point: one functional run + its timing configs.
+
+    Returns the records plus the worker's functional wall time so the
+    parent runner's per-phase accounting covers out-of-process work.
+    """
     options, configs = spec
     worker = Runner(cache=ResultCache.disabled(), jobs=1)
-    return worker._run_group_records(options, configs)
+    records = worker._run_group_records(options, configs)
+    return {
+        "records": records,
+        "functional_wall_time": worker.stats.wall_time_functional,
+    }

@@ -88,6 +88,18 @@ class MachineConfig:
     page_size: int = 8192
     tlb_miss_latency: int = 30
 
+    # Simulator instrumentation / memory-bounding knobs.  These control the
+    # timing model's bookkeeping, never the simulated cycle counts; see
+    # docs/observability.md.
+    #: Instructions between per-cycle resource-map prune passes.
+    prune_interval: int = 250_000
+    #: Map size a resource map must reach before a prune pass trims it.
+    prune_entries: int = 200_000
+    #: Hard cap on rows captured by the ``schedule_range`` hook per run
+    #: (``None`` = unbounded).  A truncated capture sets
+    #: ``stats.extra["schedule_truncated"]``.
+    max_schedule_entries: int | None = 100_000
+
     def with_(self, **changes) -> "MachineConfig":
         """Return a modified copy (dataclasses.replace wrapper)."""
         return replace(self, **changes)

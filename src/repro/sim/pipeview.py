@@ -10,6 +10,11 @@ schedule hook: one row per dynamic instruction, one column per cycle,
     .  completed, waiting to retire
     R  retire
 
+Both this renderer and the Perfetto exporter
+(:func:`repro.obs.pipeline.schedule_trace_events`) consume the same
+structured span stream (:func:`repro.obs.pipeline.schedule_spans`), so the
+ASCII picture and the trace-viewer timeline can never disagree.
+
 Usage::
 
     stats = simulate(trace, FOURW, warm, schedule_range=(100, 140))
@@ -18,6 +23,7 @@ Usage::
 
 from __future__ import annotations
 
+from repro.obs.pipeline import schedule_spans
 from repro.sim.trace import Trace
 
 _MAX_COLUMNS = 120
@@ -29,16 +35,17 @@ def render_pipeline(
     max_columns: int = _MAX_COLUMNS,
 ) -> str:
     """Render a schedule window as an ASCII timeline."""
-    if not schedule:
+    spans = schedule_spans(schedule)
+    if not spans:
         return "(empty schedule)"
-    base_cycle = min(entry[2] for entry in schedule)
-    last_cycle = max(entry[5] for entry in schedule)
-    span = last_cycle - base_cycle + 1
-    clipped = span > max_columns
+    base_cycle = min(span.fetch for span in spans)
+    last_cycle = max(span.retire for span in spans)
+    span_width = last_cycle - base_cycle + 1
+    clipped = span_width > max_columns
 
     instructions = trace.program.instructions
     label_width = max(
-        len(instructions[entry[1]].render()) for entry in schedule
+        len(instructions[span.static_index].render()) for span in spans
     )
     label_width = min(label_width, 36)
 
@@ -47,23 +54,24 @@ def render_pipeline(
         f"{' (clipped)' if clipped else ''}"
     )
     lines = [header]
-    for position, static_index, fetch, issue, complete, retire in schedule:
+    for span in spans:
         row = []
-        for cycle in range(base_cycle, min(last_cycle, base_cycle + max_columns) + 1):
-            if cycle == fetch:
+        for cycle in range(base_cycle,
+                           min(last_cycle, base_cycle + max_columns) + 1):
+            if cycle == span.fetch:
                 row.append("F")
-            elif cycle == retire:
+            elif cycle == span.retire:
                 row.append("R")
-            elif issue <= cycle < complete:
+            elif span.issue <= cycle < span.complete:
                 row.append("X")
-            elif fetch < cycle < issue:
+            elif span.fetch < cycle < span.issue:
                 row.append("=")
-            elif complete <= cycle < retire:
+            elif span.complete <= cycle < span.retire:
                 row.append(".")
             else:
                 row.append(" ")
-        text = instructions[static_index].render()[:label_width]
-        lines.append(f"{position:>6} {text:<{label_width}} {''.join(row)}")
+        text = instructions[span.static_index].render()[:label_width]
+        lines.append(f"{span.position:>6} {text:<{label_width}} {''.join(row)}")
     return "\n".join(lines)
 
 
@@ -71,14 +79,12 @@ def stall_summary(
     schedule: list[tuple[int, int, int, int, int, int]]
 ) -> dict[str, float]:
     """Average cycles per pipeline stage over the window."""
-    if not schedule:
+    spans = schedule_spans(schedule)
+    if not spans:
         return {}
-    n = len(schedule)
-    wait = sum(issue - fetch for _, _, fetch, issue, _, _ in schedule)
-    execute = sum(complete - issue for _, _, _, issue, complete, _ in schedule)
-    drain = sum(retire - complete for _, _, _, _, complete, retire in schedule)
+    n = len(spans)
     return {
-        "mean_wait_cycles": wait / n,
-        "mean_execute_cycles": execute / n,
-        "mean_retire_wait_cycles": drain / n,
+        "mean_wait_cycles": sum(span.wait_cycles for span in spans) / n,
+        "mean_execute_cycles": sum(span.execute_cycles for span in spans) / n,
+        "mean_retire_wait_cycles": sum(span.drain_cycles for span in spans) / n,
     }

@@ -30,6 +30,27 @@ This is the standard cycle-assignment formulation of an out-of-order
 machine; DESIGN.md substitution #1 discusses fidelity versus the paper's
 execution-driven simulator.  With every constraint disabled (the DF config)
 the pass computes the pure dataflow critical path.
+
+**Stall attribution.**  On machines with a finite ``issue_width`` the pass
+additionally produces an exact cycle account -- the paper's SimpleView
+bottleneck analysis as data.  Every one of the run's
+``cycles * issue_width`` issue slots is either used by an instruction or
+attributed to exactly one stall category
+(:data:`repro.sim.stats.STALL_CATEGORIES`), by blaming each cycle's empty
+slots on whatever blocked the *oldest unissued* instruction at that cycle
+(the standard attribution discipline of sim-outorder-style accounting):
+fetch starvation, misprediction recovery, frontend depth, a full window,
+operand waits, memory-ordering/alias stalls, issue-port contention, or a
+busy functional-unit pool.  Cycles after the last issue are the
+retirement drain.  The invariant
+
+    ``stats.instructions + sum(stats.stall_slots.values())
+    == stats.cycles * issue_width == stats.issue_slots``
+
+holds exactly and is enforced by property tests across the cipher suite.
+A complementary *instruction view* (``stats.wait_cycles`` plus the
+``stats.hotspots`` table) accumulates the cycles each static instruction
+spent blocked per category, independent of machine width.
 """
 
 from __future__ import annotations
@@ -38,10 +59,19 @@ from repro.sim.branch import BimodalPredictor
 from repro.sim.caches import MemoryHierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.sboxcache import SBoxCacheArray
-from repro.sim.stats import SimStats
+from repro.sim.stats import STALL_CATEGORIES, WAIT_CATEGORIES, SimStats
 from repro.sim.trace import Trace
 
 _UNLIMITED = 1 << 30
+
+# Stall-category indices (must mirror STALL_CATEGORIES order).
+(_C_FETCH, _C_MISPREDICT, _C_FRONTEND, _C_WINDOW, _C_OPERAND, _C_ALIAS,
+ _C_ISSUE, _C_FU_IALU, _C_FU_ROT, _C_FU_MUL, _C_FU_MEM, _C_FU_SBOX,
+ _C_DRAIN) = range(len(STALL_CATEGORIES))
+_N_WAIT = len(WAIT_CATEGORIES)
+#: Instruction-view (wait) index of a stall category: categories _C_WINDOW
+#: through _C_FU_SBOX map onto WAIT_CATEGORIES[cat - _C_WINDOW].
+_HOTSPOT_LIMIT = 32
 
 
 def simulate(
@@ -49,6 +79,7 @@ def simulate(
     config: MachineConfig,
     warm_ranges: list[tuple[int, int]] | None = None,
     schedule_range: tuple[int, int] | None = None,
+    metrics=None,
 ) -> SimStats:
     """Run the timing model over ``trace``; returns cycle-level statistics.
 
@@ -59,7 +90,13 @@ def simulate(
     ``schedule_range`` -- optional ``(start, end)`` trace-position window;
     per-instruction ``(position, static_index, fetch, issue, complete,
     retire)`` tuples for that window are returned in
-    ``stats.extra["schedule"]`` (the pipeline-viewer hook).
+    ``stats.extra["schedule"]`` (the pipeline-viewer hook).  Capture is
+    bounded by ``config.max_schedule_entries``; a clipped window sets
+    ``stats.extra["schedule_truncated"]``.
+
+    ``metrics`` -- optional :class:`repro.obs.MetricsRegistry`; when given,
+    the run's headline counters and stall-slot breakdown are recorded
+    under ``sim.*`` metric names labeled by config.
     """
     static = trace.static
     seq = trace.seq
@@ -126,6 +163,9 @@ def simulate(
     store_lat = config.store_latency
     perfect_alias = config.perfect_alias
     track_issue = issue_width != _UNLIMITED
+    # Slot accounting is defined only when issue bandwidth is finite; with
+    # unlimited width there is no fixed slot budget to attribute.
+    attribute = track_issue
 
     # Size the register scoreboard for the trace: interleaved multi-thread
     # traces remap each thread into its own 32-register window.
@@ -154,13 +194,52 @@ def simulate(
     lsq_size = config.lsq_size
     sync_barrier = 0
 
-    def issue_at(cycle: int, fu_used: dict, fu_limit: int, cost: int = 1) -> int:
+    # ---- stall-attribution state --------------------------------------
+    # ``reason_at`` labels each cycle with the category blocking the oldest
+    # unissued instruction; ``frontier`` is the first unlabeled cycle (the
+    # running max of issue cycles); ``bumps`` records, for the current
+    # instruction, why each scanned cycle in issue_at rejected it.
+    reason_at: dict[int, int] = {}
+    stall_slots = [0] * len(STALL_CATEGORIES)
+    wait_totals = [0] * _N_WAIT
+    bumps: list[int] = []
+    frontier = 0
+    flushed_until = 0
+    mispredict_until = 0
+    if attribute:
+        exec_counts = [0] * len(klass)
+        hot: dict[int, list[int]] = {}
+
+    def flush_attribution(until: int) -> None:
+        """Finalize slot counts for cycles below ``until``.
+
+        Safe once no future instruction can issue there (every cycle below
+        the prune horizon, and everything at the end of the run).  Cycles
+        past the last labeled one are retirement drain.
+        """
+        nonlocal flushed_until
+        pop_reason = reason_at.pop
+        get_used = issue_used.get
+        for cycle in range(flushed_until, until):
+            stall_slots[pop_reason(cycle, _C_DRAIN)] += (
+                issue_width - get_used(cycle, 0)
+            )
+        flushed_until = until
+
+    def issue_at(cycle: int, fu_used: dict, fu_limit: int,
+                 cost: int = 1, fu_cat: int = _C_ISSUE) -> int:
         """First cycle >= ``cycle`` with an issue slot and FU capacity."""
+        if attribute:
+            bumps.clear()
         while True:
             if track_issue and issue_used.get(cycle, 0) >= issue_width:
+                if attribute:
+                    bumps.append(_C_ISSUE)
                 cycle += 1
                 continue
             if fu_limit != _UNLIMITED and fu_used.get(cycle, 0) + cost > fu_limit:
+                if attribute:
+                    bumps.append(fu_cat)
                 cycle += 1
                 continue
             break
@@ -172,11 +251,17 @@ def simulate(
 
     _no_fu: dict[int, int] = {}
     prune_mark = 0
+    prune_interval = config.prune_interval
+    prune_entries = config.prune_entries
     schedule: list[tuple[int, int, int, int, int, int]] | None = None
     if schedule_range is not None:
         schedule = []
         stats.extra["schedule"] = schedule
         sched_start, sched_end = schedule_range
+        cap = config.max_schedule_entries
+        if cap is not None and sched_end - sched_start > cap:
+            sched_end = sched_start + cap
+            stats.extra["schedule_truncated"] = True
 
     for i in range(n):
         s = seq[i]
@@ -193,7 +278,8 @@ def simulate(
             fetch_slots_used += 1
 
         # ---- dispatch / operands ---------------------------------------
-        earliest = this_fetch + frontend
+        enter = this_fetch + frontend
+        earliest = enter
         if window:
             freed = retire_ring[i % window]
             if freed > earliest:
@@ -205,15 +291,22 @@ def simulate(
                 earliest = t
 
         # ---- issue + execute --------------------------------------------
+        # ``operand_end`` / ``request`` bound the attribution segments:
+        # [dispatch_floor, operand_end) is operand wait (incl. address
+        # generation), [operand_end, request) is memory-ordering/alias
+        # stall, [request, issued) is issue/FU contention per ``bumps``.
         if k == "ialu":
-            issued = issue_at(earliest, ialu_used, num_ialu)
+            operand_end = request = earliest
+            issued = issue_at(request, ialu_used, num_ialu, fu_cat=_C_FU_IALU)
             complete = issued + alu_lat
         elif k == "rotator":
-            issued = issue_at(earliest, rot_used, num_rot)
+            operand_end = request = earliest
+            issued = issue_at(request, rot_used, num_rot, fu_cat=_C_FU_ROT)
             complete = issued + rot_lat
         elif k == "load":
             # Address generation, then ordered cache access.
             addr_ready = earliest + 1
+            operand_end = addr_ready
             if not perfect_alias and last_store_addr_known > addr_ready:
                 addr_ready = last_store_addr_known
             addr = addrs[i]
@@ -224,11 +317,14 @@ def simulate(
                     forward = data_ready
                     break
             if forward:
-                issued = issue_at(max(addr_ready, forward), _no_fu, _UNLIMITED)
+                request = max(addr_ready, forward)
+                issued = issue_at(request, _no_fu, _UNLIMITED)
                 complete = issued + 1
                 stats.store_forwards += 1
             else:
-                issued = issue_at(addr_ready, dport_used, dports)
+                request = addr_ready
+                issued = issue_at(request, dport_used, dports,
+                                  fu_cat=_C_FU_MEM)
                 extra = 0
                 if hierarchy is not None:
                     extra = hierarchy.access(addr)
@@ -242,7 +338,8 @@ def simulate(
                 if t > addr_known:
                     addr_known = t
             addr_known += 1
-            issued = issue_at(max(earliest, addr_known), dport_used, dports)
+            operand_end = request = max(earliest, addr_known)
+            issued = issue_at(request, dport_used, dports, fu_cat=_C_FU_MEM)
             addr = addrs[i]
             if hierarchy is not None:
                 hierarchy.access(addr, is_store=True)
@@ -257,6 +354,7 @@ def simulate(
             aliased = sbox_aliased[s]
             addr = addrs[i]
             stats.sbox_accesses += 1
+            operand_end = earliest
             access_ready = earliest
             if aliased and not perfect_alias and last_store_addr_known > access_ready:
                 access_ready = last_store_addr_known
@@ -269,7 +367,8 @@ def simulate(
                         forward = data_ready
                         break
             if forward:
-                issued = issue_at(max(access_ready, forward), _no_fu, _UNLIMITED)
+                request = max(access_ready, forward)
+                issued = issue_at(request, _no_fu, _UNLIMITED)
                 complete = issued + 1
                 stats.store_forwards += 1
             elif (sbox_array is not None and not aliased
@@ -280,7 +379,9 @@ def simulate(
                 # single-tag sector cache is not thrashed between tables.
                 table = sbox_table[s]
                 port = table % sbox_array.count
-                issued = issue_at(access_ready, sport_used[port], sbox_ports)
+                request = access_ready
+                issued = issue_at(request, sport_used[port], sbox_ports,
+                                  fu_cat=_C_FU_SBOX)
                 if sbox_array.access(table, addr):
                     complete = issued + config.sbox_cache_latency
                 else:
@@ -288,29 +389,80 @@ def simulate(
                     complete = (issued + config.sbox_cache_latency
                                 + config.sbox_dcache_latency)
             else:
-                issued = issue_at(access_ready, dport_used, dports)
+                request = access_ready
+                issued = issue_at(request, dport_used, dports,
+                                  fu_cat=_C_FU_MEM)
                 extra = 0
                 if hierarchy is not None:
                     extra = hierarchy.access(addr)
                 complete = issued + config.sbox_dcache_latency + extra
         elif k == "mul32":
-            issued = issue_at(earliest, mul_used, mul_slots, config.mul32_cost)
+            operand_end = request = earliest
+            issued = issue_at(request, mul_used, mul_slots,
+                              config.mul32_cost, fu_cat=_C_FU_MUL)
             complete = issued + config.mul32_latency
         elif k == "mul64":
-            issued = issue_at(earliest, mul_used, mul_slots, config.mul64_cost)
+            operand_end = request = earliest
+            issued = issue_at(request, mul_used, mul_slots,
+                              config.mul64_cost, fu_cat=_C_FU_MUL)
             complete = issued + config.mul64_latency
         elif k == "mulmod":
-            issued = issue_at(earliest, mul_used, mul_slots, config.mulmod_cost)
+            operand_end = request = earliest
+            issued = issue_at(request, mul_used, mul_slots,
+                              config.mulmod_cost, fu_cat=_C_FU_MUL)
             complete = issued + config.mulmod_latency
         elif k == "sync":
-            issued = issue_at(earliest, _no_fu, _UNLIMITED)
+            operand_end = request = earliest
+            issued = issue_at(request, _no_fu, _UNLIMITED)
             complete = issued + 1
             if sbox_array is not None:
                 sbox_array.sync(sbox_table[s])
             sync_barrier = complete
         else:
-            issued = issue_at(earliest, _no_fu, _UNLIMITED)
+            operand_end = request = earliest
+            issued = issue_at(request, _no_fu, _UNLIMITED)
             complete = issued + alu_lat
+
+        # ---- stall attribution -------------------------------------------
+        if attribute:
+            exec_counts[s] += 1
+            # Machine view: label every cycle up to this issue with the
+            # category blocking the oldest unissued instruction (cycles
+            # below ``frontier`` were labeled by older instructions).
+            if issued > frontier:
+                for cycle in range(frontier, issued):
+                    if cycle < this_fetch:
+                        cat = (_C_MISPREDICT if cycle < mispredict_until
+                               else _C_FETCH)
+                    elif cycle < enter:
+                        cat = _C_FRONTEND
+                    elif cycle < dispatch_floor:
+                        cat = _C_WINDOW
+                    elif cycle < operand_end:
+                        cat = _C_OPERAND
+                    elif cycle < request:
+                        cat = _C_ALIAS
+                    else:
+                        cat = bumps[cycle - request]
+                    reason_at[cycle] = cat
+                frontier = issued
+            # Instruction view: cycles *this* instruction spent blocked.
+            window_wait = dispatch_floor - enter
+            operand_wait = operand_end - dispatch_floor
+            alias_wait = request - operand_end
+            if window_wait or operand_wait or alias_wait or bumps:
+                row = hot.get(s)
+                if row is None:
+                    row = hot[s] = [0] * _N_WAIT
+                row[_C_WINDOW - _C_WINDOW] += window_wait
+                row[_C_OPERAND - _C_WINDOW] += operand_wait
+                row[_C_ALIAS - _C_WINDOW] += alias_wait
+                wait_totals[0] += window_wait
+                wait_totals[1] += operand_wait
+                wait_totals[2] += alias_wait
+                for cat in bumps:
+                    row[cat - _C_WINDOW] += 1
+                    wait_totals[cat - _C_WINDOW] += 1
 
         # ---- branch resolution / fetch redirect --------------------------
         if is_branch[s]:
@@ -326,6 +478,8 @@ def simulate(
                     fetch_cycle = redirect
                     fetch_slots_used = 0
                     fetch_groups_used = 0
+                    if redirect > mispredict_until:
+                        mispredict_until = redirect
             elif taken and break_on_taken and fetch_width is not None:
                 fetch_groups_used += 1
                 if fetch_groups_used >= groups_per_cycle:
@@ -356,12 +510,17 @@ def simulate(
             schedule.append((i, s, dispatch_floor, issued, complete, r))
 
         # ---- prune resource maps ------------------------------------------
-        if i - prune_mark >= 250_000:
+        if i - prune_mark >= prune_interval:
             prune_mark = i
             horizon = min(this_fetch, retire_prev) - 8192
+            # Slot attribution for cycles below the horizon is final (no
+            # later instruction can issue there): fold it into the totals
+            # before the usage counts are trimmed away.
+            if attribute and horizon > flushed_until:
+                flush_attribution(horizon)
             for counters in (issue_used, ialu_used, rot_used, mul_used,
                              dport_used, retire_used, *sport_used):
-                if len(counters) > 200_000:
+                if len(counters) > prune_entries:
                     for cycle in [c for c in counters if c < horizon]:
                         del counters[cycle]
 
@@ -374,4 +533,71 @@ def simulate(
         stats.extra["sbox_cache_hits"] = sbox_array.total_hits
     if predictor is not None:
         stats.extra["predictor_lookups"] = predictor.lookups
+
+    if attribute:
+        flush_attribution(stats.cycles)
+        stats.issue_slots = stats.cycles * issue_width
+        stats.stall_slots = {
+            name: stall_slots[index]
+            for index, name in enumerate(STALL_CATEGORIES)
+        }
+        stats.wait_cycles = {
+            name: wait_totals[index]
+            for index, name in enumerate(WAIT_CATEGORIES)
+        }
+        stats.hotspots = _hotspot_table(trace, hot, exec_counts)
+
+    if metrics is not None:
+        _record_metrics(metrics, config, stats)
     return stats
+
+
+def _hotspot_table(trace: Trace, hot: dict, exec_counts: list) -> list[dict]:
+    """Rank static instructions by accumulated wait cycles (top N).
+
+    Window-entry waits rank last: they measure the machine's dispatch
+    backlog, which every instruction in a saturated loop shares equally,
+    so operand/alias/contention waits -- the paper's actual per-operation
+    bottlenecks -- are the primary sort key.
+    """
+    ranked = sorted(
+        hot.items(),
+        key=lambda item: (sum(item[1][1:]), sum(item[1])),
+        reverse=True,
+    )[:_HOTSPOT_LIMIT]
+    # Synthetic traces (e.g. the multisession interleaver) carry static
+    # entries beyond their nominal program's instruction list.
+    instructions = trace.program.instructions
+    table = []
+    for static_index, waits in ranked:
+        total = sum(waits)
+        if not total:
+            continue
+        table.append({
+            "static_index": static_index,
+            "text": (instructions[static_index].render()
+                     if static_index < len(instructions)
+                     else f"static[{static_index}]"),
+            "executions": exec_counts[static_index],
+            "total_wait_cycles": total,
+            "wait_cycles": {
+                name: waits[index]
+                for index, name in enumerate(WAIT_CATEGORIES)
+                if waits[index]
+            },
+        })
+    return table
+
+
+def _record_metrics(metrics, config: MachineConfig, stats: SimStats) -> None:
+    """Publish one run's headline counters into a metrics registry."""
+    labels = {"config": config.name}
+    metrics.counter("sim.runs", labels).inc()
+    metrics.counter("sim.instructions", labels).inc(stats.instructions)
+    metrics.counter("sim.cycles", labels).inc(stats.cycles)
+    metrics.counter("sim.issue_slots", labels).inc(stats.issue_slots)
+    for category, slots in stats.stall_slots.items():
+        if slots:
+            metrics.counter(
+                "sim.stall_slots", {**labels, "category": category}
+            ).inc(slots)

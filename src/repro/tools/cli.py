@@ -7,11 +7,14 @@ Every experiment-running CLI in this repository speaks the same flags:
 * ``--config``         -- machine model name (Table 2 plus the baselines),
 * ``--session-bytes``  -- session length in bytes,
 * ``--jobs``           -- worker processes for the experiment runner,
-* ``--no-cache``       -- bypass the on-disk result cache.
+* ``--no-cache``       -- bypass the on-disk result cache,
+* ``--metrics-out``    -- write a metrics-registry snapshot (JSON),
+* ``--trace-out``      -- write a span trace (Chrome JSON or JSONL).
 
 The helpers here add those arguments with consistent help text, defaults,
 and backwards-compatible aliases, and build a configured
-:class:`repro.runner.Runner` from the parsed namespace.
+:class:`repro.runner.Runner` (plus an :class:`repro.obs.Observability`
+session when telemetry outputs are requested) from the parsed namespace.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import argparse
 
 from repro.isa import Features
 from repro.kernels import KERNEL_NAMES
+from repro.obs import Observability
 from repro.runner import ResultCache, Runner
 from repro.sim import (
     ALPHA21264,
@@ -112,10 +116,51 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="do not read or write the on-disk result cache",
     )
+    add_observability_arguments(parser)
 
 
-def runner_from_args(args: argparse.Namespace, **kwargs) -> Runner:
-    """Build a :class:`Runner` from ``add_runner_arguments`` flags."""
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--metrics-out`` / ``--trace-out`` telemetry outputs.
+
+    See ``docs/observability.md`` for the file formats.
+    """
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a metrics snapshot (counters, histograms) as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write runner/simulator spans: Chrome/Perfetto trace JSON, "
+             "or one event per line if PATH ends in .jsonl",
+    )
+
+
+def observability_from_args(
+    args: argparse.Namespace, *, tool: str | None = None
+) -> Observability:
+    """Build an :class:`Observability` session from the telemetry flags.
+
+    Inert (no registry, no tracer) unless at least one output path was
+    given, so tools can call it unconditionally.
+    """
+    return Observability(
+        metrics_out=getattr(args, "metrics_out", None),
+        trace_out=getattr(args, "trace_out", None),
+        tool=tool,
+    )
+
+
+def runner_from_args(
+    args: argparse.Namespace, *, obs: Observability | None = None, **kwargs
+) -> Runner:
+    """Build a :class:`Runner` from ``add_runner_arguments`` flags.
+
+    Pass the tool's :class:`Observability` session as ``obs`` to plumb its
+    metrics registry and tracer into the runner.
+    """
     cache = (ResultCache.disabled() if getattr(args, "no_cache", False)
              else ResultCache.from_env())
+    if obs is not None:
+        kwargs.setdefault("metrics", obs.metrics)
+        kwargs.setdefault("tracer", obs.tracer)
     return Runner(cache=cache, jobs=getattr(args, "jobs", 1), **kwargs)

@@ -24,6 +24,7 @@ from repro.tools.cli import (
     add_features_argument,
     add_runner_arguments,
     add_session_argument,
+    observability_from_args,
     runner_from_args,
 )
 
@@ -49,7 +50,8 @@ def main(argv: list[str] | None = None) -> int:
         session_bytes=session,
         kind="decrypt" if args.decrypt else "encrypt",
     )
-    runner = runner_from_args(args)
+    obs = observability_from_args(args, tool="kernelbench")
+    runner = runner_from_args(args, obs=obs)
     results = runner.run([
         Experiment(options, CONFIGS[name]) for name in args.configs
     ])
@@ -63,6 +65,8 @@ def main(argv: list[str] | None = None) -> int:
         stats = result.stats
         print(f"{name:<8} {stats.cycles:>9} {stats.ipc:>6.2f} "
               f"{stats.bytes_per_kilocycle(session):>10.2f}")
+    for path in obs.write():
+        print(f"wrote {path}")
     return 0
 
 

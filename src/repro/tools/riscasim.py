@@ -32,6 +32,7 @@ from repro.tools.cli import (
     CONFIGS,
     add_config_argument,
     add_runner_arguments,
+    observability_from_args,
     runner_from_args,
 )
 
@@ -65,10 +66,16 @@ def main(argv: list[str] | None = None) -> int:
     result = Machine(program, memory).run()
     trace = result.trace
     config = CONFIGS[args.config]
-    runner = runner_from_args(args)
+    obs = observability_from_args(args, tool="riscasim")
+    runner = runner_from_args(args, obs=obs)
     key_base = ["riscasim", program.digest(), args.memory]
     stats = runner.simulate_trace(trace, config, key_parts=key_base)
     print(f"{result.instructions} instructions; {stats.summary()}")
+    fractions = stats.stall_fractions()
+    if fractions:
+        print("issue slots: " + ", ".join(
+            f"{name} {share:.1%}" for name, share in fractions.items()
+        ))
 
     if args.dump:
         address, length = (int(part, 0) for part in args.dump.split(":"))
@@ -92,6 +99,9 @@ def main(argv: list[str] | None = None) -> int:
                 trace, bottleneck_config(which), key_parts=key_base
             ).cycles
             print(f"{which:<10} {dataflow / cycles:.3f}")
+
+    for path in obs.write():
+        print(f"wrote {path}")
     return 0
 
 

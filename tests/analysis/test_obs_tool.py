@@ -1,0 +1,139 @@
+"""Tests for the observability CLI surface: repro.tools.obs and the
+shared --metrics-out / --trace-out flags."""
+
+import json
+
+import pytest
+
+from repro.obs import validate_metrics, validate_trace_events
+from repro.tools import kernelbench, obs, riscasim
+
+
+def test_obs_breakdown_table(capsys):
+    assert obs.main(["--cipher", "RC6", "--config", "4W",
+                     "--session-bytes", "128", "--no-cache"]) == 0
+    output = capsys.readouterr().out
+    assert "RC6 [opt] 128B" in output
+    assert "issued" in output
+    assert "%" in output
+    assert "IPC" in output
+
+
+def test_obs_hotspots(capsys):
+    assert obs.main(["--cipher", "Blowfish", "--config", "4W",
+                     "--session-bytes", "128", "--no-cache",
+                     "--hotspots", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "hot spots" in output
+    assert "x" in output  # execution counts
+
+
+def test_obs_writes_valid_telemetry(tmp_path, capsys):
+    """Acceptance: a Blowfish run exports valid Perfetto trace-event JSON
+    and a valid metrics document."""
+    metrics_path = tmp_path / "metrics.json"
+    trace_path = tmp_path / "trace.json"
+    assert obs.main([
+        "--cipher", "Blowfish", "--config", "4W", "8W+",
+        "--session-bytes", "128", "--no-cache",
+        "--metrics-out", str(metrics_path),
+        "--trace-out", str(trace_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert f"wrote {metrics_path}" in output
+
+    metrics = json.loads(metrics_path.read_text())
+    assert validate_metrics(metrics) == []
+    names = {metric["name"] for metric in metrics["metrics"]}
+    assert "sim.cycles" in names
+    assert "sim.stall_slots" in names
+
+    trace = json.loads(trace_path.read_text())
+    assert validate_trace_events(trace) == []
+    span_names = {event["name"] for event in trace["traceEvents"]}
+    assert "timing:Blowfish:4W" in span_names
+    assert "timing:Blowfish:8W+" in span_names
+
+
+def test_obs_check_accepts_and_rejects(tmp_path, capsys):
+    good = tmp_path / "metrics.json"
+    good.write_text(json.dumps({
+        "schema": "repro.obs.metrics/1",
+        "metrics": [{"name": "n", "type": "counter",
+                     "labels": {}, "value": 1}],
+    }))
+    assert obs.main(["--check", str(good)]) == 0
+    assert "valid metrics" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({
+        "schema": "repro.obs.metrics/1",
+        "metrics": [{"name": "n", "type": "counter",
+                     "labels": {}, "value": -5}],
+    }))
+    assert obs.main(["--check", str(bad)]) == 1
+    assert "error" in capsys.readouterr().out
+
+
+def test_obs_check_trace_jsonl(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(json.dumps(
+        {"name": "a", "ph": "i", "s": "t", "ts": 1.0, "pid": 0, "tid": 0}
+    ) + "\n")
+    assert obs.main(["--check", str(path)]) == 0
+
+
+def test_obs_pipeline_window_exports_schedule(tmp_path, capsys):
+    trace_path = tmp_path / "pipeline.json"
+    assert obs.main([
+        "--cipher", "Blowfish", "--config", "4W",
+        "--session-bytes", "128", "--no-cache",
+        "--pipeline", "40:60", "--trace-out", str(trace_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "cycle" in output  # the ASCII header
+    assert "mean_wait_cycles" in output
+    document = json.loads(trace_path.read_text())
+    assert validate_trace_events(document) == []
+    slices = [event for event in document["traceEvents"]
+              if event.get("cat") == "pipeline"]
+    assert len(slices) == 20
+    assert all("issue" in event["args"] for event in slices)
+
+
+def test_obs_pipeline_requires_single_target(tmp_path):
+    with pytest.raises(SystemExit):
+        obs.main(["--cipher", "RC4", "RC6", "--config", "4W",
+                  "--no-cache", "--pipeline", "0:10"])
+
+
+def test_kernelbench_telemetry_flags(tmp_path, capsys):
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.jsonl"
+    assert kernelbench.main([
+        "--cipher", "RC6", "--session", "128", "--configs", "4W",
+        "--no-cache", "--metrics-out", str(metrics_path),
+        "--trace-out", str(trace_path),
+    ]) == 0
+    assert validate_metrics(json.loads(metrics_path.read_text())) == []
+    events = [json.loads(line)
+              for line in trace_path.read_text().splitlines()]
+    assert validate_trace_events(events) == []
+    assert any(event["name"].startswith("functional:")
+               for event in events)
+
+
+def test_riscasim_prints_slot_account(tmp_path, capsys):
+    program = tmp_path / "p.s"
+    program.write_text("""
+    ldiq r1, 10
+loop:
+    addq r2, r2, #1
+    subq r1, r1, #1
+    bne r1, loop
+    halt
+    """)
+    assert riscasim.main([str(program), "--no-cache"]) == 0
+    output = capsys.readouterr().out
+    assert "issue slots" in output
+    assert "issued" in output

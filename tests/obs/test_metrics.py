@@ -1,0 +1,100 @@
+"""Tests for the metrics registry and its snapshot schema."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, validate_metrics
+from repro.obs.metrics import Histogram
+
+
+def test_counter_identity_and_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("runs", {"cipher": "RC6"})
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("runs", {"cipher": "RC6"}) is counter
+    assert counter.value == 5
+    # Different labels -> a distinct instrument.
+    assert registry.counter("runs", {"cipher": "RC4"}).value == 0
+    assert len(registry) == 2
+
+
+def test_counter_rejects_decrease():
+    counter = MetricsRegistry().counter("n")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_label_order_is_irrelevant():
+    registry = MetricsRegistry()
+    a = registry.gauge("g", {"x": 1, "y": 2})
+    b = registry.gauge("g", {"y": 2, "x": 1})
+    assert a is b
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("m")
+    with pytest.raises(TypeError):
+        registry.gauge("m")
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value == 7
+
+
+def test_histogram_buckets_are_cumulative():
+    histogram = Histogram("lat", buckets=(1.0, 5.0, 10.0))
+    for value in (0.5, 0.7, 3.0, 20.0):
+        histogram.observe(value)
+    fields = histogram._value_fields()
+    assert fields["count"] == 4
+    assert fields["sum"] == pytest.approx(24.2)
+    assert [b["count"] for b in fields["buckets"]] == [2, 3, 3, 4]
+    assert fields["buckets"][-1]["le"] == "+inf"
+
+
+def test_snapshot_is_sorted_and_valid():
+    registry = MetricsRegistry()
+    registry.counter("z.last").inc()
+    registry.counter("a.first", {"k": "v"}).inc(2)
+    registry.histogram("h").observe(0.01)
+    document = registry.snapshot(generated_by="test")
+    assert validate_metrics(document) == []
+    names = [metric["name"] for metric in document["metrics"]]
+    assert names == sorted(names)
+    assert document["generated_by"] == "test"
+    # Snapshots must round-trip through JSON unchanged.
+    assert json.loads(registry.to_json()) == registry.snapshot()
+
+
+def test_write_and_reload(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("sim.runs", {"config": "4W"}).inc(3)
+    path = tmp_path / "metrics.json"
+    registry.write(path, generated_by="unit")
+    document = json.loads(path.read_text())
+    assert validate_metrics(document) == []
+    assert document["metrics"][0]["value"] == 3
+
+
+def test_validator_flags_bad_documents():
+    assert validate_metrics([]) != []
+    assert validate_metrics({"schema": "bogus", "metrics": []}) != []
+    bad = {
+        "schema": "repro.obs.metrics/1",
+        "metrics": [{"name": "n", "type": "counter",
+                     "labels": {}, "value": -1}],
+    }
+    assert any("counter" in error for error in validate_metrics(bad))
+    truncated = {
+        "schema": "repro.obs.metrics/1",
+        "metrics": [{"name": "h", "type": "histogram", "labels": {},
+                     "count": 2, "sum": 1.0,
+                     "buckets": [{"le": 1.0, "count": 2}]}],
+    }
+    assert any("+inf" in error for error in validate_metrics(truncated))

@@ -1,0 +1,64 @@
+"""Tests for the schedule span decoder and Perfetto exporter."""
+
+from repro.obs import (
+    schedule_spans,
+    schedule_trace_events,
+    validate_trace_events,
+)
+
+# (position, static_index, fetch, issue, complete, retire)
+SCHEDULE = [
+    (0, 0, 0, 2, 3, 4),
+    (1, 1, 0, 3, 5, 6),
+    (2, 0, 1, 6, 7, 8),
+]
+
+
+def test_schedule_spans_stage_arithmetic():
+    spans = schedule_spans(SCHEDULE)
+    assert [span.wait_cycles for span in spans] == [2, 3, 5]
+    assert [span.execute_cycles for span in spans] == [1, 2, 1]
+    assert [span.drain_cycles for span in spans] == [1, 1, 1]
+    assert spans[0].lifetime == 5
+
+
+def test_trace_events_are_valid_and_labeled():
+    labels = ["addq r1, r1, r2", "ldl r3, 0(r4)"]
+    events = schedule_trace_events(SCHEDULE, labels, pid=3)
+    assert validate_trace_events(events) == []
+    slices = [event for event in events if event["ph"] == "X"]
+    assert [event["name"] for event in slices] == [
+        "addq r1, r1, r2", "ldl r3, 0(r4)", "addq r1, r1, r2",
+    ]
+    assert all(event["pid"] == 3 for event in events)
+    # Stage boundaries ride along for Perfetto's detail pane.
+    assert slices[1]["args"]["issue"] == 3
+    assert slices[1]["args"]["wait_cycles"] == 3
+
+
+def test_trace_events_metadata_tracks():
+    events = schedule_trace_events(SCHEDULE, lanes=2,
+                                   track_prefix="demo")
+    meta = [event for event in events if event["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "demo"
+    assert [event["args"]["name"] for event in meta[1:]] == [
+        "demo lane 0", "demo lane 1",
+    ]
+    # Lanes are assigned round-robin by position.
+    slices = [event for event in events if event["ph"] == "X"]
+    assert [event["tid"] for event in slices] == [0, 1, 0]
+
+
+def test_default_and_callable_labels():
+    events = schedule_trace_events(SCHEDULE[:1])
+    assert events[-1]["name"] == "inst[0]"
+    events = schedule_trace_events(
+        SCHEDULE[:1], labels=lambda index: f"op{index}"
+    )
+    assert events[-1]["name"] == "op0"
+
+
+def test_empty_schedule_exports_only_metadata():
+    events = schedule_trace_events([])
+    assert validate_trace_events(events) == []
+    assert all(event["ph"] == "M" for event in events)

@@ -1,0 +1,89 @@
+"""Tests for the span tracer and Chrome/Perfetto export."""
+
+import json
+
+from repro.obs import Tracer, validate_trace_events
+
+
+def make_tracer():
+    """A tracer on a deterministic fake clock advancing 1 ms per read."""
+    ticks = iter(range(10_000))
+
+    def clock():
+        return next(ticks) * 1e-3
+
+    return Tracer(clock=clock, pid=7)
+
+
+def test_span_records_complete_event():
+    tracer = make_tracer()
+    with tracer.span("phase", "cat", {"n": 3}) as args:
+        args["result"] = "ok"
+    (event,) = tracer.events
+    assert event["ph"] == "X"
+    assert event["name"] == "phase"
+    assert event["dur"] > 0
+    assert event["args"] == {"n": 3, "result": "ok"}
+    assert event["pid"] == 7
+
+
+def test_span_survives_exceptions():
+    tracer = make_tracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert len(tracer.events) == 1
+
+
+def test_instant_and_counter_events():
+    tracer = make_tracer()
+    tracer.instant("marker", args={"k": 1})
+    tracer.counter("cache", {"hits": 2, "misses": 1})
+    phases = [event["ph"] for event in tracer.events]
+    assert phases == ["i", "C"]
+    assert validate_trace_events(tracer.to_chrome()) == []
+
+
+def test_to_chrome_sorts_by_timestamp():
+    tracer = make_tracer()
+    tracer.add_events([
+        {"name": "late", "ph": "i", "s": "t", "ts": 100.0,
+         "pid": 0, "tid": 0},
+        {"name": "early", "ph": "i", "s": "t", "ts": 1.0,
+         "pid": 0, "tid": 0},
+    ])
+    names = [event["name"] for event in tracer.to_chrome()["traceEvents"]]
+    assert names == ["early", "late"]
+
+
+def test_write_chrome_json(tmp_path):
+    tracer = make_tracer()
+    with tracer.span("a"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write(path)
+    document = json.loads(path.read_text())
+    assert validate_trace_events(document) == []
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_write_jsonl(tmp_path):
+    tracer = make_tracer()
+    with tracer.span("a"):
+        pass
+    tracer.instant("b")
+    path = tmp_path / "trace.jsonl"
+    tracer.write(path)
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(events) == 2
+    assert validate_trace_events(events) == []
+
+
+def test_validator_flags_bad_events():
+    assert validate_trace_events(42) != []
+    assert validate_trace_events([{"ph": "Z"}]) != []
+    missing_dur = [{"name": "x", "ph": "X", "ts": 0.0, "pid": 0}]
+    assert any("dur" in error
+               for error in validate_trace_events(missing_dur))

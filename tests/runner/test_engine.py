@@ -262,3 +262,80 @@ def test_default_key_matches_suite_pattern(tmp_path):
         key=bytes(range(SUITE_BY_NAME["RC4"].key_bytes))
     )
     assert runner.fingerprint(implicit) == runner.fingerprint(explicit)
+
+
+def test_wall_time_covers_every_phase(tmp_path):
+    """wall_time must account for functional + timing + cache work; the
+    original implementation only summed timing runs."""
+    runner = make_runner(tmp_path)
+    runner.run(grid())
+    stats = runner.stats
+    assert stats.wall_time_functional > 0
+    assert stats.wall_time_timing > 0
+    assert stats.wall_time_cache > 0
+    assert stats.wall_time == pytest.approx(
+        sum(stats.phase_breakdown().values())
+    )
+    text = stats.summary()
+    assert "functional" in text and "timing" in text and "cache" in text
+
+    # A warm run does cache work but no simulation.
+    warm = make_runner(tmp_path)
+    warm.run(grid())
+    assert warm.stats.wall_time_cache > 0
+    assert warm.stats.wall_time_timing == 0
+    assert warm.stats.wall_time_functional == 0
+
+
+def test_parallel_workers_report_functional_time():
+    runner = Runner(cache=ResultCache.disabled(), jobs=4)
+    runner.run(grid(ciphers=("RC4", "RC6"), configs=(FOURW,)))
+    if runner.stats.functional_runs:  # pool may be unavailable in sandbox
+        assert runner.stats.wall_time_functional > 0
+
+
+def test_simulate_trace_counts_timing_phase(tmp_path):
+    runner = make_runner(tmp_path)
+    options = ExperimentOptions(cipher="RC6", session_bytes=128)
+    run = runner.functional(options)
+    runner.simulate_trace(run.trace, FOURW, run.warm_ranges)
+    assert runner.stats.wall_time_timing > 0
+
+
+def test_runner_publishes_metrics_and_spans(tmp_path):
+    from repro.obs import MetricsRegistry, Tracer, validate_trace_events
+
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    runner = make_runner(tmp_path, metrics=metrics, tracer=tracer)
+    runner.run(grid())
+
+    assert metrics.counter("runner.functional_runs").value == 1
+    assert metrics.counter("runner.cache.misses").value == 2
+    assert metrics.counter("sim.runs", {"config": "4W"}).value == 1
+    names = {event["name"] for event in tracer.events}
+    assert "cache-probe" in names
+    assert "functional:RC6" in names
+    assert "timing:RC6:4W" in names
+    assert validate_trace_events(tracer.to_chrome()) == []
+
+    # Warm reruns touch no simulator and open no timing spans.
+    warm_tracer = Tracer()
+    warm = make_runner(tmp_path, tracer=warm_tracer)
+    warm.run(grid())
+    warm_names = {event["name"] for event in warm_tracer.events}
+    assert "cache-probe" in warm_names
+    assert not any(name.startswith("timing:") for name in warm_names)
+
+
+def test_cached_records_round_trip_stall_attribution(tmp_path):
+    cold = make_runner(tmp_path)
+    baseline = cold.run(grid(configs=(FOURW,)))[0].stats
+    assert baseline.issue_slots > 0 and baseline.stall_slots
+
+    warm = make_runner(tmp_path)
+    cached = warm.run(grid(configs=(FOURW,)))[0].stats
+    assert cached.issue_slots == baseline.issue_slots
+    assert cached.stall_slots == baseline.stall_slots
+    assert cached.wait_cycles == baseline.wait_cycles
+    assert cached.hotspots == baseline.hotspots

@@ -68,3 +68,49 @@ def test_no_schedule_without_request():
     trace = _trace()
     stats = simulate(trace, FOURW)
     assert "schedule" not in stats.extra
+
+
+GOLDEN_4W = """\
+   pos instruction     cycle 2
+     0 ldiq r1, 0x5    F.R
+     1 addq r2, r1, #1 FX.R
+     2 addq r3, r2, #2 F=X.R
+     3 xor r4, r2, r3  F==X.R
+     4 halt             F...R"""
+
+
+def test_golden_render_tiny_kernel_on_4w():
+    """Byte-exact rendering of a dependent chain on the 4W machine: the
+    adds issue back to back (X marching right), the xor waits two cycles
+    for both operands (==), and retirement is in order."""
+    trace = Machine(assemble("""
+    ldiq r1, 5
+    addq r2, r1, #1
+    addq r3, r2, #2
+    xor r4, r2, r3
+    halt
+    """), Memory(4096)).run().trace
+    stats = simulate(trace, FOURW, schedule_range=(0, len(trace)))
+    rendered = render_pipeline(trace, stats.extra["schedule"])
+    stripped = "\n".join(line.rstrip() for line in rendered.splitlines())
+    assert stripped == GOLDEN_4W
+
+
+def test_render_truncates_wide_windows():
+    trace = _trace()
+    # A synthetic span far wider than the column budget.
+    schedule = [(0, 0, 0, 200, 201, 202), (1, 1, 0, 1, 2, 3)]
+    text = render_pipeline(trace, schedule, max_columns=40)
+    lines = text.splitlines()
+    assert "(clipped)" in lines[0]
+    # Every row renders the same, bounded cycle range: 41 columns, far
+    # fewer than the 203-cycle span width.
+    assert len({len(line) for line in lines[1:]}) == 1
+    assert len(lines[1]) < 203
+    # The wide span's issue/retire stages fall outside the rendering.
+    assert "F" in lines[1]
+    assert "X" not in lines[1]
+    assert "R" not in lines[1]
+    # An un-clipped render keeps a plain header.
+    narrow = render_pipeline(trace, schedule[1:], max_columns=40)
+    assert "(clipped)" not in narrow.splitlines()[0]

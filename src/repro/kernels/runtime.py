@@ -33,9 +33,9 @@ from dataclasses import dataclass
 
 from repro.isa import Features, KernelBuilder
 from repro.isa.program import Program
-from repro.sim.machine import Machine
+from repro.sim.machine import Machine, SimulationError, StreamingTrace
 from repro.sim.memory import Memory
-from repro.sim.trace import Trace
+from repro.sim.trace import DEFAULT_CHUNK_SIZE, Trace
 
 TABLES_BASE = 0x1000
 KEYS_BASE = 0xD000
@@ -67,9 +67,14 @@ class Layout:
 
 @dataclass
 class KernelRun:
-    """Result of one functional kernel execution."""
+    """Result of one functional kernel execution.
 
-    trace: Trace
+    ``trace`` is ``None`` for streamed executions (the trace chunks were
+    consumed by a timing pipeline as they were produced; see
+    :class:`KernelStream`).
+    """
+
+    trace: Trace | None
     ciphertext: bytes
     instructions: int
     session_bytes: int
@@ -81,6 +86,69 @@ class KernelRun:
     def instructions_per_byte(self) -> float:
         """The paper's "1 CPI machine" metric basis."""
         return self.instructions / self.session_bytes
+
+
+@dataclass
+class KernelStream:
+    """A kernel execution prepared for streaming consumption.
+
+    ``source`` is a single-pass :class:`~repro.sim.machine.StreamingTrace`:
+    the functional interpreter advances only as a consumer (normally a
+    :class:`~repro.sim.timing.TimingPipeline`) pulls trace chunks, so the
+    full dynamic trace never materializes.  Output validation necessarily
+    moves to the end of the run: call :meth:`finalize` after exhausting the
+    source to check the ciphertext against the reference cipher and get
+    the usual :class:`KernelRun` record (with ``trace=None``).
+    """
+
+    source: StreamingTrace
+    warm_ranges: list[tuple[int, int]]
+    session_bytes: int
+    _kernel: "CipherKernel"
+    _layout: Layout
+    _data: bytes
+    _iv: bytes | None
+    _decrypt: bool
+    _validate: bool
+
+    @property
+    def program(self) -> Program:
+        return self.source.program
+
+    def finalize(self) -> KernelRun:
+        """Validate the output once the stream is exhausted."""
+        machine = self.source.machine
+        if not machine.halted:
+            raise SimulationError(
+                f"{self._kernel.name}: stream not exhausted -- consume all "
+                "trace chunks before finalize()"
+            )
+        kernel = self._kernel
+        layout = self._layout
+        data = self._data
+        output = kernel._unpack(
+            machine.memory.read_bytes(layout.output, len(data))
+        )
+        if self._validate:
+            reference = (
+                kernel.reference_decrypt if self._decrypt
+                else kernel.reference_encrypt
+            )
+            expected = reference(data, self._iv or b"")
+            if output != expected:
+                direction = "decryption" if self._decrypt else "encryption"
+                raise AssertionError(
+                    f"{kernel.name} [{kernel.features.label}] {direction} "
+                    f"output diverges from reference: {output[:16].hex()} "
+                    f"!= {expected[:16].hex()}"
+                )
+        return KernelRun(
+            trace=None,
+            ciphertext=output,
+            instructions=machine.instructions_executed,
+            session_bytes=self.session_bytes,
+            warm_ranges=self.warm_ranges,
+        )
 
 
 class CipherKernel(ABC):
@@ -267,6 +335,45 @@ class CipherKernel(ABC):
         """
         return self._run(ciphertext, iv, True, record_trace, record_values,
                          validate)
+
+    def stream(
+        self,
+        data: bytes,
+        iv: bytes | None = None,
+        decrypt: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        record_values: bool = False,
+        validate: bool = True,
+    ) -> KernelStream:
+        """Prepare a streamed execution (the bounded-memory twin of
+        :meth:`encrypt`/:meth:`decrypt`).
+
+        Returns a :class:`KernelStream` whose ``source`` yields trace
+        chunks as the kernel executes; validation happens in
+        :meth:`KernelStream.finalize` because the output buffer is only
+        complete once the stream is exhausted.
+        """
+        if iv is None and self.block_bytes > 1:
+            iv = bytes(self.block_bytes)
+        program, memory, layout = self.prepare(data, iv, decrypt=decrypt)
+        machine = Machine(program, memory)
+        return KernelStream(
+            source=machine.stream(
+                chunk_size=chunk_size, record_values=record_values
+            ),
+            warm_ranges=[
+                (layout.tables, self.tables_bytes),
+                (layout.keys, self.keys_bytes),
+                (layout.iv, 64),
+            ],
+            session_bytes=len(data),
+            _kernel=self,
+            _layout=layout,
+            _data=data,
+            _iv=iv,
+            _decrypt=decrypt,
+            _validate=validate,
+        )
 
     def builder(self) -> KernelBuilder:
         return KernelBuilder(self.features)

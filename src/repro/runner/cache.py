@@ -13,6 +13,12 @@ schema-mismatched file are treated as misses (the bad file is removed
 best-effort) and the result is recomputed; writes are atomic
 (temp file + ``os.replace``) so concurrent runners never observe partial
 records.
+
+Alongside the JSON records the cache stores *blobs* -- pickled records
+(``<root>/<k[:2]>/<k>.bin``) used for functional traces, whose
+``array``-backed columns serialize as raw machine words rather than JSON
+number lists.  Blobs follow the same key discipline, atomicity and
+corruption-is-a-miss rules.
 """
 
 from __future__ import annotations
@@ -20,13 +26,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import shutil
 import tempfile
 from pathlib import Path
 
 #: Bump whenever the simulators, kernels' table layouts, or the record
 #: schema change in a way the content hash cannot see.
-RUNNER_VERSION = 2  # v2: SimStats stall-attribution fields (PR 2)
+RUNNER_VERSION = 3  # v3: array-backed traces + streaming pipeline (PR 3)
 
 
 def default_cache_dir() -> Path:
@@ -132,6 +139,60 @@ class ResultCache:
                 raise
         except (OSError, TypeError, ValueError):
             # A full disk or unserializable record must never fail a run.
+            self.errors += 1
+
+    # -- pickled blobs (functional traces) --------------------------------
+
+    def blob_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.bin"
+
+    def has_blob(self, key: str) -> bool:
+        """Cheap existence probe (no deserialization)."""
+        return self.enabled and self.blob_path_for(key).is_file()
+
+    def get_blob(self, key: str) -> dict | None:
+        """Fetch a pickled record; any corruption is a miss."""
+        if not self.enabled:
+            return None
+        path = self.blob_path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, EOFError, AttributeError, ImportError, IndexError,
+                ValueError, pickle.UnpicklingError):
+            self._discard(path)
+            self.misses += 1
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put_blob(self, key: str, record: dict) -> None:
+        """Atomically persist a pickled record under ``key`` (best effort)."""
+        if not self.enabled:
+            return
+        path = self.blob_path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(dict(record, key=key), handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError, pickle.PicklingError):
             self.errors += 1
 
     def clear(self) -> None:

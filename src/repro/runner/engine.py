@@ -35,18 +35,27 @@ from __future__ import annotations
 import multiprocessing
 import time
 import warnings
+from array import array
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
 
 from repro.ciphers.suite import SUITE_BY_NAME
 from repro.kernels import registry as kernel_registry
+from repro.kernels.runtime import KernelRun
 from repro.kernels.setup_registry import make_setup
 from repro.runner.cache import RUNNER_VERSION, ResultCache, content_key
 from repro.runner.experiment import Experiment, ExperimentOptions
 from repro.sim.config import MachineConfig
 from repro.sim.stats import SimStats
-from repro.sim.timing import simulate
-from repro.sim.trace import Trace
+from repro.sim.timing import TimingPipeline, record_sim_metrics, simulate
+from repro.sim.trace import (
+    ADDR_TYPECODE,
+    DEFAULT_CHUNK_SIZE,
+    SEQ_TYPECODE,
+    StaticInfo,
+    Trace,
+    TraceSource,
+)
 
 
 @dataclass
@@ -96,6 +105,13 @@ class RunnerStats:
     wall_time_functional: float = 0.0
     wall_time_timing: float = 0.0
     wall_time_cache: float = 0.0
+    #: Largest dynamic-trace payload held in memory at once (bytes): one
+    #: chunk on the streaming path, the whole trace on the batch path.
+    peak_trace_bytes: int = 0
+
+    def note_trace_bytes(self, nbytes: int) -> None:
+        if nbytes > self.peak_trace_bytes:
+            self.peak_trace_bytes = nbytes
 
     @property
     def wall_time(self) -> float:
@@ -149,12 +165,19 @@ class Runner:
         stats_hook=None,
         metrics=None,
         tracer=None,
+        stream: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ):
         self.cache = cache if cache is not None else ResultCache.from_env()
         self.jobs = max(1, int(jobs))
         self.stats_hook = stats_hook
         self.metrics = metrics
         self.tracer = tracer
+        #: Overlap functional execution and timing through the chunked
+        #: trace stream (bounded memory).  Per-experiment
+        #: ``ExperimentOptions.stream`` overrides; results are identical.
+        self.stream = stream
+        self.chunk_size = max(1, int(chunk_size))
         self.stats = RunnerStats()
         self._kernels: dict[tuple, object] = {}
         self._functional: dict[ExperimentOptions, object] = {}
@@ -244,18 +267,68 @@ class Runner:
             "config": asdict(experiment.config),
         })
 
-    # -- functional simulation (memoized) ----------------------------------
+    # -- functional simulation (memoized + blob-cached) --------------------
+
+    def _trace_blob_key(self, options: ExperimentOptions) -> str | None:
+        """Disk key of the materialized functional trace, if cacheable."""
+        if options.kind == "setup":
+            return None
+        return content_key({
+            "record": "functional-trace",
+            "version": RUNNER_VERSION,
+            "fingerprint": self.fingerprint(options),
+            "record_values": options.record_values,
+        })
+
+    def _run_from_blob(self, options: ExperimentOptions, blob: dict):
+        """Rebuild a ``KernelRun`` from a cached trace blob."""
+        kernel = self._kernel(options)
+        program = kernel.program_for(
+            options.session_bytes, decrypt=options.kind == "decrypt"
+        )
+        trace = Trace(
+            program=program,
+            static=StaticInfo.from_program(program),
+            seq=blob["seq"],
+            addrs=blob["addrs"],
+            values=blob.get("values"),
+            instructions_executed=int(blob["instructions"]),
+        )
+        return KernelRun(
+            trace=trace,
+            ciphertext=blob["ciphertext"],
+            instructions=int(blob["instructions"]),
+            session_bytes=int(blob["session_bytes"]),
+            warm_ranges=[tuple(pair) for pair in blob["warm_ranges"]],
+        )
 
     def functional(self, options: ExperimentOptions):
         """Run (or reuse) the functional simulation for ``options``.
 
         Returns the kernel's ``KernelRun`` (or ``SetupRun`` for
         ``kind='setup'``).  One trace per distinct options value per
-        process, shared by every timing config.
+        process, shared by every timing config.  Materialized traces are
+        persisted as compact array blobs, so a later process asking for
+        the same functional run deserializes it instead of re-executing.
         """
         run = self._functional.get(options)
         if run is not None:
             return run
+        blob_key = self._trace_blob_key(options)
+        if blob_key is not None:
+            probe_start = time.perf_counter()
+            blob = self.cache.get_blob(blob_key)
+            self.stats.wall_time_cache += time.perf_counter() - probe_start
+            if blob is not None:
+                try:
+                    run = self._run_from_blob(options, blob)
+                except (KeyError, TypeError, ValueError):
+                    self.cache.errors += 1
+                    run = None
+                if run is not None:
+                    self.stats.note_trace_bytes(run.trace.nbytes)
+                    self._functional[options] = run
+                    return run
         start = time.perf_counter()
         with self._span(f"functional:{options.cipher}", "functional",
                         {"cipher": options.cipher, "kind": options.kind,
@@ -285,6 +358,19 @@ class Runner:
             self.metrics.histogram(
                 "runner.functional.seconds", {"cipher": options.cipher}
             ).observe(elapsed)
+        if run.trace is not None:
+            self.stats.note_trace_bytes(run.trace.nbytes)
+            if blob_key is not None:
+                self.cache.put_blob(blob_key, {
+                    "version": RUNNER_VERSION,
+                    "seq": run.trace.seq,
+                    "addrs": run.trace.addrs,
+                    "values": run.trace.values,
+                    "instructions": run.instructions,
+                    "ciphertext": run.ciphertext,
+                    "session_bytes": run.session_bytes,
+                    "warm_ranges": run.warm_ranges,
+                })
         self._functional[options] = run
         return run
 
@@ -378,7 +464,8 @@ class Runner:
 
     def _run_groups_parallel(self, pending):
         specs = [
-            (options, [entry[1].config for entry in entries])
+            (options, [entry[1].config for entry in entries],
+             self.stream, self.chunk_size)
             for options, entries in pending.items()
         ]
         try:
@@ -395,17 +482,40 @@ class Runner:
             )
             return None
         # Workers ran the functional simulations out of process; fold the
-        # wall time they report back into the per-phase account.
+        # wall time (and peak trace memory) they report back.
         self.stats.functional_runs += len(specs)
         self.stats.wall_time_functional += sum(
             output["functional_wall_time"] for output in outputs
         )
+        for output in outputs:
+            self.stats.note_trace_bytes(output.get("peak_trace_bytes", 0))
         return dict(zip(
             (spec[0] for spec in specs),
             (output["records"] for output in outputs),
         ))
 
+    def _should_stream(self, options: ExperimentOptions) -> bool:
+        """Streaming eligibility for one experiment group.
+
+        Streaming is skipped when the trace is already materialized in
+        this process (or sitting in the blob cache -- reusing it beats
+        re-executing), when the caller asked for recorded values (the
+        value-prediction study reads the trace directly), and for setup
+        runs (tiny traces, separate harness).
+        """
+        if options.kind == "setup" or options.record_values:
+            return False
+        enabled = options.stream if options.stream is not None else self.stream
+        if not enabled:
+            return False
+        if options in self._functional:
+            return False
+        blob_key = self._trace_blob_key(options)
+        return blob_key is None or not self.cache.has_blob(blob_key)
+
     def _run_group_records(self, options, configs) -> list[dict]:
+        if self._should_stream(options):
+            return self._stream_group_records(options, configs)
         run = self.functional(options)
         warm = None if options.kind == "setup" else run.warm_ranges
         records = []
@@ -429,6 +539,155 @@ class Runner:
                 "cipher": options.cipher,
                 "config": config.name,
                 "instructions": run.instructions,
+                "session_bytes": options.session_bytes,
+                "stats": _stats_to_dict(stats),
+                "wall_time": elapsed,
+            })
+        return records
+
+    def _stream_group_records(self, options, configs) -> list[dict]:
+        """One machine stream feeding one timing pipeline per config.
+
+        The functional interpreter advances chunk by chunk and every
+        pipeline consumes each chunk as it is produced, so peak trace
+        memory is one chunk regardless of session length, and functional
+        work is still done once per group (the same dedup as the batch
+        path).  Produces records identical to :meth:`_run_group_records`.
+        """
+        kernel = self._kernel(options)
+        data = options.resolved_plaintext()
+        chunk_size = (options.chunk_size if options.chunk_size is not None
+                      else self.chunk_size)
+        if options.kind == "decrypt":
+            # The preliminary encryption only provides the input bytes; no
+            # trace is recorded for it.
+            payload = kernel.encrypt(
+                data, options.iv, record_trace=False
+            ).ciphertext
+            stream = kernel.stream(payload, options.iv, decrypt=True,
+                                   chunk_size=chunk_size)
+        else:
+            stream = kernel.stream(data, options.iv, chunk_size=chunk_size)
+
+        pipelines = [
+            TimingPipeline(config, stream.source.static,
+                           stream.source.program,
+                           warm_ranges=stream.warm_ranges)
+            for config in configs
+        ]
+        # With the disk cache on, accumulate the compact columns so the
+        # trace blob can be written through -- a later functional() call
+        # (same process or another) then deserializes instead of
+        # re-executing.  Bounded peak memory is the --no-cache (or
+        # already-cached) regime; the write-through costs one compact
+        # trace, never the full Trace object graph.
+        blob_key = self._trace_blob_key(options)
+        keep = blob_key is not None and self.cache.enabled
+        seq_acc = array(SEQ_TYPECODE) if keep else None
+        addrs_acc = array(ADDR_TYPECODE) if keep else None
+        tracer = self.tracer
+        perf = time.perf_counter
+        functional_time = 0.0
+        timing_times = [0.0] * len(pipelines)
+        peak = 0
+        chunks = 0
+        span_start = tracer.now_us() if tracer is not None else 0.0
+        generator = stream.source.chunks()
+        while True:
+            chunk_ts = tracer.now_us() if tracer is not None else 0.0
+            t0 = perf()
+            chunk = next(generator, None)
+            functional_time += perf() - t0
+            if chunk is None:
+                break
+            chunks += 1
+            if keep:
+                seq_acc.extend(chunk.seq)
+                addrs_acc.extend(chunk.addrs)
+            nbytes = chunk.nbytes
+            if nbytes > peak:
+                peak = nbytes
+            for index, pipeline in enumerate(pipelines):
+                t0 = perf()
+                pipeline.feed(chunk)
+                timing_times[index] += perf() - t0
+            if tracer is not None:
+                tracer.add_event({
+                    "name": f"chunk:{options.cipher}", "cat": "stream",
+                    "ph": "X", "ts": chunk_ts,
+                    "dur": tracer.now_us() - chunk_ts,
+                    "pid": tracer.pid, "tid": 0,
+                    "args": {"index": chunks - 1, "entries": len(chunk),
+                             "bytes": nbytes},
+                })
+        t0 = perf()
+        fin = stream.finalize()
+        functional_time += perf() - t0
+        if keep:
+            held = (seq_acc.itemsize * len(seq_acc)
+                    + addrs_acc.itemsize * len(addrs_acc))
+            if held > peak:
+                peak = held
+            self.cache.put_blob(blob_key, {
+                "version": RUNNER_VERSION,
+                "seq": seq_acc,
+                "addrs": addrs_acc,
+                "values": None,
+                "instructions": fin.instructions,
+                "ciphertext": fin.ciphertext,
+                "session_bytes": fin.session_bytes,
+                "warm_ranges": fin.warm_ranges,
+            })
+
+        self.stats.functional_runs += 1
+        self.stats.wall_time_functional += functional_time
+        self.stats.note_trace_bytes(peak)
+        if self.metrics is not None:
+            self.metrics.counter("runner.functional_runs").inc()
+            self.metrics.histogram(
+                "runner.functional.seconds", {"cipher": options.cipher}
+            ).observe(functional_time)
+            self.metrics.gauge("runner.peak_trace_bytes").set(
+                self.stats.peak_trace_bytes
+            )
+        if tracer is not None:
+            # The phases ran interleaved; report each with its measured
+            # share so span names and totals match the batch path.
+            tracer.add_event({
+                "name": f"functional:{options.cipher}", "cat": "functional",
+                "ph": "X", "ts": span_start, "dur": functional_time * 1e6,
+                "pid": tracer.pid, "tid": 0,
+                "args": {"cipher": options.cipher, "kind": options.kind,
+                         "session_bytes": options.session_bytes,
+                         "streamed": True, "chunks": chunks},
+            })
+
+        records = []
+        for index, (config, pipeline) in enumerate(zip(configs, pipelines)):
+            t0 = perf()
+            stats = pipeline.finish()
+            elapsed = timing_times[index] + (perf() - t0)
+            if self.metrics is not None:
+                record_sim_metrics(self.metrics, config, stats)
+                self.metrics.histogram(
+                    "runner.timing.seconds",
+                    {"cipher": options.cipher, "config": config.name},
+                ).observe(elapsed)
+            if tracer is not None:
+                tracer.add_event({
+                    "name": f"timing:{options.cipher}:{config.name}",
+                    "cat": "timing", "ph": "X",
+                    "ts": span_start, "dur": elapsed * 1e6,
+                    "pid": tracer.pid, "tid": 0,
+                    "args": {"cipher": options.cipher,
+                             "config": config.name,
+                             "cycles": stats.cycles, "streamed": True},
+                })
+            records.append({
+                "version": RUNNER_VERSION,
+                "cipher": options.cipher,
+                "config": config.name,
+                "instructions": fin.instructions,
                 "session_bytes": options.session_bytes,
                 "stats": _stats_to_dict(stats),
                 "wall_time": elapsed,
@@ -483,6 +742,7 @@ class Runner:
                     return stats
             self.stats.cache_misses += 1
         start = time.perf_counter()
+        self.stats.note_trace_bytes(getattr(trace, "nbytes", 0))
         with self._span(f"trace-sim:{config.name}", "timing",
                         {"config": config.name}):
             stats = simulate(trace, config, warm_ranges,
@@ -496,6 +756,100 @@ class Runner:
                 "stats": _stats_to_dict(stats),
             })
         return stats
+
+    def simulate_stream(
+        self,
+        source: TraceSource,
+        configs,
+        warm_ranges=None,
+        *,
+        key_parts=None,
+        chunk_size: int | None = None,
+    ) -> list[SimStats]:
+        """Timing-simulate a single-pass trace source on several configs.
+
+        The streaming twin of :meth:`simulate_trace`: one pipeline per
+        config consumes each chunk as the source produces it, so a live
+        :class:`~repro.sim.machine.StreamingTrace` is executed exactly
+        once and never materialized.  Cache records are shared with
+        :meth:`simulate_trace` (same ``trace-sim`` keys -- the results are
+        bit-identical), keyed per config by ``key_parts``; when *every*
+        config hits, the source is left untouched (the machine never
+        runs).
+        """
+        configs = list(configs)
+        stats_list: list[SimStats | None] = [None] * len(configs)
+        keys: list[str | None] = [None] * len(configs)
+        if key_parts is not None:
+            for index, config in enumerate(configs):
+                key = content_key({
+                    "record": "trace-sim",
+                    "version": RUNNER_VERSION,
+                    "parts": key_parts,
+                    "config": asdict(config),
+                    "warm": warm_ranges,
+                })
+                keys[index] = key
+                record = self.cache.get(key)
+                if record is not None:
+                    try:
+                        stats_list[index] = _stats_from_dict(record["stats"])
+                    except (KeyError, TypeError, ValueError):
+                        self.cache.errors += 1
+                if stats_list[index] is not None:
+                    self.stats.cache_hits += 1
+                else:
+                    self.stats.cache_misses += 1
+        missing = [i for i, stats in enumerate(stats_list) if stats is None]
+        if not missing:
+            return stats_list  # type: ignore[return-value]
+
+        pipelines = {
+            index: TimingPipeline(configs[index], source.static,
+                                  source.program, warm_ranges=warm_ranges)
+            for index in missing
+        }
+        perf = time.perf_counter
+        functional_time = 0.0
+        timing_time = 0.0
+        peak = 0
+        with self._span("stream-sim", "timing",
+                        {"configs": [configs[i].name for i in missing]}):
+            generator = source.chunks(chunk_size)
+            while True:
+                t0 = perf()
+                chunk = next(generator, None)
+                functional_time += perf() - t0
+                if chunk is None:
+                    break
+                if chunk.nbytes > peak:
+                    peak = chunk.nbytes
+                t0 = perf()
+                for pipeline in pipelines.values():
+                    pipeline.feed(chunk)
+                timing_time += perf() - t0
+        self.stats.wall_time_functional += functional_time
+        self.stats.note_trace_bytes(peak)
+        for index, pipeline in pipelines.items():
+            t0 = perf()
+            stats = pipeline.finish()
+            timing_time += perf() - t0
+            stats_list[index] = stats
+            self.stats.timing_runs += 1
+            self.stats.instructions_simulated += stats.instructions
+            if self.metrics is not None:
+                record_sim_metrics(self.metrics, configs[index], stats)
+            if keys[index] is not None:
+                self.cache.put(keys[index], {
+                    "version": RUNNER_VERSION,
+                    "stats": _stats_to_dict(stats),
+                })
+        self.stats.wall_time_timing += timing_time
+        if self.metrics is not None:
+            self.metrics.gauge("runner.peak_trace_bytes").set(
+                self.stats.peak_trace_bytes
+            )
+        return stats_list  # type: ignore[return-value]
 
     def cached_value(self, key_parts, compute):
         """Disk-cache an arbitrary JSON-serializable derived value.
@@ -530,13 +884,16 @@ def _null_span(args: dict | None = None):
 def _worker_run_group(spec):
     """Pool entry point: one functional run + its timing configs.
 
-    Returns the records plus the worker's functional wall time so the
-    parent runner's per-phase accounting covers out-of-process work.
+    Returns the records plus the worker's functional wall time and peak
+    trace memory so the parent runner's accounting covers out-of-process
+    work.
     """
-    options, configs = spec
-    worker = Runner(cache=ResultCache.disabled(), jobs=1)
+    options, configs, stream, chunk_size = spec
+    worker = Runner(cache=ResultCache.disabled(), jobs=1,
+                    stream=stream, chunk_size=chunk_size)
     records = worker._run_group_records(options, configs)
     return {
         "records": records,
         "functional_wall_time": worker.stats.wall_time_functional,
+        "peak_trace_bytes": worker.stats.peak_trace_bytes,
     }

@@ -35,6 +35,13 @@ class ExperimentOptions:
     share one trace.  ``kind='setup'`` runs the cipher's key-setup routine
     instead of the encryption kernel (``session_bytes``/``plaintext`` are
     ignored there).
+
+    ``stream`` and ``chunk_size`` control *how* the runner executes the
+    experiment -- overlapped functional/timing streaming versus
+    materialize-then-simulate, and the trace-chunk granularity.  ``None``
+    defers to the runner's defaults.  They never enter the content
+    fingerprint: results are bit-identical either way, so the same cache
+    records serve both paths.
     """
 
     cipher: str
@@ -46,10 +53,14 @@ class ExperimentOptions:
     base_offset: int = 0
     record_values: bool = False
     kind: str = "encrypt"
+    stream: bool | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}, not {self.kind!r}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
 
     def resolved_plaintext(self) -> bytes:
         if self.plaintext is not None:

@@ -12,11 +12,17 @@ from repro.sim.config import (
     MachineConfig,
     bottleneck_config,
 )
-from repro.sim.machine import Machine, SimulationError
+from repro.sim.machine import Machine, SimulationError, StreamingTrace
 from repro.sim.memory import Memory
 from repro.sim.stats import SimStats
-from repro.sim.timing import simulate
-from repro.sim.trace import StaticInfo, Trace
+from repro.sim.timing import TimingPipeline, simulate
+from repro.sim.trace import (
+    DEFAULT_CHUNK_SIZE,
+    StaticInfo,
+    Trace,
+    TraceChunk,
+    TraceSource,
+)
 
 __all__ = [
     "ALPHA21264",
@@ -29,11 +35,16 @@ __all__ = [
     "FOURW_PLUS",
     "MachineConfig",
     "bottleneck_config",
+    "DEFAULT_CHUNK_SIZE",
     "Machine",
     "SimulationError",
+    "StreamingTrace",
     "Memory",
     "SimStats",
+    "TimingPipeline",
     "simulate",
     "StaticInfo",
     "Trace",
+    "TraceChunk",
+    "TraceSource",
 ]

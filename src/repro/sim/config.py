@@ -91,9 +91,14 @@ class MachineConfig:
     # Simulator instrumentation / memory-bounding knobs.  These control the
     # timing model's bookkeeping, never the simulated cycle counts; see
     # docs/observability.md.
-    #: Instructions between per-cycle resource-map prune passes.
-    prune_interval: int = 250_000
-    #: Map size a resource map must reach before a prune pass trims it.
+    #: Instructions between per-cycle resource-map prune passes.  Each pass
+    #: trims entries below the safe horizon by walking the (monotone) dead
+    #: cycle range, so pruning is amortized O(1) per cycle and the maps
+    #: stay at O(prune_interval + window) entries -- the bound that keeps
+    #: streaming simulation at constant memory.
+    prune_interval: int = 8192
+    #: Retained for compatibility; the prune pass now picks its trim
+    #: strategy (range walk vs key scan) from map density automatically.
     prune_entries: int = 200_000
     #: Hard cap on rows captured by the ``schedule_range`` hook per run
     #: (``None`` = unbounded).  A truncated capture sets

@@ -18,12 +18,22 @@ Architectural notes (see ``repro.isa.opcodes`` for the full list):
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.isa import opcodes as op
 from repro.isa.program import Program
 from repro.sim.memory import Memory
-from repro.sim.trace import StaticInfo, Trace
+from repro.sim.trace import (
+    ADDR_TYPECODE,
+    DEFAULT_CHUNK_SIZE,
+    SEQ_TYPECODE,
+    VALUE_TYPECODE,
+    StaticInfo,
+    Trace,
+    TraceChunk,
+)
 
 M32 = 0xFFFFFFFF
 M64 = 0xFFFFFFFFFFFFFFFF
@@ -53,6 +63,10 @@ class Machine:
         self.program = program
         self.memory = memory
         self.regs = [0] * 33  # slot 32 swallows writes to r31
+        #: One-shot guard: execution mutates registers and memory in place.
+        self._used = False
+        self.halted = False
+        self.instructions_executed = 0
         self._compile()
 
     def _compile(self) -> None:
@@ -92,8 +106,115 @@ class Machine:
         """Execute from instruction 0 until HALT.
 
         Returns the executed-instruction count and, when requested, the
-        compact dynamic trace for the timing models.
+        compact dynamic trace for the timing models.  A machine executes
+        at most once (``run`` mutates registers and memory in place);
+        call :meth:`reset` with a fresh memory image to reuse the compiled
+        program, or build a new :class:`Machine`.
         """
+        chunks = list(self._execute(
+            chunk_limit=None,
+            record_trace=record_trace,
+            record_values=record_values,
+            max_instructions=max_instructions,
+        ))
+        trace = None
+        if record_trace:
+            chunk = chunks[0]
+            trace = Trace(
+                program=self.program,
+                static=StaticInfo.from_program(self.program),
+                seq=chunk.seq,
+                addrs=chunk.addrs,
+                values=chunk.values,
+                instructions_executed=self.instructions_executed,
+            )
+        return RunResult(instructions=self.instructions_executed, trace=trace)
+
+    def iter_trace(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        *,
+        record_values: bool = False,
+        max_instructions: int = 200_000_000,
+    ) -> Iterator[TraceChunk]:
+        """Execute live, yielding bounded :class:`TraceChunk`\\ s.
+
+        The chunked twin of :meth:`run`: the interpreter advances only as
+        chunks are consumed, so peak trace memory is O(``chunk_size``)
+        regardless of dynamic instruction count.  Like ``run`` this claims
+        the machine's single execution; :attr:`instructions_executed` and
+        :attr:`halted` are valid once the iterator is exhausted.
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        return self._execute(
+            chunk_limit=chunk_size,
+            record_trace=True,
+            record_values=record_values,
+            max_instructions=max_instructions,
+        )
+
+    def stream(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        *,
+        record_values: bool = False,
+        max_instructions: int = 200_000_000,
+    ) -> "StreamingTrace":
+        """A :class:`StreamingTrace` trace source over this machine."""
+        return StreamingTrace(
+            self,
+            chunk_size=chunk_size,
+            record_values=record_values,
+            max_instructions=max_instructions,
+        )
+
+    def reset(self, memory: Memory | None = None) -> None:
+        """Re-arm the machine for another execution.
+
+        Clears the architectural registers and (when given) installs a
+        fresh memory image.  ``run`` mutates memory in place, so reusing
+        the mutated image is almost never what a caller wants -- pass the
+        rebuilt :class:`Memory` explicitly to make the choice visible.
+        """
+        self.regs = [0] * 33
+        if memory is not None:
+            self.memory = memory
+        self._used = False
+        self.halted = False
+        self.instructions_executed = 0
+
+    def _claim(self) -> None:
+        if self._used:
+            raise SimulationError(
+                "Machine already executed: run()/iter_trace() mutate "
+                "registers and memory in place, so a second execution "
+                "would silently diverge.  Build a new Machine or call "
+                "reset() with a fresh Memory."
+            )
+        self._used = True
+
+    def _execute(
+        self,
+        chunk_limit: int | None,
+        record_trace: bool,
+        record_values: bool,
+        max_instructions: int,
+    ) -> Iterator[TraceChunk]:
+        """Claim the machine and return the interpreter chunk generator."""
+        self._claim()
+        return self._interpret(
+            chunk_limit if chunk_limit is not None else (1 << 62),
+            record_trace, record_values, max_instructions,
+        )
+
+    def _interpret(
+        self,
+        chunk_limit: int,
+        record_trace: bool,
+        record_values: bool,
+        max_instructions: int,
+    ) -> Iterator[TraceChunk]:
         regs = self.regs
         regs[31] = 0
         memory = self.memory
@@ -104,11 +225,15 @@ class Machine:
         tbl, bsel = self.tbl, self.bsel
         n = len(code)
 
+        # Entries stage into plain lists (fastest append) and flush to
+        # compact arrays at each chunk boundary.
         seq: list[int] = []
         addrs: list[int] = []
-        values: list[int] = [] if record_values else None
+        values: list[int] | None = [] if record_values else None
         seq_append = seq.append
         addrs_append = addrs.append
+        filled = 0
+        trace_base = 0
 
         pc = 0
         executed = 0
@@ -380,6 +505,7 @@ class Machine:
                     addrs_append(0)
                     if values is not None:
                         values.append(0)
+                    filled += 1
                 break
             else:
                 raise SimulationError(f"unimplemented opcode {c} at pc {pc}")
@@ -392,16 +518,88 @@ class Machine:
                 if values is not None:
                     d = dest[pc]
                     values.append(regs[d] if d != 32 else 0)
+                filled += 1
+                if filled >= chunk_limit:
+                    yield TraceChunk(
+                        seq=array(SEQ_TYPECODE, seq),
+                        addrs=array(ADDR_TYPECODE, addrs),
+                        start=trace_base,
+                        values=(None if values is None
+                                else array(VALUE_TYPECODE, values)),
+                    )
+                    trace_base += filled
+                    filled = 0
+                    del seq[:]
+                    del addrs[:]
+                    if values is not None:
+                        del values[:]
             pc = next_pc
 
-        trace = None
-        if record_trace:
-            trace = Trace(
-                program=self.program,
-                static=StaticInfo.from_program(self.program),
-                seq=seq,
-                addrs=addrs,
-                values=values,
-                instructions_executed=executed,
+        self.instructions_executed = executed
+        self.halted = True
+        if record_trace and filled:
+            yield TraceChunk(
+                seq=array(SEQ_TYPECODE, seq),
+                addrs=array(ADDR_TYPECODE, addrs),
+                start=trace_base,
+                values=(None if values is None
+                        else array(VALUE_TYPECODE, values)),
             )
-        return RunResult(instructions=executed, trace=trace)
+
+
+class StreamingTrace:
+    """Single-pass :class:`~repro.sim.trace.TraceSource` over a live machine.
+
+    Satisfies the same protocol as a materialized
+    :class:`~repro.sim.trace.Trace` -- ``program``, ``static`` and
+    ``chunks()`` -- but produces entries on demand from the functional
+    interpreter, so only one chunk of the dynamic trace exists at a time.
+    Unlike a ``Trace`` it is single-use: the underlying machine executes
+    exactly once, as the chunks are consumed.
+
+    After exhaustion, :attr:`instructions` holds the executed-instruction
+    count and the machine's memory holds the program's output (the kernel
+    harness validates it in :meth:`repro.kernels.runtime.KernelStream.finalize`).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        *,
+        record_values: bool = False,
+        max_instructions: int = 200_000_000,
+    ):
+        self.machine = machine
+        self.program = machine.program
+        self.static = StaticInfo.from_program(machine.program)
+        self.chunk_size = chunk_size
+        self._record_values = record_values
+        self._max_instructions = max_instructions
+        self._consumed = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.machine.halted
+
+    @property
+    def instructions(self) -> int:
+        if not self.machine.halted:
+            raise SimulationError(
+                "streaming trace not exhausted: instruction count is only "
+                "known once the machine halts"
+            )
+        return self.machine.instructions_executed
+
+    def chunks(self, chunk_size: int | None = None):
+        """Run the machine, yielding chunks (single use)."""
+        if self._consumed:
+            raise SimulationError(
+                "StreamingTrace is single-pass and was already consumed"
+            )
+        self._consumed = True
+        return self.machine.iter_trace(
+            chunk_size if chunk_size is not None else self.chunk_size,
+            record_values=self._record_values,
+            max_instructions=self._max_instructions,
+        )

@@ -31,6 +31,20 @@ machine; DESIGN.md substitution #1 discusses fidelity versus the paper's
 execution-driven simulator.  With every constraint disabled (the DF config)
 the pass computes the pure dataflow critical path.
 
+**Streaming.**  The pass is organized as a :class:`TimingPipeline` whose
+stage components -- :class:`FrontendState`, :class:`SchedulerState`,
+:class:`MemoryOrderState`, :class:`AttributionState` -- carry their state
+across :class:`~repro.sim.trace.TraceChunk` boundaries.  The pipeline
+consumes any :class:`~repro.sim.trace.TraceSource` (a materialized
+:class:`~repro.sim.trace.Trace` or a live
+:class:`~repro.sim.machine.StreamingTrace`) chunk by chunk and produces
+**bit-identical** :class:`~repro.sim.stats.SimStats` regardless of chunk
+size, because every per-instruction decision depends only on carried state
+plus at most one entry of lookahead (branch outcomes are inferred from the
+next trace entry; the pipeline defers the final entry of each chunk until
+the next chunk's first entry arrives).  :func:`simulate` is the one-call
+wrapper.  See ``docs/architecture.md``.
+
 **Stall attribution.**  On machines with a finite ``issue_width`` the pass
 additionally produces an exact cycle account -- the paper's SimpleView
 bottleneck analysis as data.  Every one of the run's
@@ -55,12 +69,15 @@ spent blocked per category, independent of machine width.
 
 from __future__ import annotations
 
+from array import array
+
+from repro.isa.program import Program
 from repro.sim.branch import BimodalPredictor
 from repro.sim.caches import MemoryHierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.sboxcache import SBoxCacheArray
 from repro.sim.stats import STALL_CATEGORIES, WAIT_CATEGORIES, SimStats
-from repro.sim.trace import Trace
+from repro.sim.trace import StaticInfo, TraceChunk, TraceSource
 
 _UNLIMITED = 1 << 30
 
@@ -74,14 +91,723 @@ _N_WAIT = len(WAIT_CATEGORIES)
 _HOTSPOT_LIMIT = 32
 
 
+class FrontendState:
+    """Fetch stage: program-order fetch bandwidth and redirect state."""
+
+    __slots__ = ("fetch_cycle", "fetch_slots_used", "fetch_groups_used",
+                 "mispredict_until", "predictor")
+
+    def __init__(self, config: MachineConfig):
+        self.fetch_cycle = 0
+        self.fetch_slots_used = 0
+        self.fetch_groups_used = 0
+        self.mispredict_until = 0
+        self.predictor = (
+            None if config.perfect_branch_prediction
+            else BimodalPredictor(config.predictor_entries)
+        )
+
+
+class SchedulerState:
+    """Issue/FU/retire bookkeeping: per-cycle resource maps + scoreboard.
+
+    ``reg_ready`` is sized lazily from the static metadata (interleaved
+    multi-thread traces remap each thread into its own 32-register window).
+    """
+
+    __slots__ = ("issue_used", "ialu_used", "rot_used", "mul_used",
+                 "dport_used", "sport_used", "retire_used", "no_fu",
+                 "reg_ready", "retire_ring", "retire_prev", "max_complete",
+                 "prune_mark", "trim_mark")
+
+    def __init__(self, config: MachineConfig, static: StaticInfo):
+        self.issue_used: dict[int, int] = {}
+        self.ialu_used: dict[int, int] = {}
+        self.rot_used: dict[int, int] = {}
+        self.mul_used: dict[int, int] = {}
+        self.dport_used: dict[int, int] = {}
+        self.sport_used = [dict() for _ in range(config.sbox_caches or 0)]
+        self.retire_used: dict[int, int] = {}
+        self.no_fu: dict[int, int] = {}
+        max_reg = 31
+        for d in static.dest:
+            if d > max_reg:
+                max_reg = d
+        for sources in static.srcs:
+            for r in sources:
+                if r > max_reg:
+                    max_reg = r
+        self.reg_ready = [0] * (max_reg + 1)
+        window = config.window_size
+        self.retire_ring = [0] * window if window else None
+        self.retire_prev = 0
+        self.max_complete = 0
+        self.prune_mark = 0
+        self.trim_mark = 0
+
+
+class MemoryOrderState:
+    """Memory-ordering/alias stage: store queue, sync barrier, hierarchies."""
+
+    __slots__ = ("hierarchy", "sbox_array", "last_store_addr_known",
+                 "recent_stores", "sync_barrier")
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        warm_ranges: list[tuple[int, int]] | None,
+    ):
+        self.hierarchy = None
+        if not config.perfect_memory:
+            self.hierarchy = MemoryHierarchy(
+                l1_size=config.l1_size, l1_assoc=config.l1_assoc,
+                l1_block=config.l1_block, l2_size=config.l2_size,
+                l2_assoc=config.l2_assoc,
+                l2_hit_latency=config.l2_hit_latency,
+                memory_latency=config.memory_latency,
+                tlb_entries=config.tlb_entries, tlb_assoc=config.tlb_assoc,
+                page_size=config.page_size,
+                tlb_miss_latency=config.tlb_miss_latency,
+            )
+            for start, length in warm_ranges or ():
+                self.hierarchy.warm(start, length)
+        self.sbox_array = (
+            SBoxCacheArray(config.sbox_caches) if config.sbox_caches else None
+        )
+        self.last_store_addr_known = 0
+        self.recent_stores: list[tuple[int, int, int]] = []
+        self.sync_barrier = 0
+
+
+class AttributionState:
+    """Stall-attribution stage: cycle labels and the running slot account."""
+
+    __slots__ = ("reason_at", "stall_slots", "wait_totals", "frontier",
+                 "flushed_until", "hot", "exec_counts")
+
+    def __init__(self, static: StaticInfo):
+        self.reason_at: dict[int, int] = {}
+        self.stall_slots = [0] * len(STALL_CATEGORIES)
+        self.wait_totals = [0] * _N_WAIT
+        self.frontier = 0
+        self.flushed_until = 0
+        self.hot: dict[int, list[int]] = {}
+        self.exec_counts = [0] * len(static.klass)
+
+
+class TimingPipeline:
+    """Incremental timing model over a chunked trace stream.
+
+    Feed :class:`~repro.sim.trace.TraceChunk` objects in trace order with
+    :meth:`feed`, then call :meth:`finish` for the final
+    :class:`~repro.sim.stats.SimStats`.  Results are bit-identical to a
+    single-chunk (batch) pass for any chunk partitioning: all stage state
+    carries across chunk boundaries, and the one piece of lookahead the
+    model needs -- the *next* trace entry, to infer whether a branch was
+    taken -- is handled by deferring each chunk's final entry until the
+    next chunk (or end of trace, where the outcome defaults to taken,
+    matching ``Trace.taken``).  Chunks with explicit ``taken`` flags
+    (synthetic interleavings) need no deferral.
+
+    One pipeline consumes one trace; build a fresh pipeline per run.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        static: StaticInfo,
+        program: Program,
+        warm_ranges: list[tuple[int, int]] | None = None,
+        schedule_range: tuple[int, int] | None = None,
+    ):
+        self.config = config
+        self.static = static
+        self.program = program
+        self.stats = SimStats(config_name=config.name, instructions=0)
+
+        def limit(value):
+            return _UNLIMITED if value is None else value
+
+        self._issue_width = limit(config.issue_width)
+        self._num_ialu = limit(config.num_ialu)
+        self._num_rot = limit(config.num_rotator)
+        self._mul_slots = limit(config.mul_slots)
+        self._dports = limit(config.dcache_ports)
+        self._retire_width = limit(config.retire_width)
+        self._sbox_ports = limit(config.sbox_cache_ports)
+        self._track_issue = self._issue_width != _UNLIMITED
+        # Slot accounting is defined only when issue bandwidth is finite;
+        # with unlimited width there is no fixed slot budget to attribute.
+        self._attribute = self._track_issue
+
+        self.frontend = FrontendState(config)
+        self.scheduler = SchedulerState(config, static)
+        self.memorder = MemoryOrderState(config, warm_ranges)
+        self.attribution = (
+            AttributionState(static) if self._attribute else None
+        )
+
+        self._schedule: list | None = None
+        self._sched_start = self._sched_end = 0
+        if schedule_range is not None:
+            self._schedule = []
+            self.stats.extra["schedule"] = self._schedule
+            self._sched_start, self._sched_end = schedule_range
+            cap = config.max_schedule_entries
+            if cap is not None and self._sched_end - self._sched_start > cap:
+                self._sched_end = self._sched_start + cap
+                self.stats.extra["schedule_truncated"] = True
+
+        #: Deferred final entry of the previous adjacency-mode chunk:
+        #: ``(seq, addrs, start, index)`` referencing that chunk's arrays.
+        self._carry: tuple[array, array, int, int] | None = None
+        self._count = 0
+        self._finished = False
+
+    def feed(self, chunk: TraceChunk) -> None:
+        """Advance the pipeline over one chunk of trace entries."""
+        if self._finished:
+            raise RuntimeError("TimingPipeline already finished")
+        seq = chunk.seq
+        n = len(seq)
+        if n == 0:
+            return
+        if self._carry is not None:
+            cseq, caddrs, cstart, cidx = self._carry
+            self._carry = None
+            self._advance(cseq, caddrs, None, cstart, cidx, cidx + 1, seq[0])
+        if chunk.taken is not None:
+            # Explicit branch outcomes: no lookahead needed, no deferral.
+            self._advance(seq, chunk.addrs, chunk.taken, chunk.start, 0, n,
+                          None)
+        else:
+            if n > 1:
+                self._advance(seq, chunk.addrs, None, chunk.start, 0, n - 1,
+                              None)
+            self._carry = (seq, chunk.addrs, chunk.start, n - 1)
+
+    def finish(self) -> SimStats:
+        """Drain the deferred entry and finalize the statistics."""
+        if self._finished:
+            return self.stats
+        self._finished = True
+        if self._carry is not None:
+            cseq, caddrs, cstart, cidx = self._carry
+            self._carry = None
+            # End of trace: the final branch outcome defaults to taken,
+            # exactly as ``Trace.taken`` defines it.
+            self._advance(cseq, caddrs, None, cstart, cidx, cidx + 1, None)
+
+        stats = self.stats
+        stats.instructions = self._count
+        if self._count == 0:
+            return stats
+        scheduler = self.scheduler
+        memorder = self.memorder
+        frontend = self.frontend
+        stats.cycles = max(scheduler.max_complete, scheduler.retire_prev)
+        if memorder.hierarchy is not None:
+            stats.l1_misses = memorder.hierarchy.l1.misses
+            stats.l2_misses = memorder.hierarchy.l2.misses
+            stats.tlb_misses = memorder.hierarchy.tlb.misses
+        if memorder.sbox_array is not None:
+            stats.extra["sbox_cache_hits"] = memorder.sbox_array.total_hits
+        if frontend.predictor is not None:
+            stats.extra["predictor_lookups"] = frontend.predictor.lookups
+
+        if self._attribute:
+            attribution = self.attribution
+            self._flush_attribution(stats.cycles)
+            stats.issue_slots = stats.cycles * self._issue_width
+            stats.stall_slots = {
+                name: attribution.stall_slots[index]
+                for index, name in enumerate(STALL_CATEGORIES)
+            }
+            stats.wait_cycles = {
+                name: attribution.wait_totals[index]
+                for index, name in enumerate(WAIT_CATEGORIES)
+            }
+            stats.hotspots = _hotspot_table(
+                self.program, attribution.hot, attribution.exec_counts
+            )
+        return stats
+
+    def _flush_attribution(self, until: int) -> None:
+        """Finalize slot counts for cycles below ``until``.
+
+        Safe once no future instruction can issue there (every cycle below
+        the prune horizon, and everything at the end of the run).  Cycles
+        past the last labeled one are retirement drain.
+        """
+        attribution = self.attribution
+        issue_width = self._issue_width
+        pop_reason = attribution.reason_at.pop
+        get_used = self.scheduler.issue_used.get
+        stall_slots = attribution.stall_slots
+        for cycle in range(attribution.flushed_until, until):
+            stall_slots[pop_reason(cycle, _C_DRAIN)] += (
+                issue_width - get_used(cycle, 0)
+            )
+        attribution.flushed_until = until
+
+    def _advance(
+        self,
+        seq,
+        addrs,
+        taken_arr,
+        base_pos: int,
+        lo: int,
+        hi: int,
+        next_s,
+    ) -> None:
+        """Process trace entries ``seq[lo:hi]``.
+
+        ``base_pos`` is the global trace position of ``seq[0]``.
+        ``taken_arr`` carries explicit branch outcomes when present;
+        otherwise outcomes are inferred from the following entry --
+        ``seq[j + 1]`` in-bounds, else ``next_s`` (the first entry of the
+        next chunk), else taken (``next_s is None`` = end of trace).
+
+        The body is one flat loop over the entries with all carried state
+        rebound to locals on entry and scalar state written back on exit --
+        the dict/list state is mutated in place.  This keeps the streaming
+        path within noise of the old monolithic pass.
+        """
+        config = self.config
+        static = self.static
+        stats = self.stats
+        frontend = self.frontend
+        scheduler = self.scheduler
+        memorder = self.memorder
+        attribution = self.attribution
+
+        klass = static.klass
+        dest = static.dest
+        srcs = static.srcs
+        addr_srcs = static.addr_srcs
+        is_branch = static.is_branch
+        is_cond = static.is_cond_branch
+        mem_size = static.mem_size
+        sbox_table = static.sbox_table
+        sbox_aliased = static.sbox_aliased
+
+        predictor = frontend.predictor
+        hierarchy = memorder.hierarchy
+        sbox_array = memorder.sbox_array
+
+        issue_used = scheduler.issue_used
+        ialu_used = scheduler.ialu_used
+        rot_used = scheduler.rot_used
+        mul_used = scheduler.mul_used
+        dport_used = scheduler.dport_used
+        sport_used = scheduler.sport_used
+        retire_used = scheduler.retire_used
+        _no_fu = scheduler.no_fu
+        reg_ready = scheduler.reg_ready
+        retire_ring = scheduler.retire_ring
+        retire_prev = scheduler.retire_prev
+        max_complete = scheduler.max_complete
+        prune_mark = scheduler.prune_mark
+        trim_mark = scheduler.trim_mark
+
+        issue_width = self._issue_width
+        num_ialu = self._num_ialu
+        num_rot = self._num_rot
+        mul_slots = self._mul_slots
+        dports = self._dports
+        retire_width = self._retire_width
+        sbox_ports = self._sbox_ports
+        track_issue = self._track_issue
+        attribute = self._attribute
+        window = config.window_size
+        frontend_depth = config.frontend_depth
+        alu_lat = config.alu_latency
+        rot_lat = config.rotator_latency
+        load_lat = config.load_latency
+        store_lat = config.store_latency
+        perfect_alias = config.perfect_alias
+        lsq_size = config.lsq_size
+        prune_interval = config.prune_interval
+
+        fetch_cycle = frontend.fetch_cycle
+        fetch_slots_used = frontend.fetch_slots_used
+        fetch_groups_used = frontend.fetch_groups_used
+        mispredict_until = frontend.mispredict_until
+        fetch_width = config.fetch_width
+        groups_per_cycle = config.fetch_groups_per_cycle
+        break_on_taken = config.fetch_break_on_taken
+
+        last_store_addr_known = memorder.last_store_addr_known
+        recent_stores = memorder.recent_stores
+        sync_barrier = memorder.sync_barrier
+
+        bumps: list[int] = []
+        if attribute:
+            reason_at = attribution.reason_at
+            wait_totals = attribution.wait_totals
+            frontier = attribution.frontier
+            hot = attribution.hot
+            exec_counts = attribution.exec_counts
+        else:
+            frontier = 0
+
+        def issue_at(cycle: int, fu_used: dict, fu_limit: int,
+                     cost: int = 1, fu_cat: int = _C_ISSUE) -> int:
+            """First cycle >= ``cycle`` with an issue slot and FU room."""
+            if attribute:
+                bumps.clear()
+            while True:
+                if track_issue and issue_used.get(cycle, 0) >= issue_width:
+                    if attribute:
+                        bumps.append(_C_ISSUE)
+                    cycle += 1
+                    continue
+                if (fu_limit != _UNLIMITED
+                        and fu_used.get(cycle, 0) + cost > fu_limit):
+                    if attribute:
+                        bumps.append(fu_cat)
+                    cycle += 1
+                    continue
+                break
+            if track_issue:
+                issue_used[cycle] = issue_used.get(cycle, 0) + 1
+            if fu_limit != _UNLIMITED:
+                fu_used[cycle] = fu_used.get(cycle, 0) + cost
+            return cycle
+
+        schedule = self._schedule
+        sched_start = self._sched_start
+        sched_end = self._sched_end
+        seq_len = len(seq)
+
+        for j in range(lo, hi):
+            pos = base_pos + j
+            s = seq[j]
+            k = klass[s]
+
+            # ---- fetch ----------------------------------------------------
+            this_fetch = fetch_cycle
+            if fetch_width is not None:
+                if fetch_slots_used >= fetch_width:
+                    fetch_cycle += 1
+                    fetch_slots_used = 0
+                    fetch_groups_used = 0
+                    this_fetch = fetch_cycle
+                fetch_slots_used += 1
+
+            # ---- dispatch / operands --------------------------------------
+            enter = this_fetch + frontend_depth
+            earliest = enter
+            if window:
+                freed = retire_ring[pos % window]
+                if freed > earliest:
+                    earliest = freed
+            dispatch_floor = earliest
+            for r in srcs[s]:
+                t = reg_ready[r]
+                if t > earliest:
+                    earliest = t
+
+            # ---- issue + execute ------------------------------------------
+            # ``operand_end`` / ``request`` bound the attribution segments:
+            # [dispatch_floor, operand_end) is operand wait (incl. address
+            # generation), [operand_end, request) is memory-ordering/alias
+            # stall, [request, issued) is issue/FU contention per ``bumps``.
+            if k == "ialu":
+                operand_end = request = earliest
+                issued = issue_at(request, ialu_used, num_ialu,
+                                  fu_cat=_C_FU_IALU)
+                complete = issued + alu_lat
+            elif k == "rotator":
+                operand_end = request = earliest
+                issued = issue_at(request, rot_used, num_rot,
+                                  fu_cat=_C_FU_ROT)
+                complete = issued + rot_lat
+            elif k == "load":
+                # Address generation, then ordered cache access.
+                addr_ready = earliest + 1
+                operand_end = addr_ready
+                if not perfect_alias and last_store_addr_known > addr_ready:
+                    addr_ready = last_store_addr_known
+                addr = addrs[j]
+                size = mem_size[s]
+                forward = 0
+                for start, end, data_ready in reversed(recent_stores):
+                    if addr < end and start < addr + size:
+                        forward = data_ready
+                        break
+                if forward:
+                    request = max(addr_ready, forward)
+                    issued = issue_at(request, _no_fu, _UNLIMITED)
+                    complete = issued + 1
+                    stats.store_forwards += 1
+                else:
+                    request = addr_ready
+                    issued = issue_at(request, dport_used, dports,
+                                      fu_cat=_C_FU_MEM)
+                    extra = 0
+                    if hierarchy is not None:
+                        extra = hierarchy.access(addr)
+                    complete = issued + (load_lat - 1) + extra
+                stats.loads += 1
+            elif k == "store":
+                # The address resolves when the base register is ready.
+                addr_known = dispatch_floor
+                for r in addr_srcs[s]:
+                    t = reg_ready[r]
+                    if t > addr_known:
+                        addr_known = t
+                addr_known += 1
+                operand_end = request = max(earliest, addr_known)
+                issued = issue_at(request, dport_used, dports,
+                                  fu_cat=_C_FU_MEM)
+                addr = addrs[j]
+                if hierarchy is not None:
+                    hierarchy.access(addr, is_store=True)
+                complete = issued + store_lat
+                if not perfect_alias and addr_known > last_store_addr_known:
+                    last_store_addr_known = addr_known
+                recent_stores.append((addr, addr + mem_size[s], complete))
+                if len(recent_stores) > lsq_size:
+                    recent_stores.pop(0)
+                stats.stores += 1
+            elif k == "sbox":
+                aliased = sbox_aliased[s]
+                addr = addrs[j]
+                stats.sbox_accesses += 1
+                operand_end = earliest
+                access_ready = earliest
+                if (aliased and not perfect_alias
+                        and last_store_addr_known > access_ready):
+                    access_ready = last_store_addr_known
+                if not aliased and sync_barrier > access_ready:
+                    access_ready = sync_barrier
+                forward = 0
+                if aliased:
+                    for start, end, data_ready in reversed(recent_stores):
+                        if addr < end and start < addr + 4:
+                            forward = data_ready
+                            break
+                if forward:
+                    request = max(access_ready, forward)
+                    issued = issue_at(request, _no_fu, _UNLIMITED)
+                    complete = issued + 1
+                    stats.store_forwards += 1
+                elif (sbox_array is not None and not aliased
+                      and sbox_table[s] < sbox_array.count):
+                    # The table designator schedules this access onto a
+                    # dedicated SBox cache; ids beyond the cache count (e.g.
+                    # 3DES's eight logical tables) deliberately stay on the
+                    # d-cache path so a single-tag sector cache is not
+                    # thrashed between tables.
+                    table = sbox_table[s]
+                    port = table % sbox_array.count
+                    request = access_ready
+                    issued = issue_at(request, sport_used[port], sbox_ports,
+                                      fu_cat=_C_FU_SBOX)
+                    if sbox_array.access(table, addr):
+                        complete = issued + config.sbox_cache_latency
+                    else:
+                        stats.sbox_cache_misses += 1
+                        complete = (issued + config.sbox_cache_latency
+                                    + config.sbox_dcache_latency)
+                else:
+                    request = access_ready
+                    issued = issue_at(request, dport_used, dports,
+                                      fu_cat=_C_FU_MEM)
+                    extra = 0
+                    if hierarchy is not None:
+                        extra = hierarchy.access(addr)
+                    complete = issued + config.sbox_dcache_latency + extra
+            elif k == "mul32":
+                operand_end = request = earliest
+                issued = issue_at(request, mul_used, mul_slots,
+                                  config.mul32_cost, fu_cat=_C_FU_MUL)
+                complete = issued + config.mul32_latency
+            elif k == "mul64":
+                operand_end = request = earliest
+                issued = issue_at(request, mul_used, mul_slots,
+                                  config.mul64_cost, fu_cat=_C_FU_MUL)
+                complete = issued + config.mul64_latency
+            elif k == "mulmod":
+                operand_end = request = earliest
+                issued = issue_at(request, mul_used, mul_slots,
+                                  config.mulmod_cost, fu_cat=_C_FU_MUL)
+                complete = issued + config.mulmod_latency
+            elif k == "sync":
+                operand_end = request = earliest
+                issued = issue_at(request, _no_fu, _UNLIMITED)
+                complete = issued + 1
+                if sbox_array is not None:
+                    sbox_array.sync(sbox_table[s])
+                sync_barrier = complete
+            else:
+                operand_end = request = earliest
+                issued = issue_at(request, _no_fu, _UNLIMITED)
+                complete = issued + alu_lat
+
+            # ---- stall attribution ----------------------------------------
+            if attribute:
+                exec_counts[s] += 1
+                # Machine view: label every cycle up to this issue with the
+                # category blocking the oldest unissued instruction (cycles
+                # below ``frontier`` were labeled by older instructions).
+                if issued > frontier:
+                    for cycle in range(frontier, issued):
+                        if cycle < this_fetch:
+                            cat = (_C_MISPREDICT if cycle < mispredict_until
+                                   else _C_FETCH)
+                        elif cycle < enter:
+                            cat = _C_FRONTEND
+                        elif cycle < dispatch_floor:
+                            cat = _C_WINDOW
+                        elif cycle < operand_end:
+                            cat = _C_OPERAND
+                        elif cycle < request:
+                            cat = _C_ALIAS
+                        else:
+                            cat = bumps[cycle - request]
+                        reason_at[cycle] = cat
+                    frontier = issued
+                # Instruction view: cycles *this* instruction spent blocked.
+                window_wait = dispatch_floor - enter
+                operand_wait = operand_end - dispatch_floor
+                alias_wait = request - operand_end
+                if window_wait or operand_wait or alias_wait or bumps:
+                    row = hot.get(s)
+                    if row is None:
+                        row = hot[s] = [0] * _N_WAIT
+                    row[_C_WINDOW - _C_WINDOW] += window_wait
+                    row[_C_OPERAND - _C_WINDOW] += operand_wait
+                    row[_C_ALIAS - _C_WINDOW] += alias_wait
+                    wait_totals[0] += window_wait
+                    wait_totals[1] += operand_wait
+                    wait_totals[2] += alias_wait
+                    for cat in bumps:
+                        row[cat - _C_WINDOW] += 1
+                        wait_totals[cat - _C_WINDOW] += 1
+
+            # ---- branch resolution / fetch redirect -----------------------
+            if is_branch[s]:
+                if taken_arr is not None:
+                    taken = bool(taken_arr[j])
+                else:
+                    jn = j + 1
+                    if jn < seq_len:
+                        taken = seq[jn] != s + 1
+                    elif next_s is None:
+                        taken = True
+                    else:
+                        taken = next_s != s + 1
+                stats.branches += 1
+                correct = True
+                if predictor is not None and is_cond[s]:
+                    correct = predictor.predict_and_update(s, taken)
+                if not correct:
+                    stats.mispredictions += 1
+                    redirect = complete + config.mispredict_penalty
+                    if redirect > fetch_cycle:
+                        fetch_cycle = redirect
+                        fetch_slots_used = 0
+                        fetch_groups_used = 0
+                        if redirect > mispredict_until:
+                            mispredict_until = redirect
+                elif taken and break_on_taken and fetch_width is not None:
+                    fetch_groups_used += 1
+                    if fetch_groups_used >= groups_per_cycle:
+                        fetch_cycle += 1
+                        fetch_slots_used = 0
+                        fetch_groups_used = 0
+
+            # ---- writeback / retire ---------------------------------------
+            d = dest[s]
+            if d >= 0:
+                reg_ready[d] = complete
+            if complete > max_complete:
+                max_complete = complete
+
+            r = complete + 1
+            if r < retire_prev:
+                r = retire_prev
+            if retire_width != _UNLIMITED:
+                while retire_used.get(r, 0) >= retire_width:
+                    r += 1
+                retire_used[r] = retire_used.get(r, 0) + 1
+            retire_prev = r
+            if window:
+                retire_ring[pos % window] = r
+            if schedule is not None and sched_start <= pos < sched_end:
+                # dispatch_floor = window entry (fetch throttled by ROB
+                # space), the honest "F" column for visualization.
+                schedule.append((pos, s, dispatch_floor, issued, complete, r))
+
+            # ---- prune resource maps --------------------------------------
+            if pos - prune_mark >= prune_interval:
+                prune_mark = pos
+                # ``dispatch_floor`` is monotone in ``pos`` (fetch cycles
+                # and in-order retirement both only move forward) and every
+                # resource probe of every later instruction starts at or
+                # above it, so cycles below it are final.  ``retire_prev``
+                # guards the retirement map the same way.
+                horizon = min(dispatch_floor, retire_prev) - 8192
+                # Slot attribution for cycles below the horizon is final (no
+                # later instruction can issue there): fold it into the
+                # totals before the usage counts are trimmed away.
+                if attribute and horizon > attribution.flushed_until:
+                    attribution.frontier = frontier
+                    self._flush_attribution(horizon)
+                if horizon > trim_mark:
+                    span = horizon - trim_mark
+                    for counters in (issue_used, ialu_used, rot_used,
+                                     mul_used, dport_used, retire_used,
+                                     *sport_used):
+                        if not counters:
+                            continue
+                        if len(counters) * 4 > span:
+                            # Dense map: walk the dead cycle range (cycles
+                            # are monotone, so each is visited once ever).
+                            pop = counters.pop
+                            for cycle in range(trim_mark, horizon):
+                                pop(cycle, None)
+                        else:
+                            # Sparse map: scanning its keys is cheaper than
+                            # walking the range.
+                            for cycle in [c for c in counters
+                                          if c < horizon]:
+                                del counters[cycle]
+                    trim_mark = horizon
+
+        # ---- write carried scalar state back to the stage components ------
+        frontend.fetch_cycle = fetch_cycle
+        frontend.fetch_slots_used = fetch_slots_used
+        frontend.fetch_groups_used = fetch_groups_used
+        frontend.mispredict_until = mispredict_until
+        scheduler.retire_prev = retire_prev
+        scheduler.max_complete = max_complete
+        scheduler.prune_mark = prune_mark
+        scheduler.trim_mark = trim_mark
+        memorder.last_store_addr_known = last_store_addr_known
+        memorder.sync_barrier = sync_barrier
+        if attribute:
+            attribution.frontier = frontier
+        self._count += hi - lo
+
+
 def simulate(
-    trace: Trace,
+    trace: TraceSource,
     config: MachineConfig,
     warm_ranges: list[tuple[int, int]] | None = None,
     schedule_range: tuple[int, int] | None = None,
     metrics=None,
+    chunk_size: int | None = None,
 ) -> SimStats:
-    """Run the timing model over ``trace``; returns cycle-level statistics.
+    """Run the timing model over a trace source; returns cycle statistics.
+
+    ``trace`` -- any :class:`~repro.sim.trace.TraceSource`: a materialized
+    :class:`~repro.sim.trace.Trace` (the batch path; the default
+    ``chunk_size=None`` consumes it as one zero-copy chunk) or a live
+    :class:`~repro.sim.machine.StreamingTrace`, which interleaves
+    functional execution with timing at bounded memory.
 
     ``warm_ranges`` -- list of ``(start, length)`` address ranges installed
     into the cache hierarchy before timing begins (the tables and key
@@ -97,462 +823,24 @@ def simulate(
     ``metrics`` -- optional :class:`repro.obs.MetricsRegistry`; when given,
     the run's headline counters and stall-slot breakdown are recorded
     under ``sim.*`` metric names labeled by config.
+
+    ``chunk_size`` -- entries per pipeline step; ``None`` lets the source
+    pick (a ``Trace`` yields itself whole, a ``StreamingTrace`` uses its
+    configured chunk size).  Results are bit-identical for every value.
     """
-    static = trace.static
-    seq = trace.seq
-    addrs = trace.addrs
-    n = len(seq)
-    stats = SimStats(config_name=config.name, instructions=n)
-    if n == 0:
-        return stats
-
-    klass = static.klass
-    dest = static.dest
-    srcs = static.srcs
-    addr_srcs = static.addr_srcs
-    is_branch = static.is_branch
-    is_cond = static.is_cond_branch
-    mem_size = static.mem_size
-    sbox_table = static.sbox_table
-    sbox_aliased = static.sbox_aliased
-
-    predictor = (
-        None if config.perfect_branch_prediction
-        else BimodalPredictor(config.predictor_entries)
+    pipeline = TimingPipeline(
+        config, trace.static, trace.program,
+        warm_ranges=warm_ranges, schedule_range=schedule_range,
     )
-    hierarchy = None
-    if not config.perfect_memory:
-        hierarchy = MemoryHierarchy(
-            l1_size=config.l1_size, l1_assoc=config.l1_assoc,
-            l1_block=config.l1_block, l2_size=config.l2_size,
-            l2_assoc=config.l2_assoc, l2_hit_latency=config.l2_hit_latency,
-            memory_latency=config.memory_latency,
-            tlb_entries=config.tlb_entries, tlb_assoc=config.tlb_assoc,
-            page_size=config.page_size,
-            tlb_miss_latency=config.tlb_miss_latency,
-        )
-        for start, length in warm_ranges or ():
-            hierarchy.warm(start, length)
-    sbox_array = SBoxCacheArray(config.sbox_caches) if config.sbox_caches else None
-
-    # Per-cycle resource usage maps.  A limit of _UNLIMITED disables the
-    # constraint without branching in the hot loop.
-    issue_used: dict[int, int] = {}
-    ialu_used: dict[int, int] = {}
-    rot_used: dict[int, int] = {}
-    mul_used: dict[int, int] = {}
-    dport_used: dict[int, int] = {}
-    sport_used = [dict() for _ in range(config.sbox_caches or 0)]
-    retire_used: dict[int, int] = {}
-
-    def limit(value):
-        return _UNLIMITED if value is None else value
-
-    issue_width = limit(config.issue_width)
-    num_ialu = limit(config.num_ialu)
-    num_rot = limit(config.num_rotator)
-    mul_slots = limit(config.mul_slots)
-    dports = limit(config.dcache_ports)
-    retire_width = limit(config.retire_width)
-    sbox_ports = limit(config.sbox_cache_ports)
-    window = config.window_size
-    frontend = config.frontend_depth
-    alu_lat = config.alu_latency
-    rot_lat = config.rotator_latency
-    load_lat = config.load_latency
-    store_lat = config.store_latency
-    perfect_alias = config.perfect_alias
-    track_issue = issue_width != _UNLIMITED
-    # Slot accounting is defined only when issue bandwidth is finite; with
-    # unlimited width there is no fixed slot budget to attribute.
-    attribute = track_issue
-
-    # Size the register scoreboard for the trace: interleaved multi-thread
-    # traces remap each thread into its own 32-register window.
-    max_reg = 31
-    for d in dest:
-        if d > max_reg:
-            max_reg = d
-    for sources in srcs:
-        for r in sources:
-            if r > max_reg:
-                max_reg = r
-    reg_ready = [0] * (max_reg + 1)
-    retire_ring = [0] * window if window else None
-    retire_prev = 0
-    max_complete = 0
-
-    fetch_cycle = 0
-    fetch_slots_used = 0
-    fetch_groups_used = 0
-    fetch_width = config.fetch_width
-    groups_per_cycle = config.fetch_groups_per_cycle
-    break_on_taken = config.fetch_break_on_taken
-
-    last_store_addr_known = 0
-    recent_stores: list[tuple[int, int, int]] = []
-    lsq_size = config.lsq_size
-    sync_barrier = 0
-
-    # ---- stall-attribution state --------------------------------------
-    # ``reason_at`` labels each cycle with the category blocking the oldest
-    # unissued instruction; ``frontier`` is the first unlabeled cycle (the
-    # running max of issue cycles); ``bumps`` records, for the current
-    # instruction, why each scanned cycle in issue_at rejected it.
-    reason_at: dict[int, int] = {}
-    stall_slots = [0] * len(STALL_CATEGORIES)
-    wait_totals = [0] * _N_WAIT
-    bumps: list[int] = []
-    frontier = 0
-    flushed_until = 0
-    mispredict_until = 0
-    if attribute:
-        exec_counts = [0] * len(klass)
-        hot: dict[int, list[int]] = {}
-
-    def flush_attribution(until: int) -> None:
-        """Finalize slot counts for cycles below ``until``.
-
-        Safe once no future instruction can issue there (every cycle below
-        the prune horizon, and everything at the end of the run).  Cycles
-        past the last labeled one are retirement drain.
-        """
-        nonlocal flushed_until
-        pop_reason = reason_at.pop
-        get_used = issue_used.get
-        for cycle in range(flushed_until, until):
-            stall_slots[pop_reason(cycle, _C_DRAIN)] += (
-                issue_width - get_used(cycle, 0)
-            )
-        flushed_until = until
-
-    def issue_at(cycle: int, fu_used: dict, fu_limit: int,
-                 cost: int = 1, fu_cat: int = _C_ISSUE) -> int:
-        """First cycle >= ``cycle`` with an issue slot and FU capacity."""
-        if attribute:
-            bumps.clear()
-        while True:
-            if track_issue and issue_used.get(cycle, 0) >= issue_width:
-                if attribute:
-                    bumps.append(_C_ISSUE)
-                cycle += 1
-                continue
-            if fu_limit != _UNLIMITED and fu_used.get(cycle, 0) + cost > fu_limit:
-                if attribute:
-                    bumps.append(fu_cat)
-                cycle += 1
-                continue
-            break
-        if track_issue:
-            issue_used[cycle] = issue_used.get(cycle, 0) + 1
-        if fu_limit != _UNLIMITED:
-            fu_used[cycle] = fu_used.get(cycle, 0) + cost
-        return cycle
-
-    _no_fu: dict[int, int] = {}
-    prune_mark = 0
-    prune_interval = config.prune_interval
-    prune_entries = config.prune_entries
-    schedule: list[tuple[int, int, int, int, int, int]] | None = None
-    if schedule_range is not None:
-        schedule = []
-        stats.extra["schedule"] = schedule
-        sched_start, sched_end = schedule_range
-        cap = config.max_schedule_entries
-        if cap is not None and sched_end - sched_start > cap:
-            sched_end = sched_start + cap
-            stats.extra["schedule_truncated"] = True
-
-    for i in range(n):
-        s = seq[i]
-        k = klass[s]
-
-        # ---- fetch ----------------------------------------------------
-        this_fetch = fetch_cycle
-        if fetch_width is not None:
-            if fetch_slots_used >= fetch_width:
-                fetch_cycle += 1
-                fetch_slots_used = 0
-                fetch_groups_used = 0
-                this_fetch = fetch_cycle
-            fetch_slots_used += 1
-
-        # ---- dispatch / operands ---------------------------------------
-        enter = this_fetch + frontend
-        earliest = enter
-        if window:
-            freed = retire_ring[i % window]
-            if freed > earliest:
-                earliest = freed
-        dispatch_floor = earliest
-        for r in srcs[s]:
-            t = reg_ready[r]
-            if t > earliest:
-                earliest = t
-
-        # ---- issue + execute --------------------------------------------
-        # ``operand_end`` / ``request`` bound the attribution segments:
-        # [dispatch_floor, operand_end) is operand wait (incl. address
-        # generation), [operand_end, request) is memory-ordering/alias
-        # stall, [request, issued) is issue/FU contention per ``bumps``.
-        if k == "ialu":
-            operand_end = request = earliest
-            issued = issue_at(request, ialu_used, num_ialu, fu_cat=_C_FU_IALU)
-            complete = issued + alu_lat
-        elif k == "rotator":
-            operand_end = request = earliest
-            issued = issue_at(request, rot_used, num_rot, fu_cat=_C_FU_ROT)
-            complete = issued + rot_lat
-        elif k == "load":
-            # Address generation, then ordered cache access.
-            addr_ready = earliest + 1
-            operand_end = addr_ready
-            if not perfect_alias and last_store_addr_known > addr_ready:
-                addr_ready = last_store_addr_known
-            addr = addrs[i]
-            size = mem_size[s]
-            forward = 0
-            for start, end, data_ready in reversed(recent_stores):
-                if addr < end and start < addr + size:
-                    forward = data_ready
-                    break
-            if forward:
-                request = max(addr_ready, forward)
-                issued = issue_at(request, _no_fu, _UNLIMITED)
-                complete = issued + 1
-                stats.store_forwards += 1
-            else:
-                request = addr_ready
-                issued = issue_at(request, dport_used, dports,
-                                  fu_cat=_C_FU_MEM)
-                extra = 0
-                if hierarchy is not None:
-                    extra = hierarchy.access(addr)
-                complete = issued + (load_lat - 1) + extra
-            stats.loads += 1
-        elif k == "store":
-            # The address resolves when the base register is ready.
-            addr_known = dispatch_floor
-            for r in addr_srcs[s]:
-                t = reg_ready[r]
-                if t > addr_known:
-                    addr_known = t
-            addr_known += 1
-            operand_end = request = max(earliest, addr_known)
-            issued = issue_at(request, dport_used, dports, fu_cat=_C_FU_MEM)
-            addr = addrs[i]
-            if hierarchy is not None:
-                hierarchy.access(addr, is_store=True)
-            complete = issued + store_lat
-            if not perfect_alias and addr_known > last_store_addr_known:
-                last_store_addr_known = addr_known
-            recent_stores.append((addr, addr + mem_size[s], complete))
-            if len(recent_stores) > lsq_size:
-                recent_stores.pop(0)
-            stats.stores += 1
-        elif k == "sbox":
-            aliased = sbox_aliased[s]
-            addr = addrs[i]
-            stats.sbox_accesses += 1
-            operand_end = earliest
-            access_ready = earliest
-            if aliased and not perfect_alias and last_store_addr_known > access_ready:
-                access_ready = last_store_addr_known
-            if not aliased and sync_barrier > access_ready:
-                access_ready = sync_barrier
-            forward = 0
-            if aliased:
-                for start, end, data_ready in reversed(recent_stores):
-                    if addr < end and start < addr + 4:
-                        forward = data_ready
-                        break
-            if forward:
-                request = max(access_ready, forward)
-                issued = issue_at(request, _no_fu, _UNLIMITED)
-                complete = issued + 1
-                stats.store_forwards += 1
-            elif (sbox_array is not None and not aliased
-                  and sbox_table[s] < sbox_array.count):
-                # The table designator schedules this access onto a dedicated
-                # SBox cache; ids beyond the cache count (e.g. 3DES's eight
-                # logical tables) deliberately stay on the d-cache path so a
-                # single-tag sector cache is not thrashed between tables.
-                table = sbox_table[s]
-                port = table % sbox_array.count
-                request = access_ready
-                issued = issue_at(request, sport_used[port], sbox_ports,
-                                  fu_cat=_C_FU_SBOX)
-                if sbox_array.access(table, addr):
-                    complete = issued + config.sbox_cache_latency
-                else:
-                    stats.sbox_cache_misses += 1
-                    complete = (issued + config.sbox_cache_latency
-                                + config.sbox_dcache_latency)
-            else:
-                request = access_ready
-                issued = issue_at(request, dport_used, dports,
-                                  fu_cat=_C_FU_MEM)
-                extra = 0
-                if hierarchy is not None:
-                    extra = hierarchy.access(addr)
-                complete = issued + config.sbox_dcache_latency + extra
-        elif k == "mul32":
-            operand_end = request = earliest
-            issued = issue_at(request, mul_used, mul_slots,
-                              config.mul32_cost, fu_cat=_C_FU_MUL)
-            complete = issued + config.mul32_latency
-        elif k == "mul64":
-            operand_end = request = earliest
-            issued = issue_at(request, mul_used, mul_slots,
-                              config.mul64_cost, fu_cat=_C_FU_MUL)
-            complete = issued + config.mul64_latency
-        elif k == "mulmod":
-            operand_end = request = earliest
-            issued = issue_at(request, mul_used, mul_slots,
-                              config.mulmod_cost, fu_cat=_C_FU_MUL)
-            complete = issued + config.mulmod_latency
-        elif k == "sync":
-            operand_end = request = earliest
-            issued = issue_at(request, _no_fu, _UNLIMITED)
-            complete = issued + 1
-            if sbox_array is not None:
-                sbox_array.sync(sbox_table[s])
-            sync_barrier = complete
-        else:
-            operand_end = request = earliest
-            issued = issue_at(request, _no_fu, _UNLIMITED)
-            complete = issued + alu_lat
-
-        # ---- stall attribution -------------------------------------------
-        if attribute:
-            exec_counts[s] += 1
-            # Machine view: label every cycle up to this issue with the
-            # category blocking the oldest unissued instruction (cycles
-            # below ``frontier`` were labeled by older instructions).
-            if issued > frontier:
-                for cycle in range(frontier, issued):
-                    if cycle < this_fetch:
-                        cat = (_C_MISPREDICT if cycle < mispredict_until
-                               else _C_FETCH)
-                    elif cycle < enter:
-                        cat = _C_FRONTEND
-                    elif cycle < dispatch_floor:
-                        cat = _C_WINDOW
-                    elif cycle < operand_end:
-                        cat = _C_OPERAND
-                    elif cycle < request:
-                        cat = _C_ALIAS
-                    else:
-                        cat = bumps[cycle - request]
-                    reason_at[cycle] = cat
-                frontier = issued
-            # Instruction view: cycles *this* instruction spent blocked.
-            window_wait = dispatch_floor - enter
-            operand_wait = operand_end - dispatch_floor
-            alias_wait = request - operand_end
-            if window_wait or operand_wait or alias_wait or bumps:
-                row = hot.get(s)
-                if row is None:
-                    row = hot[s] = [0] * _N_WAIT
-                row[_C_WINDOW - _C_WINDOW] += window_wait
-                row[_C_OPERAND - _C_WINDOW] += operand_wait
-                row[_C_ALIAS - _C_WINDOW] += alias_wait
-                wait_totals[0] += window_wait
-                wait_totals[1] += operand_wait
-                wait_totals[2] += alias_wait
-                for cat in bumps:
-                    row[cat - _C_WINDOW] += 1
-                    wait_totals[cat - _C_WINDOW] += 1
-
-        # ---- branch resolution / fetch redirect --------------------------
-        if is_branch[s]:
-            taken = trace.taken(i)
-            stats.branches += 1
-            correct = True
-            if predictor is not None and is_cond[s]:
-                correct = predictor.predict_and_update(s, taken)
-            if not correct:
-                stats.mispredictions += 1
-                redirect = complete + config.mispredict_penalty
-                if redirect > fetch_cycle:
-                    fetch_cycle = redirect
-                    fetch_slots_used = 0
-                    fetch_groups_used = 0
-                    if redirect > mispredict_until:
-                        mispredict_until = redirect
-            elif taken and break_on_taken and fetch_width is not None:
-                fetch_groups_used += 1
-                if fetch_groups_used >= groups_per_cycle:
-                    fetch_cycle += 1
-                    fetch_slots_used = 0
-                    fetch_groups_used = 0
-
-        # ---- writeback / retire -------------------------------------------
-        d = dest[s]
-        if d >= 0:
-            reg_ready[d] = complete
-        if complete > max_complete:
-            max_complete = complete
-
-        r = complete + 1
-        if r < retire_prev:
-            r = retire_prev
-        if retire_width != _UNLIMITED:
-            while retire_used.get(r, 0) >= retire_width:
-                r += 1
-            retire_used[r] = retire_used.get(r, 0) + 1
-        retire_prev = r
-        if window:
-            retire_ring[i % window] = r
-        if schedule is not None and sched_start <= i < sched_end:
-            # dispatch_floor = window entry (fetch throttled by ROB space),
-            # the honest "F" column for visualization.
-            schedule.append((i, s, dispatch_floor, issued, complete, r))
-
-        # ---- prune resource maps ------------------------------------------
-        if i - prune_mark >= prune_interval:
-            prune_mark = i
-            horizon = min(this_fetch, retire_prev) - 8192
-            # Slot attribution for cycles below the horizon is final (no
-            # later instruction can issue there): fold it into the totals
-            # before the usage counts are trimmed away.
-            if attribute and horizon > flushed_until:
-                flush_attribution(horizon)
-            for counters in (issue_used, ialu_used, rot_used, mul_used,
-                             dport_used, retire_used, *sport_used):
-                if len(counters) > prune_entries:
-                    for cycle in [c for c in counters if c < horizon]:
-                        del counters[cycle]
-
-    stats.cycles = max(max_complete, retire_prev)
-    if hierarchy is not None:
-        stats.l1_misses = hierarchy.l1.misses
-        stats.l2_misses = hierarchy.l2.misses
-        stats.tlb_misses = hierarchy.tlb.misses
-    if sbox_array is not None:
-        stats.extra["sbox_cache_hits"] = sbox_array.total_hits
-    if predictor is not None:
-        stats.extra["predictor_lookups"] = predictor.lookups
-
-    if attribute:
-        flush_attribution(stats.cycles)
-        stats.issue_slots = stats.cycles * issue_width
-        stats.stall_slots = {
-            name: stall_slots[index]
-            for index, name in enumerate(STALL_CATEGORIES)
-        }
-        stats.wait_cycles = {
-            name: wait_totals[index]
-            for index, name in enumerate(WAIT_CATEGORIES)
-        }
-        stats.hotspots = _hotspot_table(trace, hot, exec_counts)
-
-    if metrics is not None:
-        _record_metrics(metrics, config, stats)
+    for chunk in trace.chunks(chunk_size):
+        pipeline.feed(chunk)
+    stats = pipeline.finish()
+    if metrics is not None and stats.instructions:
+        record_sim_metrics(metrics, config, stats)
     return stats
 
 
-def _hotspot_table(trace: Trace, hot: dict, exec_counts: list) -> list[dict]:
+def _hotspot_table(program: Program, hot: dict, exec_counts: list) -> list[dict]:
     """Rank static instructions by accumulated wait cycles (top N).
 
     Window-entry waits rank last: they measure the machine's dispatch
@@ -567,7 +855,7 @@ def _hotspot_table(trace: Trace, hot: dict, exec_counts: list) -> list[dict]:
     )[:_HOTSPOT_LIMIT]
     # Synthetic traces (e.g. the multisession interleaver) carry static
     # entries beyond their nominal program's instruction list.
-    instructions = trace.program.instructions
+    instructions = program.instructions
     table = []
     for static_index, waits in ranked:
         total = sum(waits)
@@ -589,7 +877,7 @@ def _hotspot_table(trace: Trace, hot: dict, exec_counts: list) -> list[dict]:
     return table
 
 
-def _record_metrics(metrics, config: MachineConfig, stats: SimStats) -> None:
+def record_sim_metrics(metrics, config: MachineConfig, stats: SimStats) -> None:
     """Publish one run's headline counters into a metrics registry."""
     labels = {"config": config.name}
     metrics.counter("sim.runs", labels).inc()

@@ -29,6 +29,7 @@ from repro.sim import (
     ALPHA21264,
     BASE4W,
     DATAFLOW,
+    DEFAULT_CHUNK_SIZE,
     EIGHTW_PLUS,
     FOURW,
     FOURW_PLUS,
@@ -116,6 +117,16 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="do not read or write the on-disk result cache",
     )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="trace entries per streamed chunk (default "
+             f"{DEFAULT_CHUNK_SIZE}); results are identical at any size",
+    )
+    parser.add_argument(
+        "--no-stream", action="store_true",
+        help="materialize each functional trace before timing simulation "
+             "instead of streaming it chunk by chunk",
+    )
     add_observability_arguments(parser)
 
 
@@ -163,4 +174,10 @@ def runner_from_args(
     if obs is not None:
         kwargs.setdefault("metrics", obs.metrics)
         kwargs.setdefault("tracer", obs.tracer)
+    kwargs.setdefault("stream", not getattr(args, "no_stream", False))
+    chunk_size = getattr(args, "chunk_size", None)
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise SystemExit("--chunk-size must be >= 1")
+        kwargs.setdefault("chunk_size", chunk_size)
     return Runner(cache=cache, jobs=getattr(args, "jobs", 1), **kwargs)

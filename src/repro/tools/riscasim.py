@@ -63,14 +63,29 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     memory = Memory(args.memory)
-    result = Machine(program, memory).run()
-    trace = result.trace
     config = CONFIGS[args.config]
     obs = observability_from_args(args, tool="riscasim")
     runner = runner_from_args(args, obs=obs)
     key_base = ["riscasim", program.digest(), args.memory]
-    stats = runner.simulate_trace(trace, config, key_parts=key_base)
-    print(f"{result.instructions} instructions; {stats.summary()}")
+    # --view/--bottlenecks replay the trace several times and --dump needs
+    # the post-run memory image, so those paths materialize; the plain
+    # stats run streams chunk by chunk (bounded trace memory).
+    needs_trace = bool(args.view or args.bottlenecks or args.dump)
+    if runner.stream and not needs_trace:
+        source = Machine(program, memory).stream(
+            chunk_size=runner.chunk_size
+        )
+        stats = runner.simulate_stream(
+            source, [config], key_parts=key_base
+        )[0]
+        instructions = stats.instructions
+        trace = None
+    else:
+        result = Machine(program, memory).run()
+        trace = result.trace
+        stats = runner.simulate_trace(trace, config, key_parts=key_base)
+        instructions = result.instructions
+    print(f"{instructions} instructions; {stats.summary()}")
     fractions = stats.stall_fractions()
     if fractions:
         print("issue slots: " + ", ".join(

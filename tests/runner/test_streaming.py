@@ -1,0 +1,163 @@
+"""Streaming runner path: identical results, bounded memory, blob reuse."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.isa import assemble
+from repro.runner import (
+    ExperimentOptions,
+    ResultCache,
+    Runner,
+    experiment_grid,
+)
+from repro.sim import DATAFLOW, FOURW, Machine, Memory
+
+
+def make_runner(tmp_path, subdir="cache", **kwargs):
+    return Runner(cache=ResultCache(tmp_path / subdir), **kwargs)
+
+
+def grid(ciphers=("RC6",), configs=(FOURW, DATAFLOW), **options):
+    options.setdefault("session_bytes", 128)
+    return experiment_grid(ciphers, configs, **options)
+
+
+def _result_key(result):
+    return (result.cipher, result.config_name, result.instructions,
+            result.stats)
+
+
+def test_stream_and_batch_results_are_identical(tmp_path):
+    streamed = make_runner(tmp_path, "a", stream=True).run(grid())
+    batch = make_runner(tmp_path, "b", stream=False).run(grid())
+    assert [_result_key(r) for r in streamed] == \
+        [_result_key(r) for r in batch]
+
+
+def test_stream_results_identical_across_chunk_sizes(tmp_path):
+    baseline = make_runner(tmp_path, "a", stream=False).run(grid())
+    for index, chunk_size in enumerate((1, 7, 100000)):
+        runner = make_runner(tmp_path, f"c{index}", stream=True,
+                             chunk_size=chunk_size)
+        assert [_result_key(r) for r in runner.run(grid())] == \
+            [_result_key(r) for r in baseline]
+
+
+def test_decrypt_streams_identically(tmp_path):
+    experiments = grid(kind="decrypt")
+    streamed = make_runner(tmp_path, "a", stream=True).run(experiments)
+    batch = make_runner(tmp_path, "b", stream=False).run(experiments)
+    assert [_result_key(r) for r in streamed] == \
+        [_result_key(r) for r in batch]
+
+
+def test_streaming_still_dedups_functional_work(tmp_path):
+    runner = make_runner(tmp_path, stream=True)
+    runner.run(grid(configs=(FOURW, DATAFLOW)))
+    assert runner.stats.functional_runs == 1
+    assert runner.stats.timing_runs == 2
+
+
+def test_streaming_writes_trace_blob_for_later_functional(tmp_path):
+    runner = make_runner(tmp_path, stream=True)
+    options = ExperimentOptions(cipher="RC6", session_bytes=128)
+    runner.run(grid())
+    assert runner.stats.functional_runs == 1
+    # A later direct functional() call deserializes the blob written
+    # during streaming instead of re-executing the kernel.
+    run = runner.functional(options)
+    assert runner.stats.functional_runs == 1
+    assert run.trace is not None
+    assert run.instructions == run.trace.instructions_executed
+
+
+def test_streaming_without_cache_is_chunk_bounded(tmp_path):
+    session_bytes = 512
+    chunk_size = 64
+    runner = Runner(cache=ResultCache.disabled(), stream=True,
+                    chunk_size=chunk_size)
+    runner.run(grid(configs=(FOURW,), session_bytes=session_bytes))
+    assert 0 < runner.stats.peak_trace_bytes <= chunk_size * 16
+
+    batch = Runner(cache=ResultCache.disabled(), stream=False)
+    batch.run(grid(configs=(FOURW,), session_bytes=session_bytes))
+    assert batch.stats.peak_trace_bytes > runner.stats.peak_trace_bytes
+
+
+def test_per_experiment_stream_override(tmp_path):
+    runner = Runner(cache=ResultCache.disabled(), stream=True)
+    runner.run(grid(configs=(FOURW,), stream=False))
+    # The batch path materializes, so its trace is memoized in-process.
+    options = ExperimentOptions(cipher="RC6", session_bytes=128,
+                                stream=False)
+    assert runner.functional(options).trace is not None
+    assert runner.stats.functional_runs == 1
+
+
+def test_per_experiment_chunk_size_override(tmp_path):
+    wide = make_runner(tmp_path, "a", stream=True, chunk_size=4096)
+    narrow_grid = grid(configs=(FOURW,), chunk_size=8)
+    baseline = make_runner(tmp_path, "b", stream=True).run(
+        grid(configs=(FOURW,))
+    )
+    results = wide.run(narrow_grid)
+    assert results[0].stats == baseline[0].stats
+
+
+def test_record_values_falls_back_to_batch(tmp_path):
+    runner = make_runner(tmp_path, stream=True)
+    options = ExperimentOptions(cipher="RC4", session_bytes=64,
+                                record_values=True)
+    runner.run([*experiment_grid(("RC4",), (FOURW,), session_bytes=64,
+                                 record_values=True)])
+    run = runner.functional(options)
+    assert run.trace is not None
+    assert run.trace.values is not None
+    assert runner.stats.functional_runs == 1
+
+
+def test_parallel_jobs_match_serial_streaming(tmp_path):
+    experiments = grid(ciphers=("RC4", "RC6"), configs=(FOURW, DATAFLOW))
+    serial = make_runner(tmp_path, "a", stream=True).run(experiments)
+    parallel = make_runner(tmp_path, "b", stream=True, jobs=2).run(
+        experiments
+    )
+    assert [_result_key(r) for r in parallel] == \
+        [_result_key(r) for r in serial]
+
+
+LOOP = """
+    ldiq r1, 40
+loop:
+    addq r2, r2, #1
+    mull r3, r2, r2
+    subq r1, r1, #1
+    bne r1, loop
+    halt
+"""
+
+
+def test_simulate_stream_matches_simulate_trace(tmp_path):
+    program = assemble(LOOP)
+    trace = Machine(program, Memory(1 << 12)).run().trace
+    runner = Runner(cache=ResultCache.disabled())
+    expected = [runner.simulate_trace(trace, config)
+                for config in (FOURW, DATAFLOW)]
+    source = Machine(program, Memory(1 << 12)).stream(chunk_size=16)
+    streamed = runner.simulate_stream(source, [FOURW, DATAFLOW])
+    assert streamed == expected
+
+
+def test_simulate_stream_full_cache_hit_never_runs_machine(tmp_path):
+    program = assemble(LOOP)
+    runner = make_runner(tmp_path)
+    key = ["stream-test", program.digest()]
+    cold = Machine(program, Memory(1 << 12))
+    first = runner.simulate_stream(cold.stream(), [FOURW], key_parts=key)
+    assert cold.halted
+
+    warm = Machine(program, Memory(1 << 12))
+    second = runner.simulate_stream(warm.stream(), [FOURW], key_parts=key)
+    assert second == first
+    assert not warm.halted  # served from cache; the machine never ran

@@ -55,7 +55,7 @@ top:
     halt
     """)
     # Dynamic sequence: ldiq, subq, bne(taken), subq, bne(not), halt.
-    assert trace.seq == [0, 1, 2, 1, 2, 3]
+    assert list(trace.seq) == [0, 1, 2, 1, 2, 3]
     assert trace.taken(2)
     assert not trace.taken(4)
 

@@ -1,0 +1,104 @@
+"""Streaming and materialized timing simulation are bit-identical.
+
+The TimingPipeline carries its scheduler, memory-order and attribution
+state across chunk boundaries, so the chunk size is purely an execution
+detail: every cipher on every machine must produce the same ``SimStats``
+-- cycles, the 13-category slot account, and the hot-spot table -- for
+any chunking of the same trace, including one entry at a time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import KERNEL_NAMES
+from repro.kernels.registry import make_kernel
+from repro.sim import (
+    DATAFLOW,
+    EIGHTW_PLUS,
+    FOURW,
+    Machine,
+    Memory,
+    TimingPipeline,
+    simulate,
+)
+from repro.sim.trace import StaticInfo
+
+from .test_timing_properties import random_programs
+
+CONFIGS = (FOURW, EIGHTW_PLUS, DATAFLOW)
+CHUNK_SIZES = (1, 7, 4096, None)
+
+
+def _pipeline_stats(trace, config, warm_ranges, chunk_size):
+    pipeline = TimingPipeline(config, trace.static, trace.program,
+                              warm_ranges=warm_ranges)
+    for chunk in trace.chunks(chunk_size):
+        pipeline.feed(chunk)
+    return pipeline.finish()
+
+
+@pytest.fixture(scope="module")
+def kernel_runs():
+    """One materialized functional run per cipher, shared by the grid."""
+    runs = {}
+    for name in KERNEL_NAMES:
+        kernel = make_kernel(name)
+        data = bytes(i & 0xFF for i in range(64))
+        runs[name] = kernel.encrypt(data)
+    return runs
+
+
+@pytest.mark.parametrize("cipher", KERNEL_NAMES)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_every_cipher_chunk_invariant(kernel_runs, cipher, config):
+    run = kernel_runs[cipher]
+    baseline = simulate(run.trace, config, run.warm_ranges)
+    assert baseline.instructions == run.instructions
+    for chunk_size in CHUNK_SIZES:
+        streamed = _pipeline_stats(
+            run.trace, config, run.warm_ranges, chunk_size
+        )
+        assert streamed == baseline, (
+            f"{cipher}/{config.name} diverged at chunk_size={chunk_size}"
+        )
+
+
+def test_live_stream_matches_materialized():
+    """A generator-backed StreamingTrace equals the stored-trace result."""
+    kernel = make_kernel("RC6")
+    data = bytes(range(64))
+    run = kernel.encrypt(data)
+    baseline = simulate(run.trace, FOURW, run.warm_ranges)
+
+    stream = kernel.stream(data, chunk_size=13)
+    pipeline = TimingPipeline(FOURW, stream.source.static,
+                              stream.source.program,
+                              warm_ranges=stream.warm_ranges)
+    for chunk in stream.source.chunks():
+        pipeline.feed(chunk)
+    fin = stream.finalize()
+    assert fin.ciphertext == run.ciphertext
+    assert pipeline.finish() == baseline
+
+
+def test_hotspot_tables_survive_single_entry_chunks():
+    run = make_kernel("RC4").encrypt(bytes(64))
+    baseline = simulate(run.trace, FOURW, run.warm_ranges)
+    streamed = _pipeline_stats(run.trace, FOURW, run.warm_ranges, 1)
+    assert baseline.hotspots  # the table is non-trivial for real kernels
+    assert streamed.hotspots == baseline.hotspots
+    assert streamed.stall_slots == baseline.stall_slots
+    assert streamed.wait_cycles == baseline.wait_cycles
+
+
+@given(random_programs(), st.integers(1, 64))
+@settings(max_examples=25, deadline=None)
+def test_random_programs_chunk_invariant(program, chunk_size):
+    trace = Machine(program, Memory(1 << 13)).run().trace
+    baseline = simulate(trace, FOURW)
+    pipeline = TimingPipeline(FOURW, StaticInfo.from_program(program),
+                              program)
+    for chunk in trace.chunks(chunk_size):
+        pipeline.feed(chunk)
+    assert pipeline.finish() == baseline

@@ -1,0 +1,191 @@
+"""Array-backed trace storage and the machine's streaming surface.
+
+PR 3 moved ``Trace`` columns onto ``array('q')``/``array('Q')`` buffers
+and made ``Machine`` a one-shot generator (``iter_trace``/``stream``)
+with an explicit ``reset``.  These tests pin the storage contract --
+equality, pickling, chunking -- and the reuse guard.
+"""
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import (
+    DEFAULT_CHUNK_SIZE,
+    Machine,
+    Memory,
+    SimulationError,
+    StreamingTrace,
+    Trace,
+    TraceChunk,
+    TraceSource,
+)
+
+LOOP = """
+    ldiq r1, 5
+loop:
+    addq r2, r2, #1
+    subq r1, r1, #1
+    bne r1, loop
+    halt
+"""
+
+
+def _machine():
+    return Machine(assemble(LOOP), Memory(1 << 12))
+
+
+# -- array-backed columns ------------------------------------------------
+
+def test_trace_columns_are_arrays():
+    trace = _machine().run().trace
+    assert isinstance(trace.seq, array) and trace.seq.typecode == "q"
+    assert isinstance(trace.addrs, array) and trace.addrs.typecode == "Q"
+    assert trace.nbytes == len(trace) * (trace.seq.itemsize
+                                         + trace.addrs.itemsize)
+
+
+def test_trace_accepts_plain_lists():
+    reference = _machine().run().trace
+    rebuilt = Trace(
+        program=reference.program,
+        static=reference.static,
+        seq=list(reference.seq),
+        addrs=list(reference.addrs),
+        instructions_executed=reference.instructions_executed,
+    )
+    assert isinstance(rebuilt.seq, array)
+    assert rebuilt == reference
+
+
+def test_trace_equality_and_inequality():
+    a = _machine().run().trace
+    b = _machine().run().trace
+    assert a == b
+    shorter = Trace(
+        program=a.program, static=a.static,
+        seq=a.seq[:-1], addrs=a.addrs[:-1],
+        instructions_executed=a.instructions_executed,
+    )
+    assert a != shorter
+    assert a != object()
+
+
+def test_trace_pickle_round_trip():
+    trace = _machine().run().trace
+    clone = pickle.loads(pickle.dumps(trace))
+    assert clone == trace
+    assert isinstance(clone.seq, array)
+    assert clone.taken(len(clone) - 1) is True
+
+
+# -- chunking ------------------------------------------------------------
+
+def test_chunks_cover_trace_with_offsets():
+    trace = _machine().run().trace
+    chunks = list(trace.chunks(4))
+    assert sum(len(chunk) for chunk in chunks) == len(trace)
+    position = 0
+    seq = []
+    for chunk in chunks:
+        assert chunk.start == position
+        position += len(chunk)
+        seq.extend(chunk.seq)
+    assert seq == list(trace.seq)
+
+
+def test_chunks_none_is_one_zero_copy_chunk():
+    trace = _machine().run().trace
+    (chunk,) = trace.chunks(None)
+    assert chunk.seq is trace.seq      # no copy for the whole-trace case
+    assert chunk.start == 0
+    assert len(chunk) == len(trace)
+
+
+def test_chunk_size_must_be_positive():
+    trace = _machine().run().trace
+    with pytest.raises(ValueError):
+        list(trace.chunks(0))
+
+
+def test_trace_satisfies_trace_source_protocol():
+    trace = _machine().run().trace
+    assert isinstance(trace, TraceSource)
+    assert isinstance(_machine().stream(), TraceSource)
+
+
+# -- machine one-shot guard and reset ------------------------------------
+
+def test_machine_run_twice_raises():
+    machine = _machine()
+    machine.run()
+    with pytest.raises(SimulationError, match="already executed"):
+        machine.run()
+
+
+def test_machine_run_then_stream_raises():
+    machine = _machine()
+    machine.run()
+    with pytest.raises(SimulationError):
+        list(machine.iter_trace())
+
+
+def test_machine_reset_allows_rerun():
+    machine = _machine()
+    first = machine.run()
+    machine.reset()
+    second = machine.run()
+    assert second.trace == first.trace
+
+
+def test_machine_reset_with_fresh_memory():
+    source = """
+    ldq r1, 0x400(r31)
+    addq r1, r1, #1
+    stq r1, 0x400(r31)
+    halt
+    """
+    memory = Memory(1 << 12)
+    machine = Machine(assemble(source), memory)
+    machine.run()
+    assert memory.read(0x400, 8) == 1
+    machine.reset(memory=Memory(1 << 12))
+    machine.run()
+    assert machine.memory.read(0x400, 8) == 1  # started from zero again
+
+
+# -- streaming trace source ----------------------------------------------
+
+def test_streaming_trace_matches_run():
+    reference = _machine().run().trace
+    stream = _machine().stream(chunk_size=3)
+    assert isinstance(stream, StreamingTrace)
+    entries = []
+    for chunk in stream.chunks():
+        assert isinstance(chunk, TraceChunk)
+        assert len(chunk) <= 3
+        entries.extend(zip(chunk.seq, chunk.addrs))
+    assert entries == list(zip(reference.seq, reference.addrs))
+    assert stream.exhausted
+    assert stream.instructions == reference.instructions_executed
+
+
+def test_streaming_trace_is_one_shot():
+    stream = _machine().stream()
+    list(stream.chunks())
+    with pytest.raises(SimulationError):
+        list(stream.chunks())
+
+
+def test_streaming_instructions_requires_exhaustion():
+    stream = _machine().stream()
+    with pytest.raises(SimulationError):
+        stream.instructions
+
+
+def test_default_chunk_size_bounds_chunks():
+    stream = _machine().stream()
+    for chunk in stream.chunks():
+        assert len(chunk) <= DEFAULT_CHUNK_SIZE

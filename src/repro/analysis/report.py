@@ -81,11 +81,13 @@ def main(argv: list[str] | None = None) -> int:
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
     obs = observability_from_args(args, tool="report")
-    with _report_span(obs, args.session_bytes):
+    with obs, _report_span(obs, args.session_bytes):
         full_report(
             session_bytes=args.session_bytes,
             runner=runner_from_args(args, obs=obs),
         )
+    for line in obs.report():
+        print(line)
     for path in obs.write():
         print(f"wrote {path}")
     return 0

@@ -15,10 +15,16 @@ package is that explanation machinery as reusable infrastructure:
 * :mod:`repro.obs.pipeline` -- the pipeline-schedule event stream shared
   by the ASCII viewer (:mod:`repro.sim.pipeview`) and the Perfetto
   exporter.
+* :mod:`repro.obs.profiler` -- a pure-stdlib sampling profiler that
+  attributes *host* wall time to repro subsystems and exports
+  collapsed-stack flamegraph text (``--profile`` on the CLI tools).
+* :mod:`repro.obs.bench` -- the append-only benchmark history
+  (``results/bench/history.jsonl``, schema ``repro.obs.bench/1``) with
+  robust regression detection; driven by ``repro.tools.bench``.
 * :mod:`repro.obs.schema` -- validators for the exported documents (used
   by tests, CI, and ``repro.tools.obs --check``).
 * :mod:`repro.obs.session` -- the :class:`Observability` bundle the CLI
-  tools build from ``--metrics-out`` / ``--trace-out``.
+  tools build from ``--metrics-out`` / ``--trace-out`` / ``--profile``.
 
 Stall-attribution itself lives in :mod:`repro.sim.timing`, which classifies
 every issue slot of every cycle; see ``docs/observability.md`` for the
@@ -27,10 +33,21 @@ category definitions and their mapping to the paper's terminology.
 
 from __future__ import annotations
 
+from repro.obs.bench import (
+    BenchHistory,
+    BenchRecord,
+    compare_history,
+    detect_regression,
+    environment_fingerprint,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.pipeline import schedule_spans, schedule_trace_events
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.schema import (
+    BENCH_SCHEMA,
     METRICS_SCHEMA,
+    validate_bench,
+    validate_bench_history,
     validate_metrics,
     validate_trace_events,
 )
@@ -38,15 +55,24 @@ from repro.obs.session import Observability
 from repro.obs.tracing import Tracer
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchHistory",
+    "BenchRecord",
     "Counter",
     "Gauge",
     "Histogram",
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "Observability",
+    "SamplingProfiler",
     "Tracer",
+    "compare_history",
+    "detect_regression",
+    "environment_fingerprint",
     "schedule_spans",
     "schedule_trace_events",
+    "validate_bench",
+    "validate_bench_history",
     "validate_metrics",
     "validate_trace_events",
 ]

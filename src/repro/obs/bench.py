@@ -1,0 +1,393 @@
+"""Append-only benchmark history with robust regression detection.
+
+Every benchmark run becomes one line of ``results/bench/history.jsonl``
+(schema ``repro.obs.bench/1``, validated like the metrics schema): suite,
+benchmark name, wall seconds, optional throughput and peak memory, free
+``extra`` numbers, and an environment fingerprint (git sha, python,
+platform, hostname) so each data point is attributable to a commit and a
+machine.  ``benchmarks/conftest.py`` records into it whenever
+``REPRO_BENCH_HISTORY`` is set, and ``python -m repro.tools.bench`` is the
+human interface (``record`` / ``ingest`` / ``compare`` / ``report``).
+
+Regression detection is deliberately robust rather than clever:
+
+* the baseline is the *median* of the most recent comparable runs, with
+  spread measured by the scaled median absolute deviation (MAD);
+* a run is only a *confirmed* regression when it exceeds the threshold
+  ratio over the median, AND clears a noise floor of several MADs, AND
+  exceeds the threshold over the upper end of a bootstrap confidence
+  interval of the baseline median (seeded resampling -- deterministic);
+* baselines are environment-matched by default (same hostname/platform),
+  so a laptop history never fails a CI runner.
+
+Re-recording an unchanged benchmark is therefore never flagged, while a
+genuine >= threshold slowdown is (both directions are asserted in
+``tests/obs/test_bench.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.schema import BENCH_SCHEMA, validate_bench
+
+#: Default on-disk location, relative to the repository root.
+DEFAULT_HISTORY_PATH = os.path.join("results", "bench", "history.jsonl")
+
+#: Regression-detector defaults.
+DEFAULT_THRESHOLD = 0.10     #: flag runs > (1 + threshold) x baseline median
+DEFAULT_WINDOW = 8           #: baseline runs considered (most recent first)
+DEFAULT_MIN_RUNS = 2         #: baseline runs required before judging
+NOISE_FLOOR_MADS = 3.0       #: excess must clear this many scaled MADs
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def environment_fingerprint(cwd: str | None = None) -> dict:
+    """Str->str description of where a measurement was taken."""
+    return {
+        "git_sha": _git_sha(cwd),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": str(os.cpu_count() or 0),
+        "hostname": socket.gethostname(),
+    }
+
+
+def _git_sha(cwd: str | None = None) -> str:
+    override = os.environ.get("REPRO_GIT_SHA")
+    if override:
+        return override
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark measurement, ready to append to the history."""
+
+    suite: str
+    benchmark: str
+    wall_seconds: float
+    throughput: float | None = None
+    throughput_unit: str | None = None
+    peak_memory_bytes: int | None = None
+    extra: dict = field(default_factory=dict)
+    env: dict = field(default_factory=dict)
+    recorded_at: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.recorded_at:
+            self.recorded_at = time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+            )
+        if not self.env:
+            self.env = environment_fingerprint()
+
+    def to_dict(self) -> dict:
+        record = {
+            "schema": BENCH_SCHEMA,
+            "suite": self.suite,
+            "benchmark": self.benchmark,
+            "wall_seconds": self.wall_seconds,
+            "extra": dict(self.extra),
+            "env": dict(self.env),
+            "recorded_at": self.recorded_at,
+        }
+        if self.throughput is not None:
+            record["throughput"] = self.throughput
+            record["throughput_unit"] = self.throughput_unit or "bytes/s"
+        if self.peak_memory_bytes is not None:
+            record["peak_memory_bytes"] = int(self.peak_memory_bytes)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "BenchRecord":
+        return cls(
+            suite=record["suite"],
+            benchmark=record["benchmark"],
+            wall_seconds=float(record["wall_seconds"]),
+            throughput=record.get("throughput"),
+            throughput_unit=record.get("throughput_unit"),
+            peak_memory_bytes=record.get("peak_memory_bytes"),
+            extra=dict(record.get("extra", {})),
+            env=dict(record.get("env", {})),
+            recorded_at=record.get("recorded_at", ""),
+        )
+
+    def key(self) -> tuple[str, str]:
+        return (self.suite, self.benchmark)
+
+
+class BenchHistory:
+    """The append-only JSONL store behind ``results/bench/history.jsonl``."""
+
+    def __init__(self, path: str = DEFAULT_HISTORY_PATH):
+        self.path = os.fspath(path)
+
+    @classmethod
+    def from_env(cls) -> "BenchHistory":
+        return cls(os.environ.get("REPRO_BENCH_HISTORY", DEFAULT_HISTORY_PATH))
+
+    def append(self, record: BenchRecord) -> dict:
+        """Validate and append one record; returns the written document."""
+        document = record.to_dict()
+        errors = validate_bench(document)
+        if errors:
+            raise ValueError(
+                f"refusing to append invalid bench record: {errors}"
+            )
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True))
+            handle.write("\n")
+        return document
+
+    def load(self) -> list[BenchRecord]:
+        """Every record in file order; malformed lines raise ValueError."""
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        with open(self.path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, 1):
+                if not line.strip():
+                    continue
+                document = json.loads(line)
+                errors = validate_bench(document)
+                if errors:
+                    raise ValueError(
+                        f"{self.path}:{number}: {'; '.join(errors)}"
+                    )
+                records.append(BenchRecord.from_dict(document))
+        return records
+
+    def entries(
+        self, suite: str | None = None, benchmark: str | None = None
+    ) -> list[BenchRecord]:
+        return [
+            record for record in self.load()
+            if (suite is None or record.suite == suite)
+            and (benchmark is None or record.benchmark == benchmark)
+        ]
+
+    def benchmarks(self) -> list[tuple[str, str]]:
+        """Distinct (suite, benchmark) keys, in first-seen order."""
+        seen: dict[tuple[str, str], None] = {}
+        for record in self.load():
+            seen.setdefault(record.key(), None)
+        return list(seen)
+
+
+# -- robust statistics -----------------------------------------------------
+
+def median(values) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values) -> float:
+    """Median absolute deviation (unscaled)."""
+    center = median(values)
+    return median(abs(value - center) for value in values)
+
+
+def scaled_mad(values) -> float:
+    """MAD scaled to estimate a standard deviation (x1.4826)."""
+    return 1.4826 * mad(values)
+
+
+def bootstrap_median_interval(
+    values,
+    probability: float = 0.95,
+    resamples: int = 500,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Seeded bootstrap confidence interval for the median."""
+    values = list(values)
+    if not values:
+        raise ValueError("bootstrap of empty sequence")
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    medians = sorted(
+        median(rng.choices(values, k=len(values))) for _ in range(resamples)
+    )
+    tail = (1.0 - probability) / 2.0
+    lo = medians[int(tail * (resamples - 1))]
+    hi = medians[int((1.0 - tail) * (resamples - 1))]
+    return (lo, hi)
+
+
+@dataclass
+class Verdict:
+    """One benchmark's current run judged against its baseline."""
+
+    suite: str
+    benchmark: str
+    current: float
+    baseline_runs: int
+    baseline_median: float | None
+    baseline_mad: float | None
+    threshold: float
+    regressed: bool
+    improved: bool
+    reason: str
+
+    @property
+    def ratio(self) -> float | None:
+        if not self.baseline_median:
+            return None
+        return self.current / self.baseline_median
+
+    def summary(self) -> str:
+        ratio = self.ratio
+        shape = f"{ratio:.2f}x baseline" if ratio is not None else "no baseline"
+        status = ("REGRESSION" if self.regressed
+                  else "improved" if self.improved else "ok")
+        return (f"{self.suite}::{self.benchmark}: {self.current:.3f}s "
+                f"({shape}) -- {status}: {self.reason}")
+
+
+def detect_regression(
+    current: float,
+    baseline,
+    *,
+    suite: str = "",
+    benchmark: str = "",
+    threshold: float = DEFAULT_THRESHOLD,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    noise_floor_mads: float = NOISE_FLOOR_MADS,
+    resamples: int = 500,
+) -> Verdict:
+    """Judge one measurement against prior runs of the same benchmark.
+
+    A *confirmed* regression must clear three independent bars: the
+    threshold ratio over the baseline median, a noise floor of
+    ``noise_floor_mads`` scaled MADs over the median, and the threshold
+    ratio over the upper bootstrap confidence bound of the median.
+    """
+    baseline = [float(value) for value in baseline]
+    base = dict(suite=suite, benchmark=benchmark, current=current,
+                baseline_runs=len(baseline), threshold=threshold)
+    if len(baseline) < min_runs:
+        center = median(baseline) if baseline else None
+        return Verdict(
+            **base, baseline_median=center, baseline_mad=None,
+            regressed=False, improved=False,
+            reason=f"insufficient history ({len(baseline)} < {min_runs} runs)",
+        )
+    center = median(baseline)
+    spread = scaled_mad(baseline)
+    improved = center > 0 and current < center / (1.0 + threshold)
+    if center <= 0:
+        return Verdict(
+            **base, baseline_median=center, baseline_mad=spread,
+            regressed=False, improved=False,
+            reason="degenerate baseline (median <= 0)",
+        )
+    over_threshold = current > center * (1.0 + threshold)
+    over_noise = (current - center) > noise_floor_mads * spread
+    _, hi = bootstrap_median_interval(baseline, resamples=resamples)
+    over_interval = current > hi * (1.0 + threshold)
+    if over_threshold and over_noise and over_interval:
+        return Verdict(
+            **base, baseline_median=center, baseline_mad=spread,
+            regressed=True, improved=False,
+            reason=(f"{current / center:.2f}x median over {len(baseline)} "
+                    f"runs (> {1 + threshold:.2f}x, clears "
+                    f"{noise_floor_mads:.0f} MADs and the bootstrap bound)"),
+        )
+    if over_threshold:
+        blocker = ("noise floor" if not over_noise
+                   else "bootstrap confidence bound")
+        reason = (f"over threshold but within the {blocker} -- not confirmed")
+    elif improved:
+        reason = f"{current / center:.2f}x median (faster)"
+    else:
+        reason = f"{current / center:.2f}x median (within threshold)"
+    return Verdict(
+        **base, baseline_median=center, baseline_mad=spread,
+        regressed=False, improved=improved, reason=reason,
+    )
+
+
+def _same_environment(a: dict, b: dict) -> bool:
+    return (a.get("hostname") == b.get("hostname")
+            and a.get("platform") == b.get("platform"))
+
+
+def compare_history(
+    history: BenchHistory,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    benchmarks=None,
+    match_env: bool = True,
+) -> list[Verdict]:
+    """Judge the newest run of every benchmark against its predecessors.
+
+    ``match_env`` (the default) restricts each baseline to runs recorded
+    on the same hostname/platform as the run under judgment, so histories
+    can mix machines without cross-machine false alarms.
+    """
+    records = history.load()
+    grouped: dict[tuple[str, str], list[BenchRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.key(), []).append(record)
+    verdicts = []
+    for (suite, benchmark), runs in grouped.items():
+        if benchmarks and benchmark not in benchmarks \
+                and f"{suite}::{benchmark}" not in benchmarks:
+            continue
+        current = runs[-1]
+        prior = runs[:-1]
+        if match_env:
+            prior = [run for run in prior
+                     if _same_environment(run.env, current.env)]
+        baseline = [run.wall_seconds for run in prior[-window:]]
+        verdicts.append(detect_regression(
+            current.wall_seconds, baseline,
+            suite=suite, benchmark=benchmark,
+            threshold=threshold, min_runs=min_runs,
+        ))
+    return verdicts
+
+
+def sparkline(values) -> str:
+    """ASCII-art trend line (one glyph per value, min..max normalized)."""
+    values = [float(value) for value in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARKS[min(int((value - lo) / span * len(_SPARKS)), len(_SPARKS) - 1)]
+        for value in values
+    )

@@ -168,8 +168,17 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._instruments)
 
-    def snapshot(self, generated_by: str | None = None) -> dict:
-        """The documented ``repro.obs.metrics/1`` export document."""
+    def snapshot(
+        self,
+        generated_by: str | None = None,
+        extra: dict | None = None,
+    ) -> dict:
+        """The documented ``repro.obs.metrics/1`` export document.
+
+        ``extra`` attaches free-form provenance (e.g. the environment
+        fingerprint an :class:`repro.obs.Observability` session stamps so
+        exported telemetry is attributable to a commit and machine).
+        """
         from repro.obs.schema import METRICS_SCHEMA
 
         metrics = [
@@ -179,12 +188,24 @@ class MetricsRegistry:
         document = {"schema": METRICS_SCHEMA, "metrics": metrics}
         if generated_by:
             document["generated_by"] = generated_by
+        if extra:
+            document["extra"] = dict(extra)
         return document
 
-    def to_json(self, generated_by: str | None = None, indent: int = 2) -> str:
-        return json.dumps(self.snapshot(generated_by), indent=indent)
+    def to_json(
+        self,
+        generated_by: str | None = None,
+        indent: int = 2,
+        extra: dict | None = None,
+    ) -> str:
+        return json.dumps(self.snapshot(generated_by, extra), indent=indent)
 
-    def write(self, path, generated_by: str | None = None) -> None:
+    def write(
+        self,
+        path,
+        generated_by: str | None = None,
+        extra: dict | None = None,
+    ) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json(generated_by))
+            handle.write(self.to_json(generated_by, extra=extra))
             handle.write("\n")

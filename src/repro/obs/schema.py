@@ -11,9 +11,11 @@ The schemas themselves are documented in ``docs/observability.md``.
 from __future__ import annotations
 
 METRICS_SCHEMA = "repro.obs.metrics/1"
+BENCH_SCHEMA = "repro.obs.bench/1"
 
 _METRIC_TYPES = ("counter", "gauge", "histogram")
 _EVENT_PHASES = ("X", "B", "E", "i", "I", "C", "M")
+_SCALARS = (bool, int, float, str, type(None))
 
 
 def _is_number(value) -> bool:
@@ -29,6 +31,8 @@ def validate_metrics(document) -> list[str]:
         errors.append(
             f"schema must be {METRICS_SCHEMA!r}, got {document.get('schema')!r}"
         )
+    if "extra" in document and not isinstance(document["extra"], dict):
+        errors.append("extra must be an object when present")
     metrics = document.get("metrics")
     if not isinstance(metrics, list):
         errors.append("metrics must be a list")
@@ -89,6 +93,62 @@ def _validate_histogram(metric: dict, where: str) -> list[str]:
     if not errors and _is_number(metric.get("count")) \
             and buckets[-1].get("count") != metric["count"]:
         errors.append(f"{where}: +inf bucket count must equal 'count'")
+    return errors
+
+
+def validate_bench(document) -> list[str]:
+    """Check one ``repro.obs.bench/1`` history record; return errors."""
+    if not isinstance(document, dict):
+        return [f"bench record must be an object, got {type(document).__name__}"]
+    errors: list[str] = []
+    if document.get("schema") != BENCH_SCHEMA:
+        errors.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    for key in ("suite", "benchmark"):
+        if not isinstance(document.get(key), str) or not document.get(key):
+            errors.append(f"missing non-empty '{key}'")
+    wall = document.get("wall_seconds")
+    if not _is_number(wall) or wall < 0:
+        errors.append("'wall_seconds' must be a non-negative number")
+    if "throughput" in document:
+        throughput = document["throughput"]
+        if throughput is not None and (not _is_number(throughput)
+                                       or throughput < 0):
+            errors.append("'throughput' must be a non-negative number or null")
+    if "peak_memory_bytes" in document:
+        peak = document["peak_memory_bytes"]
+        if peak is not None and (not isinstance(peak, int)
+                                 or isinstance(peak, bool) or peak < 0):
+            errors.append("'peak_memory_bytes' must be a non-negative "
+                          "integer or null")
+    env = document.get("env")
+    if not isinstance(env, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in env.items()
+    ):
+        errors.append("'env' must be a str->str object")
+    extra = document.get("extra", {})
+    if not isinstance(extra, dict) or not all(
+        isinstance(k, str) and isinstance(v, _SCALARS)
+        for k, v in extra.items()
+    ):
+        errors.append("'extra' must be a str->scalar object")
+    if not isinstance(document.get("recorded_at"), str) \
+            or not document.get("recorded_at"):
+        errors.append("missing non-empty 'recorded_at'")
+    return errors
+
+
+def validate_bench_history(documents) -> list[str]:
+    """Check a loaded bench-history line list; errors carry line numbers."""
+    if not isinstance(documents, list):
+        return ["bench history must be a list of records"]
+    errors: list[str] = []
+    for index, document in enumerate(documents):
+        errors.extend(
+            f"line {index + 1}: {error}"
+            for error in validate_bench(document)
+        )
     return errors
 
 

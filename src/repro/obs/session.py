@@ -1,47 +1,123 @@
 """The CLI-facing observability bundle.
 
 Every experiment-running tool accepts ``--metrics-out`` / ``--trace-out``
-(see :func:`repro.tools.cli.add_observability_arguments`); this class
-turns those two optional paths into the registry/tracer pair handed to
-the :class:`repro.runner.Runner`, and writes the files on :meth:`write`.
-When neither path is given, ``metrics`` and ``tracer`` stay ``None`` and
-the instrumented code paths cost nothing.
+(see :func:`repro.tools.cli.add_observability_arguments`) plus the
+``--profile`` family; this class turns those optional flags into the
+registry/tracer/profiler trio handed to the
+:class:`repro.runner.Runner`, and writes the files on :meth:`write`.
+When no telemetry was requested, ``metrics``, ``tracer`` and ``profiler``
+stay ``None`` and the instrumented code paths cost nothing.
+
+Use the session as a context manager around the tool's work so the
+sampling profiler covers exactly the measured region::
+
+    obs = observability_from_args(args, tool="riscasim")
+    with obs:
+        ...run experiments...
+    for line in obs.report():
+        print(line)
+    for path in obs.write():
+        print(f"wrote {path}")
+
+Written metrics snapshots are stamped with the environment fingerprint
+(git sha, python version, platform, hostname) under ``extra.environment``
+so exported telemetry artifacts are attributable to a commit.
 """
 
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
 from repro.obs.tracing import Tracer
 
 
 class Observability:
-    """Optional metrics registry + tracer bound to their output paths."""
+    """Optional metrics registry + tracer + profiler, bound to outputs."""
 
     def __init__(
         self,
         metrics_out: str | None = None,
         trace_out: str | None = None,
         tool: str | None = None,
+        profile: bool = False,
+        profile_hz: int = DEFAULT_HZ,
+        profile_out: str | None = None,
     ):
         self.metrics_out = metrics_out
         self.trace_out = trace_out
         self.tool = tool
+        self.profile_out = profile_out
         self.metrics: MetricsRegistry | None = (
             MetricsRegistry() if metrics_out else None
         )
         self.tracer: Tracer | None = Tracer() if trace_out else None
+        self.profiler: SamplingProfiler | None = None
+        if profile or profile_out:
+            self.profiler = SamplingProfiler(
+                hz=profile_hz,
+                now_us=self.tracer.now_us if self.tracer else None,
+            )
+        self._finished = False
 
     @property
     def enabled(self) -> bool:
-        return self.metrics is not None or self.tracer is not None
+        return (self.metrics is not None or self.tracer is not None
+                or self.profiler is not None)
+
+    # -- profiled region ---------------------------------------------------
+
+    def __enter__(self) -> "Observability":
+        if self.profiler is not None and not self.profiler.running:
+            self.profiler.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    def finish(self) -> None:
+        """Stop the profiler and fold its samples into metrics/trace."""
+        if self._finished:
+            return
+        self._finished = True
+        if self.profiler is None:
+            return
+        self.profiler.stop()
+        if self.metrics is not None:
+            self.profiler.record_metrics(self.metrics)
+        if self.tracer is not None:
+            self.tracer.add_events(
+                self.profiler.trace_events(pid=self.tracer.pid)
+            )
+
+    def report(self) -> list[str]:
+        """Human-readable summary lines (profiler breakdown, when on)."""
+        if self.profiler is None:
+            return []
+        self.finish()
+        lines = self.profiler.subsystem_table().splitlines()
+        if self.profiler.samples:
+            lines.extend(self.profiler.top_table(5).splitlines())
+        return lines
+
+    # -- export ------------------------------------------------------------
 
     def write(self) -> list[str]:
         """Write whichever outputs were requested; returns written paths."""
+        from repro.obs.bench import environment_fingerprint
+
+        self.finish()
         written: list[str] = []
         if self.metrics is not None and self.metrics_out:
-            self.metrics.write(self.metrics_out, generated_by=self.tool)
+            self.metrics.write(
+                self.metrics_out,
+                generated_by=self.tool,
+                extra={"environment": environment_fingerprint()},
+            )
             written.append(self.metrics_out)
         if self.tracer is not None and self.trace_out:
             self.tracer.write(self.trace_out)
             written.append(self.trace_out)
+        if self.profiler is not None and self.profile_out:
+            self.profiler.write_collapsed(self.profile_out)
+            written.append(self.profile_out)
         return written

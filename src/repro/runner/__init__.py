@@ -25,6 +25,7 @@ from repro.runner.cache import (
     default_cache_dir,
 )
 from repro.runner.engine import RunResult, Runner, RunnerStats
+from repro.runner.telemetry import FleetMonitor, ProgressReporter
 from repro.runner.experiment import (
     DEFAULT_SESSION_BYTES,
     Experiment,
@@ -58,6 +59,8 @@ __all__ = [
     "DEFAULT_SESSION_BYTES",
     "Experiment",
     "ExperimentOptions",
+    "FleetMonitor",
+    "ProgressReporter",
     "ResultCache",
     "RunResult",
     "Runner",

@@ -45,6 +45,11 @@ from repro.kernels.runtime import KernelRun
 from repro.kernels.setup_registry import make_setup
 from repro.runner.cache import RUNNER_VERSION, ResultCache, content_key
 from repro.runner.experiment import Experiment, ExperimentOptions
+from repro.runner.telemetry import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_STUCK_AFTER,
+    FleetMonitor,
+)
 from repro.sim.config import MachineConfig
 from repro.sim.stats import SimStats
 from repro.sim.timing import TimingPipeline, record_sim_metrics, simulate
@@ -167,12 +172,22 @@ class Runner:
         tracer=None,
         stream: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        heartbeat_hook=None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        stuck_after: float = DEFAULT_STUCK_AFTER,
     ):
         self.cache = cache if cache is not None else ResultCache.from_env()
         self.jobs = max(1, int(jobs))
         self.stats_hook = stats_hook
         self.metrics = metrics
         self.tracer = tracer
+        #: Fleet-telemetry sinks: ``heartbeat_hook`` receives the event
+        #: stream documented in :mod:`repro.runner.telemetry` (the CLI
+        #: ``--progress`` flag plugs a ProgressReporter in here), emitted
+        #: identically by the serial and multiprocessing paths.
+        self.heartbeat_hook = heartbeat_hook
+        self.heartbeat_interval = heartbeat_interval
+        self.stuck_after = stuck_after
         #: Overlap functional execution and timing through the chunked
         #: trace stream (bounded memory).  Per-experiment
         #: ``ExperimentOptions.stream`` overrides; results are identical.
@@ -431,6 +446,22 @@ class Runner:
             self.cache.errors += 1
             return None
 
+    def _monitor(self, pending) -> FleetMonitor:
+        return FleetMonitor(
+            total_groups=len(pending),
+            total_experiments=sum(len(e) for e in pending.values()),
+            jobs=self.jobs,
+            hook=self.heartbeat_hook,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            interval=self.heartbeat_interval,
+            stuck_after=self.stuck_after,
+        )
+
+    @staticmethod
+    def _group_label(options: ExperimentOptions) -> str:
+        return f"{options.cipher}/{options.kind}:{options.session_bytes}B"
+
     def _execute_pending(self, pending, results) -> None:
         # Groups whose trace already lives in this process run locally; cold
         # groups are eligible for the pool.
@@ -439,15 +470,18 @@ class Runner:
         cold = {opts: entries for opts, entries in pending.items()
                 if opts not in self._functional}
         computed: dict[ExperimentOptions, list[dict]] = {}
-        if cold and self.jobs > 1 and len(cold) > 1:
-            parallel = self._run_groups_parallel(cold)
-            if parallel is not None:
-                computed.update(parallel)
-                cold = {}
-        for options, entries in {**local, **cold}.items():
-            computed[options] = self._run_group_records(
-                options, [entry[1].config for entry in entries]
-            )
+        with self._monitor(pending) as monitor:
+            if cold and self.jobs > 1 and len(cold) > 1:
+                parallel = self._run_groups_parallel(cold, monitor)
+                if parallel is not None:
+                    computed.update(parallel)
+                    cold = {}
+            for options, entries in {**local, **cold}.items():
+                monitor.dispatch(self._group_label(options))
+                computed[options] = self._run_group_records(
+                    options, [entry[1].config for entry in entries]
+                )
+                monitor.complete(self._group_label(options))
         for options, entries in pending.items():
             records = computed[options]
             for (index, experiment, key), record in zip(entries, records):
@@ -458,22 +492,42 @@ class Runner:
                 self.stats.timing_runs += 1
                 self.stats.instructions_simulated += result.stats.instructions
                 self.stats.wall_time_timing += result.wall_time
+                if self.metrics is not None:
+                    self.metrics.histogram(
+                        "runner.experiment.seconds",
+                        {"cipher": result.cipher,
+                         "config": result.config_name},
+                    ).observe(result.wall_time)
                 results[index] = result
                 if self.stats_hook is not None:
                     self.stats_hook(result)
 
-    def _run_groups_parallel(self, pending):
+    def _run_groups_parallel(self, pending, monitor: FleetMonitor):
         specs = [
             (options, [entry[1].config for entry in entries],
              self.stream, self.chunk_size)
             for options, entries in pending.items()
         ]
+        labels = [self._group_label(spec[0]) for spec in specs]
         try:
             with self._span("parallel-fanout", "timing",
                             {"groups": len(specs), "jobs": self.jobs}):
                 with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
-                    outputs = pool.map(_worker_run_group, specs)
+                    # apply_async (not map) so each group's completion is
+                    # observed live by the fleet monitor: the callback runs
+                    # on the pool's result thread the moment a worker
+                    # finishes, keeping heartbeats/ETA accurate.
+                    handles = []
+                    for spec, label in zip(specs, labels):
+                        monitor.dispatch(label)
+                        handles.append(pool.apply_async(
+                            _worker_run_group, (spec,),
+                            callback=lambda _out, label=label:
+                                monitor.complete(label),
+                        ))
+                    outputs = [handle.get() for handle in handles]
         except Exception as error:  # pool unavailable or worker died
+            monitor.abandon_all()
             warnings.warn(
                 f"parallel runner unavailable ({error!r}); "
                 "falling back to serial execution",

@@ -1,0 +1,208 @@
+"""Benchmark-history CLI: record runs, detect regressions, show trends.
+
+    python -m repro.tools.bench record --suite streaming \\
+        --benchmark stream_vs_batch --wall 1.84 --extra session_bytes=16384
+    python -m repro.tools.bench ingest BENCH_streaming.json
+    python -m repro.tools.bench compare --threshold 0.10
+    python -m repro.tools.bench report
+
+All subcommands operate on the append-only history file
+(``results/bench/history.jsonl`` by default, schema ``repro.obs.bench/1``;
+override with ``--history`` or ``REPRO_BENCH_HISTORY``).  Every appended
+record is stamped with the environment fingerprint (git sha, python,
+platform, hostname) so each point is attributable to a commit.
+
+``compare`` judges the newest run of every benchmark against the median
+of its recent same-environment predecessors (robust MAD noise floor +
+bootstrap confidence bound -- see :mod:`repro.obs.bench`) and exits
+non-zero on a *confirmed* regression; CI runs it after recording the
+benchmark smoke set.  ``report`` prints one trend sparkline per
+benchmark.  ``ingest`` migrates a legacy ``BENCH_streaming.json``
+artifact (written by ``benchmarks/test_streaming_memory.py``) into the
+history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.obs.bench import (
+    DEFAULT_HISTORY_PATH,
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    BenchHistory,
+    BenchRecord,
+    compare_history,
+    sparkline,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.bench",
+                                     description=__doc__)
+    parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help=f"history file (default {DEFAULT_HISTORY_PATH}, or "
+             "$REPRO_BENCH_HISTORY)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser(
+        "record", help="append one measurement to the history")
+    record.add_argument("--suite", required=True)
+    record.add_argument("--benchmark", required=True)
+    record.add_argument("--wall", type=float, required=True,
+                        metavar="SECONDS")
+    record.add_argument("--throughput", type=float, default=None)
+    record.add_argument("--throughput-unit", default=None)
+    record.add_argument("--peak-memory", type=int, default=None,
+                        metavar="BYTES")
+    record.add_argument("--extra", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="attach a scalar (repeatable)")
+
+    ingest = commands.add_parser(
+        "ingest", help="migrate a BENCH_streaming.json artifact")
+    ingest.add_argument("path")
+
+    compare = commands.add_parser(
+        "compare", help="judge the newest runs; exit 1 on a regression")
+    compare.add_argument("--threshold", type=float,
+                         default=DEFAULT_THRESHOLD,
+                         help="flag runs slower than (1 + THRESHOLD) x "
+                              "baseline median (default %(default)s)")
+    compare.add_argument("--baseline", type=int, default=DEFAULT_WINDOW,
+                         metavar="N",
+                         help="baseline window: most recent N prior runs "
+                              "(default %(default)s)")
+    compare.add_argument("--benchmark", nargs="*", default=None,
+                         help="only these benchmarks (default: all)")
+    compare.add_argument("--any-env", action="store_true",
+                         help="compare across environments too (default: "
+                              "baseline is same hostname/platform only)")
+
+    report = commands.add_parser(
+        "report", help="per-benchmark trend sparklines")
+    report.add_argument("--benchmark", nargs="*", default=None)
+    report.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="trend points shown per benchmark "
+                             "(default %(default)s)")
+
+    args = parser.parse_args(argv)
+    history = (BenchHistory(args.history) if args.history
+               else BenchHistory.from_env())
+    return {
+        "record": _record,
+        "ingest": _ingest,
+        "compare": _compare,
+        "report": _report,
+    }[args.command](args, history)
+
+
+def _parse_extra(pairs) -> dict:
+    extra = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--extra wants KEY=VALUE, got {pair!r}")
+        key, value = pair.split("=", 1)
+        for kind in (int, float):
+            try:
+                value = kind(value)
+                break
+            except ValueError:
+                continue
+        extra[key] = value
+    return extra
+
+
+def _record(args, history: BenchHistory) -> int:
+    document = history.append(BenchRecord(
+        suite=args.suite,
+        benchmark=args.benchmark,
+        wall_seconds=args.wall,
+        throughput=args.throughput,
+        throughput_unit=args.throughput_unit,
+        peak_memory_bytes=args.peak_memory,
+        extra=_parse_extra(args.extra),
+    ))
+    print(f"recorded {document['suite']}::{document['benchmark']} "
+          f"({document['wall_seconds']:.3f}s) -> {history.path}")
+    return 0
+
+
+def _ingest(args, history: BenchHistory) -> int:
+    """Migrate one legacy streaming-benchmark artifact into the history."""
+    with open(args.path) as handle:
+        legacy = json.load(handle)
+    try:
+        wall = float(legacy["stream_seconds"])
+        session_bytes = int(legacy["session_bytes"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(
+            f"{args.path}: not a BENCH_streaming.json artifact ({error!r})"
+        )
+    extra = {
+        key: value for key, value in legacy.items()
+        if isinstance(value, (bool, int, float, str))
+        and key not in ("stream_seconds", "stream_peak_trace_bytes")
+    }
+    document = history.append(BenchRecord(
+        suite="streaming",
+        benchmark="stream_vs_batch",
+        wall_seconds=wall,
+        throughput=session_bytes / wall if wall > 0 else None,
+        throughput_unit="bytes/s",
+        peak_memory_bytes=legacy.get("stream_peak_trace_bytes"),
+        extra=extra,
+    ))
+    print(f"ingested {args.path} -> {history.path} "
+          f"({document['wall_seconds']:.3f}s, "
+          f"{len(extra)} extra fields)")
+    return 0
+
+
+def _compare(args, history: BenchHistory) -> int:
+    verdicts = compare_history(
+        history,
+        threshold=args.threshold,
+        window=args.baseline,
+        benchmarks=args.benchmark,
+        match_env=not args.any_env,
+    )
+    if not verdicts:
+        print(f"{history.path}: no benchmarks to compare")
+        return 0
+    regressions = 0
+    for verdict in verdicts:
+        print(verdict.summary())
+        regressions += verdict.regressed
+    if regressions:
+        print(f"{regressions} confirmed regression(s)")
+        return 1
+    print("no confirmed regressions")
+    return 0
+
+
+def _report(args, history: BenchHistory) -> int:
+    keys = history.benchmarks()
+    if args.benchmark:
+        keys = [key for key in keys
+                if key[1] in args.benchmark
+                or f"{key[0]}::{key[1]}" in args.benchmark]
+    if not keys:
+        print(f"{history.path}: no recorded benchmarks")
+        return 0
+    for suite, benchmark in keys:
+        entries = history.entries(suite=suite, benchmark=benchmark)
+        walls = [entry.wall_seconds for entry in entries][-args.limit:]
+        latest = entries[-1]
+        sha = latest.env.get("git_sha", "unknown")[:12]
+        print(f"{suite}::{benchmark:<28} {sparkline(walls)}  "
+              f"latest {walls[-1]:.3f}s over {len(walls)} runs "
+              f"(last @ {sha})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,11 @@ Every experiment-running CLI in this repository speaks the same flags:
 * ``--jobs``           -- worker processes for the experiment runner,
 * ``--no-cache``       -- bypass the on-disk result cache,
 * ``--metrics-out``    -- write a metrics-registry snapshot (JSON),
-* ``--trace-out``      -- write a span trace (Chrome JSON or JSONL).
+* ``--trace-out``      -- write a span trace (Chrome JSON or JSONL),
+* ``--profile``        -- sample host stacks, print a subsystem breakdown
+  (``--profile-hz`` rate, ``--profile-out`` collapsed stacks),
+* ``--progress``       -- live progress/ETA line from the runner's fleet
+  telemetry (heartbeats, stuck-worker warnings).
 
 The helpers here add those arguments with consistent help text, defaults,
 and backwards-compatible aliases, and build a configured
@@ -24,7 +28,8 @@ import argparse
 from repro.isa import Features
 from repro.kernels import KERNEL_NAMES
 from repro.obs import Observability
-from repro.runner import ResultCache, Runner
+from repro.obs.profiler import DEFAULT_HZ
+from repro.runner import ProgressReporter, ResultCache, Runner
 from repro.sim import (
     ALPHA21264,
     BASE4W,
@@ -114,6 +119,11 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for timing simulations (default 1: serial)",
     )
     parser.add_argument(
+        "--progress", action="store_true",
+        help="live progress line on stderr (groups done, busy workers, "
+             "ETA, stuck-worker warnings); works with any --jobs value",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the on-disk result cache",
     )
@@ -144,6 +154,20 @@ def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         help="write runner/simulator spans: Chrome/Perfetto trace JSON, "
              "or one event per line if PATH ends in .jsonl",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample the host's Python stacks during the run and print a "
+             "subsystem wall-time breakdown (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--profile-hz", type=int, default=DEFAULT_HZ, metavar="HZ",
+        help="profiler sampling rate (default %(default)s)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="also write collapsed stacks (flamegraph.pl / speedscope "
+             "format); implies --profile",
+    )
 
 
 def observability_from_args(
@@ -158,6 +182,9 @@ def observability_from_args(
         metrics_out=getattr(args, "metrics_out", None),
         trace_out=getattr(args, "trace_out", None),
         tool=tool,
+        profile=getattr(args, "profile", False),
+        profile_hz=getattr(args, "profile_hz", DEFAULT_HZ),
+        profile_out=getattr(args, "profile_out", None),
     )
 
 
@@ -174,6 +201,8 @@ def runner_from_args(
     if obs is not None:
         kwargs.setdefault("metrics", obs.metrics)
         kwargs.setdefault("tracer", obs.tracer)
+    if getattr(args, "progress", False):
+        kwargs.setdefault("heartbeat_hook", ProgressReporter())
     kwargs.setdefault("stream", not getattr(args, "no_stream", False))
     chunk_size = getattr(args, "chunk_size", None)
     if chunk_size is not None:

@@ -52,9 +52,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     obs = observability_from_args(args, tool="kernelbench")
     runner = runner_from_args(args, obs=obs)
-    results = runner.run([
-        Experiment(options, CONFIGS[name]) for name in args.configs
-    ])
+    with obs:
+        results = runner.run([
+            Experiment(options, CONFIGS[name]) for name in args.configs
+        ])
 
     first = results[0]
     print(f"{args.cipher} [{features.label}] {options.kind} "
@@ -65,6 +66,8 @@ def main(argv: list[str] | None = None) -> int:
         stats = result.stats
         print(f"{name:<8} {stats.cycles:>9} {stats.ipc:>6.2f} "
               f"{stats.bytes_per_kilocycle(session):>10.2f}")
+    for line in obs.report():
+        print(line)
     for path in obs.write():
         print(f"wrote {path}")
     return 0

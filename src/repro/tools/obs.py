@@ -29,7 +29,10 @@ import json
 
 from repro.kernels import KERNEL_NAMES
 from repro.obs import (
+    BENCH_SCHEMA,
     schedule_trace_events,
+    validate_bench,
+    validate_bench_history,
     validate_metrics,
     validate_trace_events,
 )
@@ -85,35 +88,44 @@ def main(argv: list[str] | None = None) -> int:
     obs = observability_from_args(args, tool="obs")
     runner = runner_from_args(args, obs=obs)
 
-    for cipher in args.cipher:
-        options = ExperimentOptions(
-            cipher=cipher, features=features,
-            session_bytes=args.session_bytes,
-        )
-        results = runner.run([
-            Experiment(options, CONFIGS[name]) for name in args.configs
-        ])
-        print(breakdown_table(cipher, features.label, args.session_bytes,
-                              list(zip(args.configs, results))))
-        if args.hotspots:
-            for name, result in zip(args.configs, results):
-                print(hotspot_table(name, result.stats, args.hotspots))
-        print()
+    with obs:
+        for cipher in args.cipher:
+            options = ExperimentOptions(
+                cipher=cipher, features=features,
+                session_bytes=args.session_bytes,
+            )
+            results = runner.run([
+                Experiment(options, CONFIGS[name]) for name in args.configs
+            ])
+            print(breakdown_table(cipher, features.label, args.session_bytes,
+                                  list(zip(args.configs, results))))
+            if args.hotspots:
+                for name, result in zip(args.configs, results):
+                    print(hotspot_table(name, result.stats, args.hotspots))
+            print()
 
-    if args.pipeline:
-        if len(args.cipher) != 1 or len(args.configs) != 1:
-            parser.error("--pipeline needs exactly one cipher and config")
-        render_window(runner, obs, args.cipher[0], features,
-                      args.session_bytes, CONFIGS[args.configs[0]],
-                      args.pipeline)
+        if args.pipeline:
+            if len(args.cipher) != 1 or len(args.configs) != 1:
+                parser.error("--pipeline needs exactly one cipher and config")
+            render_window(runner, obs, args.cipher[0], features,
+                          args.session_bytes, CONFIGS[args.configs[0]],
+                          args.pipeline)
 
+    for line in obs.report():
+        print(line)
     for path in obs.write():
         print(f"wrote {path}")
     return 0
 
 
 def check_file(path: str) -> int:
-    """Validate a written metrics or trace file; 0 iff it conforms."""
+    """Validate a written metrics, trace, or bench-history file.
+
+    The document kind is sniffed from its content: a ``metrics`` key means
+    the metrics schema, a ``repro.obs.bench/1`` schema stamp (on a single
+    object or on JSONL lines) means the benchmark history, anything else
+    is checked as Chrome/Perfetto trace events.  Returns 0 iff valid.
+    """
     with open(path) as handle:
         if path.endswith(".jsonl"):
             document = [json.loads(line) for line in handle if line.strip()]
@@ -121,6 +133,14 @@ def check_file(path: str) -> int:
             document = json.load(handle)
     if isinstance(document, dict) and "metrics" in document:
         errors, kind = validate_metrics(document), "metrics"
+    elif isinstance(document, dict) \
+            and document.get("schema") == BENCH_SCHEMA:
+        errors, kind = validate_bench(document), "bench"
+    elif isinstance(document, list) and document and all(
+        isinstance(entry, dict) and entry.get("schema") == BENCH_SCHEMA
+        for entry in document
+    ):
+        errors, kind = validate_bench_history(document), "bench history"
     else:
         errors, kind = validate_trace_events(document), "trace"
     if errors:

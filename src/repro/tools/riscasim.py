@@ -5,12 +5,17 @@
     python -m repro.tools.riscasim program.s --list          # disassemble
     python -m repro.tools.riscasim program.s --view 0:30     # pipeline view
     python -m repro.tools.riscasim program.s --bottlenecks   # Figure 5 sweep
+    python -m repro.tools.riscasim --cipher Blowfish --profile --no-cache
 
 The program runs against a fresh 1 MB memory; use LDIQ-materialized
 addresses and STL/STQ to produce observable results (dumped with --dump).
 Timing results are cached on disk keyed by the assembled program's content
 hash (bypass with --no-cache); the functional run and the --view pipeline
 rendering always execute live.
+
+``--cipher NAME`` runs a suite cipher kernel (with its table/key memory
+image) instead of an assembly source -- combined with ``--profile`` it is
+the quickest way to see where *host* wall time goes for one cipher run.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ import argparse
 import sys
 
 from repro.isa import assemble
+from repro.kernels import KERNEL_NAMES
+from repro.runner import Experiment, ExperimentOptions
 from repro.sim import (
     BOTTLENECKS,
     DATAFLOW_BASEISA,
@@ -30,8 +37,11 @@ from repro.sim import (
 from repro.sim.pipeview import render_pipeline, stall_summary
 from repro.tools.cli import (
     CONFIGS,
+    FEATURE_LEVELS,
     add_config_argument,
+    add_features_argument,
     add_runner_arguments,
+    add_session_argument,
     observability_from_args,
     runner_from_args,
 )
@@ -40,7 +50,14 @@ from repro.tools.cli import (
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools.riscasim",
                                      description=__doc__)
-    parser.add_argument("source", help="assembly file, or - for stdin")
+    parser.add_argument("source", nargs="?",
+                        help="assembly file, or - for stdin")
+    parser.add_argument(
+        "--cipher", choices=KERNEL_NAMES,
+        help="run this suite cipher kernel instead of an assembly source",
+    )
+    add_features_argument(parser)
+    add_session_argument(parser)
     add_config_argument(parser)
     parser.add_argument("--list", action="store_true",
                         help="print the disassembly and exit")
@@ -55,6 +72,33 @@ def main(argv: list[str] | None = None) -> int:
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
+    if bool(args.source) == bool(args.cipher):
+        parser.error("give exactly one of: an assembly source, or --cipher")
+    if args.cipher and (args.view or args.bottlenecks
+                        or args.dump or args.list):
+        parser.error("--cipher supports plain stats runs only "
+                     "(no --list/--view/--dump/--bottlenecks)")
+
+    config = CONFIGS[args.config]
+    obs = observability_from_args(args, tool="riscasim")
+    runner = runner_from_args(args, obs=obs)
+
+    if args.cipher:
+        options = ExperimentOptions(
+            cipher=args.cipher,
+            features=FEATURE_LEVELS[args.features],
+            session_bytes=args.session_bytes,
+        )
+        with obs:
+            result = runner.run_one(Experiment(options, config))
+        print(f"{args.cipher} [{options.features.label}] "
+              f"{options.session_bytes}B on {config.name}: "
+              f"{result.instructions} instructions; "
+              f"{result.stats.summary()}")
+        _print_slots(result.stats)
+        _finish(obs)
+        return 0
+
     text = (sys.stdin.read() if args.source == "-"
             else open(args.source).read())
     program = assemble(text)
@@ -63,34 +107,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     memory = Memory(args.memory)
-    config = CONFIGS[args.config]
-    obs = observability_from_args(args, tool="riscasim")
-    runner = runner_from_args(args, obs=obs)
     key_base = ["riscasim", program.digest(), args.memory]
     # --view/--bottlenecks replay the trace several times and --dump needs
     # the post-run memory image, so those paths materialize; the plain
     # stats run streams chunk by chunk (bounded trace memory).
     needs_trace = bool(args.view or args.bottlenecks or args.dump)
-    if runner.stream and not needs_trace:
-        source = Machine(program, memory).stream(
-            chunk_size=runner.chunk_size
-        )
-        stats = runner.simulate_stream(
-            source, [config], key_parts=key_base
-        )[0]
-        instructions = stats.instructions
-        trace = None
-    else:
-        result = Machine(program, memory).run()
-        trace = result.trace
-        stats = runner.simulate_trace(trace, config, key_parts=key_base)
-        instructions = result.instructions
+    with obs:
+        if runner.stream and not needs_trace:
+            source = Machine(program, memory).stream(
+                chunk_size=runner.chunk_size
+            )
+            stats = runner.simulate_stream(
+                source, [config], key_parts=key_base
+            )[0]
+            instructions = stats.instructions
+            trace = None
+        else:
+            result = Machine(program, memory).run()
+            trace = result.trace
+            stats = runner.simulate_trace(trace, config, key_parts=key_base)
+            instructions = result.instructions
     print(f"{instructions} instructions; {stats.summary()}")
-    fractions = stats.stall_fractions()
-    if fractions:
-        print("issue slots: " + ", ".join(
-            f"{name} {share:.1%}" for name, share in fractions.items()
-        ))
+    _print_slots(stats)
 
     if args.dump:
         address, length = (int(part, 0) for part in args.dump.split(":"))
@@ -115,9 +153,23 @@ def main(argv: list[str] | None = None) -> int:
             ).cycles
             print(f"{which:<10} {dataflow / cycles:.3f}")
 
+    _finish(obs)
+    return 0
+
+
+def _print_slots(stats) -> None:
+    fractions = stats.stall_fractions()
+    if fractions:
+        print("issue slots: " + ", ".join(
+            f"{name} {share:.1%}" for name, share in fractions.items()
+        ))
+
+
+def _finish(obs) -> None:
+    for line in obs.report():
+        print(line)
     for path in obs.write():
         print(f"wrote {path}")
-    return 0
 
 
 if __name__ == "__main__":

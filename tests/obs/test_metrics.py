@@ -82,6 +82,21 @@ def test_write_and_reload(tmp_path):
     assert document["metrics"][0]["value"] == 3
 
 
+def test_snapshot_extra_is_carried_and_validated(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("n").inc()
+    extra = {"environment": {"git_sha": "abc123", "python": "3.11.7"}}
+    document = registry.snapshot(generated_by="test", extra=extra)
+    assert validate_metrics(document) == []
+    assert document["extra"] == extra
+    path = tmp_path / "metrics.json"
+    registry.write(path, extra=extra)
+    assert json.loads(path.read_text())["extra"] == extra
+    # Omitted extra leaves the document unchanged.
+    assert "extra" not in registry.snapshot()
+    assert validate_metrics({**document, "extra": []}) != []
+
+
 def test_validator_flags_bad_documents():
     assert validate_metrics([]) != []
     assert validate_metrics({"schema": "bogus", "metrics": []}) != []

@@ -1,0 +1,61 @@
+"""Tests for the CLI observability bundle (metrics + trace + profiler)."""
+
+import json
+
+from repro.obs import validate_metrics, validate_trace_events
+from repro.obs.session import Observability
+from tests.obs.test_profiler import busy_cipher_work
+
+
+def test_disabled_session_is_inert():
+    obs = Observability()
+    assert not obs.enabled
+    with obs:
+        pass
+    assert obs.report() == []
+    assert obs.write() == []
+
+
+def test_profiled_session_reports_and_writes_everything(tmp_path):
+    metrics_out = tmp_path / "metrics.json"
+    trace_out = tmp_path / "trace.json"
+    profile_out = tmp_path / "profile.txt"
+    obs = Observability(
+        metrics_out=str(metrics_out), trace_out=str(trace_out),
+        tool="unit", profile=True, profile_hz=400,
+        profile_out=str(profile_out),
+    )
+    with obs:
+        busy_cipher_work(0.15)
+    lines = obs.report()
+    assert any("cipher" in line for line in lines)
+    assert any("top 5 functions" in line for line in lines)
+    written = obs.write()
+    assert written == [str(metrics_out), str(trace_out), str(profile_out)]
+
+    document = json.loads(metrics_out.read_text())
+    assert validate_metrics(document) == []
+    assert document["generated_by"] == "unit"
+    # Satellite: the environment fingerprint rides along in extra.
+    env = document["extra"]["environment"]
+    assert set(env) >= {"git_sha", "python", "platform", "hostname"}
+    names = {metric["name"] for metric in document["metrics"]}
+    assert "profiler.samples" in names
+
+    trace = json.loads(trace_out.read_text())
+    assert validate_trace_events(trace) == []
+    assert any(event["name"] == "profiler.samples"
+               for event in trace["traceEvents"])
+    assert profile_out.read_text().strip()
+
+
+def test_finish_is_idempotent_and_profiler_stops():
+    obs = Observability(profile=True, profile_hz=400)
+    with obs:
+        busy_cipher_work(0.05)
+    assert not obs.profiler.running
+    samples = obs.profiler.samples
+    obs.finish()
+    obs.finish()
+    assert obs.profiler.samples == samples
+    assert obs.report()  # report after finish still renders

@@ -1,0 +1,245 @@
+"""Tests for the runner fleet monitor, progress reporter, and wiring."""
+
+import io
+
+from repro.obs import MetricsRegistry, Tracer, validate_metrics
+from repro.runner import (
+    Experiment,
+    ExperimentOptions,
+    FleetMonitor,
+    ProgressReporter,
+    ResultCache,
+    Runner,
+    experiment_grid,
+)
+from repro.runner.telemetry import _format_seconds
+from repro.sim import DATAFLOW, FOURW
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_monitor(events, clock, **kwargs):
+    kwargs.setdefault("total_groups", 4)
+    kwargs.setdefault("total_experiments", 8)
+    kwargs.setdefault("interval", 0)  # heartbeats driven by the tests
+    return FleetMonitor(hook=events.append, clock=clock, **kwargs)
+
+
+def test_dispatch_complete_accounting():
+    events, clock = [], FakeClock()
+    with make_monitor(events, clock, jobs=2) as monitor:
+        monitor.dispatch("a")
+        monitor.dispatch("b")
+        monitor.dispatch("c")  # queued behind the 2 workers
+        beat = monitor.heartbeat()
+        assert beat["busy"] == 2 and beat["done"] == 0
+        clock.advance(3.0)
+        monitor.complete("b")
+        clock.advance(1.0)
+        monitor.complete("a")
+    kinds = [event["type"] for event in events]
+    assert kinds[0] == "start" and kinds[-1] == "finish"
+    done = [event for event in events if event["type"] == "group-done"]
+    assert [event["group"] for event in done] == ["b", "a"]
+    assert done[0]["elapsed"] == 3.0
+    assert done[1]["elapsed"] == 4.0
+    assert done[1]["done"] == 2
+    assert events[-1]["done"] == 2
+    assert events[-1]["total"] == 4
+
+
+def test_heartbeat_eta_extrapolates():
+    events, clock = [], FakeClock()
+    with make_monitor(events, clock) as monitor:
+        for label in ("a", "b", "c", "d"):
+            monitor.dispatch(label)
+        clock.advance(10.0)
+        monitor.complete("a")
+        monitor.complete("b")
+        beat = monitor.heartbeat()
+    # 2 done in 10s -> 2 remaining need ~10 more seconds.
+    assert beat["eta_seconds"] == 10.0
+    assert beat["elapsed"] == 10.0
+    first = events[1]
+    assert first["type"] == "dispatch" and first["busy"] == 1
+
+
+def test_stuck_watchdog_names_oldest_running_groups():
+    events, clock = [], FakeClock()
+    with make_monitor(events, clock, jobs=2, stuck_after=30.0) as monitor:
+        monitor.dispatch("old")
+        monitor.dispatch("younger")
+        monitor.dispatch("queued")
+        clock.advance(31.0)
+        monitor.heartbeat()
+        monitor.heartbeat()  # warned once, not repeated
+        monitor.complete("old")
+        clock.advance(5.0)
+        monitor.heartbeat()  # progress happened: quiet period restarts
+    stuck = [event for event in events if event["type"] == "stuck"]
+    # Only the jobs=2 oldest dispatches can actually be running.
+    assert [event["group"] for event in stuck] == ["old", "younger"]
+    assert stuck[0]["quiet_seconds"] >= 30.0
+
+
+def test_watchdog_feeds_metrics_and_tracer():
+    metrics, tracer, clock = MetricsRegistry(), Tracer(), FakeClock()
+    monitor = FleetMonitor(total_groups=1, jobs=1, metrics=metrics,
+                           tracer=tracer, interval=0, stuck_after=10.0,
+                           clock=clock)
+    with monitor:
+        monitor.dispatch("slow/encrypt:1024B")
+        clock.advance(11.0)
+        monitor.heartbeat()
+    assert metrics.counter("runner.worker.stuck").value == 1
+    assert metrics.gauge("runner.worker.busy").value == 0  # reset on close
+    assert validate_metrics(metrics.snapshot()) == []
+    names = {event["name"] for event in tracer.events}
+    assert "stuck:slow/encrypt:1024B" in names
+    assert "runner.worker.busy" in names
+
+
+def test_abandon_all_forgets_inflight_groups():
+    events, clock = [], FakeClock()
+    with make_monitor(events, clock) as monitor:
+        monitor.dispatch("a")
+        monitor.dispatch("b")
+        monitor.abandon_all()
+        assert monitor.heartbeat()["busy"] == 0
+        # Serial fallback re-dispatches and completes without double counts.
+        monitor.dispatch("a")
+        monitor.complete("a")
+        assert monitor.done == 1
+
+
+def test_disabled_monitor_is_inert():
+    monitor = FleetMonitor(total_groups=2, interval=0)
+    assert not monitor.enabled
+    with monitor:
+        monitor.dispatch("a")
+        monitor.complete("a")
+    assert monitor.done == 1
+    assert monitor._thread is None
+
+
+def test_background_heartbeat_thread_runs():
+    events = []
+    monitor = FleetMonitor(total_groups=1, hook=events.append,
+                           interval=0.01, stuck_after=0)
+    with monitor:
+        monitor.dispatch("a")
+        import time
+
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if any(e["type"] == "heartbeat" for e in events):
+                break
+            time.sleep(0.01)
+    assert any(event["type"] == "heartbeat" for event in events)
+
+
+# -- the stock progress hook ----------------------------------------------
+
+def progress_lines(events):
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, label="test")
+    for event in events:
+        reporter(event)
+    return stream.getvalue()
+
+
+def test_progress_reporter_status_and_finish():
+    text = progress_lines([
+        {"type": "start", "total_groups": 3, "total_experiments": 6},
+        {"type": "dispatch", "group": "a", "busy": 1, "done": 0, "total": 3},
+        {"type": "heartbeat", "busy": 1, "done": 1, "total": 3,
+         "elapsed": 4.0, "eta_seconds": 8.0},
+        {"type": "finish", "done": 3, "total": 3, "elapsed": 12.0},
+    ])
+    assert "\r[test] 0/3 groups, 1 busy" in text
+    assert "1/3 groups, 1 busy, elapsed 4s, eta ~8s" in text
+    assert text.endswith("[test] 3/3 groups in 12s\n")
+
+
+def test_progress_reporter_breaks_line_for_stuck_warning():
+    text = progress_lines([
+        {"type": "heartbeat", "busy": 1, "done": 0, "total": 1,
+         "elapsed": 65.0, "eta_seconds": None},
+        {"type": "stuck", "group": "IDEA/encrypt:4096B",
+         "quiet_seconds": 65.0},
+    ])
+    assert "\n[test] worker quiet 1.1m: still running IDEA/encrypt:4096B\n" \
+        in text
+
+
+def test_format_seconds_units():
+    assert _format_seconds(42.4) == "42s"
+    assert _format_seconds(90.0) == "1.5m"
+    assert _format_seconds(5400.0) == "1.5h"
+
+
+# -- integration with the runner ------------------------------------------
+
+def grid():
+    return experiment_grid(["RC4", "RC6"], [FOURW, DATAFLOW],
+                           session_bytes=128)
+
+
+def test_serial_runner_emits_full_telemetry(tmp_path):
+    """Acceptance: the --jobs 1 path reports heartbeat telemetry too."""
+    events = []
+    metrics = MetricsRegistry()
+    runner = Runner(cache=ResultCache(tmp_path / "cache"), jobs=1,
+                    metrics=metrics, heartbeat_hook=events.append,
+                    heartbeat_interval=0.005)
+    runner.run(grid())
+    kinds = [event["type"] for event in events]
+    assert kinds[0] == "start"
+    assert kinds[-1] == "finish"
+    assert kinds.count("dispatch") == 2  # one per (cipher) group
+    assert kinds.count("group-done") == 2
+    assert events[0]["total_experiments"] == 4
+    labels = {e["group"] for e in events if e["type"] == "dispatch"}
+    assert labels == {"RC4/encrypt:128B", "RC6/encrypt:128B"}
+    assert metrics.histogram("runner.group.seconds")._value_fields()[
+        "count"] == 2
+    assert metrics.histogram(
+        "runner.experiment.seconds", {"cipher": "RC4", "config": "4W"}
+    )._value_fields()["count"] == 1
+    assert validate_metrics(metrics.snapshot()) == []
+
+
+def test_parallel_runner_emits_same_group_events(tmp_path):
+    """jobs>1 (or its serial fallback) must produce the same accounting."""
+    events = []
+    runner = Runner(cache=ResultCache.disabled(), jobs=2,
+                    heartbeat_hook=events.append, heartbeat_interval=0)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        runner.run(grid())
+    kinds = [event["type"] for event in events]
+    assert kinds.count("group-done") == 2
+    assert kinds[-1] == "finish"
+    assert events[-1]["done"] == 2
+
+
+def test_cached_run_emits_no_phantom_telemetry(tmp_path):
+    cold = Runner(cache=ResultCache(tmp_path / "cache"), jobs=1)
+    cold.run(grid())
+    events = []
+    warm = Runner(cache=ResultCache(tmp_path / "cache"), jobs=1,
+                  heartbeat_hook=events.append, heartbeat_interval=0)
+    warm.run(grid())
+    # Fully cached: nothing executes, so no busy workers are invented.
+    assert events == []

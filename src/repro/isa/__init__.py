@@ -5,6 +5,12 @@ from repro.isa.builder import Imm, KernelBuilder, SCRATCH_REGS
 from repro.isa.features import Features
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
+from repro.isa.verify import (
+    VerificationError,
+    VerifyResult,
+    critical_path,
+    verify_program,
+)
 
 __all__ = [
     "AssemblyError",
@@ -15,4 +21,8 @@ __all__ = [
     "Features",
     "Instruction",
     "Program",
+    "VerificationError",
+    "VerifyResult",
+    "critical_path",
+    "verify_program",
 ]

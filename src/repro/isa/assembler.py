@@ -22,6 +22,16 @@ per line, ``;`` starts a comment; ``#`` introduces literals)::
 Operand order note: the textual form puts the destination first (common
 assembler style); the in-memory :class:`Instruction` stores Alpha-style
 ra/rb/rc fields.
+
+Failures raise :class:`AssemblyError` carrying the source ``line`` number,
+the 1-based ``column`` of the offending token within it, and the ``token``
+itself, so tooling can point at the exact spot.  The rendered message keeps
+its historical ``line N: ...`` prefix.
+
+``assemble(text, verify="error")`` additionally runs the static verifier
+(:func:`repro.isa.verify.verify_program`) over the finalized program and
+raises :class:`~repro.isa.verify.VerificationError` when any diagnostic
+reaches the given severity threshold.
 """
 
 from __future__ import annotations
@@ -32,19 +42,61 @@ from repro.isa import opcodes as op
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
 from repro.isa.registers import parse_reg
+from repro.isa.verify.ranges import validate_emit
 
 _MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
 
 
 class AssemblyError(ValueError):
-    """Raised with a line number when assembly fails."""
+    """Assembly failure with a source position.
+
+    ``line`` / ``column`` are 1-based (``column`` may be ``None`` when the
+    failure has no single offending token, e.g. a wrong operand count);
+    ``token`` is the offending source fragment and ``source_line`` the raw
+    line it came from.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        token: str | None = None,
+        source_line: str | None = None,
+    ):
+        self.line = line
+        self.column = column
+        self.token = token
+        self.source_line = source_line
+        where = []
+        if line is not None:
+            where.append(f"line {line}")
+        if column is not None:
+            where.append(f"column {column}")
+        prefix = ", ".join(where)
+        super().__init__(f"{prefix}: {message}" if prefix else message)
+
+
+class _TokenError(ValueError):
+    """Internal: a parse failure tagged with the offending token."""
+
+    def __init__(self, message: str, token: str | None = None):
+        self.token = token
+        super().__init__(message)
 
 
 def _parse_int(token: str) -> int:
     try:
         return int(token, 0)
+    except ValueError:
+        raise _TokenError(f"bad integer {token!r}", token) from None
+
+
+def _parse_reg(token: str) -> int:
+    try:
+        return parse_reg(token)
     except ValueError as exc:
-        raise ValueError(f"bad integer {token!r}") from exc
+        raise _TokenError(str(exc), token.strip()) from None
 
 
 def _operand(token: str):
@@ -52,11 +104,24 @@ def _operand(token: str):
     token = token.strip()
     if token.startswith("#"):
         return ("lit", _parse_int(token[1:]))
-    return parse_reg(token)
+    return _parse_reg(token)
 
 
-def assemble(text: str) -> Program:
-    """Assemble RISC-A text into a finalized :class:`Program`."""
+def _expect(operands: list[str], count: int, syntax: str) -> None:
+    if len(operands) != count:
+        raise _TokenError(
+            f"expected {count} operand(s) ({syntax}), got {len(operands)}"
+        )
+
+
+def assemble(text: str, verify: str | None = None) -> Program:
+    """Assemble RISC-A text into a finalized :class:`Program`.
+
+    ``verify`` opts into static verification: pass a severity threshold
+    ("warning" or "error") to lint the finalized program and raise
+    :class:`~repro.isa.verify.VerificationError` on findings at or above
+    it.
+    """
     program = Program()
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         # ';' starts a comment ('#' introduces literals, so it cannot).
@@ -65,9 +130,31 @@ def assemble(text: str) -> Program:
             continue
         try:
             _assemble_line(program, line)
+        except AssemblyError:
+            raise
         except ValueError as exc:
-            raise AssemblyError(f"line {line_number}: {exc}") from exc
-    return program.finalize()
+            token = getattr(exc, "token", None)
+            column = None
+            if token:
+                at = raw_line.find(token)
+                if at >= 0:
+                    column = at + 1
+            raise AssemblyError(
+                str(exc), line=line_number, column=column, token=token,
+                source_line=raw_line,
+            ) from exc
+    finalized = program.finalize()
+    if verify is not None:
+        from repro.isa.verify import enforce, verify_program
+
+        enforce(verify_program(finalized, name="<assembly>"), verify)
+    return finalized
+
+
+def _add(program: Program, instruction: Instruction) -> None:
+    """Validate encodable field ranges, then append to the program."""
+    validate_emit(instruction)
+    program.add(instruction)
 
 
 def _assemble_line(program: Program, line: str) -> None:
@@ -84,85 +171,102 @@ def _assemble_line(program: Program, line: str) -> None:
     name, *modifiers = mnemonic.lower().split(".")
     spec = op.SPECS_BY_NAME.get(name)
     if spec is None:
-        raise ValueError(f"unknown mnemonic {name!r}")
+        raise _TokenError(f"unknown mnemonic {name!r}", name)
 
     if spec.fmt == "none":
-        program.add(Instruction(spec.code))
+        _expect(operands, 0, "no operands")
+        _add(program, Instruction(spec.code))
         return
 
     if spec.fmt == "sync":
         if len(modifiers) != 1:
-            raise ValueError("sboxsync needs a table suffix, e.g. sboxsync.2")
-        program.add(Instruction(spec.code, table=_parse_int(modifiers[0])))
+            raise _TokenError(
+                "sboxsync needs a table suffix, e.g. sboxsync.2", mnemonic
+            )
+        _add(program, Instruction(spec.code, table=_parse_int(modifiers[0])))
         return
 
     if spec.fmt == "ldi":
+        _expect(operands, 2, "dest, imm64")
         dest, value = operands
-        program.add(Instruction(spec.code, dest=parse_reg(dest),
+        _add(program, Instruction(spec.code, dest=_parse_reg(dest),
                                 lit=_parse_int(value.lstrip("#"))))
         return
 
     if spec.fmt == "mem":
+        _expect(operands, 2, "reg, disp(base)")
         if spec.klass == "store":
             value, address = operands
             base, disp = _parse_address(address)
-            program.add(Instruction(spec.code, src1=parse_reg(value),
+            _add(program, Instruction(spec.code, src1=_parse_reg(value),
                                     src2=base, disp=disp))
         else:
             dest, address = operands
             base, disp = _parse_address(address)
-            program.add(Instruction(spec.code, dest=parse_reg(dest),
+            _add(program, Instruction(spec.code, dest=_parse_reg(dest),
                                     src2=base, disp=disp))
         return
 
     if spec.fmt == "br":
         if spec.code == op.BR:
+            _expect(operands, 1, "target")
             (target,) = operands
-            program.add(Instruction(spec.code, target=target))
+            _add(program, Instruction(spec.code, target=target))
         else:
+            _expect(operands, 2, "reg, target")
             reg, target = operands
-            program.add(Instruction(spec.code, src1=parse_reg(reg),
+            _add(program, Instruction(spec.code, src1=_parse_reg(reg),
                                     target=target))
         return
 
     if spec.fmt == "sbox":
         if len(modifiers) < 2:
-            raise ValueError("sbox needs .table.byte modifiers, e.g. sbox.0.2")
+            raise _TokenError(
+                "sbox needs .table.byte modifiers, e.g. sbox.0.2", mnemonic
+            )
         aliased = len(modifiers) > 2 and modifiers[2] == "a"
+        _expect(operands, 3, "base, index, dest")
         base, index, dest = operands
-        program.add(Instruction(
-            spec.code, src1=parse_reg(base), src2=parse_reg(index),
-            dest=parse_reg(dest), table=_parse_int(modifiers[0]),
+        _add(program, Instruction(
+            spec.code, src1=_parse_reg(base), src2=_parse_reg(index),
+            dest=_parse_reg(dest), table=_parse_int(modifiers[0]),
             bsel=_parse_int(modifiers[1]), aliased=aliased,
         ))
         return
 
     if spec.fmt == "xbox":
         if len(modifiers) != 1:
-            raise ValueError("xbox needs a byte modifier, e.g. xbox.3")
+            raise _TokenError(
+                "xbox needs a byte modifier, e.g. xbox.3", mnemonic
+            )
+        _expect(operands, 3, "src, map, dest")
         ra, map_reg, dest = operands
-        program.add(Instruction(
-            spec.code, src1=parse_reg(ra), src2=parse_reg(map_reg),
-            dest=parse_reg(dest), bsel=_parse_int(modifiers[0]),
+        _add(program, Instruction(
+            spec.code, src1=_parse_reg(ra), src2=_parse_reg(map_reg),
+            dest=_parse_reg(dest), bsel=_parse_int(modifiers[0]),
         ))
         return
 
     # operate format: dest, ra, rb-or-literal
+    _expect(operands, 3, "dest, ra, rb-or-#lit")
     dest, ra, rb = operands
     parsed = _operand(rb)
     if isinstance(parsed, tuple):
-        program.add(Instruction(spec.code, dest=parse_reg(dest),
-                                src1=parse_reg(ra), lit=parsed[1]))
+        _add(program, Instruction(spec.code, dest=_parse_reg(dest),
+                                src1=_parse_reg(ra), lit=parsed[1]))
     else:
-        program.add(Instruction(spec.code, dest=parse_reg(dest),
-                                src1=parse_reg(ra), src2=parsed))
+        _add(program, Instruction(spec.code, dest=_parse_reg(dest),
+                                src1=_parse_reg(ra), src2=parsed))
 
 
 def _parse_address(token: str) -> tuple[int, int]:
     """Parse 'disp(rN)' or '(rN)' into (base register, displacement)."""
-    match = _MEM_RE.match(token.strip())
+    token = token.strip()
+    match = _MEM_RE.match(token)
     if not match:
-        raise ValueError(f"bad address {token!r} (expected disp(rN))")
+        raise _TokenError(
+            f"bad address {token!r} (expected disp(rN))", token
+        )
     disp_text, reg_text = match.groups()
     disp = _parse_int(disp_text) if disp_text else 0
-    return parse_reg(reg_text), disp
+    return _parse_reg(reg_text), disp

@@ -27,9 +27,8 @@ from repro.isa import opcodes as op
 from repro.isa.features import Features
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
-from repro.isa.registers import NUM_REGS, ZERO_REG
-
-SCRATCH_REGS = (28, 29, 30)
+from repro.isa.registers import NUM_REGS, SCRATCH_REGS, ZERO_REG
+from repro.isa.verify.ranges import validate_emit
 
 
 @dataclass(frozen=True)
@@ -96,11 +95,28 @@ class KernelBuilder:
         self._label_seq += 1
         return f"{stem}__{self._label_seq}"
 
-    def build(self) -> Program:
-        """Finalize and return the program."""
-        return self.program.finalize()
+    def build(self, verify: str | None = None) -> Program:
+        """Finalize and return the program.
+
+        ``verify`` opts into static verification: pass a severity threshold
+        ("warning" or "error") to lint the finalized program against the
+        builder's feature level and raise
+        :class:`~repro.isa.verify.VerificationError` on findings at or
+        above it.
+        """
+        program = self.program.finalize()
+        if verify is not None:
+            from repro.isa.verify import enforce, verify_program
+
+            enforce(
+                verify_program(program, features=self.features,
+                               name="<builder>"),
+                verify,
+            )
+        return program
 
     def _emit(self, instruction: Instruction) -> None:
+        validate_emit(instruction)
         self.program.add(instruction)
 
     def _operate(self, code: int, dest: int, ra: int, rb, category=None) -> None:

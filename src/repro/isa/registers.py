@@ -10,6 +10,9 @@ from __future__ import annotations
 
 NUM_REGS = 32
 ZERO_REG = 31
+#: Registers reserved as assembler scratch for idiom expansions
+#: (:class:`repro.isa.builder.KernelBuilder` re-exports this).
+SCRATCH_REGS = (28, 29, 30)
 
 
 def reg_name(index: int) -> str:

@@ -1,0 +1,429 @@
+"""The verifier's checker suite.
+
+Each checker is a function ``(VerifyContext) -> list[Diagnostic]`` registered
+in :data:`CHECKERS` under its stable id.  Checker ids, severities, and the
+rules they implement are catalogued in ``docs/lint.md``; the known-bad
+corpus in ``tests/isa/test_verify_checkers.py`` pins one program per
+checker class to its exact diagnostic.
+
+All checkers operate on the same :class:`VerifyContext`: the CFG plus the
+reaching-definitions and liveness solutions from
+:mod:`repro.isa.verify.dataflow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa import opcodes as op
+from repro.isa.features import Features
+from repro.isa.program import Program
+from repro.isa.registers import SCRATCH_REGS
+from repro.isa.verify.cfg import CFG
+from repro.isa.verify.dataflow import (
+    ENTRY,
+    Liveness,
+    ReachingDefs,
+    defs_of,
+    uses_of,
+)
+from repro.isa.verify.diagnostics import Diagnostic
+from repro.isa.verify.ranges import (
+    encoding_violations,
+    rotate_amount_violations,
+)
+
+#: Minimum feature level required to execute each extension opcode.
+REQUIRED_FEATURES: dict[int, Features] = {
+    op.ROLL: Features.ROT, op.RORL: Features.ROT,
+    op.ROLQ: Features.ROT, op.RORQ: Features.ROT,
+    op.ROLXL: Features.OPT, op.RORXL: Features.OPT,
+    op.MULMOD: Features.OPT, op.SBOX: Features.OPT,
+    op.SBOXSYNC: Features.OPT, op.XBOX: Features.OPT,
+    op.GRPL: Features.OPT, op.GRPQ: Features.OPT,
+}
+
+#: Opcodes whose result can carry a derived pointer (copies, address
+#: arithmetic); loads and SBOX produce table *contents*, not pointers.
+_POINTER_OPS = frozenset(
+    spec.code for spec in op.SPECS.values()
+    if spec.fmt == "op" and spec.klass in ("ialu", "rotator")
+) | {op.LDA}
+
+
+@dataclass
+class VerifyContext:
+    """Shared analysis state handed to every checker."""
+
+    program: Program
+    cfg: CFG
+    rdefs: ReachingDefs
+    liveness: Liveness
+    #: Feature level the program claims to target (None skips gating).
+    features: Features | None = None
+
+    def render(self, index: int) -> str:
+        return self.program.instructions[index].render()
+
+
+def _diag(ctx, checker, severity, index, message, **detail) -> Diagnostic:
+    return Diagnostic(
+        checker=checker, severity=severity, message=message, index=index,
+        instruction=ctx.render(index) if index is not None else None,
+        detail=detail,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Dataflow lints
+# --------------------------------------------------------------------- #
+
+def check_use_before_def(ctx: VerifyContext) -> list[Diagnostic]:
+    """A register read that may still hold its entry value on some path."""
+    diagnostics = []
+    instructions = ctx.program.instructions
+    for block in ctx.cfg.blocks:
+        if block.bid not in ctx.cfg.reachable:
+            continue
+        state = dict(ctx.rdefs.block_in[block.bid])
+        for index in block.indices():
+            instruction = instructions[index]
+            for reg in uses_of(instruction):
+                if ENTRY in state.get(reg, frozenset()):
+                    every = state[reg] == frozenset({ENTRY})
+                    path = "every path" if every else "some path"
+                    diagnostics.append(_diag(
+                        ctx, "use-before-def", "warning", index,
+                        f"r{reg} is read before any definition on {path} "
+                        f"(holds its entry value 0)",
+                        reg=reg,
+                    ))
+            for reg in defs_of(instruction):
+                state[reg] = frozenset({index})
+    return diagnostics
+
+
+def check_dead_write(ctx: VerifyContext) -> list[Diagnostic]:
+    """A register definition no path reads before overwriting it."""
+    diagnostics = []
+    instructions = ctx.program.instructions
+    for block in ctx.cfg.blocks:
+        if block.bid not in ctx.cfg.reachable:
+            continue
+        live = set(ctx.liveness.live_out[block.bid])
+        # Walk backwards so per-instruction liveness is one pass per block.
+        for index in reversed(block.indices()):
+            instruction = instructions[index]
+            for reg in defs_of(instruction):
+                if reg not in live:
+                    diagnostics.append(_diag(
+                        ctx, "dead-write", "warning", index,
+                        f"r{reg} is written but never read before being "
+                        f"overwritten (or the program ends)",
+                        reg=reg,
+                    ))
+                live.discard(reg)
+            for reg in uses_of(instruction):
+                live.add(reg)
+    diagnostics.reverse()
+    return diagnostics
+
+
+def check_unreachable(ctx: VerifyContext) -> list[Diagnostic]:
+    """Basic blocks no path from the entry reaches."""
+    diagnostics = []
+    for block in ctx.cfg.blocks:
+        if block.bid in ctx.cfg.reachable:
+            continue
+        diagnostics.append(_diag(
+            ctx, "unreachable", "warning", block.start,
+            f"instructions {block.start}..{block.end - 1} are unreachable",
+            span=[block.start, block.end],
+        ))
+    return diagnostics
+
+
+# --------------------------------------------------------------------- #
+# Structural checks
+# --------------------------------------------------------------------- #
+
+def check_branch_targets(ctx: VerifyContext) -> list[Diagnostic]:
+    """Branches past the end, fall-off-end paths, and degenerate branches."""
+    diagnostics = []
+    instructions = ctx.program.instructions
+    n = len(instructions)
+    for index, instruction in enumerate(instructions):
+        if instruction.code not in op.BRANCH_CODES:
+            continue
+        target = instruction.target
+        if not isinstance(target, int) or not 0 <= target < n:
+            diagnostics.append(_diag(
+                ctx, "branch-target", "error", index,
+                f"branch target {target!r} is outside the program "
+                f"(valid indices 0..{n - 1})",
+                target=target,
+            ))
+            continue
+        if target == index and instruction.code == op.BR:
+            diagnostics.append(_diag(
+                ctx, "branch-target", "error", index,
+                "unconditional branch to itself never terminates",
+                target=target,
+            ))
+        elif target == index + 1 \
+                and instruction.code in op.COND_BRANCH_CODES:
+            diagnostics.append(_diag(
+                ctx, "branch-target", "warning", index,
+                "conditional branch to its own fall-through has no effect",
+                target=target,
+            ))
+    for block in ctx.cfg.blocks:
+        if block.bid not in ctx.cfg.reachable or not block.falls_off_end:
+            continue
+        diagnostics.append(_diag(
+            ctx, "branch-target", "error", block.end - 1,
+            "execution can run past the program end (missing halt)",
+        ))
+    return diagnostics
+
+
+def check_ranges(ctx: VerifyContext) -> list[Diagnostic]:
+    """Encoding-width violations (errors) and masked rotate amounts."""
+    diagnostics = []
+    for index, instruction in enumerate(ctx.program.instructions):
+        for field, message in encoding_violations(instruction):
+            diagnostics.append(_diag(
+                ctx, "range", "error", index, message, field=field,
+            ))
+        for field, message in rotate_amount_violations(instruction):
+            diagnostics.append(_diag(
+                ctx, "range", "warning", index, message, field=field,
+            ))
+    return diagnostics
+
+
+def check_feature_gate(ctx: VerifyContext) -> list[Diagnostic]:
+    """Extension instructions above the program's declared feature level."""
+    if ctx.features is None:
+        return []
+    diagnostics = []
+    for index, instruction in enumerate(ctx.program.instructions):
+        needed = REQUIRED_FEATURES.get(instruction.code)
+        if needed is not None and ctx.features < needed:
+            diagnostics.append(_diag(
+                ctx, "feature-gate", "error", index,
+                f"{instruction.name} requires the {needed.name} feature "
+                f"level; the program declares {ctx.features.name}",
+                required=needed.name, declared=ctx.features.name,
+            ))
+    return diagnostics
+
+
+def check_scratch_discipline(ctx: VerifyContext) -> list[Diagnostic]:
+    """Assembler-scratch registers must stay local to their idiom.
+
+    Two rules: scratch must never be consumed from program entry (an error
+    -- the idiom that was supposed to define it is missing), and scratch
+    must not be live across a loop back edge (a warning -- idiom
+    expansions never span iterations, so a loop-carried scratch value
+    means two idioms interleaved incorrectly).
+    """
+    diagnostics = []
+    scratch = frozenset(SCRATCH_REGS)
+    instructions = ctx.program.instructions
+    for block in ctx.cfg.blocks:
+        if block.bid not in ctx.cfg.reachable:
+            continue
+        state = dict(ctx.rdefs.block_in[block.bid])
+        for index in block.indices():
+            instruction = instructions[index]
+            for reg in uses_of(instruction):
+                if reg in scratch and ENTRY in state.get(reg, frozenset()):
+                    diagnostics.append(_diag(
+                        ctx, "scratch-discipline", "error", index,
+                        f"scratch register r{reg} is consumed before any "
+                        f"idiom defined it",
+                        reg=reg,
+                    ))
+            for reg in defs_of(instruction):
+                state[reg] = frozenset({index})
+    for src, dst in ctx.cfg.back_edges():
+        carried = sorted(scratch & ctx.liveness.live_in[dst])
+        branch_index = ctx.cfg.blocks[src].end - 1
+        for reg in carried:
+            diagnostics.append(_diag(
+                ctx, "scratch-discipline", "warning", branch_index,
+                f"scratch register r{reg} is live across the loop back "
+                f"edge to instruction {ctx.cfg.blocks[dst].start}",
+                reg=reg, back_edge=[src, dst],
+            ))
+    return diagnostics
+
+
+# --------------------------------------------------------------------- #
+# SBox-cache coherence (the paper's SBOXSYNC rule)
+# --------------------------------------------------------------------- #
+
+def _taint_step(
+    instruction,
+    index: int,
+    state: dict[int, frozenset[int]],
+    seeds: dict[int, set[int]],
+) -> None:
+    """Apply one instruction's pointer-taint transfer to ``state`` in place."""
+    for reg in defs_of(instruction):
+        taint: frozenset[int] = frozenset(seeds.get(index, ()))
+        if instruction.code in _POINTER_OPS:
+            for src in uses_of(instruction):
+                taint = taint | state.get(src, frozenset())
+        if taint:
+            state[reg] = taint
+        else:
+            state.pop(reg, None)
+
+
+def _table_pointer_taint(
+    ctx: VerifyContext,
+) -> tuple[list[dict[int, frozenset[int]]], dict[int, set[int]]]:
+    """Forward may-point-to analysis: register -> set of SBOX table ids.
+
+    Seeds: every definition that reaches the *table base* operand (src1)
+    of an SBOX instruction for table ``t`` produces a table-``t`` pointer.
+    Propagation: copies and address arithmetic (operate-format IALU /
+    rotator ops plus LDA) carry the union of their sources' taints; loads
+    and SBOX results are table contents, not pointers, and any other
+    definition kills the taint.
+    """
+    instructions = ctx.program.instructions
+    # Seed pass: def site -> tables whose base it materializes.
+    seeds: dict[int, set[int]] = {}
+    for block in ctx.cfg.blocks:
+        if block.bid not in ctx.cfg.reachable:
+            continue
+        state = dict(ctx.rdefs.block_in[block.bid])
+        for index in block.indices():
+            instruction = instructions[index]
+            if instruction.code == op.SBOX and instruction.src1 is not None:
+                for d in state.get(instruction.src1, frozenset()):
+                    if d != ENTRY:
+                        seeds.setdefault(d, set()).add(instruction.table)
+            for reg in defs_of(instruction):
+                state[reg] = frozenset({index})
+
+    empty: dict[int, frozenset[int]] = {}
+    block_in: list[dict[int, frozenset[int]]] = [
+        dict(empty) for _ in ctx.cfg.blocks
+    ]
+
+    def transfer(bid: int) -> dict[int, frozenset[int]]:
+        state = dict(block_in[bid])
+        for index in ctx.cfg.blocks[bid].indices():
+            _taint_step(instructions[index], index, state, seeds)
+        return state
+
+    worklist = list(ctx.cfg.rpo)
+    on_list = set(worklist)
+    while worklist:
+        bid = worklist.pop(0)
+        on_list.discard(bid)
+        out = transfer(bid)
+        for succ in ctx.cfg.blocks[bid].successors:
+            succ_in = block_in[succ]
+            changed = False
+            for reg, taint in out.items():
+                if not taint <= succ_in.get(reg, frozenset()):
+                    succ_in[reg] = succ_in.get(reg, frozenset()) | taint
+                    changed = True
+            if changed and succ not in on_list:
+                worklist.append(succ)
+                on_list.add(succ)
+    return block_in, seeds
+
+
+def check_sbox_coherence(ctx: VerifyContext) -> list[Diagnostic]:
+    """Stores into SBOX-backed tables need SBOXSYNC before the next read.
+
+    The paper's coherence rule: the dedicated SBox caches snoop nothing,
+    so after a store that may modify a table's backing memory the kernel
+    must issue ``SBOXSYNC.t`` before the next non-aliased ``SBOX.t`` read
+    -- on *every* CFG path.  Aliased SBOX reads (RC4's form) go through
+    the load/store ordering machinery and are exempt.  "May modify" means
+    the store's base register may point into table ``t`` according to the
+    pointer-taint analysis seeded from SBOX base operands.
+    """
+    instructions = ctx.program.instructions
+    taint_in, seeds = _table_pointer_taint(ctx)
+
+    dirty_in: list[frozenset[int]] = [frozenset() for _ in ctx.cfg.blocks]
+
+    def transfer(bid: int) -> frozenset[int]:
+        dirty = set(dirty_in[bid])
+        # Re-run the taint transfer locally so the dirty walk sees the
+        # same per-point pointer sets the fixpoint computed.
+        taint = dict(taint_in[bid])
+        for index in ctx.cfg.blocks[bid].indices():
+            instruction = instructions[index]
+            if instruction.code in op.STORE_CODES \
+                    and instruction.src2 is not None:
+                dirty |= taint.get(instruction.src2, frozenset())
+            elif instruction.code == op.SBOXSYNC:
+                dirty.discard(instruction.table)
+            _taint_step(instruction, index, taint, seeds)
+        return frozenset(dirty)
+
+    worklist = list(ctx.cfg.rpo)
+    on_list = set(worklist)
+    while worklist:
+        bid = worklist.pop(0)
+        on_list.discard(bid)
+        out = transfer(bid)
+        for succ in ctx.cfg.blocks[bid].successors:
+            if not out <= dirty_in[succ]:
+                dirty_in[succ] = dirty_in[succ] | out
+                if succ not in on_list:
+                    worklist.append(succ)
+                    on_list.add(succ)
+
+    diagnostics = []
+    for block in ctx.cfg.blocks:
+        if block.bid not in ctx.cfg.reachable:
+            continue
+        dirty = set(dirty_in[block.bid])
+        taint = dict(taint_in[block.bid])
+        for index in block.indices():
+            instruction = instructions[index]
+            if instruction.code == op.SBOX and not instruction.aliased \
+                    and instruction.table in dirty:
+                diagnostics.append(_diag(
+                    ctx, "sbox-coherence", "error", index,
+                    f"SBOX reads table {instruction.table} after a store "
+                    f"that may modify it, with no intervening "
+                    f"sboxsync.{instruction.table} on some path",
+                    table=instruction.table,
+                ))
+            if instruction.code in op.STORE_CODES \
+                    and instruction.src2 is not None:
+                dirty |= taint.get(instruction.src2, frozenset())
+            elif instruction.code == op.SBOXSYNC:
+                dirty.discard(instruction.table)
+            _taint_step(instruction, index, taint, seeds)
+    return diagnostics
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+Checker = Callable[[VerifyContext], list[Diagnostic]]
+
+CHECKERS: dict[str, Checker] = {
+    "use-before-def": check_use_before_def,
+    "dead-write": check_dead_write,
+    "unreachable": check_unreachable,
+    "branch-target": check_branch_targets,
+    "range": check_ranges,
+    "feature-gate": check_feature_gate,
+    "scratch-discipline": check_scratch_discipline,
+    "sbox-coherence": check_sbox_coherence,
+}

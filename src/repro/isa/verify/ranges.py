@@ -1,0 +1,143 @@
+"""Encoding range tables for RISC-A instruction fields.
+
+One authoritative table shared by the static verifier's range checker and
+the :class:`~repro.isa.builder.KernelBuilder` emit-time validation, so the
+two can never drift.  The ranges mirror what the simulators actually
+encode (see ``repro.isa.opcodes`` module docs for the deliberate
+deviations from real Alpha):
+
+* register indices are 5 bits (0..31),
+* operate literals are the Alpha 8-bit form (0..255),
+* ``LDIQ`` materializes any unsigned 64-bit immediate,
+* memory displacements are signed 16-bit, with one documented exception:
+  a zero-register base (``disp(r31)``) is the simulator's absolute-address
+  idiom and admits any address up to 2^31 (kernels use it for the IV and
+  parameter block),
+* SBOX table designators and byte selects are 3 bits (0..7) -- 3DES uses
+  eight logical tables,
+* rotate amounts are masked by hardware (to 5 or 6 bits), so an immediate
+  outside the mask is reported by the lint *range* checker as a warning
+  rather than rejected at emit time.
+"""
+
+from __future__ import annotations
+
+from repro.isa import opcodes as op
+from repro.isa.instruction import Instruction
+from repro.isa.registers import NUM_REGS, ZERO_REG
+
+REG_RANGE = (0, NUM_REGS - 1)
+OPERATE_LIT_RANGE = (0, 255)
+LDIQ_RANGE = (0, (1 << 64) - 1)
+DISP_RANGE = (-(1 << 15), (1 << 15) - 1)
+#: Absolute-address idiom: ``disp(r31)`` reaches the whole simulated
+#: address space (see module docs).
+DISP_ABSOLUTE_RANGE = (0, (1 << 31) - 1)
+TABLE_RANGE = (0, 7)
+BSEL_RANGE = (0, 7)
+
+#: Hardware rotate-amount masks: 32-bit rotates use 5 bits, 64-bit 6 bits.
+ROTATE_AMOUNT_BITS = {
+    op.ROLL: 31, op.RORL: 31, op.ROLXL: 31, op.RORXL: 31,
+    op.ROLQ: 63, op.RORQ: 63,
+}
+
+
+def _in(value: int, bounds: tuple[int, int]) -> bool:
+    return bounds[0] <= value <= bounds[1]
+
+
+def _check_reg(field: str, value, problems: list[tuple[str, str]]) -> None:
+    if value is None:
+        return
+    if not isinstance(value, int) or not _in(value, REG_RANGE):
+        problems.append((
+            field,
+            f"register index {value!r} out of range "
+            f"{REG_RANGE[0]}..{REG_RANGE[1]}",
+        ))
+
+
+def encoding_violations(instruction: Instruction) -> list[tuple[str, str]]:
+    """Hard encoding-width violations for one instruction.
+
+    Returns ``(field, message)`` pairs; empty when every field fits its
+    encoding.  These are the violations the :class:`KernelBuilder` raises
+    on at emit time and the lint *range* checker reports as errors.
+    """
+    problems: list[tuple[str, str]] = []
+    spec = instruction.spec
+    _check_reg("dest", instruction.dest, problems)
+    _check_reg("src1", instruction.src1, problems)
+    _check_reg("src2", instruction.src2, problems)
+
+    lit = instruction.lit
+    if lit is not None:
+        bounds = LDIQ_RANGE if spec.code == op.LDIQ else OPERATE_LIT_RANGE
+        if not isinstance(lit, int) or not _in(lit, bounds):
+            kind = "LDIQ immediate" if spec.code == op.LDIQ else "operate literal"
+            problems.append((
+                "lit",
+                f"{kind} {lit!r} overflows its encoding "
+                f"({bounds[0]}..{bounds[1]})",
+            ))
+
+    if spec.fmt == "mem":
+        disp = instruction.disp
+        absolute = instruction.src2 == ZERO_REG
+        bounds = DISP_ABSOLUTE_RANGE if absolute else DISP_RANGE
+        if not isinstance(disp, int) or not _in(disp, bounds):
+            idiom = " (absolute-address idiom)" if absolute else ""
+            problems.append((
+                "disp",
+                f"displacement {disp!r} outside signed encoding "
+                f"{bounds[0]}..{bounds[1]}{idiom}",
+            ))
+
+    if spec.fmt in ("sbox", "sync") and not _in(instruction.table, TABLE_RANGE):
+        problems.append((
+            "table",
+            f"table designator {instruction.table} out of range "
+            f"{TABLE_RANGE[0]}..{TABLE_RANGE[1]}",
+        ))
+    if spec.fmt in ("sbox", "xbox") and not _in(instruction.bsel, BSEL_RANGE):
+        problems.append((
+            "bsel",
+            f"byte select {instruction.bsel} out of range "
+            f"{BSEL_RANGE[0]}..{BSEL_RANGE[1]}",
+        ))
+    return problems
+
+
+def rotate_amount_violations(
+    instruction: Instruction,
+) -> list[tuple[str, str]]:
+    """Soft range findings: a literal rotate amount the hardware will mask.
+
+    Legal to encode (the rotator masks to 5/6 bits) but almost always a
+    kernel bug, so the lint range checker reports these as warnings.
+    """
+    mask = ROTATE_AMOUNT_BITS.get(instruction.code)
+    lit = instruction.lit
+    if mask is None or lit is None or not isinstance(lit, int):
+        return []
+    if 0 <= lit <= mask:
+        return []
+    return [(
+        "lit",
+        f"rotate amount {lit} exceeds the {mask + 1}-value hardware mask "
+        f"(executes as {lit & mask})",
+    )]
+
+
+def validate_emit(instruction: Instruction) -> None:
+    """Raise ``ValueError`` on any hard encoding violation.
+
+    The :meth:`KernelBuilder` emit path calls this so a bad register index
+    or an overflowing immediate fails at the emitting source line instead
+    of deep inside the functional simulator.
+    """
+    problems = encoding_violations(instruction)
+    if problems:
+        details = "; ".join(message for _, message in problems)
+        raise ValueError(f"{instruction.name}: {details}")

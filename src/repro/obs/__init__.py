@@ -45,9 +45,11 @@ from repro.obs.pipeline import schedule_spans, schedule_trace_events
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.schema import (
     BENCH_SCHEMA,
+    LINT_SCHEMA,
     METRICS_SCHEMA,
     validate_bench,
     validate_bench_history,
+    validate_lint,
     validate_metrics,
     validate_trace_events,
 )
@@ -61,6 +63,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LINT_SCHEMA",
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "Observability",
@@ -73,6 +76,7 @@ __all__ = [
     "schedule_trace_events",
     "validate_bench",
     "validate_bench_history",
+    "validate_lint",
     "validate_metrics",
     "validate_trace_events",
 ]

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 METRICS_SCHEMA = "repro.obs.metrics/1"
 BENCH_SCHEMA = "repro.obs.bench/1"
+LINT_SCHEMA = "repro.isa.verify/1"
+
+_LINT_SEVERITIES = ("info", "warning", "error")
 
 _METRIC_TYPES = ("counter", "gauge", "histogram")
 _EVENT_PHASES = ("X", "B", "E", "i", "I", "C", "M")
@@ -149,6 +152,96 @@ def validate_bench_history(documents) -> list[str]:
             f"line {index + 1}: {error}"
             for error in validate_bench(document)
         )
+    return errors
+
+
+def validate_lint(document) -> list[str]:
+    """Check a ``repro.isa.verify/1`` lint report; return error strings."""
+    if not isinstance(document, dict):
+        return [f"lint document must be an object, got {type(document).__name__}"]
+    errors: list[str] = []
+    if document.get("schema") != LINT_SCHEMA:
+        errors.append(
+            f"schema must be {LINT_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if not isinstance(document.get("generated_by"), str) \
+            or not document.get("generated_by"):
+        errors.append("missing non-empty 'generated_by'")
+    programs = document.get("programs")
+    if not isinstance(programs, list):
+        errors.append("'programs' must be a list")
+        return errors
+    for index, program in enumerate(programs):
+        where = f"programs[{index}]"
+        if not isinstance(program, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if not isinstance(program.get("program"), str) \
+                or not program.get("program"):
+            errors.append(f"{where}: missing non-empty 'program'")
+        count = program.get("instructions")
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            errors.append(f"{where}: 'instructions' must be a non-negative "
+                          "integer")
+        summary = program.get("summary")
+        if not isinstance(summary, dict) or not all(
+            key in _LINT_SEVERITIES and isinstance(value, int)
+            and not isinstance(value, bool) and value >= 0
+            for key, value in summary.items()
+        ):
+            errors.append(f"{where}: 'summary' must map severities to "
+                          "non-negative counts")
+        if "critical_path_cycles" in program:
+            bound = program["critical_path_cycles"]
+            if not isinstance(bound, int) or isinstance(bound, bool) \
+                    or bound < 0:
+                errors.append(f"{where}: 'critical_path_cycles' must be a "
+                              "non-negative integer")
+        diagnostics = program.get("diagnostics")
+        if not isinstance(diagnostics, list):
+            errors.append(f"{where}: 'diagnostics' must be a list")
+            continue
+        for dindex, diagnostic in enumerate(diagnostics):
+            dwhere = f"{where}.diagnostics[{dindex}]"
+            if not isinstance(diagnostic, dict):
+                errors.append(f"{dwhere}: must be an object")
+                continue
+            if not isinstance(diagnostic.get("checker"), str) \
+                    or not diagnostic.get("checker"):
+                errors.append(f"{dwhere}: missing non-empty 'checker'")
+            if diagnostic.get("severity") not in _LINT_SEVERITIES:
+                errors.append(f"{dwhere}: severity must be one of "
+                              f"{_LINT_SEVERITIES}")
+            if not isinstance(diagnostic.get("message"), str) \
+                    or not diagnostic.get("message"):
+                errors.append(f"{dwhere}: missing non-empty 'message'")
+            anchor = diagnostic.get("index")
+            if anchor is not None and (not isinstance(anchor, int)
+                                       or isinstance(anchor, bool)
+                                       or anchor < 0):
+                errors.append(f"{dwhere}: 'index' must be a non-negative "
+                              "integer or null")
+            if "detail" in diagnostic \
+                    and not isinstance(diagnostic["detail"], dict):
+                errors.append(f"{dwhere}: 'detail' must be an object")
+        summary_ok = isinstance(summary, dict) and all(
+            isinstance(value, int) for value in summary.values()
+        )
+        if summary_ok and all(
+            isinstance(d, dict) for d in diagnostics
+        ):
+            counted: dict[str, int] = {}
+            for diagnostic in diagnostics:
+                severity = diagnostic.get("severity")
+                if isinstance(severity, str):
+                    counted[severity] = counted.get(severity, 0) + 1
+            for severity, count in counted.items():
+                if summary.get(severity, 0) != count:
+                    errors.append(
+                        f"{where}: summary[{severity!r}] disagrees with the "
+                        f"diagnostics list ({summary.get(severity, 0)} != "
+                        f"{count})"
+                    )
     return errors
 
 

@@ -30,9 +30,11 @@ import json
 from repro.kernels import KERNEL_NAMES
 from repro.obs import (
     BENCH_SCHEMA,
+    LINT_SCHEMA,
     schedule_trace_events,
     validate_bench,
     validate_bench_history,
+    validate_lint,
     validate_metrics,
     validate_trace_events,
 )
@@ -123,8 +125,9 @@ def check_file(path: str) -> int:
 
     The document kind is sniffed from its content: a ``metrics`` key means
     the metrics schema, a ``repro.obs.bench/1`` schema stamp (on a single
-    object or on JSONL lines) means the benchmark history, anything else
-    is checked as Chrome/Perfetto trace events.  Returns 0 iff valid.
+    object or on JSONL lines) means the benchmark history, a
+    ``repro.isa.verify/1`` stamp means a lint report, anything else is
+    checked as Chrome/Perfetto trace events.  Returns 0 iff valid.
     """
     with open(path) as handle:
         if path.endswith(".jsonl"):
@@ -133,6 +136,9 @@ def check_file(path: str) -> int:
             document = json.load(handle)
     if isinstance(document, dict) and "metrics" in document:
         errors, kind = validate_metrics(document), "metrics"
+    elif isinstance(document, dict) \
+            and document.get("schema") == LINT_SCHEMA:
+        errors, kind = validate_lint(document), "lint"
     elif isinstance(document, dict) \
             and document.get("schema") == BENCH_SCHEMA:
         errors, kind = validate_bench(document), "bench"

@@ -123,3 +123,98 @@ def test_finalized_program_rejects_additions():
     program = assemble("halt")
     with pytest.raises(RuntimeError):
         program.add(Instruction(op.HALT))
+
+
+# --------------------------------------------------------------------- #
+# Diagnostic positions: line, column, offending token
+# --------------------------------------------------------------------- #
+
+def test_unknown_mnemonic_position():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("halt\nfrobnicate r1, r2, r3")
+    error = excinfo.value
+    assert (error.line, error.column, error.token) == (2, 1, "frobnicate")
+    assert "line 2, column 1" in str(error)
+
+
+def test_bad_register_position():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("addq r1, r99, r2")
+    error = excinfo.value
+    assert (error.line, error.column, error.token) == (1, 10, "r99")
+
+
+def test_bad_integer_position():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("ldiq r1, 1\naddq r1, r2, #zzz")
+    error = excinfo.value
+    assert (error.line, error.column, error.token) == (2, 15, "zzz")
+
+
+def test_bad_address_position():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("ldl r2, 8[r3]")
+    error = excinfo.value
+    assert (error.line, error.column, error.token) == (1, 9, "8[r3]")
+    assert "expected disp(rN)" in str(error)
+
+
+def test_wrong_operand_count_reports_syntax():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("addq r1, r2")
+    error = excinfo.value
+    assert error.line == 1
+    assert "expected 3 operand(s)" in str(error)
+    assert "dest, ra, rb-or-#lit" in str(error)
+
+
+def test_error_carries_source_line():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("ldiq r1, 1\n    addq r1, r99, r2  ; oops")
+    assert "addq r1, r99, r2" in excinfo.value.source_line
+
+
+def test_column_accounts_for_indentation():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("        addq r1, r99, r2")
+    assert excinfo.value.column == 18
+
+
+# --------------------------------------------------------------------- #
+# Emit-time validation in the builder (shared range tables)
+# --------------------------------------------------------------------- #
+
+def test_builder_rejects_wide_displacement_at_emit():
+    from repro.isa import Features, KernelBuilder
+
+    kb = KernelBuilder(Features.OPT)
+    a = kb.reg("a")
+    kb.ldiq(a, 1)
+    with pytest.raises(ValueError, match="disp"):
+        kb.stl(a, a, 1 << 20)
+
+
+def test_builder_allows_absolute_idiom_displacement():
+    from repro.isa import Features, KernelBuilder
+
+    kb = KernelBuilder(Features.OPT)
+    a = kb.reg("a")
+    kb.ldiq(a, 1)
+    kb.stl(a, kb.zero, 0xF000)  # absolute address through r31 is fine
+    kb.halt()
+    assert kb.build().finalized
+
+
+def test_builder_rejects_wide_operate_literal_at_emit():
+    from repro.isa import Features, Imm, KernelBuilder
+
+    kb = KernelBuilder(Features.OPT)
+    a = kb.reg("a")
+    kb.ldiq(a, 1)
+    with pytest.raises(ValueError, match="lit"):
+        kb.addq(a, a, Imm(300))
+
+
+def test_assembler_rejects_wide_displacement():
+    with pytest.raises((AssemblyError, ValueError), match="disp"):
+        assemble("ldl r1, 0x100000(r2)\nhalt")

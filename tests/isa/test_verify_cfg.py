@@ -1,0 +1,114 @@
+"""CFG construction, dominators, and dataflow analyses of the verifier."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.verify import CFG, ENTRY, Liveness, ReachingDefs
+
+LOOP = """
+    ldiq r1, 0
+    ldiq r2, 10
+loop:
+    addq r1, r1, #1
+    subq r2, r2, #1
+    bne  r2, loop
+    halt
+"""
+
+DIAMOND = """
+    ldiq r1, 1
+    beq  r1, left
+    ldiq r2, 2
+    br   join
+left:
+    ldiq r2, 3
+join:
+    addq r3, r2, #1
+    halt
+"""
+
+
+def test_loop_blocks_and_edges():
+    cfg = CFG(assemble(LOOP))
+    # Blocks: [0,2) preamble, [2,5) body, [5,6) halt.
+    assert [(b.start, b.end) for b in cfg.blocks] == [(0, 2), (2, 5), (5, 6)]
+    assert cfg.blocks[0].successors == [1]
+    assert sorted(cfg.blocks[1].successors) == [1, 2]
+    assert cfg.blocks[2].successors == []
+    assert cfg.blocks[2].halts
+    assert cfg.back_edges() == [(1, 1)]
+
+
+def test_loop_dominators_and_guaranteed():
+    cfg = CFG(assemble(LOOP))
+    assert cfg.idom[1] == 0
+    assert cfg.idom[2] == 1
+    assert cfg.dominates(0, 2)
+    assert cfg.dominates(1, 2)
+    assert not cfg.dominates(2, 1)
+    # Every block lies on the single entry-to-exit path.
+    assert cfg.guaranteed == {0, 1, 2}
+
+
+def test_diamond_guaranteed_excludes_arms():
+    cfg = CFG(assemble(DIAMOND))
+    join = cfg.block_of[6]
+    assert cfg.idom[join] == 0
+    assert cfg.guaranteed == {0, join}
+    assert cfg.back_edges() == []
+
+
+def test_unreachable_block_is_outside_rpo():
+    cfg = CFG(assemble("br end\naddq r1, r1, #1\nend: halt"))
+    assert len(cfg.blocks) == 3
+    assert cfg.block_of[1] not in cfg.reachable
+
+
+def test_reaching_defs_entry_and_merge():
+    program = assemble(DIAMOND)
+    cfg = CFG(program)
+    rdefs = ReachingDefs(cfg)
+    # r2 at the join merges both arm definitions, no entry value.
+    join_in = rdefs.block_in[cfg.block_of[6]]
+    assert join_in[2] == frozenset({2, 4})
+    # r4 is never defined anywhere: entry value everywhere.
+    assert join_in[4] == frozenset({ENTRY})
+
+
+def test_unique_dominating_def():
+    program = assemble(LOOP)
+    cfg = CFG(program)
+    rdefs = ReachingDefs(cfg)
+    # The bne at 4 reads r2, defined only by the subq at 3 (the ldiq at 1
+    # never reaches past it); same-block def dominates the use.
+    assert rdefs.unique_dominating_def(4, 2) == 3
+    # The addq at 2 reads r1 with two reaching defs (ldiq and itself).
+    assert rdefs.unique_dominating_def(2, 1) is None
+
+
+def test_unique_dominating_def_rejects_arm_defs():
+    program = assemble(DIAMOND)
+    cfg = CFG(program)
+    rdefs = ReachingDefs(cfg)
+    # addq at 6 reads r2: two reaching defs, no unique producer.
+    assert rdefs.unique_dominating_def(6, 2) is None
+
+
+def test_liveness_around_loop():
+    program = assemble(LOOP)
+    cfg = CFG(program)
+    live = Liveness(cfg)
+    body = cfg.block_of[2]
+    # Both loop registers are live around the back edge.
+    assert {1, 2} <= set(live.live_in[body])
+    # Nothing is live after the bne into the halt block.
+    assert live.live_out[cfg.block_of[5]] == frozenset()
+    # After the addq at 2, r2 is still needed by the subq/bne.
+    assert 2 in live.live_after(2)
+
+
+def test_cfg_requires_finalized_program():
+    from repro.isa.program import Program
+
+    with pytest.raises(ValueError, match="finalized"):
+        CFG(Program())

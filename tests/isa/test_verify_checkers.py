@@ -1,0 +1,306 @@
+"""Known-bad corpus: one seeded program per checker class.
+
+Each test pins the exact diagnostic -- checker id, severity, and anchoring
+instruction index -- so checker regressions are caught precisely, and the
+``verify=`` enforcement hooks are exercised at the end.
+"""
+
+import pytest
+
+from repro.isa import Features, Imm, KernelBuilder, assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BEQ, BR, LDL, ROLL, SBOX, STL
+from repro.isa.program import Program
+from repro.isa.verify import VerificationError, verify_program
+
+
+def diags(result, checker):
+    return [d for d in result.diagnostics if d.checker == checker]
+
+
+def raw_program(*instructions):
+    program = Program()
+    for instruction in instructions:
+        program.add(instruction)
+    return program.finalize()
+
+
+# --------------------------------------------------------------------- #
+# Dataflow lints
+# --------------------------------------------------------------------- #
+
+def test_use_before_def():
+    result = verify_program(assemble("addq r1, r2, #1\nhalt"))
+    (d,) = diags(result, "use-before-def")
+    assert (d.severity, d.index, d.detail["reg"]) == ("warning", 0, 2)
+
+
+def test_use_before_def_only_on_some_path():
+    result = verify_program(assemble("""
+        ldiq r1, 1
+        beq  r1, skip
+        ldiq r2, 5
+    skip:
+        addq r3, r2, #1
+        halt
+    """))
+    (d,) = diags(result, "use-before-def")
+    assert (d.index, d.detail["reg"]) == (3, 2)
+    assert "some path" in d.message
+
+
+def test_dead_write():
+    result = verify_program(
+        assemble("ldiq r1, 5\nldiq r1, 6\nstl r1, 0(r31)\nhalt")
+    )
+    (d,) = diags(result, "dead-write")
+    assert (d.severity, d.index, d.detail["reg"]) == ("warning", 0, 1)
+
+
+def test_loop_carried_value_is_not_a_dead_write():
+    result = verify_program(assemble("""
+        ldiq r1, 0
+        ldiq r2, 4
+    loop:
+        addq r1, r1, #1
+        subq r2, r2, #1
+        bne  r2, loop
+        halt
+    """))
+    assert diags(result, "dead-write") == []
+
+
+def test_unreachable():
+    result = verify_program(assemble("br end\naddq r1, r1, #1\nend: halt"))
+    (d,) = diags(result, "unreachable")
+    assert (d.severity, d.index) == ("warning", 1)
+
+
+# --------------------------------------------------------------------- #
+# Structural checks
+# --------------------------------------------------------------------- #
+
+def test_branch_past_end_is_an_error():
+    # finalize() allows target == len; the machine would fall off the end.
+    program = raw_program(
+        Instruction(BR, target=1),
+    )
+    result = verify_program(program)
+    found = diags(result, "branch-target")
+    assert any(d.severity == "error" and d.index == 0 for d in found)
+
+
+def test_missing_halt_is_an_error():
+    result = verify_program(assemble("addq r1, r1, #1"))
+    (d,) = diags(result, "branch-target")
+    assert (d.severity, d.index) == ("error", 0)
+    assert "past the program end" in d.message
+
+
+def test_unconditional_self_branch_is_an_error():
+    program = raw_program(Instruction(BR, target=0), Instruction(0))
+    (d,) = diags(verify_program(program), "branch-target")
+    assert (d.severity, d.index) == ("error", 0)
+    assert "never terminates" in d.message
+
+
+def test_branch_to_fall_through_is_a_warning():
+    program = raw_program(
+        Instruction(BEQ, src1=1, target=1),
+        Instruction(0),
+    )
+    (d,) = diags(verify_program(program), "branch-target")
+    assert (d.severity, d.index) == ("warning", 0)
+
+
+def test_range_displacement_error():
+    program = raw_program(
+        Instruction(LDL, dest=1, src2=2, disp=1 << 20),
+        Instruction(0),
+    )
+    found = diags(verify_program(program), "range")
+    assert any(
+        d.severity == "error" and d.index == 0
+        and d.detail["field"] == "disp" for d in found
+    )
+
+
+def test_range_absolute_idiom_allows_wide_displacement():
+    # disp(r31) is the absolute-address idiom: 0xF000 is legal there.
+    result = verify_program(assemble("ldl r1, 0xF000(r31)\nhalt"))
+    assert diags(result, "range") == []
+
+
+def test_range_rotate_amount_warning():
+    program = raw_program(
+        Instruction(ROLL, dest=1, src1=1, lit=45),
+        Instruction(0),
+    )
+    (d,) = diags(verify_program(program), "range")
+    assert (d.severity, d.index, d.detail["field"]) == ("warning", 0, "lit")
+    assert "executes as 13" in d.message
+
+
+def test_feature_gate():
+    program = assemble("roll r1, r2, #3\nhalt")
+    result = verify_program(program, features=Features.NOROT)
+    (d,) = diags(result, "feature-gate")
+    assert (d.severity, d.index) == ("error", 0)
+    assert d.detail == {"required": "ROT", "declared": "NOROT"}
+    # The same program is clean at ROT, and ungated without a declared level.
+    assert diags(verify_program(program, features=Features.ROT),
+                 "feature-gate") == []
+    assert diags(verify_program(program), "feature-gate") == []
+
+
+def test_feature_gate_crypto_ops_need_opt():
+    program = assemble("sbox.0.0 r1, r2, r3\nhalt")
+    result = verify_program(program, features=Features.ROT)
+    (d,) = diags(result, "feature-gate")
+    assert (d.severity, d.index, d.detail["required"]) == ("error", 0, "OPT")
+
+
+def test_scratch_consumed_from_entry_is_an_error():
+    result = verify_program(assemble("addq r1, r28, #1\nhalt"))
+    (d,) = diags(result, "scratch-discipline")
+    assert (d.severity, d.index, d.detail["reg"]) == ("error", 0, 28)
+
+
+def test_scratch_live_across_back_edge_is_a_warning():
+    result = verify_program(assemble("""
+        ldiq r28, 1
+        ldiq r2, 4
+    loop:
+        addq r1, r28, #0
+        addq r28, r28, #1
+        subq r2, r2, #1
+        bne  r2, loop
+        halt
+    """))
+    (d,) = diags(result, "scratch-discipline")
+    # Anchored at the back-edge branch; r28 is loop-carried.
+    assert (d.severity, d.index, d.detail["reg"]) == ("warning", 5, 28)
+
+
+def test_scratch_local_to_idiom_is_clean():
+    kb = KernelBuilder(Features.NOROT)
+    a, count = kb.regs("a", "count")
+    kb.ldiq(a, 7)
+    kb.ldiq(count, 3)
+    kb.label("loop")
+    kb.rotl32(a, a, 5)  # NOROT idiom uses scratch internally
+    kb.subq(count, count, Imm(1))
+    kb.bne(count, "loop")
+    kb.halt()
+    result = verify_program(kb.build(), features=Features.NOROT)
+    assert diags(result, "scratch-discipline") == []
+
+
+# --------------------------------------------------------------------- #
+# SBox coherence
+# --------------------------------------------------------------------- #
+
+def _sbox_program(sync: bool, aliased_read: bool = False) -> Program:
+    kb = KernelBuilder(Features.OPT)
+    base, idx, out, val = kb.regs("base", "idx", "out", "val")
+    kb.ldiq(base, 0x1000)
+    kb.ldiq(idx, 3)
+    kb.ldiq(val, 99)
+    kb.sbox(out, base, idx, 0, 0)          # seeds table-0 taint on base
+    kb.stl(val, base, 8)                   # store through the table base
+    if sync:
+        kb.sboxsync(0)
+    kb.sbox(out, base, idx, 0, 0, aliased=aliased_read)
+    kb.halt()
+    return kb.build()
+
+
+def test_sbox_store_without_sync_is_an_error():
+    result = verify_program(_sbox_program(sync=False))
+    (d,) = diags(result, "sbox-coherence")
+    assert (d.severity, d.index, d.detail["table"]) == ("error", 5, 0)
+
+
+def test_sbox_store_with_sync_is_clean():
+    result = verify_program(_sbox_program(sync=True))
+    assert diags(result, "sbox-coherence") == []
+
+
+def test_aliased_sbox_read_is_exempt():
+    result = verify_program(_sbox_program(sync=False, aliased_read=True))
+    assert diags(result, "sbox-coherence") == []
+
+
+def test_sbox_dirty_via_derived_pointer():
+    kb = KernelBuilder(Features.OPT)
+    base, ptr, idx, out, val = kb.regs("base", "ptr", "idx", "out", "val")
+    kb.ldiq(base, 0x1000)
+    kb.ldiq(idx, 1)
+    kb.ldiq(val, 7)
+    kb.sbox(out, base, idx, 0, 2)
+    kb.s4addq(ptr, idx, base)              # derived pointer into the table
+    kb.stl(val, ptr, 0)
+    kb.sbox(out, base, idx, 0, 2)
+    kb.halt()
+    result = verify_program(kb.build())
+    (d,) = diags(result, "sbox-coherence")
+    assert (d.index, d.detail["table"]) == (6, 2)
+
+
+def test_sbox_sync_on_only_one_path_still_errors():
+    program = raw_program(
+        Instruction(28, dest=1, lit=0x1000),               # ldiq base
+        Instruction(28, dest=2, lit=0),                    # ldiq idx
+        Instruction(SBOX, dest=3, src1=1, src2=2, table=1),
+        Instruction(STL, src1=2, src2=1, disp=0),          # dirty table 1
+        Instruction(BEQ, src1=2, target=6),                # skip the sync
+        Instruction(58, table=1),                          # sboxsync.1
+        Instruction(SBOX, dest=3, src1=1, src2=2, table=1),
+        Instruction(0),
+    )
+    (d,) = diags(verify_program(program), "sbox-coherence")
+    assert (d.severity, d.index) == ("error", 6)
+
+
+# --------------------------------------------------------------------- #
+# Enforcement hooks
+# --------------------------------------------------------------------- #
+
+def test_assemble_verify_hook_raises():
+    with pytest.raises(VerificationError) as excinfo:
+        assemble("addq r1, r2, #1\nhalt", verify="warning")
+    assert any(d.checker == "use-before-def"
+               for d in excinfo.value.result.diagnostics)
+
+
+def test_assemble_verify_hook_passes_clean_code():
+    program = assemble("ldiq r2, 1\naddq r1, r2, #1\nstl r1, 0(r31)\nhalt",
+                       verify="warning")
+    assert program.finalized
+
+
+def test_builder_verify_hook_checks_feature_gate():
+    kb = KernelBuilder(Features.OPT)
+    a, b = kb.regs("a", "b")
+    kb.ldiq(a, 1)
+    kb.roll(b, a, Imm(3))
+    kb.ldiq(b, 2)  # dead write
+    kb.stl(b, kb.zero, 0x100)
+    kb.halt()
+    with pytest.raises(VerificationError, match="dead-write"):
+        kb.build(verify="warning")
+
+
+def test_builder_verify_hook_threshold():
+    kb = KernelBuilder(Features.OPT)
+    a = kb.reg("a")
+    kb.ldiq(a, 1)
+    kb.ldiq(a, 2)  # dead write: a warning, below the "error" threshold
+    kb.stl(a, kb.zero, 0x100)
+    kb.halt()
+    assert kb.build(verify="error").finalized
+
+
+def test_assembler_rejects_unknown_verify_threshold():
+    with pytest.raises(ValueError, match="unknown severity"):
+        assemble("halt", verify="fatal")

@@ -1,0 +1,67 @@
+"""End-to-end tests for the ``repro.tools.lint`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import LINT_SCHEMA, validate_lint
+from repro.tools.lint import main
+from repro.tools.obs import check_file
+
+
+def test_clean_kernel_exits_zero(capsys):
+    assert main(["--kernel", "RC4", "--features", "opt"]) == 0
+    out = capsys.readouterr().out
+    assert "RC4[opt]/encrypt" in out
+    assert "OK:" in out
+
+
+def test_setup_warnings_fail_when_requested(capsys):
+    # The IDEA key-setup program carries one known benign dead-write
+    # warning, so --fail-on warning must flip the exit status...
+    assert main(["--setup", "IDEA", "--fail-on", "warning"]) == 1
+    assert "FAIL:" in capsys.readouterr().out
+    # ...while the CI default threshold passes it.
+    assert main(["--setup", "IDEA"]) == 0
+
+
+def test_json_format_is_a_valid_lint_document(capsys):
+    assert main(["--kernel", "Blowfish", "--features", "opt",
+                 "--format", "json"]) == 0
+    out = capsys.readouterr().out
+    document = json.loads(out[:out.rindex("}") + 1])
+    assert document["schema"] == LINT_SCHEMA
+    assert validate_lint(document) == []
+    names = [entry["program"] for entry in document["programs"]]
+    assert "Blowfish[opt]/encrypt" in names
+    assert "Blowfish[opt]/decrypt" in names
+    for entry in document["programs"]:
+        assert entry["critical_path_cycles"] > 0
+
+
+def test_out_file_roundtrips_through_obs_check(tmp_path, capsys):
+    report = tmp_path / "lint.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(["--kernel", "RC6", "--features", "rot",
+                 "--out", str(report), "--metrics-out", str(metrics)]) == 0
+    capsys.readouterr()
+    assert check_file(str(report)) == 0
+    assert "valid lint document" in capsys.readouterr().out
+    assert check_file(str(metrics)) == 0
+
+    payload = json.loads(metrics.read_text())
+    samples = {
+        (sample["name"], tuple(sorted(sample.get("labels", {}).items())))
+        for sample in payload["metrics"]
+    }
+    assert any(name == "lint.programs" for name, _ in samples)
+
+
+def test_kernel_and_setup_flags_are_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        main(["--kernel", "RC4", "--setup", "RC4"])
+
+
+def test_bad_kernel_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["--kernel", "NotACipher"])

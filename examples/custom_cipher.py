@@ -113,7 +113,7 @@ def main() -> None:
         memory = Memory(1 << 16)
         memory.write_words32(KEY_BASE, key_words)
         memory.write_bytes(INPUT_BASE, plaintext)
-        result = Machine(program, memory).run()
+        result = Machine(program, memory).execute()
         assert memory.read_bytes(OUTPUT_BASE, len(plaintext)) == expected, \
             "kernel diverges from the reference!"
         stats = simulate(result.trace, FOURW)

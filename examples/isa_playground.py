@@ -43,7 +43,7 @@ def main() -> None:
 
     memory = Memory(1 << 18)
     memory.write_bytes(0x10000, bytes(range(256)) * 8)
-    result = Machine(program, memory).run()
+    result = Machine(program, memory).execute()
     trace = result.trace
     print(f"\nExecuted {result.instructions} instructions; "
           f"output[0..8) = {memory.read_bytes(0x20000, 8).hex()}")

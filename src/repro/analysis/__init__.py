@@ -11,8 +11,9 @@ Every simulation-backed module exposes the same surface:
   numbering, and a ``render_*`` text formatter.
 * a ``*Row`` dataclass with ``as_dict()`` / ``as_tuple()``.
 
-The legacy positional ``measure_cipher(name, ...)`` helpers remain as
-shims that emit :class:`DeprecationWarning`.
+The legacy positional ``measure_cipher(name, ...)`` shims were removed
+after five releases of the uniform ``run(options)`` API; call
+``measure(cipher=...)`` instead.
 """
 
 from repro.analysis import (

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.rows import Row, coerce_options, warn_deprecated
+from repro.analysis.rows import Row, coerce_options
 from repro.isa import Features
 from repro.kernels import KERNEL_NAMES
 from repro.runner import (
@@ -105,19 +105,6 @@ def figure5(
 ) -> list[BottleneckRow]:
     return run(default_options(session_bytes, ciphers), runner=runner)
 
-
-def measure_cipher(
-    name: str,
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    features: Features = Features.ROT,
-) -> BottleneckRow:
-    """Deprecated positional shim for :func:`measure`."""
-    warn_deprecated(
-        "bottlenecks.measure_cipher()", "bottlenecks.measure(cipher=...)"
-    )
-    return measure(
-        cipher=name, session_bytes=session_bytes, features=features
-    )
 
 
 def render_figure5(rows: list[BottleneckRow]) -> str:

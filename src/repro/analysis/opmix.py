@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.rows import Row, coerce_options, warn_deprecated
+from repro.analysis.rows import Row, coerce_options
 from repro.isa import Features
 from repro.isa import opcodes as op
 from repro.kernels import KERNEL_NAMES
@@ -126,17 +126,6 @@ def figure7(
         default_options(session_bytes, ciphers, features), runner=runner
     )
 
-
-def measure_cipher(
-    name: str,
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    features: Features = Features.ROT,
-) -> OpMixRow:
-    """Deprecated positional shim for :func:`measure`."""
-    warn_deprecated("opmix.measure_cipher()", "opmix.measure(cipher=...)")
-    return measure(
-        cipher=name, session_bytes=session_bytes, features=features
-    )
 
 
 def render_figure7(rows: list[OpMixRow]) -> str:

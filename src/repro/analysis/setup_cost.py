@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.rows import Row, coerce_options, warn_deprecated
+from repro.analysis.rows import Row, coerce_options
 from repro.isa import Features
 from repro.kernels.registry import KERNEL_NAMES
 from repro.runner import (
@@ -109,17 +109,6 @@ def figure6(
 ) -> list[SetupCostRow]:
     return run(default_options(ciphers), lengths=lengths, runner=runner)
 
-
-def measure_cipher(
-    name: str,
-    lengths: tuple[int, ...] = SESSION_LENGTHS,
-    features: Features = Features.ROT,
-) -> SetupCostRow:
-    """Deprecated positional shim for :func:`measure`."""
-    warn_deprecated(
-        "setup_cost.measure_cipher()", "setup_cost.measure(cipher=...)"
-    )
-    return measure(cipher=name, lengths=lengths, features=features)
 
 
 def render_figure6(rows: list[SetupCostRow]) -> str:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.rows import Row, coerce_options, warn_deprecated
+from repro.analysis.rows import Row, coerce_options
 from repro.isa import Features
 from repro.kernels import KERNEL_NAMES
 from repro.runner import (
@@ -131,16 +131,6 @@ def figure10(
     runner: Runner | None = None,
 ) -> list[SpeedupRow]:
     return run(default_options(session_bytes, ciphers), runner=runner)
-
-
-def measure_cipher(
-    name: str, session_bytes: int = DEFAULT_SESSION_BYTES
-) -> SpeedupRow:
-    """Deprecated positional shim for :func:`measure`."""
-    warn_deprecated(
-        "speedups.measure_cipher()", "speedups.measure(cipher=...)"
-    )
-    return measure(cipher=name, session_bytes=session_bytes)
 
 
 @dataclass

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.rows import Row, coerce_options, warn_deprecated
+from repro.analysis.rows import Row, coerce_options
 from repro.isa import Features
 from repro.kernels import KERNEL_NAMES
 from repro.runner import (
@@ -121,19 +121,6 @@ def figure4(
     """Regenerate Figure 4 for all (or selected) ciphers."""
     return run(default_options(session_bytes, ciphers), runner=runner)
 
-
-def measure_cipher(
-    name: str,
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    features: Features = Features.ROT,
-) -> ThroughputRow:
-    """Deprecated positional shim for :func:`measure`."""
-    warn_deprecated(
-        "throughput.measure_cipher()", "throughput.measure(cipher=...)"
-    )
-    return measure(
-        cipher=name, session_bytes=session_bytes, features=features
-    )
 
 
 def render_figure4(rows: list[ThroughputRow]) -> str:

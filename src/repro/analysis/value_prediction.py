@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.rows import Row, coerce_options, warn_deprecated
+from repro.analysis.rows import Row, coerce_options
 from repro.isa import Features
 from repro.isa import opcodes as op
 from repro.kernels import KERNEL_NAMES
@@ -113,20 +113,6 @@ def study(
 ) -> list[ValuePredictionRow]:
     return run(default_options(session_bytes, ciphers), runner=runner)
 
-
-def measure_cipher(
-    name: str,
-    session_bytes: int = DEFAULT_SESSION_BYTES,
-    features: Features = Features.ROT,
-) -> ValuePredictionRow:
-    """Deprecated positional shim for :func:`measure`."""
-    warn_deprecated(
-        "value_prediction.measure_cipher()",
-        "value_prediction.measure(cipher=...)",
-    )
-    return measure(
-        cipher=name, session_bytes=session_bytes, features=features
-    )
 
 
 def _hit_rates(runner: Runner, options: ExperimentOptions) -> dict:

@@ -20,6 +20,7 @@ class Program:
         self.instructions: list[Instruction] = []
         self.labels: dict[str, int] = {}
         self._finalized = False
+        self._digest: str | None = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -73,14 +74,20 @@ class Program:
         (idiom tags affect analysis results but not the rendering), so any
         change to the emitted code changes the digest.  Requires a
         finalized program -- branch targets must be resolved indices.
+        The hash is memoized: a finalized program is immutable, and the
+        digest keys hot caches (the compiled backend's code cache, the
+        runner's trace blobs).
         """
+        if self._digest is not None:
+            return self._digest
         if not self._finalized:
             raise ValueError("program must be finalized before hashing")
         hasher = hashlib.sha256()
         for instruction in self.instructions:
             hasher.update(instruction.render().encode("utf-8"))
             hasher.update(f"|{instruction.category}\n".encode("utf-8"))
-        return hasher.hexdigest()
+        self._digest = hasher.hexdigest()
+        return self._digest
 
     def listing(self) -> str:
         """Disassembly listing with labels, for debugging and examples."""

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 from repro.isa import Features, KernelBuilder
 from repro.isa.program import Program
-from repro.sim.machine import Machine, SimulationError, StreamingTrace
+from repro.sim.machine import Machine, RunResult, SimulationError, StreamingTrace
 from repro.sim.memory import Memory
 from repro.sim.trace import DEFAULT_CHUNK_SIZE, Trace
 
@@ -276,13 +276,16 @@ class CipherKernel(ABC):
         record_trace: bool,
         record_values: bool,
         validate: bool,
+        backend: str | None = None,
     ) -> KernelRun:
         if iv is None and self.block_bytes > 1:
             iv = bytes(self.block_bytes)
         program, memory, layout = self.prepare(data, iv, decrypt=decrypt)
-        result = Machine(program, memory).run(
-            record_trace=record_trace, record_values=record_values
+        result = Machine(program, memory).execute(
+            backend=backend,
+            record_trace=record_trace, record_values=record_values,
         )
+        assert isinstance(result, RunResult)
         output = self._unpack(memory.read_bytes(layout.output, len(data)))
         if validate:
             reference = (
@@ -315,10 +318,11 @@ class CipherKernel(ABC):
         record_trace: bool = True,
         record_values: bool = False,
         validate: bool = True,
+        backend: str | None = None,
     ) -> KernelRun:
         """Run the kernel; validate ciphertext against the reference cipher."""
         return self._run(plaintext, iv, False, record_trace, record_values,
-                         validate)
+                         validate, backend)
 
     def decrypt(
         self,
@@ -327,6 +331,7 @@ class CipherKernel(ABC):
         record_trace: bool = True,
         record_values: bool = False,
         validate: bool = True,
+        backend: str | None = None,
     ) -> KernelRun:
         """Run the decryption kernel; validate against the reference cipher.
 
@@ -334,7 +339,7 @@ class CipherKernel(ABC):
         plaintext (the field names the kernel's *output* buffer).
         """
         return self._run(ciphertext, iv, True, record_trace, record_values,
-                         validate)
+                         validate, backend)
 
     def stream(
         self,
@@ -344,6 +349,7 @@ class CipherKernel(ABC):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         record_values: bool = False,
         validate: bool = True,
+        backend: str | None = None,
     ) -> KernelStream:
         """Prepare a streamed execution (the bounded-memory twin of
         :meth:`encrypt`/:meth:`decrypt`).
@@ -357,10 +363,13 @@ class CipherKernel(ABC):
             iv = bytes(self.block_bytes)
         program, memory, layout = self.prepare(data, iv, decrypt=decrypt)
         machine = Machine(program, memory)
+        source = machine.execute(
+            stream=True, backend=backend,
+            chunk_size=chunk_size, record_values=record_values,
+        )
+        assert isinstance(source, StreamingTrace)
         return KernelStream(
-            source=machine.stream(
-                chunk_size=chunk_size, record_values=record_values
-            ),
+            source=source,
             warm_ranges=[
                 (layout.tables, self.tables_bytes),
                 (layout.keys, self.keys_bytes),

@@ -63,12 +63,12 @@ class SetupKernel(ABC):
             input=0x10000, output=0x10040, session_bytes=0,
         )
 
-    def run(self, validate: bool = True) -> SetupRun:
+    def run(self, validate: bool = True, backend: str | None = None) -> SetupRun:
         layout = self.layout()
         memory = Memory(0x12000)
         self.stage_inputs(memory, layout)
         program = self.build_program(layout)
-        result = Machine(program, memory).run()
+        result = Machine(program, memory).execute(backend=backend)
         if validate:
             for address, expected in self.expected_regions(layout):
                 produced = memory.read_bytes(address, len(expected))

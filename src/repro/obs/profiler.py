@@ -44,7 +44,12 @@ DEFAULT_HZ = 97
 #: ``"other"``.
 SUBSYSTEMS = (
     ("cipher", ("repro/ciphers/",)),
-    ("functional", ("repro/sim/machine", "repro/kernels/", "repro/isa/")),
+    # Code generation for the compiled execution backend.  Stacks *running*
+    # generated code carry the synthetic "<repro-compiled:...>" filename and
+    # land in "functional"; only codegen/cache time lands here.
+    ("compile", ("repro/sim/backends/compiled",)),
+    ("functional", ("repro/sim/machine", "repro/sim/backends",
+                    "<repro-compiled", "repro/kernels/", "repro/isa/")),
     ("timing", ("repro/sim/timing", "repro/sim/caches", "repro/sim/branch",
                 "repro/sim/sboxcache", "repro/sim/memory",
                 "repro/sim/trace", "repro/sim/config")),

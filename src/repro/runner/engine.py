@@ -172,6 +172,7 @@ class Runner:
         tracer=None,
         stream: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        backend: str | None = None,
         heartbeat_hook=None,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         stuck_after: float = DEFAULT_STUCK_AFTER,
@@ -193,6 +194,10 @@ class Runner:
         #: ``ExperimentOptions.stream`` overrides; results are identical.
         self.stream = stream
         self.chunk_size = max(1, int(chunk_size))
+        #: Default execution backend for functional runs; per-experiment
+        #: ``ExperimentOptions.backend`` overrides.  Never part of cache
+        #: keys: backends are bit-identical, so records interchange.
+        self.backend = backend
         self.stats = RunnerStats()
         self._kernels: dict[tuple, object] = {}
         self._functional: dict[ExperimentOptions, object] = {}
@@ -222,6 +227,9 @@ class Runner:
             kernel.base_offset = options.base_offset
             self._kernels[memo_key] = kernel
         return kernel
+
+    def _resolved_backend(self, options: ExperimentOptions) -> str | None:
+        return options.backend if options.backend is not None else self.backend
 
     def _warm_ranges(self, options: ExperimentOptions):
         """The cache-warm ranges a kernel run reports, without running it."""
@@ -348,22 +356,28 @@ class Runner:
         with self._span(f"functional:{options.cipher}", "functional",
                         {"cipher": options.cipher, "kind": options.kind,
                          "session_bytes": options.session_bytes}):
+            backend = self._resolved_backend(options)
             if options.kind == "setup":
                 run = make_setup(
                     options.cipher, self._resolved_key(options)
-                ).run()
+                ).run(backend=backend)
             else:
                 kernel = self._kernel(options)
                 data = options.resolved_plaintext()
                 if options.kind == "decrypt":
-                    ciphertext = kernel.encrypt(data, options.iv).ciphertext
+                    ciphertext = kernel.encrypt(
+                        data, options.iv, record_trace=False, backend=backend
+                    ).ciphertext
                     run = kernel.decrypt(
                         ciphertext, options.iv,
                         record_values=options.record_values,
+                        backend=backend,
                     )
                 else:
                     run = kernel.encrypt(
-                        data, options.iv, record_values=options.record_values
+                        data, options.iv,
+                        record_values=options.record_values,
+                        backend=backend,
                     )
         elapsed = time.perf_counter() - start
         self.stats.functional_runs += 1
@@ -505,7 +519,7 @@ class Runner:
     def _run_groups_parallel(self, pending, monitor: FleetMonitor):
         specs = [
             (options, [entry[1].config for entry in entries],
-             self.stream, self.chunk_size)
+             self.stream, self.chunk_size, self.backend)
             for options, entries in pending.items()
         ]
         labels = [self._group_label(spec[0]) for spec in specs]
@@ -612,16 +626,18 @@ class Runner:
         data = options.resolved_plaintext()
         chunk_size = (options.chunk_size if options.chunk_size is not None
                       else self.chunk_size)
+        backend = self._resolved_backend(options)
         if options.kind == "decrypt":
             # The preliminary encryption only provides the input bytes; no
             # trace is recorded for it.
             payload = kernel.encrypt(
-                data, options.iv, record_trace=False
+                data, options.iv, record_trace=False, backend=backend
             ).ciphertext
             stream = kernel.stream(payload, options.iv, decrypt=True,
-                                   chunk_size=chunk_size)
+                                   chunk_size=chunk_size, backend=backend)
         else:
-            stream = kernel.stream(data, options.iv, chunk_size=chunk_size)
+            stream = kernel.stream(data, options.iv, chunk_size=chunk_size,
+                                   backend=backend)
 
         pipelines = [
             TimingPipeline(config, stream.source.static,
@@ -942,9 +958,9 @@ def _worker_run_group(spec):
     trace memory so the parent runner's accounting covers out-of-process
     work.
     """
-    options, configs, stream, chunk_size = spec
+    options, configs, stream, chunk_size, backend = spec
     worker = Runner(cache=ResultCache.disabled(), jobs=1,
-                    stream=stream, chunk_size=chunk_size)
+                    stream=stream, chunk_size=chunk_size, backend=backend)
     records = worker._run_group_records(options, configs)
     return {
         "records": records,

@@ -36,12 +36,13 @@ class ExperimentOptions:
     instead of the encryption kernel (``session_bytes``/``plaintext`` are
     ignored there).
 
-    ``stream`` and ``chunk_size`` control *how* the runner executes the
-    experiment -- overlapped functional/timing streaming versus
-    materialize-then-simulate, and the trace-chunk granularity.  ``None``
-    defers to the runner's defaults.  They never enter the content
-    fingerprint: results are bit-identical either way, so the same cache
-    records serve both paths.
+    ``stream``, ``chunk_size`` and ``backend`` control *how* the runner
+    executes the experiment -- overlapped functional/timing streaming
+    versus materialize-then-simulate, the trace-chunk granularity, and
+    which execution backend (``"interpreter"``/``"compiled"``) runs the
+    functional machine.  ``None`` defers to the runner's defaults.  They
+    never enter the content fingerprint: results are bit-identical either
+    way, so the same cache records serve every combination.
     """
 
     cipher: str
@@ -55,6 +56,7 @@ class ExperimentOptions:
     kind: str = "encrypt"
     stream: bool | None = None
     chunk_size: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

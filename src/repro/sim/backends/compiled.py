@@ -1,0 +1,1402 @@
+"""Per-program compiled execution backend.
+
+Translates a finalized :class:`~repro.isa.program.Program` into one
+specialized Python generator function: every static instruction becomes
+a handful of straight-line statements (operands constant-folded,
+registers pinned in locals), basic blocks dispatch through a small
+``while``/``elif`` chain, and the dynamic trace is staged
+block-at-a-time with constant tuples.  The generated source is compiled
+once and cached by program digest, so repeated sessions of the same
+kernel pay zero codegen cost.
+
+The output contract is bit-identical to the interpreter backend on every
+successful execution: same ``TraceChunk`` entries *and boundaries*, same
+final registers, memory and ``instructions_executed``
+(``tests/sim/test_backend_equivalence.py`` is the oracle).  Failure
+paths raise the same ``SimulationError`` messages, but may differ in how
+much of the failing basic block's side effects landed, because the
+runaway-instruction check runs once per block rather than once per
+instruction; see ``docs/backends.md``.
+
+Generated sources are registered in :mod:`linecache` under
+``<repro-compiled:...>`` filenames so tracebacks show real lines and the
+sampling profiler can attribute generated-code frames to the
+``functional`` bucket (codegen itself lands in the ``compile`` bucket).
+"""
+
+from __future__ import annotations
+
+import linecache
+import re
+import sys
+from array import array
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.sim.trace import (
+    ADDR_TYPECODE,
+    SEQ_TYPECODE,
+    VALUE_TYPECODE,
+    TraceChunk,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+M32 = 0xFFFFFFFF
+M64 = 0xFFFFFFFFFFFFFFFF
+_MSB = 0x8000000000000000
+
+#: Generated code reads memory through ``memoryview.cast`` (native byte
+#: order); on a big-endian host we delegate to the interpreter instead.
+_LITTLE = sys.byteorder == "little"
+
+#: Register-width lattice top: value may be negative or >= 2**64, so no
+#: mask or sign-handling may be elided.
+_UNKNOWN = 999
+
+#: Opcodes that end a basic block by redirecting control flow.
+_BRANCH_CODES = frozenset({40, 41, 42, 43, 44, 45, 46})
+
+#: Every opcode the interpreter implements (anything else raises).
+_IMPLEMENTED = frozenset(
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+     19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 30, 31, 32, 33, 34, 35, 36,
+     37, 40, 41, 42, 43, 44, 45, 46, 48, 49, 50, 51, 52, 53, 54, 55, 56,
+     57, 58, 59}
+)
+
+#: Opcodes that write a register result (everything but control flow,
+#: stores, SBOXSYNC and HALT).  CMOV writes conditionally but still
+#: needs its destination pinned and written back.
+_WRITES_DEST = _IMPLEMENTED - _BRANCH_CODES - frozenset({0, 34, 35, 36, 37, 58})
+
+_LOADS = {30: ("LDQ", 8, 8), 31: ("LDL", 4, 4),
+          32: ("LDWU", 2, 2), 33: ("LDBU", 1, 1)}
+_STORES = {34: ("STQ", 8, 8), 35: ("STL", 4, 4),
+           36: ("STW", 2, 2), 37: ("STB", 1, 1)}
+
+
+def _grp(x: int, ctrl: int, width: int) -> int:
+    """GRPL/GRPQ (Shi & Lee) bit-gather, shared by all generated code."""
+    low = high = 0
+    low_count = high_count = 0
+    for i in range(width):
+        bit = (x >> i) & 1
+        if (ctrl >> i) & 1:
+            high |= bit << high_count
+            high_count += 1
+        else:
+            low |= bit << low_count
+            low_count += 1
+    return low | (high << low_count)
+
+
+def _xbox(operand: int, perm_map: int, base_bit: int) -> int:
+    """XBOX 8-bit permutation lookup, shared by all generated code."""
+    result = 0
+    for j in range(8):
+        bit = (operand >> ((perm_map >> (6 * j)) & 0x3F)) & 1
+        result |= bit << (base_bit + j)
+    return result
+
+
+def _drain(
+    seq: list,
+    addrs: list,
+    values: "list | None",
+    chunk_limit: int,
+    trace_base: int,
+) -> Iterator[TraceChunk]:
+    """Carve exactly ``chunk_limit``-sized chunks off the staged lists.
+
+    Generated code stages a whole basic block before checking the limit,
+    so the staged lists can run past it; slicing here restores the exact
+    interpreter chunk boundaries (every chunk full except the final
+    partial).  Returns the updated ``trace_base`` via StopIteration so
+    callers use ``trace_base = yield from _drain(...)``.
+    """
+    while len(seq) >= chunk_limit:
+        yield TraceChunk(
+            seq=array(SEQ_TYPECODE, seq[:chunk_limit]),
+            addrs=array(ADDR_TYPECODE, addrs[:chunk_limit]),
+            start=trace_base,
+            values=(None if values is None
+                    else array(VALUE_TYPECODE, values[:chunk_limit])),
+        )
+        del seq[:chunk_limit]
+        del addrs[:chunk_limit]
+        if values is not None:
+            del values[:chunk_limit]
+        trace_base += chunk_limit
+    return trace_base
+
+
+class CompiledBackend:
+    """Backend that executes digest-cached per-program generated code."""
+
+    name = "compiled"
+
+    def execute(
+        self,
+        machine: "Machine",
+        *,
+        chunk_limit: int,
+        record_trace: bool,
+        record_values: bool,
+        max_instructions: int,
+    ) -> Iterator[TraceChunk]:
+        if not _LITTLE or machine.memory.size & 7:
+            # Word access goes through memoryview.cast, which needs a
+            # little-endian host and an 8-byte-divisible buffer.  Every
+            # Memory in the repo is a power of two; for exotic sizes the
+            # interpreter is the (bit-identical) fallback.
+            from repro.sim.backends.interpreter import _interpret
+
+            return _interpret(
+                machine, chunk_limit, record_trace, record_values,
+                max_instructions,
+            )
+        fn = compiled_function(machine, record_trace, record_values)
+        return fn(machine, chunk_limit, max_instructions)
+
+
+_CODE_CACHE: dict[tuple[str, bool, bool, int], Callable[..., Any]] = {}
+
+
+def cache_info() -> dict[str, int]:
+    """Size of the digest-keyed generated-function cache (for tests)."""
+    return {"size": len(_CODE_CACHE)}
+
+
+def cache_clear() -> None:
+    """Drop all cached generated functions (for tests/benchmarks)."""
+    _CODE_CACHE.clear()
+
+
+def compiled_function(
+    machine: "Machine", record_trace: bool, record_values: bool
+) -> Callable[..., Any]:
+    """The generated generator function for this program+recording mode.
+
+    Cached by ``(program.digest(), record_trace, record_values,
+    memory.size)`` so every :class:`Machine` over the same program and
+    memory geometry shares one compilation.  The memory size is part of
+    the key because bounds-check elision proves addresses in range
+    against it at codegen time.
+    """
+    key = (
+        machine.program.digest(), record_trace, record_values,
+        machine.memory.size,
+    )
+    fn = _CODE_CACHE.get(key)
+    if fn is None:
+        fn = _compile(machine, record_trace, record_values, key[0])
+        _CODE_CACHE[key] = fn
+    return fn
+
+
+def generated_source(
+    machine: "Machine",
+    record_trace: bool = True,
+    record_values: bool = False,
+) -> str:
+    """The Python source the backend would execute (docs and tests)."""
+    return _generate_source(
+        machine, record_trace, record_values, "_compiled_run"
+    )
+
+
+def _compile(
+    machine: "Machine",
+    record_trace: bool,
+    record_values: bool,
+    digest: str,
+) -> Callable[..., Any]:
+    from repro.sim.machine import SimulationError, _ZAPNOT_MASKS
+
+    func_name = f"_compiled_{digest[:8]}"
+    source = _generate_source(machine, record_trace, record_values, func_name)
+    filename = (
+        f"<repro-compiled:{digest[:8]}:"
+        f"{'t' if record_trace else 'f'}{'v' if record_values else 'f'}:"
+        f"{machine.memory.size}>"
+    )
+    # Register the source so tracebacks and the profiler see real lines.
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename,
+    )
+    namespace: dict[str, Any] = {
+        "SimulationError": SimulationError,
+        "TraceChunk": TraceChunk,
+        "array": array,
+        "SEQ_T": SEQ_TYPECODE,
+        "ADDR_T": ADDR_TYPECODE,
+        "VAL_T": VALUE_TYPECODE,
+        "_drain": _drain,
+        "_grp": _grp,
+        "_xbox": _xbox,
+        "_ZAPNOT": _ZAPNOT_MASKS,
+    }
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace[func_name]
+
+
+def _split_blocks(
+    code: list, target: list, n: int
+) -> "tuple[list[tuple[int, int]], dict[int, int]]":
+    """Basic blocks as (start, end_exclusive) plus leader-pc -> index."""
+    leaders = {0}
+    for i in range(n):
+        if code[i] in _BRANCH_CODES:
+            t = target[i]
+            if 0 <= t < n:
+                leaders.add(t)
+            if i + 1 < n:
+                leaders.add(i + 1)
+    blocks: list[tuple[int, int]] = []
+    for start in sorted(leaders):
+        end = start
+        while True:
+            c = code[end]
+            if c in _BRANCH_CODES or c == 0 or c not in _IMPLEMENTED:
+                end += 1
+                break
+            end += 1
+            if end >= n or end in leaders:
+                break
+        blocks.append((start, end))
+    block_of = {start: k for k, (start, _end) in enumerate(blocks)}
+    return blocks, block_of
+
+
+def _lit_width(value: "int | None") -> "int | None":
+    """Bits needed for a literal; negative literals are unknown-width."""
+    if value is None:
+        return None
+    return value.bit_length() if value >= 0 else _UNKNOWN
+
+
+def _zapnot_mask(sel: int) -> int:
+    return sum(0xFF << (8 * bit) for bit in range(8) if sel & (1 << bit))
+
+
+def _make_width_step(machine: "Machine") -> Callable[[list, int], None]:
+    """Transfer function of the register-width dataflow.
+
+    ``state`` maps register slot -> w such that the value is known to be
+    a non-negative int < 2**w (w <= 64), or ``_UNKNOWN``.  Shared by the
+    fixpoint below and by code emission, so elision decisions always see
+    exactly the widths the analysis proved.
+    """
+    code, dest, src1, src2 = (
+        machine.code, machine.dest, machine.src1, machine.src2,
+    )
+    lit, disp, bsel = machine.lit, machine.disp, machine.bsel
+
+    def step(state: list, i: int) -> None:
+        c = code[i]
+        if c not in _WRITES_DEST:
+            return
+        d = dest[i]
+        w1 = 0 if src1[i] == 31 else state[src1[i]]
+        L = lit[i]
+        lw = _lit_width(L)
+        wb = lw if lw is not None else (
+            0 if src2[i] == 31 else state[src2[i]]
+        )
+        if c == 1:  # ADDQ
+            w = max(w1, wb) + 1 if max(w1, wb) < 64 else 64
+        elif c == 2:  # SUBQ
+            w = 64
+        elif c == 3:  # ADDL
+            w = max(w1, wb) + 1 if max(w1, wb) < 32 else 32
+        elif c == 4:  # SUBL
+            w = 32
+        elif c == 5:  # AND (a >= 0 so result <= a even for negative b)
+            w = min(w1, wb) if wb != _UNKNOWN else w1
+        elif c in (6, 7):  # BIS / XOR
+            w = max(w1, wb)
+        elif c == 8:  # BIC: result <= a
+            w = min(w1, 64)
+        elif c == 9:  # ORNOT
+            w = 64
+        elif c == 10:  # SLL
+            if L is not None and w1 != _UNKNOWN:
+                w = min(w1 + (L & 63), 64)
+            else:
+                w = 64
+        elif c == 11:  # SRL
+            if w1 == _UNKNOWN:
+                w = _UNKNOWN
+            elif L is not None:
+                w = max(w1 - (L & 63), 0)
+            else:
+                w = w1
+        elif c == 12:  # SRA
+            if w1 <= 63:
+                w = max(w1 - (L & 63), 0) if L is not None else w1
+            else:
+                w = 64
+        elif c == 13:  # MULL
+            w1m = min(w1, 32)
+            wbm = (L & M32).bit_length() if L is not None else min(wb, 32)
+            w = min(w1m + wbm, 32)
+        elif c == 14:  # MULQ
+            w = w1 + wb if w1 + wb <= 64 else 64
+        elif c in (15, 16, 17, 18, 19):  # compares
+            w = 1
+        elif c == 20:  # EXTBL
+            w = 8
+        elif c == 21:  # INSBL
+            w = 8 + (L & 7) * 8 if L is not None else 64
+        elif c == 22:  # ZAPNOT
+            if L is not None:
+                w = min(w1, _zapnot_mask(L & 0xFF).bit_length())
+            else:
+                w = min(w1, 64)
+        elif c == 23:  # S4ADDQ
+            m = max(w1 + 2, wb)
+            w = m + 1 if m < 64 else 64
+        elif c == 24:  # S8ADDQ
+            m = max(w1 + 3, wb)
+            w = m + 1 if m < 64 else 64
+        elif c in (25, 26):  # CMOV: may keep the old value
+            w = max(state[d], wb)
+        elif c == 27:  # LDA
+            base = src2[i]
+            dp = disp[i]
+            if base == 31:
+                w = (dp & M64).bit_length()
+            else:
+                wb2 = state[base]
+                if dp == 0:
+                    w = min(wb2, 64)
+                elif wb2 != _UNKNOWN and dp > 0:
+                    m = max(wb2, dp.bit_length())
+                    w = m + 1 if m < 64 else 64
+                else:
+                    w = 64
+        elif c == 28:  # LDIQ
+            w = lw if lw is not None else _UNKNOWN
+        elif c == 30:  # LDQ
+            w = 64
+        elif c in (31, 57):  # LDL / SBOX
+            w = 32
+        elif c == 32:  # LDWU
+            w = 16
+        elif c == 33:  # LDBU
+            w = 8
+        elif c == 48:  # GRPL
+            w = 32
+        elif c == 49:  # GRPQ
+            w = 64
+        elif c in (50, 51, 54, 55):  # ROLL/RORL/ROLXL/RORXL
+            w = 32
+        elif c in (52, 53):  # ROLQ / RORQ
+            w = w1 if (L is not None and not (
+                (L & 63) if c == 52 else ((64 - (L & 63)) & 63))) else 64
+        elif c == 56:  # MULMOD
+            w = 16
+        elif c == 59:  # XBOX
+            w = bsel[i] * 8 + 8
+        else:  # pragma: no cover - _WRITES_DEST covers every case above
+            w = _UNKNOWN
+        state[d] = min(w, _UNKNOWN)
+
+    return step
+
+
+def _block_successors(
+    blocks: "list[tuple[int, int]]", code: list, target: list, n: int
+) -> "list[tuple[int, ...]]":
+    succs: "list[tuple[int, ...]]" = []
+    for start, end in blocks:
+        last = end - 1
+        c = code[last]
+        if c == 0 or c not in _IMPLEMENTED:
+            succs.append(())
+        elif c == 40:
+            succs.append((target[last],) if target[last] < n else ())
+        elif c in _BRANCH_CODES:
+            out = []
+            if target[last] < n:
+                out.append(target[last])
+            if last + 1 < n:
+                out.append(last + 1)
+            succs.append(tuple(out))
+        else:
+            succs.append((end,) if end < n else ())
+    return succs
+
+
+def _infer_dataflow(
+    blocks: "list[tuple[int, int]]",
+    block_of: "dict[int, int]",
+    succs: "list[tuple[int, ...]]",
+    step: Callable[[list, int], None],
+    *,
+    top: int,
+    join: Callable[[int, int], int],
+) -> "list[list[int]]":
+    """Per-block entry states via a monotone worklist fixpoint.
+
+    ``top`` is the no-information value (assumed at the entry block and
+    for unreachable blocks -- machines may be pre-seeded); ``join``
+    merges the states reaching a block so a proved fact is valid on
+    every path.
+    """
+    nb = len(blocks)
+    ins: "list[list[int] | None]" = [None] * nb
+    entry = block_of[0]
+    ins[entry] = [top] * 33
+    work = [entry]
+    while work:
+        k = work.pop()
+        state = list(ins[k])  # type: ignore[arg-type]
+        start, end = blocks[k]
+        for i in range(start, end):
+            step(state, i)
+        for s in succs[k]:
+            j = block_of[s]
+            existing = ins[j]
+            if existing is None:
+                ins[j] = list(state)
+                work.append(j)
+            else:
+                changed = False
+                for r in range(33):
+                    merged = join(state[r], existing[r])
+                    if merged != existing[r]:
+                        existing[r] = merged
+                        changed = True
+                if changed:
+                    work.append(j)
+    return [s if s is not None else [top] * 33 for s in ins]
+
+
+def _infer_widths(
+    blocks: "list[tuple[int, int]]",
+    block_of: "dict[int, int]",
+    succs: "list[tuple[int, ...]]",
+    step: Callable[[list, int], None],
+) -> "list[list[int]]":
+    """Register widths: bigger is less precise, so the join is ``max``."""
+    return _infer_dataflow(blocks, block_of, succs, step, top=64, join=max)
+
+
+def _tz_of_int(value: int) -> int:
+    """Trailing zero bits of a 64-bit value pattern (tz(0) == 64)."""
+    value &= M64
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1
+
+
+def _make_tz_step(machine: "Machine") -> Callable[[list, int], None]:
+    """Transfer function of the register-alignment dataflow.
+
+    ``state`` maps register slot -> t such that the value's low ``t``
+    bits are known to be zero (a lower bound; smaller is less precise).
+    Used to elide alignment checks on load/store addresses.  All rules
+    hold modulo 2**64, so the masked/unmasked distinction of the width
+    lattice is irrelevant here.
+    """
+    code, dest, src1, src2 = (
+        machine.code, machine.dest, machine.src1, machine.src2,
+    )
+    lit, disp = machine.lit, machine.disp
+
+    def step(state: list, i: int) -> None:
+        c = code[i]
+        if c not in _WRITES_DEST:
+            return
+        d = dest[i]
+        s1 = src1[i]
+        t1 = 64 if s1 == 31 else state[s1]
+        L = lit[i]
+        if L is not None:
+            tb = _tz_of_int(L)
+        elif src2[i] == 31:
+            tb = 64
+        else:
+            tb = state[src2[i]]
+        if c in (1, 2, 3, 4):  # add/sub: masking never touches low bits
+            state[d] = min(t1, tb)
+        elif c == 5:  # AND only clears bits
+            state[d] = max(t1, tb)
+        elif c in (6, 7):  # BIS / XOR
+            state[d] = min(t1, tb)
+        elif c in (8, 22):  # BIC / ZAPNOT keep-or-clear source bits
+            state[d] = t1
+        elif c == 10:  # SLL
+            state[d] = min(t1 + (L & 63), 64) if L is not None else t1
+        elif c in (11, 12):  # SRL / SRA
+            state[d] = max(t1 - (L & 63), 0) if L is not None else 0
+        elif c in (13, 14):  # MULL / MULQ
+            state[d] = min(t1 + tb, 64)
+        elif c == 21:  # INSBL: (a & 0xFF) << (s * 8)
+            state[d] = min(t1 + (L & 7) * 8, 64) if L is not None else t1
+        elif c == 23:  # S4ADDQ
+            state[d] = min(t1 + 2, tb)
+        elif c == 24:  # S8ADDQ
+            state[d] = min(t1 + 3, tb)
+        elif c in (25, 26):  # CMOV: old value or the new operand
+            state[d] = min(state[d], tb)
+        elif c == 27:  # LDA
+            dtz = _tz_of_int(disp[i])
+            base = src2[i]
+            state[d] = dtz if base == 31 else min(state[base], dtz)
+        elif c == 28:  # LDIQ
+            state[d] = _tz_of_int(L)
+        else:  # loads, compares, rotates, GRP, XBOX, MULMOD, SBOX...
+            state[d] = 0
+
+    return step
+
+
+def _const_join(a: "int | None", b: "int | None") -> "int | None":
+    return a if a == b else None
+
+
+def _make_const_step(machine: "Machine") -> Callable[[list, int], None]:
+    """Transfer function of the register-constant dataflow.
+
+    ``state`` maps register slot -> the exact value the interpreter
+    would hold (LDIQ stores its literal raw, LDA masks to 64 bits), or
+    ``None`` when unknown.  Only immediate-forming opcodes propagate;
+    everything else conservatively clobbers.  Proved constants fold
+    into operand positions, where CPython's own constant folding then
+    collapses expressions like ``(4096 & -1024)``.
+    """
+    code, dest, src2 = machine.code, machine.dest, machine.src2
+    lit, disp = machine.lit, machine.disp
+
+    def step(state: list, i: int) -> None:
+        c = code[i]
+        if c not in _WRITES_DEST:
+            return
+        d = dest[i]
+        if c == 28:  # LDIQ
+            state[d] = lit[i]
+        elif c == 27:  # LDA
+            base = src2[i]
+            bv = 0 if base == 31 else state[base]
+            state[d] = None if bv is None else (bv + disp[i]) & M64
+        else:
+            state[d] = None
+
+    return step
+
+
+def _generate_source(
+    machine: "Machine",
+    record_trace: bool,
+    record_values: bool,
+    func_name: str,
+) -> str:
+    code, dest = machine.code, machine.dest
+    src1, src2 = machine.src1, machine.src2
+    lit, disp, target = machine.lit, machine.disp, machine.target
+    bsel = machine.bsel
+    n = len(code)
+
+    lines: list[str] = []
+
+    def w(indent: int, text: str = "") -> None:
+        lines.append(("    " * indent + text) if text else "")
+
+    w(0, f"def {func_name}(machine, chunk_limit, max_instructions):")
+    w(1, "regs = machine.regs")
+    w(1, "regs[31] = 0")
+    if n == 0:
+        w(1, "raise SimulationError('fell off program end at pc=0')")
+        w(1, "if False:")
+        w(2, "yield None")
+        return "\n".join(lines) + "\n"
+
+    blocks, block_of = _split_blocks(code, target, n)
+    succs = _block_successors(blocks, code, target, n)
+    step = _make_width_step(machine)
+    widths = _infer_widths(blocks, block_of, succs, step)
+    tz_step = _make_tz_step(machine)
+    tzs = _infer_dataflow(
+        blocks, block_of, succs, tz_step, top=0, join=min,
+    )
+    const_step = _make_const_step(machine)
+    consts = _infer_dataflow(
+        blocks, block_of, succs, const_step,
+        top=None, join=_const_join,  # type: ignore[arg-type]
+    )
+    # Bounds proofs below compare against the machine's memory size, so
+    # the generated function is specialized to it (part of the cache key).
+    mem_size = machine.memory.size
+
+    # Register-usage scan: which slots to pin in locals / write back.
+    reads: set[int] = set()
+    writes: set[int] = set()
+    for i in range(n):
+        c = code[i]
+        if c not in _IMPLEMENTED:
+            continue
+        reads.add(src1[i])
+        reads.add(src2[i])
+        if c in (54, 55):  # ROLXL/RORXL xor into their destination
+            reads.add(dest[i])
+        if c in _WRITES_DEST:
+            writes.add(dest[i])
+    reads.discard(31)
+    writes.discard(31)
+    pinned = sorted(reads | writes)
+
+    # The block bodies are generated first so the preamble only sets up
+    # what they actually use (memoryview casts, bounds limits, tables).
+    need_mv: set[int] = set()
+    need_lims: set[int] = set()
+    need_zap = False
+    body: list[str] = []
+
+    def wb(indent: int, text: str) -> None:
+        body.append("    " * indent + text)
+
+    def R(slot: int) -> str:
+        return "0" if slot == 31 else f"r{slot}"
+
+    def addr_code(
+        i: int, state: list, tz: list, cst: list
+    ) -> "tuple[list[str], str, int, int, str]":
+        """Effective-address statements, its name, and proved facts.
+
+        Returns ``(stmts, name, bound, align, expr)``: the address is
+        known to be <= ``bound`` with its low ``align`` bits zero, so
+        callers can elide range and alignment checks the proof covers
+        (and inline ``expr`` when the temporary itself is unneeded).
+        """
+        base, dp = src2[i], disp[i]
+        a = f"a{i}"
+        bv = 0 if base == 31 else cst[base]
+        if bv is not None:
+            val = (bv + dp) & M64
+            expr = f"{val:#x}"
+            return [], expr, val, _tz_of_int(val), expr
+        rb = R(base)
+        wb2 = state[base]
+        atz = min(tz[base], _tz_of_int(dp)) if dp else tz[base]
+        if dp == 0:
+            if wb2 <= 64:
+                expr, bound = rb, (1 << wb2) - 1
+            else:
+                expr, bound = f"{rb} & {M64:#x}", M64
+        elif wb2 != _UNKNOWN and dp > 0 and max(wb2, dp.bit_length()) < 64:
+            expr, bound = f"{rb} + {dp}", (1 << wb2) - 1 + dp
+        else:
+            expr, bound = f"({rb} + {dp}) & {M64:#x}", M64
+        if not record_trace and expr == rb:
+            # No trace entry will quote the address and the register
+            # itself is the address: skip the temporary entirely.
+            return [], rb, bound, atz, rb
+        return [f"{a} = {expr}"], a, bound, atz, expr
+
+    def operand(slot: int, state: list, cst: list) -> "tuple[str, int]":
+        """Expression and width for a register read (const-folded)."""
+        if slot == 31:
+            return "0", 0
+        v = cst[slot]
+        if v is not None:
+            return str(v), (v.bit_length() if v >= 0 else _UNKNOWN)
+        return f"r{slot}", state[slot]
+
+    def instr_stmts(
+        i: int, state: list, tz: list, cst: list
+    ) -> "tuple[list[str], str | None]":
+        nonlocal need_zap
+        c = code[i]
+        D = f"r{dest[i]}"
+        A, w1 = operand(src1[i], state, cst)
+        L = lit[i]
+        if L is not None:
+            B, wb_ = str(L), _lit_width(L)
+        else:
+            B, wb_ = operand(src2[i], state, cst)
+        out: list[str] = []
+        addr: "str | None" = None
+        if c == 7:  # XOR
+            if A == "0":
+                out = [f"{D} = {B}"]
+            elif B == "0":
+                out = [f"{D} = {A}"]
+            else:
+                out = [f"{D} = {A} ^ {B}"]
+        elif c == 6:  # BIS
+            if A == "0":
+                out = [f"{D} = {B}"]
+            elif B == "0":
+                out = [f"{D} = {A}"]
+            else:
+                out = [f"{D} = {A} | {B}"]
+        elif c == 5:  # AND
+            if A == "0" or B == "0":
+                out = [f"{D} = 0"]
+            elif (L is not None and w1 <= 64
+                    and (L & M64) & ((1 << w1) - 1) == (1 << w1) - 1):
+                out = [f"{D} = {A}"]  # mask covers the proved width
+            else:
+                out = [f"{D} = {A} & {B}"]
+        elif c in (1, 3):  # ADDQ / ADDL
+            bits = 64 if c == 1 else 32
+            mask = M64 if c == 1 else M32
+            if A == "0":
+                expr = B
+            elif B == "0":
+                expr = A
+            else:
+                expr = f"{A} + {B}"
+            if max(w1, wb_) < bits:
+                out = [f"{D} = {expr}"]
+            elif expr in (A, B):
+                out = [f"{D} = {expr} & {mask:#x}"]
+            else:
+                out = [f"{D} = ({expr}) & {mask:#x}"]
+        elif c in (2, 4):  # SUBQ / SUBL
+            bits = 64 if c == 2 else 32
+            mask = M64 if c == 2 else M32
+            if B == "0" and w1 <= bits:
+                out = [f"{D} = {A}"]
+            else:
+                out = [f"{D} = ({A} - {B}) & {mask:#x}"]
+        elif c == 8:  # BIC
+            if L is not None:
+                out = [f"{D} = {A} & {(~L) & M64:#x}"]
+            elif B == "0":
+                out = [f"{D} = {A}" if w1 <= 64
+                       else f"{D} = {A} & {M64:#x}"]
+            else:
+                out = [f"{D} = {A} & ~{B} & {M64:#x}"]
+        elif c == 9:  # ORNOT
+            if L is not None:
+                inner = f"{(~L) & M64:#x}"
+            else:
+                inner = f"(~{B} & {M64:#x})"
+            if w1 <= 64:
+                out = [f"{D} = {A} | {inner}"]
+            else:
+                out = [f"{D} = ({A} | {inner}) & {M64:#x}"]
+        elif c == 10:  # SLL
+            if L is not None:
+                s = L & 63
+                if s == 0:
+                    out = [f"{D} = {A}" if w1 <= 64
+                           else f"{D} = {A} & {M64:#x}"]
+                elif w1 + s <= 64:
+                    out = [f"{D} = {A} << {s}"]
+                else:
+                    out = [f"{D} = ({A} << {s}) & {M64:#x}"]
+            else:
+                out = [f"{D} = ({A} << ({B} & 63)) & {M64:#x}"]
+        elif c == 11:  # SRL
+            if L is not None:
+                s = L & 63
+                out = [f"{D} = {A}" if s == 0 else f"{D} = {A} >> {s}"]
+            else:
+                out = [f"{D} = {A} >> ({B} & 63)"]
+        elif c == 12:  # SRA
+            sh = str(L & 63) if L is not None else f"({B} & 63)"
+            if w1 <= 63:
+                if L is not None and L & 63 == 0:
+                    out = [f"{D} = {A}"]
+                else:
+                    out = [f"{D} = {A} >> {sh}"]
+            else:
+                out = [
+                    f"t = {A}",
+                    f"if t & {_MSB:#x}:",
+                    f"    t -= {1 << 64:#x}",
+                    f"{D} = (t >> {sh}) & {M64:#x}",
+                ]
+        elif c == 13:  # MULL
+            am = A if w1 <= 32 else f"({A} & {M32:#x})"
+            if L is not None:
+                bv = L & M32
+                bm, wbm = str(bv), bv.bit_length()
+            else:
+                bm = B if wb_ <= 32 else f"({B} & {M32:#x})"
+                wbm = min(wb_, 32)
+            if min(w1, 32) + wbm <= 32:
+                out = [f"{D} = {am} * {bm}"]
+            else:
+                out = [f"{D} = ({am} * {bm}) & {M32:#x}"]
+        elif c == 14:  # MULQ
+            if w1 + wb_ <= 64:
+                out = [f"{D} = {A} * {B}"]
+            else:
+                out = [f"{D} = ({A} * {B}) & {M64:#x}"]
+        elif c == 15:
+            out = [f"{D} = 1 if {A} == {B} else 0"]
+        elif c == 16:
+            out = [f"{D} = 1 if {A} < {B} else 0"]
+        elif c == 17:
+            out = [f"{D} = 1 if {A} <= {B} else 0"]
+        elif c in (18, 19):  # CMPLT / CMPLE (signed)
+            cmp = "<" if c == 18 else "<="
+            if w1 <= 63:
+                left = A
+            else:
+                out += [
+                    f"t = {A}",
+                    f"if t & {_MSB:#x}:",
+                    f"    t -= {1 << 64:#x}",
+                ]
+                left = "t"
+            if L is not None:
+                right = str(L - (1 << 64) if L & _MSB else L)
+            elif wb_ <= 63:
+                right = B
+            else:
+                out += [
+                    f"u = {B}",
+                    f"if u & {_MSB:#x}:",
+                    f"    u -= {1 << 64:#x}",
+                ]
+                right = "u"
+            out.append(f"{D} = 1 if {left} {cmp} {right} else 0")
+        elif c == 20:  # EXTBL
+            if L is not None:
+                s = (L & 7) * 8
+                out = [f"{D} = ({A} >> {s}) & 0xFF" if s
+                       else (f"{D} = {A}" if w1 <= 8
+                             else f"{D} = {A} & 0xFF")]
+            else:
+                out = [f"{D} = ({A} >> (({B} & 7) * 8)) & 0xFF"]
+        elif c == 21:  # INSBL
+            am = A if w1 <= 8 else f"({A} & 0xFF)"
+            if L is not None:
+                s = (L & 7) * 8
+                out = [f"{D} = {am} << {s}" if s else f"{D} = {am}"]
+            else:
+                out = [f"{D} = {am} << (({B} & 7) * 8)"]
+        elif c == 22:  # ZAPNOT
+            if L is not None:
+                mask = _zapnot_mask(L & 0xFF)
+                if w1 <= 64 and mask & ((1 << w1) - 1) == (1 << w1) - 1:
+                    out = [f"{D} = {A}"]
+                else:
+                    out = [f"{D} = {A} & {mask:#x}"]
+            else:
+                need_zap = True
+                out = [f"{D} = {A} & _zap[{B} & 0xFF]"]
+        elif c in (23, 24):  # S4ADDQ / S8ADDQ
+            scale = 4 if c == 23 else 8
+            extra = 2 if c == 23 else 3
+            prod = f"{A} * {scale}"
+            expr = prod if B == "0" else f"{prod} + {B}"
+            if max(w1 + extra, wb_) < 64:
+                out = [f"{D} = {expr}"]
+            else:
+                out = [f"{D} = ({expr}) & {M64:#x}"]
+        elif c in (25, 26):  # CMOVEQ / CMOVNE
+            if A == "0":
+                out = [f"{D} = {B}"] if c == 25 else []
+            else:
+                test = "==" if c == 25 else "!="
+                out = [f"if {A} {test} 0:", f"    {D} = {B}"]
+        elif c == 27:  # LDA
+            base, dp = src2[i], disp[i]
+            bv = 0 if base == 31 else cst[base]
+            if bv is not None:
+                out = [f"{D} = {(bv + dp) & M64:#x}"]
+            else:
+                rb = R(base)
+                wb2 = state[base]
+                if dp == 0:
+                    out = [f"{D} = {rb}" if wb2 <= 64
+                           else f"{D} = {rb} & {M64:#x}"]
+                elif (wb2 != _UNKNOWN and dp > 0
+                      and max(wb2, dp.bit_length()) < 64):
+                    out = [f"{D} = {rb} + {dp}"]
+                else:
+                    out = [f"{D} = ({rb} + {dp}) & {M64:#x}"]
+        elif c == 28:  # LDIQ
+            out = [f"{D} = {L}"]
+        elif c in (30, 31, 32, 33):  # loads
+            al, av, bound, atz, aex = addr_code(i, state, tz, cst)
+            out = list(al)
+            name, size, shift = {
+                30: ("LDQ", 8, 3), 31: ("LDL", 4, 2),
+                32: ("LDWU", 2, 1), 33: ("LDBU", 1, 0),
+            }[c]
+            conds = []
+            if atz < shift:
+                conds.append(f"{av} & {size - 1}")
+            if bound > mem_size - size:
+                need_lims.add(size)
+                conds.append(f"{av} > lim{size}")
+            if not record_trace and not conds and al:
+                # Checks are proved away and nothing quotes the address:
+                # fold the computation into the access itself.
+                out, av = [], f"({aex})"
+            if conds:
+                out += [
+                    f"if {' or '.join(conds)}:",
+                    f"    raise SimulationError('{name} at 0x%x (pc {i})'"
+                    f" % {av})",
+                ]
+            if c == 33:
+                out.append(f"{D} = data[{av}]")
+            else:
+                need_mv.add(size)
+                out.append(f"{D} = mv{size}[{av} >> {shift}]")
+            addr = av
+            base = src2[i]
+            if (disp[i] == 0 and base != 31 and cst[base] is None
+                    and state[base] <= 64):
+                # Past this point the base register itself was a valid
+                # address (checked or proved), so it is < mem_size.
+                state[base] = min(
+                    state[base], (mem_size - size).bit_length()
+                )
+        elif c in (34, 35, 36, 37):  # stores
+            al, av, bound, atz, aex = addr_code(i, state, tz, cst)
+            out = list(al)
+            name, size, shift = {
+                34: ("STQ", 8, 3), 35: ("STL", 4, 2),
+                36: ("STW", 2, 1), 37: ("STB", 1, 0),
+            }[c]
+            conds = []
+            if atz < shift:
+                conds.append(f"{av} & {size - 1}")
+            if bound > mem_size - size:
+                need_lims.add(size)
+                conds.append(f"{av} > lim{size}")
+            if not record_trace and not conds and al:
+                out, av = [], f"({aex})"
+            if conds:
+                out += [
+                    f"if {' or '.join(conds)}:",
+                    f"    raise SimulationError('{name} at 0x%x (pc {i})'"
+                    f" % {av})",
+                ]
+            if c == 37:
+                vexpr = A if w1 <= 8 else f"{A} & 0xFF"
+                out.append(f"data[{av}] = {vexpr}")
+            elif c == 34 and w1 > 64:
+                # Value not proved < 2**64: the to_bytes path keeps
+                # the interpreter's OverflowError behaviour.
+                out.append(
+                    f"data[{av} : {av} + 8] = ({A}).to_bytes(8, 'little')"
+                )
+            else:
+                need_mv.add(size)
+                bits = {34: 64, 35: 32, 36: 16}[c]
+                mask = {34: M64, 35: M32, 36: 0xFFFF}[c]
+                vexpr = A if w1 <= bits else f"{A} & {mask:#x}"
+                out.append(f"mv{size}[{av} >> {shift}] = {vexpr}")
+            addr = av
+            base = src2[i]
+            if (disp[i] == 0 and base != 31 and cst[base] is None
+                    and state[base] <= 64):
+                state[base] = min(
+                    state[base], (mem_size - size).bit_length()
+                )
+        elif c in (50, 51):  # ROLL / RORL
+            if L is not None:
+                am = (L & 31) if c == 50 else ((32 - (L & 31)) & 31)
+                if am == 0:
+                    out = [f"{D} = {A}" if w1 <= 32
+                           else f"{D} = {A} & {M32:#x}"]
+                elif w1 <= 32:
+                    out = [
+                        f"{D} = (({A} << {am}) | ({A} >> {32 - am}))"
+                        f" & {M32:#x}"
+                    ]
+                else:
+                    out = [
+                        f"u = {A} & {M32:#x}",
+                        f"{D} = ((u << {am}) | (u >> {32 - am}))"
+                        f" & {M32:#x}",
+                    ]
+            else:
+                amount = (f"({B} & 31)" if c == 50
+                          else f"((32 - ({B} & 31)) & 31)")
+                out = [
+                    f"t = {amount}",
+                    (f"u = {A}" if w1 <= 32
+                     else f"u = {A} & {M32:#x}"),
+                    f"{D} = ((u << t) | (u >> (32 - t))) & {M32:#x}"
+                    " if t else u",
+                ]
+        elif c in (52, 53):  # ROLQ / RORQ
+            if L is not None:
+                am = (L & 63) if c == 52 else ((64 - (L & 63)) & 63)
+                if am == 0:
+                    out = [f"{D} = {A}"]
+                else:
+                    out = [
+                        f"{D} = (({A} << {am}) | ({A} >> {64 - am}))"
+                        f" & {M64:#x}"
+                    ]
+            else:
+                amount = (f"({B} & 63)" if c == 52
+                          else f"((64 - ({B} & 63)) & 63)")
+                out = [
+                    f"t = {amount}",
+                    f"u = {A}",
+                    f"{D} = ((u << t) | (u >> (64 - t))) & {M64:#x}"
+                    " if t else u",
+                ]
+        elif c in (54, 55):  # ROLXL / RORXL (xor-rotate into dest)
+            am = (L & 31) if c == 54 else ((32 - (L & 31)) & 31)
+            if w1 <= 32:
+                rot = (A if am == 0
+                       else f"(({A} << {am}) | ({A} >> {32 - am}))")
+                out = [f"{D} = ({rot} ^ {D}) & {M32:#x}"]
+            else:
+                out = [f"u = {A} & {M32:#x}"]
+                rot = ("u" if am == 0
+                       else f"((u << {am}) | (u >> {32 - am}))")
+                out.append(f"{D} = ({rot} ^ {D}) & {M32:#x}")
+        elif c == 56:  # MULMOD (IDEA multiply, 0 represents 2^16)
+            texpr = (f"({A} or 0x10000)" if w1 <= 16
+                     else f"(({A} & 0xFFFF) or 0x10000)")
+            if L is not None:
+                uexpr = str((L & 0xFFFF) or 0x10000)
+            elif wb_ <= 16:
+                uexpr = f"({B} or 0x10000)"
+            else:
+                uexpr = f"(({B} & 0xFFFF) or 0x10000)"
+            out = [f"{D} = (({texpr} * {uexpr}) % 0x10001) & 0xFFFF"]
+        elif c == 57:  # SBOX
+            a = f"a{i}"
+            sh = bsel[i] * 8
+            s2, ws2 = operand(src2[i], state, cst)
+            if sh:
+                idx = f"(({s2} >> {sh}) & 0xFF)"
+            elif ws2 <= 8:
+                idx = s2
+            else:
+                idx = f"({s2} & 0xFF)"
+            base_expr = "" if w1 <= 10 else f"({A} & -1024) | "
+            cv1 = None if src1[i] == 31 else cst[src1[i]]
+            if cv1 is not None and cv1 >= 0:
+                bound = (cv1 & -1024) | 1020
+            elif w1 <= 10:
+                bound = 1020
+            elif w1 <= 64:
+                bound = (((1 << w1) - 1) & ~1023) | 1020
+            else:
+                bound = M64
+            need_mv.add(4)
+            if not record_trace and bound <= mem_size - 4:
+                # Nothing records the byte address, so emit the word
+                # index directly: (base | (idx << 2)) >> 2 distributes
+                # to (base >> 2) | idx (disjoint bit ranges).
+                if w1 <= 10:
+                    out = [f"{D} = mv4[{idx}]"]
+                elif cv1 is not None and cv1 >= 0:
+                    out = [f"{D} = mv4[{(cv1 & -1024) >> 2} | {idx}]"]
+                else:
+                    out = [
+                        f"{D} = mv4[({base_expr}({idx} << 2)) >> 2]"
+                    ]
+                addr = None
+            else:
+                out = [f"{a} = {base_expr}({idx} << 2)"]
+                if bound > mem_size - 4:
+                    need_lims.add(4)
+                    out += [
+                        f"if {a} > lim4:",
+                        f"    raise SimulationError('SBOX access at 0x%x"
+                        f" oob' % {a})",
+                    ]
+                out.append(f"{D} = mv4[{a} >> 2]")
+                addr = a
+        elif c == 58:  # SBOXSYNC: timing-only
+            out = []
+        elif c == 59:  # XBOX
+            pm, _wpm = operand(src2[i], state, cst)
+            out = [f"{D} = _xbox({A}, {pm}, {bsel[i] * 8})"]
+        elif c in (48, 49):  # GRPL / GRPQ
+            out = [f"{D} = _grp({A}, {B}, {32 if c == 48 else 64})"]
+        else:  # pragma: no cover - callers filter unimplemented opcodes
+            raise AssertionError(f"no emitter for opcode {c}")
+        return out, addr
+
+    def branch_cond(i: int, state: list, cst: list) -> "bool | str":
+        c = code[i]
+        s1 = src1[i]
+        if s1 == 31:
+            return c in (41, 44, 46)
+        v = cst[s1]
+        if v is not None:  # fold the whole condition at codegen time
+            sv = v - (1 << 64) if (v >= 0 and v & _MSB) else v
+            return {41: sv == 0, 42: sv != 0, 43: sv < 0,
+                    44: sv <= 0, 45: sv > 0, 46: sv >= 0}[c]
+        A = f"r{s1}"
+        if c == 41:
+            return f"{A} == 0"
+        if c == 42:
+            return f"{A} != 0"
+        if state[s1] <= 63:  # provably non-negative as a signed value
+            if c == 43:
+                return False
+            if c == 46:
+                return True
+            if c == 44:
+                return f"{A} == 0"
+            return f"{A} != 0"  # BGT
+        if c == 43:
+            return f"{A} & {_MSB:#x}"
+        if c == 44:
+            return f"{A} == 0 or {A} & {_MSB:#x}"
+        if c == 45:
+            return f"{A} != 0 and not {A} & {_MSB:#x}"
+        return f"not {A} & {_MSB:#x}"  # BGE
+
+    def goto_lines(p: int) -> list[str]:
+        if p in block_of:
+            return [f"b = {block_of[p]}"]
+        return [f"pc_exit = {p}", "b = -1"]
+
+    def value_expr(i: int) -> str:
+        d = dest[i]
+        if d == 32 or code[i] not in _WRITES_DEST:
+            return "0"
+        return f"r{d}"
+
+    def fold_candidate(i: int, body_end: int) -> "int | None":
+        """Mask of an AND-lit at i+1 that can fold into i's result.
+
+        Safe because nothing observes the intermediate value: the AND
+        reads and rewrites the same destination on the very next pc, and
+        per-instruction values are only recorded in ``record_values``
+        mode (where folding is disabled).
+        """
+        j = i + 1
+        if record_values or j >= body_end:
+            return None
+        if code[j] != 5 or lit[j] is None:
+            return None
+        d = dest[i]
+        if d == 32 or src1[j] != d or dest[j] != d:
+            return None
+        if code[i] not in _WRITES_DEST:
+            return None
+        return lit[j] & M64
+
+    def apply_mask(stmt: str, d: int, m: int, wres: int) -> "str | None":
+        """Rewrite ``r{d} = expr`` to apply mask ``m``, if recognizable."""
+        prefix = f"r{d} = "
+        if not stmt.startswith(prefix):
+            return None
+        if wres <= 64 and m & ((1 << wres) - 1) == (1 << wres) - 1:
+            return stmt  # the AND is a no-op on a value this narrow
+        rhs = stmt[len(prefix):]
+        mm = re.match(r"^(.*) & (0x[0-9a-fA-F]+)$", rhs)
+        if mm:
+            return f"{prefix}{mm.group(1)} & {int(mm.group(2), 16) & m:#x}"
+        return f"{prefix}({rhs}) & {m:#x}"
+
+    flush_args = "values" if record_values else "None"
+
+    for k, (start, end) in enumerate(blocks):
+        state = list(widths[k])
+        tzst = list(tzs[k])
+        cst = list(consts[k])
+        last = end - 1
+        term = code[last]
+        is_branch = term in _BRANCH_CODES
+        is_halt = term == 0
+        is_unimpl = term not in _IMPLEMENTED
+        self_loop = is_branch and (
+            block_of.get(target[last]) == k
+            or (term != 40 and block_of.get(last + 1) == k)
+        )
+        head = "if" if k == 0 else "elif"
+        wb(3, f"{head} b == {k}:  # pc {start}..{last}")
+        bi = 4
+        if self_loop:
+            # The block branches back to itself: loop natively instead
+            # of re-entering the dispatch chain every iteration.  The
+            # entry widths already join the back edge, so the emitted
+            # body is valid for every iteration.
+            wb(4, "while True:")
+            bi = 5
+        wb(bi, f"executed += {end - start}")
+        wb(bi, "if executed > max_instructions:")
+        wb(bi + 1, "raise SimulationError(")
+        wb(bi + 2, "'exceeded %d instructions (runaway loop?)'")
+        wb(bi + 2, "% max_instructions)")
+
+        body_end = last if (is_branch or is_halt or is_unimpl) else end
+        stage_end = last if is_unimpl else end
+        addr_vars: dict[int, str] = {}
+        skip = -1
+        for i in range(start, body_end):
+            if i == skip:
+                stmts, a = [], None  # folded into the previous pc
+            else:
+                stmts, a = instr_stmts(i, state, tzst, cst)
+                m = fold_candidate(i, body_end)
+                if m is not None and stmts:
+                    tmp = list(state)
+                    step(tmp, i)
+                    folded = apply_mask(
+                        stmts[-1], dest[i], m, tmp[dest[i]])
+                    if folded is not None:
+                        stmts = stmts[:-1] + [folded]
+                        skip = i + 1
+            if a is not None:
+                addr_vars[i] = a
+            for line in stmts:
+                wb(bi, line)
+            step(state, i)
+            tz_step(tzst, i)
+            const_step(cst, i)
+            if record_trace and record_values:
+                # Values must be captured right after each instruction:
+                # a later instruction in the block may overwrite the
+                # same destination register.
+                wb(bi, f"seq_append({i})")
+                wb(bi, f"addrs_append({addr_vars.get(i, 0)})")
+                wb(bi, f"values_append({value_expr(i)})")
+
+        # Trace staging.  Entries exist for every instruction in the
+        # block including a branch/HALT terminator (addr 0, value 0),
+        # but not for an unimplemented one (the interpreter raises
+        # before recording it).
+        if record_trace and stage_end > start:
+            if record_values:
+                for i in range(body_end, stage_end):
+                    wb(bi, f"seq_append({i})")
+                    wb(bi, "addrs_append(0)")
+                    wb(bi, "values_append(0)")
+            else:
+                seq_parts = ", ".join(
+                    str(i) for i in range(start, stage_end))
+                addr_parts = ", ".join(
+                    str(addr_vars.get(i, 0))
+                    for i in range(start, stage_end))
+                wb(bi, f"seq_extend(({seq_parts},))")
+                wb(bi, f"addrs_extend(({addr_parts},))")
+            if not is_halt and not is_unimpl:
+                wb(bi, "if len(seq) >= chunk_limit:")
+                wb(bi + 1, "trace_base = yield from _drain(")
+                wb(bi + 2, f"seq, addrs, {flush_args}, chunk_limit,"
+                           " trace_base)")
+
+        if is_halt:
+            wb(bi, "break")
+        elif is_unimpl:
+            wb(bi, "raise SimulationError(")
+            wb(bi + 1, f"'unimplemented opcode {term} at pc {last}')")
+        elif self_loop:
+            cond = True if term == 40 else branch_cond(last, state, cst)
+            tk = block_of.get(target[last])
+            fk = block_of.get(last + 1)
+            if cond is True or cond is False:
+                dest_pc = target[last] if cond is True else last + 1
+                if block_of.get(dest_pc) == k:
+                    wb(bi, "continue")
+                else:
+                    for line in goto_lines(dest_pc):
+                        wb(bi, line)
+                    wb(bi, "break")
+            elif tk == k and fk == k:
+                wb(bi, "continue")
+            elif tk == k:
+                wb(bi, f"if {cond}:")
+                wb(bi + 1, "continue")
+                for line in goto_lines(last + 1):
+                    wb(bi, line)
+                wb(bi, "break")
+            else:  # falls through to itself; the branch exits the loop
+                wb(bi, f"if {cond}:")
+                for line in goto_lines(target[last]):
+                    wb(bi + 1, line)
+                wb(bi + 1, "break")
+        elif term == 40:  # BR
+            for line in goto_lines(target[last]):
+                wb(4, line)
+        elif is_branch:
+            cond = branch_cond(last, state, cst)
+            if cond is True:
+                for line in goto_lines(target[last]):
+                    wb(4, line)
+            elif cond is False:
+                for line in goto_lines(last + 1):
+                    wb(4, line)
+            else:
+                wb(4, f"if {cond}:")
+                for line in goto_lines(target[last]):
+                    wb(5, line)
+                wb(4, "else:")
+                for line in goto_lines(last + 1):
+                    wb(5, line)
+        else:  # fallthrough into the next leader (or off the end)
+            for line in goto_lines(end):
+                wb(4, line)
+
+    wb(3, "else:")
+    wb(4, "raise SimulationError(")
+    wb(5, "'fell off program end at pc=%d' % pc_exit)")
+
+    # Preamble (now that the bodies declared what they need).
+    w(1, "memory = machine.memory")
+    w(1, "data = memory.data")
+    w(1, "mem_size = memory.size")
+    if need_mv:
+        w(1, "_mvb = memoryview(data)")
+        for size in sorted(need_mv):
+            cast = {2: "H", 4: "I", 8: "Q"}[size]
+            w(1, f"mv{size} = _mvb.cast('{cast}')")
+    for size in sorted(need_lims):
+        w(1, f"lim{size} = mem_size - {size}")
+    if need_zap:
+        w(1, "_zap = _ZAPNOT")
+    for s in pinned:
+        w(1, f"r{s} = regs[{s}]")
+    w(1, "executed = 0")
+    if record_trace:
+        w(1, "trace_base = 0")
+        w(1, "seq = []")
+        w(1, "addrs = []")
+        if record_values:
+            w(1, "values = []")
+            w(1, "seq_append = seq.append")
+            w(1, "addrs_append = addrs.append")
+            w(1, "values_append = values.append")
+        else:
+            w(1, "seq_extend = seq.extend")
+            w(1, "addrs_extend = addrs.extend")
+    w(1, "pc_exit = 0")
+    w(1, "b = 0")
+    w(1, "try:")
+    w(2, "while True:")
+    lines.extend(body)
+    w(1, "finally:")
+    if writes or need_mv:
+        for s in sorted(writes):
+            w(2, f"regs[{s}] = r{s}")
+        for size in sorted(need_mv):
+            w(2, f"mv{size}.release()")
+        if need_mv:
+            w(2, "_mvb.release()")
+    else:
+        w(2, "pass")
+    w(1, "machine.instructions_executed = executed")
+    w(1, "machine.halted = True")
+    if record_trace:
+        w(1, "if len(seq) >= chunk_limit:")
+        w(2, "trace_base = yield from _drain(")
+        w(3, f"seq, addrs, {flush_args}, chunk_limit, trace_base)")
+        w(1, "if seq:")
+        w(2, "yield TraceChunk(")
+        w(3, "seq=array(SEQ_T, seq),")
+        w(3, "addrs=array(ADDR_T, addrs),")
+        w(3, "start=trace_base,")
+        if record_values:
+            w(3, "values=array(VAL_T, values),")
+        else:
+            w(3, "values=None,")
+        w(2, ")")
+    w(1, "if False:")
+    w(2, "yield None")
+    return "\n".join(lines) + "\n"

@@ -2,8 +2,11 @@
 
 Executes a finalized program against a :class:`~repro.sim.memory.Memory`,
 optionally recording the compact dynamic trace the timing models consume.
-The interpreter is a single dispatch loop over precompiled per-instruction
-field arrays -- the fastest portable shape for a pure-Python ISA interpreter.
+Execution itself is delegated to a pluggable backend
+(:mod:`repro.sim.backends`): the portable ``"interpreter"`` dispatch loop
+or the per-program ``"compiled"`` specializer.  :meth:`Machine.execute` is
+the single entry point; it selects the backend and the delivery shape
+(batch ``RunResult``, chunk iterator, or :class:`StreamingTrace`).
 
 Architectural notes (see ``repro.isa.opcodes`` for the full list):
 * registers hold unsigned 64-bit values; ``r31`` reads as zero (writes to it
@@ -18,22 +21,21 @@ Architectural notes (see ``repro.isa.opcodes`` for the full list):
 
 from __future__ import annotations
 
-from array import array
+import warnings
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.isa import opcodes as op
 from repro.isa.program import Program
 from repro.sim.memory import Memory
 from repro.sim.trace import (
-    ADDR_TYPECODE,
     DEFAULT_CHUNK_SIZE,
-    SEQ_TYPECODE,
-    VALUE_TYPECODE,
     StaticInfo,
     Trace,
     TraceChunk,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends -> here)
+    from repro.sim.backends import ExecutionBackend
 
 M32 = 0xFFFFFFFF
 M64 = 0xFFFFFFFFFFFFFFFF
@@ -97,22 +99,78 @@ class Machine:
             self.tbl[i] = instr.table
             self.bsel[i] = instr.bsel
 
-    def run(
+    def execute(
         self,
-        max_instructions: int = 200_000_000,
+        *,
+        backend: "str | ExecutionBackend | None" = None,
+        stream: bool = False,
+        chunk_size: int | None = None,
         record_trace: bool = True,
         record_values: bool = False,
-    ) -> RunResult:
-        """Execute from instruction 0 until HALT.
+        max_instructions: int = 200_000_000,
+    ) -> "RunResult | Iterator[TraceChunk] | StreamingTrace":
+        """Execute from instruction 0 until HALT -- the single entry point.
 
-        Returns the executed-instruction count and, when requested, the
-        compact dynamic trace for the timing models.  A machine executes
-        at most once (``run`` mutates registers and memory in place);
-        call :meth:`reset` with a fresh memory image to reuse the compiled
-        program, or build a new :class:`Machine`.
+        ``backend`` selects how execution happens: ``None`` (the default
+        backend), a registered name (``"interpreter"``, ``"compiled"``),
+        or an :class:`~repro.sim.backends.ExecutionBackend` instance.
+        Every backend produces bit-identical architectural effects and
+        trace chunks, so the choice only affects speed.
+
+        ``stream`` and ``chunk_size`` select the delivery shape:
+
+        * ``execute()`` -- run to completion, return a :class:`RunResult`
+          (with a materialized :class:`~repro.sim.trace.Trace` when
+          ``record_trace`` is true).
+        * ``execute(chunk_size=n)`` -- return an iterator of bounded
+          :class:`~repro.sim.trace.TraceChunk` objects; execution
+          advances only as chunks are consumed, so peak trace memory is
+          O(``chunk_size``).
+        * ``execute(stream=True, chunk_size=n)`` -- return a
+          :class:`StreamingTrace`, the single-pass ``TraceSource`` the
+          timing pipeline consumes (``chunk_size`` defaults to
+          ``DEFAULT_CHUNK_SIZE``).
+
+        A machine executes at most once (execution mutates registers and
+        memory in place); call :meth:`reset` with a fresh memory image to
+        reuse the decoded program, or build a new :class:`Machine`.
+        The chunked shapes claim the execution immediately;
+        ``stream=True`` defers the claim until chunks are first consumed.
         """
-        chunks = list(self._execute(
-            chunk_limit=None,
+        from repro.sim.backends import UNBOUNDED_CHUNK, get_backend
+
+        resolved = get_backend(backend)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if stream:
+            if not record_trace:
+                raise ValueError("stream=True requires record_trace=True")
+            return StreamingTrace(
+                self,
+                chunk_size=(DEFAULT_CHUNK_SIZE if chunk_size is None
+                            else chunk_size),
+                backend=resolved,
+                record_values=record_values,
+                max_instructions=max_instructions,
+            )
+        if chunk_size is not None:
+            if not record_trace:
+                raise ValueError(
+                    "chunked execution requires record_trace=True "
+                    "(a traceless run yields no chunks)"
+                )
+            self._claim()
+            return resolved.execute(
+                self,
+                chunk_limit=chunk_size,
+                record_trace=True,
+                record_values=record_values,
+                max_instructions=max_instructions,
+            )
+        self._claim()
+        chunks = list(resolved.execute(
+            self,
+            chunk_limit=UNBOUNDED_CHUNK,
             record_trace=record_trace,
             record_values=record_values,
             max_instructions=max_instructions,
@@ -130,6 +188,27 @@ class Machine:
             )
         return RunResult(instructions=self.instructions_executed, trace=trace)
 
+    # -- deprecated entry points (one-release shims over execute()) --------
+
+    def run(
+        self,
+        max_instructions: int = 200_000_000,
+        record_trace: bool = True,
+        record_values: bool = False,
+    ) -> RunResult:
+        """Deprecated: use :meth:`execute`."""
+        warnings.warn(
+            "Machine.run() is deprecated; use Machine.execute()",
+            DeprecationWarning, stacklevel=2,
+        )
+        result = self.execute(
+            record_trace=record_trace,
+            record_values=record_values,
+            max_instructions=max_instructions,
+        )
+        assert isinstance(result, RunResult)
+        return result
+
     def iter_trace(
         self,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -137,22 +216,21 @@ class Machine:
         record_values: bool = False,
         max_instructions: int = 200_000_000,
     ) -> Iterator[TraceChunk]:
-        """Execute live, yielding bounded :class:`TraceChunk`\\ s.
+        """Deprecated: use :meth:`execute` with ``chunk_size=...``."""
+        warnings.warn(
+            "Machine.iter_trace() is deprecated; use "
+            "Machine.execute(chunk_size=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        from repro.sim.backends import UNBOUNDED_CHUNK
 
-        The chunked twin of :meth:`run`: the interpreter advances only as
-        chunks are consumed, so peak trace memory is O(``chunk_size``)
-        regardless of dynamic instruction count.  Like ``run`` this claims
-        the machine's single execution; :attr:`instructions_executed` and
-        :attr:`halted` are valid once the iterator is exhausted.
-        """
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
-        return self._execute(
-            chunk_limit=chunk_size,
-            record_trace=True,
+        result = self.execute(
+            chunk_size=UNBOUNDED_CHUNK if chunk_size is None else chunk_size,
             record_values=record_values,
             max_instructions=max_instructions,
         )
+        assert not isinstance(result, (RunResult, StreamingTrace))
+        return result
 
     def stream(
         self,
@@ -161,13 +239,20 @@ class Machine:
         record_values: bool = False,
         max_instructions: int = 200_000_000,
     ) -> "StreamingTrace":
-        """A :class:`StreamingTrace` trace source over this machine."""
-        return StreamingTrace(
-            self,
+        """Deprecated: use :meth:`execute` with ``stream=True``."""
+        warnings.warn(
+            "Machine.stream() is deprecated; use "
+            "Machine.execute(stream=True, chunk_size=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        result = self.execute(
+            stream=True,
             chunk_size=chunk_size,
             record_values=record_values,
             max_instructions=max_instructions,
         )
+        assert isinstance(result, StreamingTrace)
+        return result
 
     def reset(self, memory: Memory | None = None) -> None:
         """Re-arm the machine for another execution.
@@ -187,364 +272,12 @@ class Machine:
     def _claim(self) -> None:
         if self._used:
             raise SimulationError(
-                "Machine already executed: run()/iter_trace() mutate "
+                "Machine already executed: execute() mutates "
                 "registers and memory in place, so a second execution "
                 "would silently diverge.  Build a new Machine or call "
                 "reset() with a fresh Memory."
             )
         self._used = True
-
-    def _execute(
-        self,
-        chunk_limit: int | None,
-        record_trace: bool,
-        record_values: bool,
-        max_instructions: int,
-    ) -> Iterator[TraceChunk]:
-        """Claim the machine and return the interpreter chunk generator."""
-        self._claim()
-        return self._interpret(
-            chunk_limit if chunk_limit is not None else (1 << 62),
-            record_trace, record_values, max_instructions,
-        )
-
-    def _interpret(
-        self,
-        chunk_limit: int,
-        record_trace: bool,
-        record_values: bool,
-        max_instructions: int,
-    ) -> Iterator[TraceChunk]:
-        regs = self.regs
-        regs[31] = 0
-        memory = self.memory
-        data = memory.data
-        mem_size = memory.size
-        code, dest, src1, src2 = self.code, self.dest, self.src1, self.src2
-        lit, disp, target = self.lit, self.disp, self.target
-        tbl, bsel = self.tbl, self.bsel
-        n = len(code)
-
-        # Entries stage into plain lists (fastest append) and flush to
-        # compact arrays at each chunk boundary.
-        seq: list[int] = []
-        addrs: list[int] = []
-        values: list[int] | None = [] if record_values else None
-        seq_append = seq.append
-        addrs_append = addrs.append
-        filled = 0
-        trace_base = 0
-
-        pc = 0
-        executed = 0
-        while True:
-            if pc >= n:
-                raise SimulationError(f"fell off program end at pc={pc}")
-            c = code[pc]
-            executed += 1
-            if executed > max_instructions:
-                raise SimulationError(
-                    f"exceeded {max_instructions} instructions (runaway loop?)"
-                )
-            addr = 0
-            next_pc = pc + 1
-            if c == 7:  # XOR
-                regs[dest[pc]] = regs[src1[pc]] ^ (
-                    lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                )
-            elif c == 3:  # ADDL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] + b) & M32
-            elif c == 1:  # ADDQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] + b) & M64
-            elif c == 5:  # AND
-                regs[dest[pc]] = regs[src1[pc]] & (
-                    lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                )
-            elif c == 6:  # BIS
-                regs[dest[pc]] = regs[src1[pc]] | (
-                    lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                )
-            elif c == 10:  # SLL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] << (b & 63)) & M64
-            elif c == 11:  # SRL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = regs[src1[pc]] >> (b & 63)
-            elif c == 20:  # EXTBL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] >> ((b & 7) * 8)) & 0xFF
-            elif c == 57:  # SBOX
-                base = regs[src1[pc]]
-                index = (regs[src2[pc]] >> (bsel[pc] * 8)) & 0xFF
-                addr = (base & ~0x3FF) | (index << 2)
-                if addr + 4 > mem_size:
-                    raise SimulationError(f"SBOX access at 0x{addr:x} oob")
-                regs[dest[pc]] = int.from_bytes(data[addr : addr + 4], "little")
-            elif c == 31:  # LDL
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr % 4 or addr + 4 > mem_size:
-                    raise SimulationError(f"LDL at 0x{addr:x} (pc {pc})")
-                regs[dest[pc]] = int.from_bytes(data[addr : addr + 4], "little")
-            elif c == 30:  # LDQ
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr % 8 or addr + 8 > mem_size:
-                    raise SimulationError(f"LDQ at 0x{addr:x} (pc {pc})")
-                regs[dest[pc]] = int.from_bytes(data[addr : addr + 8], "little")
-            elif c == 33:  # LDBU
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr >= mem_size:
-                    raise SimulationError(f"LDBU at 0x{addr:x} (pc {pc})")
-                regs[dest[pc]] = data[addr]
-            elif c == 32:  # LDWU
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr % 2 or addr + 2 > mem_size:
-                    raise SimulationError(f"LDWU at 0x{addr:x} (pc {pc})")
-                regs[dest[pc]] = int.from_bytes(data[addr : addr + 2], "little")
-            elif c == 35:  # STL
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr % 4 or addr + 4 > mem_size:
-                    raise SimulationError(f"STL at 0x{addr:x} (pc {pc})")
-                data[addr : addr + 4] = (regs[src1[pc]] & M32).to_bytes(4, "little")
-            elif c == 34:  # STQ
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr % 8 or addr + 8 > mem_size:
-                    raise SimulationError(f"STQ at 0x{addr:x} (pc {pc})")
-                data[addr : addr + 8] = regs[src1[pc]].to_bytes(8, "little")
-            elif c == 37:  # STB
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr >= mem_size:
-                    raise SimulationError(f"STB at 0x{addr:x} (pc {pc})")
-                data[addr] = regs[src1[pc]] & 0xFF
-            elif c == 36:  # STW
-                addr = (regs[src2[pc]] + disp[pc]) & M64
-                if addr % 2 or addr + 2 > mem_size:
-                    raise SimulationError(f"STW at 0x{addr:x} (pc {pc})")
-                data[addr : addr + 2] = (regs[src1[pc]] & 0xFFFF).to_bytes(2, "little")
-            elif c == 50:  # ROLL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                amount = b & 31
-                value = regs[src1[pc]] & M32
-                regs[dest[pc]] = (
-                    ((value << amount) | (value >> (32 - amount))) & M32
-                    if amount else value
-                )
-            elif c == 51:  # RORL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                amount = (32 - (b & 31)) & 31
-                value = regs[src1[pc]] & M32
-                regs[dest[pc]] = (
-                    ((value << amount) | (value >> (32 - amount))) & M32
-                    if amount else value
-                )
-            elif c == 54:  # ROLXL
-                amount = lit[pc] & 31
-                value = regs[src1[pc]] & M32
-                rotated = (
-                    ((value << amount) | (value >> (32 - amount))) & M32
-                    if amount else value
-                )
-                regs[dest[pc]] = (rotated ^ regs[dest[pc]]) & M32
-            elif c == 55:  # RORXL
-                amount = (32 - (lit[pc] & 31)) & 31
-                value = regs[src1[pc]] & M32
-                rotated = (
-                    ((value << amount) | (value >> (32 - amount))) & M32
-                    if amount else value
-                )
-                regs[dest[pc]] = (rotated ^ regs[dest[pc]]) & M32
-            elif c == 56:  # MULMOD (IDEA multiply, 0 represents 2^16)
-                a = regs[src1[pc]] & 0xFFFF
-                b = (lit[pc] if lit[pc] is not None else regs[src2[pc]]) & 0xFFFF
-                if a == 0:
-                    a = 0x10000
-                if b == 0:
-                    b = 0x10000
-                regs[dest[pc]] = ((a * b) % 0x10001) & 0xFFFF
-            elif c == 59:  # XBOX
-                operand = regs[src1[pc]]
-                perm_map = regs[src2[pc]]
-                result = 0
-                base_bit = bsel[pc] * 8
-                for j in range(8):
-                    bit = (operand >> ((perm_map >> (6 * j)) & 0x3F)) & 1
-                    result |= bit << (base_bit + j)
-                regs[dest[pc]] = result
-            elif c == 2:  # SUBQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] - b) & M64
-            elif c == 4:  # SUBL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] - b) & M32
-            elif c == 8:  # BIC
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = regs[src1[pc]] & ~b & M64
-            elif c == 9:  # ORNOT
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] | (~b & M64)) & M64
-            elif c == 12:  # SRA
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                value = regs[src1[pc]]
-                if value & 0x8000000000000000:
-                    value -= 1 << 64
-                regs[dest[pc]] = (value >> (b & 63)) & M64
-            elif c == 13:  # MULL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = ((regs[src1[pc]] & M32) * (b & M32)) & M32
-            elif c == 14:  # MULQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] * b) & M64
-            elif c == 15:  # CMPEQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = 1 if regs[src1[pc]] == b else 0
-            elif c == 16:  # CMPULT
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = 1 if regs[src1[pc]] < b else 0
-            elif c == 17:  # CMPULE
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = 1 if regs[src1[pc]] <= b else 0
-            elif c == 18:  # CMPLT
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                a = regs[src1[pc]]
-                if a & 0x8000000000000000:
-                    a -= 1 << 64
-                if b & 0x8000000000000000:
-                    b -= 1 << 64
-                regs[dest[pc]] = 1 if a < b else 0
-            elif c == 19:  # CMPLE
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                a = regs[src1[pc]]
-                if a & 0x8000000000000000:
-                    a -= 1 << 64
-                if b & 0x8000000000000000:
-                    b -= 1 << 64
-                regs[dest[pc]] = 1 if a <= b else 0
-            elif c == 21:  # INSBL
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] & 0xFF) << ((b & 7) * 8)
-            elif c == 22:  # ZAPNOT
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = regs[src1[pc]] & _ZAPNOT_MASKS[b & 0xFF]
-            elif c == 23:  # S4ADDQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] * 4 + b) & M64
-            elif c == 24:  # S8ADDQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                regs[dest[pc]] = (regs[src1[pc]] * 8 + b) & M64
-            elif c == 25:  # CMOVEQ
-                if regs[src1[pc]] == 0:
-                    b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                    regs[dest[pc]] = b
-            elif c == 26:  # CMOVNE
-                if regs[src1[pc]] != 0:
-                    b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                    regs[dest[pc]] = b
-            elif c == 27:  # LDA
-                regs[dest[pc]] = (regs[src2[pc]] + disp[pc]) & M64
-            elif c == 28:  # LDIQ
-                regs[dest[pc]] = lit[pc]
-            elif c == 40:  # BR
-                next_pc = target[pc]
-            elif c == 41:  # BEQ
-                if regs[src1[pc]] == 0:
-                    next_pc = target[pc]
-            elif c == 42:  # BNE
-                if regs[src1[pc]] != 0:
-                    next_pc = target[pc]
-            elif c == 43:  # BLT
-                if regs[src1[pc]] & 0x8000000000000000:
-                    next_pc = target[pc]
-            elif c == 44:  # BLE
-                a = regs[src1[pc]]
-                if a == 0 or a & 0x8000000000000000:
-                    next_pc = target[pc]
-            elif c == 45:  # BGT
-                a = regs[src1[pc]]
-                if a != 0 and not a & 0x8000000000000000:
-                    next_pc = target[pc]
-            elif c == 46:  # BGE
-                if not regs[src1[pc]] & 0x8000000000000000:
-                    next_pc = target[pc]
-            elif c == 52:  # ROLQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                amount = b & 63
-                value = regs[src1[pc]]
-                regs[dest[pc]] = (
-                    ((value << amount) | (value >> (64 - amount))) & M64
-                    if amount else value
-                )
-            elif c == 53:  # RORQ
-                b = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                amount = (64 - (b & 63)) & 63
-                value = regs[src1[pc]]
-                regs[dest[pc]] = (
-                    ((value << amount) | (value >> (64 - amount))) & M64
-                    if amount else value
-                )
-            elif c == 48 or c == 49:  # GRPL / GRPQ (Shi & Lee)
-                width = 32 if c == 48 else 64
-                x = regs[src1[pc]]
-                ctrl = lit[pc] if lit[pc] is not None else regs[src2[pc]]
-                low = high = 0
-                low_count = high_count = 0
-                for i in range(width):
-                    bit = (x >> i) & 1
-                    if (ctrl >> i) & 1:
-                        high |= bit << high_count
-                        high_count += 1
-                    else:
-                        low |= bit << low_count
-                        low_count += 1
-                regs[dest[pc]] = low | (high << low_count)
-            elif c == 58:  # SBOXSYNC: timing-only
-                pass
-            elif c == 0:  # HALT
-                if record_trace:
-                    seq_append(pc)
-                    addrs_append(0)
-                    if values is not None:
-                        values.append(0)
-                    filled += 1
-                break
-            else:
-                raise SimulationError(f"unimplemented opcode {c} at pc {pc}")
-
-            # Writes to r31 were remapped to shadow slot 32 at compile time,
-            # so regs[31] stays zero without a per-instruction reset.
-            if record_trace:
-                seq_append(pc)
-                addrs_append(addr)
-                if values is not None:
-                    d = dest[pc]
-                    values.append(regs[d] if d != 32 else 0)
-                filled += 1
-                if filled >= chunk_limit:
-                    yield TraceChunk(
-                        seq=array(SEQ_TYPECODE, seq),
-                        addrs=array(ADDR_TYPECODE, addrs),
-                        start=trace_base,
-                        values=(None if values is None
-                                else array(VALUE_TYPECODE, values)),
-                    )
-                    trace_base += filled
-                    filled = 0
-                    del seq[:]
-                    del addrs[:]
-                    if values is not None:
-                        del values[:]
-            pc = next_pc
-
-        self.instructions_executed = executed
-        self.halted = True
-        if record_trace and filled:
-            yield TraceChunk(
-                seq=array(SEQ_TYPECODE, seq),
-                addrs=array(ADDR_TYPECODE, addrs),
-                start=trace_base,
-                values=(None if values is None
-                        else array(VALUE_TYPECODE, values)),
-            )
 
 
 class StreamingTrace:
@@ -567,6 +300,7 @@ class StreamingTrace:
         machine: Machine,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         *,
+        backend: "str | ExecutionBackend | None" = None,
         record_values: bool = False,
         max_instructions: int = 200_000_000,
     ):
@@ -574,6 +308,7 @@ class StreamingTrace:
         self.program = machine.program
         self.static = StaticInfo.from_program(machine.program)
         self.chunk_size = chunk_size
+        self._backend = backend
         self._record_values = record_values
         self._max_instructions = max_instructions
         self._consumed = False
@@ -598,8 +333,11 @@ class StreamingTrace:
                 "StreamingTrace is single-pass and was already consumed"
             )
         self._consumed = True
-        return self.machine.iter_trace(
-            chunk_size if chunk_size is not None else self.chunk_size,
+        result = self.machine.execute(
+            backend=self._backend,
+            chunk_size=chunk_size if chunk_size is not None else self.chunk_size,
             record_values=self._record_values,
             max_instructions=self._max_instructions,
         )
+        assert not isinstance(result, (RunResult, StreamingTrace))
+        return result

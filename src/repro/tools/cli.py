@@ -30,6 +30,7 @@ from repro.kernels import KERNEL_NAMES
 from repro.obs import Observability
 from repro.obs.profiler import DEFAULT_HZ
 from repro.runner import ProgressReporter, ResultCache, Runner
+from repro.sim.backends import DEFAULT_BACKEND, backend_names
 from repro.sim import (
     ALPHA21264,
     BASE4W,
@@ -137,7 +138,21 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="materialize each functional trace before timing simulation "
              "instead of streaming it chunk by chunk",
     )
+    add_backend_argument(parser)
     add_observability_arguments(parser)
+
+
+def add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """``--backend NAME``: which execution backend runs functional sims.
+
+    Backends are bit-identical (same traces, same cache records); the
+    choice only affects speed.  See ``docs/backends.md``.
+    """
+    parser.add_argument(
+        "--backend", default=None, choices=backend_names(),
+        help="functional execution backend (default: "
+             f"{DEFAULT_BACKEND}); results are identical either way",
+    )
 
 
 def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -209,4 +224,5 @@ def runner_from_args(
         if chunk_size < 1:
             raise SystemExit("--chunk-size must be >= 1")
         kwargs.setdefault("chunk_size", chunk_size)
+    kwargs.setdefault("backend", getattr(args, "backend", None))
     return Runner(cache=cache, jobs=getattr(args, "jobs", 1), **kwargs)

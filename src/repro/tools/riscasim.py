@@ -114,8 +114,9 @@ def main(argv: list[str] | None = None) -> int:
     needs_trace = bool(args.view or args.bottlenecks or args.dump)
     with obs:
         if runner.stream and not needs_trace:
-            source = Machine(program, memory).stream(
-                chunk_size=runner.chunk_size
+            source = Machine(program, memory).execute(
+                stream=True, backend=runner.backend,
+                chunk_size=runner.chunk_size,
             )
             stats = runner.simulate_stream(
                 source, [config], key_parts=key_base
@@ -123,7 +124,7 @@ def main(argv: list[str] | None = None) -> int:
             instructions = stats.instructions
             trace = None
         else:
-            result = Machine(program, memory).run()
+            result = Machine(program, memory).execute(backend=runner.backend)
             trace = result.trace
             stats = runner.simulate_trace(trace, config, key_parts=key_base)
             instructions = result.instructions

@@ -21,7 +21,7 @@ from repro.isa import opcodes as op
 
 
 def test_throughput_row_metrics():
-    row = throughput.measure_cipher("Blowfish", session_bytes=256)
+    row = throughput.measure(cipher="Blowfish", session_bytes=256)
     assert row.cipher == "Blowfish"
     # 1-CPI is bytes per 1000 instructions; a real machine with IPC > 1
     # beats it, and dataflow bounds the 4W model.
@@ -31,13 +31,13 @@ def test_throughput_row_metrics():
 
 
 def test_throughput_render_contains_all_rows():
-    rows = [throughput.measure_cipher("IDEA", 256)]
+    rows = [throughput.measure(cipher="IDEA", session_bytes=256)]
     text = throughput.render_figure4(rows)
     assert "IDEA" in text and "1-CPI" in text
 
 
 def test_bottleneck_relative_values_bounded():
-    row = bottlenecks.measure_cipher("RC6", session_bytes=256)
+    row = bottlenecks.measure(cipher="RC6", session_bytes=256)
     for name, value in row.relative.items():
         assert 0 < value <= 1.001, name
     assert set(row.relative) == set(
@@ -46,7 +46,7 @@ def test_bottleneck_relative_values_bounded():
 
 
 def test_bottleneck_all_is_worst_or_equal():
-    row = bottlenecks.measure_cipher("Twofish", session_bytes=256)
+    row = bottlenecks.measure(cipher="Twofish", session_bytes=256)
     # 'all' enables every constraint, so it cannot beat the single-constraint
     # machines by more than scheduling noise.
     assert row.relative["all"] <= min(
@@ -55,7 +55,7 @@ def test_bottleneck_all_is_worst_or_equal():
 
 
 def test_opmix_fractions_partition():
-    row = opmix.measure_cipher("Mars", session_bytes=256)
+    row = opmix.measure(cipher="Mars", session_bytes=256)
     assert abs(sum(row.fraction(c) for c in row.counts) - 1.0) < 1e-9
     assert row.total > 0
 
@@ -63,15 +63,16 @@ def test_opmix_fractions_partition():
 def test_opmix_respects_feature_level():
     from repro.isa import Features
 
-    rot = opmix.measure_cipher("RC6", 256, features=Features.ROT)
-    norot = opmix.measure_cipher("RC6", 256, features=Features.NOROT)
+    rot = opmix.measure(cipher="RC6", session_bytes=256, features=Features.ROT)
+    norot = opmix.measure(cipher="RC6", session_bytes=256,
+                          features=Features.NOROT)
     # Synthesized rotates are still *classified* as rotates (paper's by-hand
     # accounting), so the rotate fraction grows without rotate instructions.
     assert norot.fraction(op.ROTATE) > rot.fraction(op.ROTATE)
 
 
 def test_setup_cost_fraction_definition():
-    row = setup_cost.measure_cipher("RC6", lengths=(16, 1024))
+    row = setup_cost.measure(cipher="RC6", lengths=(16, 1024))
     expected = row.setup_cycles / (
         row.setup_cycles + 1024 * row.kernel_cycles_per_byte
     )
@@ -79,7 +80,7 @@ def test_setup_cost_fraction_definition():
 
 
 def test_speedups_normalization():
-    row = speedups.measure_cipher("Blowfish", session_bytes=256)
+    row = speedups.measure(cipher="Blowfish", session_bytes=256)
     # The rotate baseline is the normalization: Blowfish barely uses
     # rotates, so orig/4W sits at ~1.0 and opt/4W above it.
     assert 0.95 <= row.orig_4w <= 1.05
@@ -88,7 +89,8 @@ def test_speedups_normalization():
 
 
 def test_speedups_summary_geomean():
-    rows = [speedups.measure_cipher(n, 256) for n in ("Blowfish", "RC6")]
+    rows = [speedups.measure(cipher=n, session_bytes=256)
+            for n in ("Blowfish", "RC6")]
     agg = speedups.summary(rows)
     product = rows[0].opt_4w * rows[1].opt_4w
     assert agg.mean_opt_vs_rot == pytest.approx(product ** 0.5)
@@ -107,7 +109,7 @@ def test_ssl_from_measured_rate():
 
 
 def test_value_prediction_row_bounds():
-    row = value_prediction.measure_cipher("RC6", session_bytes=256)
+    row = value_prediction.measure(cipher="RC6", session_bytes=256)
     assert 0 <= row.mean_diffusion_hit_rate <= row.best_diffusion_hit_rate <= 1
     assert row.best_overall_hit_rate >= row.best_diffusion_hit_rate
 

@@ -54,20 +54,20 @@ def test_interleave_rejects_empty():
 
 
 def test_two_sessions_beat_one():
-    rows = multisession.measure("Blowfish", thread_counts=(1, 2),
+    rows = multisession.measure(cipher="Blowfish", thread_counts=(1, 2),
                                 session_bytes=128)
     assert rows[1].speedup_vs_one > 1.2
     assert rows[1].total_bytes == 2 * rows[0].total_bytes
 
 
 def test_merged_trace_simulates_on_any_config():
-    rows = multisession.measure("RC6", thread_counts=(2,),
+    rows = multisession.measure(cipher="RC6", thread_counts=(2,),
                                 session_bytes=64, config=FOURW)
     assert rows[0].cycles > 0
 
 
 def test_render():
-    rows = {"RC6": multisession.measure("RC6", thread_counts=(1, 2),
+    rows = {"RC6": multisession.measure(cipher="RC6", thread_counts=(1, 2),
                                         session_bytes=64)}
     text = multisession.render(rows)
     assert "RC6" in text and "thr" in text

@@ -64,34 +64,6 @@ def test_static_modules_have_rows_too():
     assert ssl[0].as_dict()["session_bytes"] == 64
 
 
-@pytest.mark.parametrize(
-    "module,shim_args,measure_kwargs",
-    [
-        (throughput, ("Blowfish", 128), dict(cipher="Blowfish",
-                                             session_bytes=128)),
-        (speedups, ("RC4", 128), dict(cipher="RC4", session_bytes=128)),
-        (bottlenecks, ("RC4", 128), dict(cipher="RC4", session_bytes=128)),
-        (opmix, ("RC4", 128), dict(cipher="RC4", session_bytes=128)),
-        (setup_cost, ("RC4", (16, 1024)), dict(cipher="RC4",
-                                               lengths=(16, 1024))),
-        (value_prediction, ("RC4", 128), dict(cipher="RC4",
-                                              session_bytes=128)),
-    ],
-)
-def test_deprecated_shims_warn_and_match(module, shim_args, measure_kwargs,
-                                         runner, monkeypatch):
-    # Shims route through the module-default runner; pin it to this test's.
-    import repro.runner as runner_pkg
-
-    previous = runner_pkg.set_default_runner(runner)
-    try:
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            old = module.measure_cipher(*shim_args)
-    finally:
-        runner_pkg.set_default_runner(previous)
-    new = module.measure(runner=runner, **measure_kwargs)
-    assert old.as_tuple() == new.as_tuple()
-
 
 def test_multisession_positional_shim_warns_and_matches(runner):
     with pytest.warns(DeprecationWarning, match="deprecated"):

@@ -10,7 +10,7 @@ from repro.util.bits import rotl32, rotr32
 
 def run_builder(kb: KernelBuilder, memory: Memory | None = None) -> Memory:
     memory = memory or Memory(1 << 16)
-    Machine(kb.build(), memory).run()
+    Machine(kb.build(), memory).execute()
     return memory
 
 

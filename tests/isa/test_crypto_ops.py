@@ -15,7 +15,7 @@ words16 = st.integers(min_value=0, max_value=0xFFFF)
 def run_expr(source: str) -> int:
     memory = Memory(1 << 16)
     Machine(assemble(source + "\n    stq r9, 0x400(r31)\n    halt\n"),
-            memory).run()
+            memory).execute()
     return memory.read(0x400, 8)
 
 
@@ -115,7 +115,7 @@ def test_sbox_instruction_indexes_table():
     stq r9, 0x400(r31)
     halt
     """
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     assert memory.read(0x400, 8) == 0xAA000047
 
 
@@ -132,7 +132,7 @@ def test_sbox_ignores_low_table_bits():
     stq r9, 0x400(r31)
     halt
     """
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     assert memory.read(0x400, 8) == 15
 
 
@@ -150,7 +150,7 @@ def test_xbox_partial_permutation():
     stq r9, 0x400(r31)
     halt
     """
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     assert memory.read(0x400, 8) == 0xBB
 
 
@@ -166,7 +166,7 @@ def test_xbox_byte_position():
     stq r9, 0x400(r31)
     halt
     """
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     assert memory.read(0x400, 8) == 0xCD << 24
 
 
@@ -195,7 +195,7 @@ def test_xbox_pair_composes_full_permutation():
     halt
     """
     memory = Memory(1 << 16)
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     expected = 0
     for out_bit in range(16):
         expected |= ((value >> permutation[out_bit]) & 1) << out_bit
@@ -210,5 +210,5 @@ def test_sboxsync_is_functionally_neutral():
     stq r9, 0x400(r31)
     halt
     """
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     assert memory.read(0x400, 8) == 7

@@ -39,7 +39,7 @@ def test_grp_instruction_matches_reference():
         grpq r3, r1, r2
         stq r3, 0x400(r31)
         halt
-        """), memory).run()
+        """), memory).execute()
         assert memory.read(0x400, 8) == grp_apply(value, control, 64)
 
 
@@ -51,7 +51,7 @@ def test_grpl_is_32_bit():
     grpl r3, r1, r2
     stq r3, 0x400(r31)
     halt
-    """), memory).run()
+    """), memory).execute()
     # Zeros group: bits 1..30 (all zero); ones group: bits 0 and 31 (both 1)
     # packed on top -> value 0b11 << 30.
     assert memory.read(0x400, 8) == 0b11 << 30
@@ -105,7 +105,7 @@ def test_builder_permute64_grp():
     kb.stq(dst, kb.zero, 0x400)
     kb.halt()
     memory = Memory(4096)
-    Machine(kb.build(), memory).run()
+    Machine(kb.build(), memory).execute()
     expected = 0
     for i in range(64):
         expected |= ((value >> i) & 1) << permutation[i]

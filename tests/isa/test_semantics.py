@@ -9,7 +9,7 @@ from repro.sim import Machine, Memory, SimulationError
 def run_and_read(source: str, result_addr: int = 0x400, width: int = 8,
                  memory: Memory | None = None) -> int:
     memory = memory or Memory(1 << 16)
-    Machine(assemble(source), memory).run()
+    Machine(assemble(source), memory).execute()
     return memory.read(result_addr, width)
 
 
@@ -196,11 +196,11 @@ skip:
 
 def test_runaway_detection():
     with pytest.raises(SimulationError):
-        Machine(assemble("loop: br loop\n halt"), Memory(1024)).run(
+        Machine(assemble("loop: br loop\n halt"), Memory(1024)).execute(
             max_instructions=1000
         )
 
 
 def test_unaligned_access_faults():
     with pytest.raises(SimulationError):
-        Machine(assemble("ldl r1, 2(r31)\n halt"), Memory(1024)).run()
+        Machine(assemble("ldl r1, 2(r31)\n halt"), Memory(1024)).execute()

@@ -49,6 +49,22 @@ def test_classify_stack_cache_io_beats_runner():
     assert classify_stack(["/x/src/repro/runner/engine.py"]) == "runner"
 
 
+def test_classify_stack_compile_bucket():
+    # Codegen time in the compiled backend is its own bucket ...
+    assert classify_stack(
+        ["/x/src/repro/sim/backends/compiled.py"]
+    ) == "compile"
+    # ... but *running* generated code (synthetic filename) and the
+    # extracted interpreter are functional execution.
+    assert classify_stack(
+        ["<repro-compiled:ab12cd34:tf:65536>",
+         "/x/src/repro/sim/backends/compiled.py"]
+    ) == "functional"
+    assert classify_stack(
+        ["/x/src/repro/sim/backends/interpreter.py"]
+    ) == "functional"
+
+
 def test_classify_stack_other_and_windows_paths():
     assert classify_stack(["/usr/lib/python3.11/json/decoder.py"]) == "other"
     assert classify_stack([r"C:\x\src\repro\ciphers\rc6.py"]) == "cipher"

@@ -140,11 +140,11 @@ loop:
 
 def test_simulate_stream_matches_simulate_trace(tmp_path):
     program = assemble(LOOP)
-    trace = Machine(program, Memory(1 << 12)).run().trace
+    trace = Machine(program, Memory(1 << 12)).execute().trace
     runner = Runner(cache=ResultCache.disabled())
     expected = [runner.simulate_trace(trace, config)
                 for config in (FOURW, DATAFLOW)]
-    source = Machine(program, Memory(1 << 12)).stream(chunk_size=16)
+    source = Machine(program, Memory(1 << 12)).execute(stream=True, chunk_size=16)
     streamed = runner.simulate_stream(source, [FOURW, DATAFLOW])
     assert streamed == expected
 
@@ -154,10 +154,14 @@ def test_simulate_stream_full_cache_hit_never_runs_machine(tmp_path):
     runner = make_runner(tmp_path)
     key = ["stream-test", program.digest()]
     cold = Machine(program, Memory(1 << 12))
-    first = runner.simulate_stream(cold.stream(), [FOURW], key_parts=key)
+    first = runner.simulate_stream(
+        cold.execute(stream=True), [FOURW], key_parts=key
+    )
     assert cold.halted
 
     warm = Machine(program, Memory(1 << 12))
-    second = runner.simulate_stream(warm.stream(), [FOURW], key_parts=key)
+    second = runner.simulate_stream(
+        warm.execute(stream=True), [FOURW], key_parts=key
+    )
     assert second == first
     assert not warm.halted  # served from cache; the machine never ran

@@ -43,7 +43,7 @@ def test_predictor_indexes_by_static_instruction():
 
 
 def _trace(source):
-    return Machine(assemble(source), Memory(1 << 16)).run().trace
+    return Machine(assemble(source), Memory(1 << 16)).execute().trace
 
 
 def test_taken_detection():

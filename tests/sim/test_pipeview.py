@@ -14,7 +14,7 @@ loop:
     subq r1, r1, #1
     bne r1, loop
     halt
-    """), Memory(4096)).run().trace
+    """), Memory(4096)).execute().trace
 
 
 def test_schedule_hook_returns_window():
@@ -89,7 +89,7 @@ def test_golden_render_tiny_kernel_on_4w():
     addq r3, r2, #2
     xor r4, r2, r3
     halt
-    """), Memory(4096)).run().trace
+    """), Memory(4096)).execute().trace
     stats = simulate(trace, FOURW, schedule_range=(0, len(trace)))
     rendered = render_pipeline(trace, stats.extra["schedule"])
     stripped = "\n".join(line.rstrip() for line in rendered.splitlines())

@@ -101,7 +101,7 @@ def test_feistel_kernel_is_operand_bound():
 
 
 def _trace(program):
-    return Machine(program, Memory(1 << 13)).run().trace
+    return Machine(program, Memory(1 << 13)).execute().trace
 
 
 @given(random_programs())

@@ -95,7 +95,7 @@ def test_hotspot_tables_survive_single_entry_chunks():
 @given(random_programs(), st.integers(1, 64))
 @settings(max_examples=25, deadline=None)
 def test_random_programs_chunk_invariant(program, chunk_size):
-    trace = Machine(program, Memory(1 << 13)).run().trace
+    trace = Machine(program, Memory(1 << 13)).execute().trace
     baseline = simulate(trace, FOURW)
     pipeline = TimingPipeline(FOURW, StaticInfo.from_program(program),
                               program)

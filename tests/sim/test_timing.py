@@ -18,7 +18,7 @@ from repro.sim import (
 
 def trace_of(source: str, memory: Memory | None = None):
     memory = memory or Memory(1 << 16)
-    return Machine(assemble(source), memory).run().trace
+    return Machine(assemble(source), memory).execute().trace
 
 
 def test_dependent_chain_runs_at_one_per_cycle():

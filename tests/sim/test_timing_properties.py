@@ -61,7 +61,7 @@ def random_programs(draw):
 
 
 def _trace(program):
-    return Machine(program, Memory(1 << 13)).run().trace
+    return Machine(program, Memory(1 << 13)).execute().trace
 
 
 @given(random_programs())

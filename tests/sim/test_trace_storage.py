@@ -40,7 +40,7 @@ def _machine():
 # -- array-backed columns ------------------------------------------------
 
 def test_trace_columns_are_arrays():
-    trace = _machine().run().trace
+    trace = _machine().execute().trace
     assert isinstance(trace.seq, array) and trace.seq.typecode == "q"
     assert isinstance(trace.addrs, array) and trace.addrs.typecode == "Q"
     assert trace.nbytes == len(trace) * (trace.seq.itemsize
@@ -48,7 +48,7 @@ def test_trace_columns_are_arrays():
 
 
 def test_trace_accepts_plain_lists():
-    reference = _machine().run().trace
+    reference = _machine().execute().trace
     rebuilt = Trace(
         program=reference.program,
         static=reference.static,
@@ -61,8 +61,8 @@ def test_trace_accepts_plain_lists():
 
 
 def test_trace_equality_and_inequality():
-    a = _machine().run().trace
-    b = _machine().run().trace
+    a = _machine().execute().trace
+    b = _machine().execute().trace
     assert a == b
     shorter = Trace(
         program=a.program, static=a.static,
@@ -74,7 +74,7 @@ def test_trace_equality_and_inequality():
 
 
 def test_trace_pickle_round_trip():
-    trace = _machine().run().trace
+    trace = _machine().execute().trace
     clone = pickle.loads(pickle.dumps(trace))
     assert clone == trace
     assert isinstance(clone.seq, array)
@@ -84,7 +84,7 @@ def test_trace_pickle_round_trip():
 # -- chunking ------------------------------------------------------------
 
 def test_chunks_cover_trace_with_offsets():
-    trace = _machine().run().trace
+    trace = _machine().execute().trace
     chunks = list(trace.chunks(4))
     assert sum(len(chunk) for chunk in chunks) == len(trace)
     position = 0
@@ -97,7 +97,7 @@ def test_chunks_cover_trace_with_offsets():
 
 
 def test_chunks_none_is_one_zero_copy_chunk():
-    trace = _machine().run().trace
+    trace = _machine().execute().trace
     (chunk,) = trace.chunks(None)
     assert chunk.seq is trace.seq      # no copy for the whole-trace case
     assert chunk.start == 0
@@ -105,38 +105,38 @@ def test_chunks_none_is_one_zero_copy_chunk():
 
 
 def test_chunk_size_must_be_positive():
-    trace = _machine().run().trace
+    trace = _machine().execute().trace
     with pytest.raises(ValueError):
         list(trace.chunks(0))
 
 
 def test_trace_satisfies_trace_source_protocol():
-    trace = _machine().run().trace
+    trace = _machine().execute().trace
     assert isinstance(trace, TraceSource)
-    assert isinstance(_machine().stream(), TraceSource)
+    assert isinstance(_machine().execute(stream=True), TraceSource)
 
 
 # -- machine one-shot guard and reset ------------------------------------
 
 def test_machine_run_twice_raises():
     machine = _machine()
-    machine.run()
+    machine.execute()
     with pytest.raises(SimulationError, match="already executed"):
-        machine.run()
+        machine.execute()
 
 
 def test_machine_run_then_stream_raises():
     machine = _machine()
-    machine.run()
+    machine.execute()
     with pytest.raises(SimulationError):
-        list(machine.iter_trace())
+        list(machine.execute(chunk_size=DEFAULT_CHUNK_SIZE))
 
 
 def test_machine_reset_allows_rerun():
     machine = _machine()
-    first = machine.run()
+    first = machine.execute()
     machine.reset()
-    second = machine.run()
+    second = machine.execute()
     assert second.trace == first.trace
 
 
@@ -149,18 +149,18 @@ def test_machine_reset_with_fresh_memory():
     """
     memory = Memory(1 << 12)
     machine = Machine(assemble(source), memory)
-    machine.run()
+    machine.execute()
     assert memory.read(0x400, 8) == 1
     machine.reset(memory=Memory(1 << 12))
-    machine.run()
+    machine.execute()
     assert machine.memory.read(0x400, 8) == 1  # started from zero again
 
 
 # -- streaming trace source ----------------------------------------------
 
 def test_streaming_trace_matches_run():
-    reference = _machine().run().trace
-    stream = _machine().stream(chunk_size=3)
+    reference = _machine().execute().trace
+    stream = _machine().execute(stream=True, chunk_size=3)
     assert isinstance(stream, StreamingTrace)
     entries = []
     for chunk in stream.chunks():
@@ -173,19 +173,19 @@ def test_streaming_trace_matches_run():
 
 
 def test_streaming_trace_is_one_shot():
-    stream = _machine().stream()
+    stream = _machine().execute(stream=True)
     list(stream.chunks())
     with pytest.raises(SimulationError):
         list(stream.chunks())
 
 
 def test_streaming_instructions_requires_exhaustion():
-    stream = _machine().stream()
+    stream = _machine().execute(stream=True)
     with pytest.raises(SimulationError):
         stream.instructions
 
 
 def test_default_chunk_size_bounds_chunks():
-    stream = _machine().stream()
+    stream = _machine().execute(stream=True)
     for chunk in stream.chunks():
         assert len(chunk) <= DEFAULT_CHUNK_SIZE

@@ -61,7 +61,9 @@ def _timed(fn):
 
 
 def _record_history(benchmark, wall_seconds):
-    from repro.obs.bench import BenchHistory, BenchRecord
+    from repro.obs.bench import BenchHistory, BenchRecord, \
+        environment_fingerprint
+    from repro.sim.backends import DEFAULT_BACKEND
 
     # benchmark.fullname looks like "benchmarks/test_fig4_throughput.py::
     # test_blowfish[...]"; the module stem names the suite.
@@ -75,4 +77,6 @@ def _record_history(benchmark, wall_seconds):
         peak_memory_bytes=resource.getrusage(
             resource.RUSAGE_SELF).ru_maxrss * 1024,
         extra={"session_bytes": SESSION_BYTES},
+        # Stamp the engine so regression baselines never mix backends.
+        env=dict(environment_fingerprint(), backend=DEFAULT_BACKEND),
     ))

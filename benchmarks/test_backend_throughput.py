@@ -91,7 +91,8 @@ def _record_history(interp, interp_time, interp_ips,
                     compiled_time, compiled_ips, speedup):
     if not os.environ.get("REPRO_BENCH_HISTORY"):
         return
-    from repro.obs.bench import BenchHistory, BenchRecord
+    from repro.obs.bench import BenchHistory, BenchRecord, \
+        environment_fingerprint
 
     history = BenchHistory.from_env()
     extra = {
@@ -100,13 +101,17 @@ def _record_history(interp, interp_time, interp_ips,
         "instructions": interp.instructions,
         "speedup": round(speedup, 2),
     }
+    # Each record names the backend it measured, so regression baselines
+    # never mix engines (``_same_environment`` matches on it).
     history.append(BenchRecord(
         suite="backend_throughput", benchmark="rc4_interpreter",
         wall_seconds=interp_time, throughput=interp_ips,
         throughput_unit="instructions/s", extra=dict(extra),
+        env=dict(environment_fingerprint(), backend="interpreter"),
     ))
     history.append(BenchRecord(
         suite="backend_throughput", benchmark="rc4_compiled",
         wall_seconds=compiled_time, throughput=compiled_ips,
         throughput_unit="instructions/s", extra=dict(extra),
+        env=dict(environment_fingerprint(), backend="compiled"),
     ))

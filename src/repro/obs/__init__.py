@@ -18,6 +18,12 @@ package is that explanation machinery as reusable infrastructure:
 * :mod:`repro.obs.profiler` -- a pure-stdlib sampling profiler that
   attributes *host* wall time to repro subsystems and exports
   collapsed-stack flamegraph text (``--profile`` on the CLI tools).
+* :mod:`repro.obs.events` -- the unified run ledger: one
+  :class:`EventBus` (schema ``repro.obs.events/1``, per-invocation
+  ``run_id`` + monotonic ``seq``) that runner telemetry, the cache, the
+  compiled backend, the bench recorder and the profiler publish into,
+  with pluggable sinks (JSONL ledger, ring buffer, metrics fold-in);
+  rendered live or replayed by ``repro.tools.dash``.
 * :mod:`repro.obs.bench` -- the append-only benchmark history
   (``results/bench/history.jsonl``, schema ``repro.obs.bench/1``) with
   robust regression detection; driven by ``repro.tools.bench``.
@@ -40,15 +46,30 @@ from repro.obs.bench import (
     detect_regression,
     environment_fingerprint,
 )
+from repro.obs.events import (
+    EventBus,
+    JsonlSink,
+    MetricsSink,
+    RingBufferSink,
+    active_bus,
+    load_ledger,
+    new_run_id,
+    publish_event,
+    set_active_bus,
+    split_runs,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.pipeline import schedule_spans, schedule_trace_events
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.schema import (
     BENCH_SCHEMA,
+    EVENTS_SCHEMA,
     LINT_SCHEMA,
     METRICS_SCHEMA,
     validate_bench,
     validate_bench_history,
+    validate_event,
+    validate_event_ledger,
     validate_lint,
     validate_metrics,
     validate_trace_events,
@@ -61,21 +82,34 @@ __all__ = [
     "BenchHistory",
     "BenchRecord",
     "Counter",
+    "EVENTS_SCHEMA",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "LINT_SCHEMA",
     "METRICS_SCHEMA",
     "MetricsRegistry",
+    "MetricsSink",
     "Observability",
+    "RingBufferSink",
     "SamplingProfiler",
     "Tracer",
+    "active_bus",
     "compare_history",
     "detect_regression",
     "environment_fingerprint",
+    "load_ledger",
+    "new_run_id",
+    "publish_event",
     "schedule_spans",
     "schedule_trace_events",
+    "set_active_bus",
+    "split_runs",
     "validate_bench",
     "validate_bench_history",
+    "validate_event",
+    "validate_event_ledger",
     "validate_lint",
     "validate_metrics",
     "validate_trace_events",

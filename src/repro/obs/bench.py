@@ -36,6 +36,7 @@ import subprocess
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.events import publish_event
 from repro.obs.schema import BENCH_SCHEMA, validate_bench
 
 #: Default on-disk location, relative to the repository root.
@@ -160,6 +161,13 @@ class BenchHistory:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(document, sort_keys=True))
             handle.write("\n")
+        publish_event("bench", "record", {
+            "suite": record.suite,
+            "benchmark": record.benchmark,
+            "wall_seconds": record.wall_seconds,
+            "throughput": record.throughput,
+            "throughput_unit": record.throughput_unit,
+        })
         return document
 
     def load(self) -> list[BenchRecord]:
@@ -337,7 +345,8 @@ def detect_regression(
 
 def _same_environment(a: dict, b: dict) -> bool:
     return (a.get("hostname") == b.get("hostname")
-            and a.get("platform") == b.get("platform"))
+            and a.get("platform") == b.get("platform")
+            and a.get("backend") == b.get("backend"))
 
 
 def compare_history(

@@ -1,0 +1,286 @@
+"""Deterministic dashboard state for the unified run ledger.
+
+:class:`DashState` consumes :mod:`repro.obs.events` events one at a time
+and :func:`render` turns the accumulated state into a fixed-width text
+frame.  Both are pure with respect to the event stream -- no wall clock,
+no randomness -- so replaying a recorded ledger produces *exactly* the
+frame a live dashboard showed at the same point in the stream.  That
+property is the contract behind ``repro.tools.dash --replay`` (and is
+asserted in ``tests/tools/test_dash.py``).
+
+Panels rendered, each fed by one event source:
+
+* run header -- run id, ledger clock, running/finished status;
+* workers -- groups done/total progress bar, busy workers, ETA
+  (``runner`` heartbeats);
+* experiments -- completed-result count and the most recent results
+  (``runner``/``result`` events);
+* stalls -- issue-slot categories aggregated over every result,
+  weighted by cycles (the ``slots.<category>`` fractions);
+* cache -- hit/miss/write counts and the hit-rate bar;
+* compile -- compiled-backend codegen activity (programs, wall time,
+  source-cache hits, optimization counters);
+* bench -- wall-seconds sparkline per recorded benchmark;
+* alerts -- stuck-worker warnings, newest last.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.obs.bench import sparkline
+
+#: Width every frame is rendered at unless the caller overrides it.
+DEFAULT_WIDTH = 78
+
+#: Recent results kept for the experiments panel.
+RECENT_RESULTS = 5
+
+
+class DashState:
+    """Accumulates one run's events into renderable aggregates."""
+
+    def __init__(self):
+        self.run_id: str | None = None
+        self.last_ts = 0.0
+        self.total_groups = 0
+        self.total_experiments = 0
+        self.done = 0
+        self.busy = 0
+        self.eta_seconds: float | None = None
+        self.started = False
+        self.finished = False
+        self.results = 0
+        self.recent: list[dict] = []
+        self.stall_cycles: Counter = Counter()   # category -> weighted cycles
+        self.total_cycles = 0
+        self.cached_results = 0
+        self.cache = Counter()                   # hit / miss / write
+        self.compile_programs = 0
+        self.compile_seconds = 0.0
+        self.codegen_cache_hits = 0
+        self.compile_counters: Counter = Counter()
+        self.bench: dict[str, list[float]] = {}
+        self.stuck: list[tuple[str, float]] = []
+        self.profile: dict[str, float] = {}
+
+    def consume(self, event: dict) -> None:
+        """Fold one ledger event into the state."""
+        if self.run_id is None:
+            self.run_id = event.get("run_id")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            self.last_ts = max(self.last_ts, float(ts))
+        source = event.get("source")
+        type_ = event.get("type")
+        data = event.get("data") or {}
+        if source == "runner":
+            self._consume_runner(type_, data)
+        elif source == "cache":
+            if type_ in ("hit", "miss", "write"):
+                self.cache[type_] += 1
+        elif source == "backend":
+            if type_ == "compile":
+                self.compile_programs += 1
+                self.compile_seconds += data.get("seconds") or 0.0
+                for key, value in data.items():
+                    if key in ("digest", "mode", "seconds"):
+                        continue
+                    if isinstance(value, (int, float)) and value:
+                        self.compile_counters[key] += int(value)
+            elif type_ == "codegen-cache-hit":
+                self.codegen_cache_hits += 1
+        elif source == "bench" and type_ == "record":
+            name = f"{data.get('suite', '?')}::{data.get('benchmark', '?')}"
+            seconds = data.get("wall_seconds")
+            if isinstance(seconds, (int, float)):
+                self.bench.setdefault(name, []).append(float(seconds))
+        elif source == "profiler" and type_ == "snapshot":
+            self.profile = {
+                key: float(value) for key, value in data.items()
+                if isinstance(value, (int, float))
+            }
+
+    def _consume_runner(self, type_: str, data: dict) -> None:
+        if type_ == "start":
+            # A driver may run several sweeps on one bus; a new start
+            # reopens the run so the header drops back to "running".
+            self.started = True
+            self.finished = False
+            self.total_groups = data.get("total_groups") or 0
+            self.total_experiments = data.get("total_experiments") or 0
+            self.done = 0
+            self.eta_seconds = None
+        elif type_ in ("dispatch", "group-done", "heartbeat"):
+            if data.get("busy") is not None:
+                self.busy = data["busy"]
+            if data.get("done") is not None:
+                self.done = data["done"]
+            if data.get("total"):
+                self.total_groups = data["total"]
+            if type_ == "heartbeat":
+                self.eta_seconds = data.get("eta_seconds")
+        elif type_ == "stuck":
+            self.stuck.append(
+                (data.get("group", "?"), data.get("quiet_seconds") or 0.0)
+            )
+        elif type_ == "finish":
+            self.finished = True
+            self.busy = 0
+            if data.get("done") is not None:
+                self.done = data["done"]
+        elif type_ == "result":
+            self.results += 1
+            if data.get("cached"):
+                self.cached_results += 1
+            cycles = data.get("cycles") or 0
+            self.total_cycles += cycles
+            for key, value in data.items():
+                if key.startswith("slots.") and isinstance(
+                        value, (int, float)):
+                    self.stall_cycles[key[len("slots."):]] += value * cycles
+            self.recent.append(data)
+            del self.recent[:-RECENT_RESULTS]
+
+
+def build_state(events) -> DashState:
+    """Consume an entire (single-run) event list into one state."""
+    state = DashState()
+    for event in events:
+        state.consume(event)
+    return state
+
+
+# -- rendering -------------------------------------------------------------
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render(state: DashState, width: int = DEFAULT_WIDTH) -> str:
+    """One text frame -- a pure function of the consumed events."""
+    lines: list[str] = []
+    rule = "=" * width
+    status = ("finished" if state.finished
+              else "running" if state.started else "idle")
+    lines.append(rule)
+    title = f" run {state.run_id or '?'} -- {status} "
+    lines.append(title.center(width, "="))
+    lines.append(rule)
+
+    # workers / progress
+    total = state.total_groups
+    done = state.done
+    fraction = (done / total) if total else 0.0
+    bar_width = max(10, width - 30)
+    progress = (f"groups {done}/{total}" if total
+                else f"groups {done}")
+    eta = ""
+    if state.eta_seconds and not state.finished:
+        eta = f"  eta ~{_fmt_seconds(state.eta_seconds)}"
+    lines.append(
+        f"[{_bar(fraction, bar_width)}] {progress}  "
+        f"busy {state.busy}{eta}"
+    )
+    lines.append(f"ledger clock {state.last_ts:.3f}s")
+
+    # experiments
+    if state.results:
+        lines.append("")
+        cached = (f" ({state.cached_results} cached)"
+                  if state.cached_results else "")
+        lines.append(f"experiments: {state.results} results{cached}")
+        for data in state.recent:
+            cipher = data.get("cipher", "?")
+            config = data.get("config", "?")
+            cycles = data.get("cycles")
+            ipc = data.get("ipc")
+            flag = " [cache]" if data.get("cached") else ""
+            lines.append(
+                f"  {cipher:<10} {config:<6} "
+                f"{cycles if cycles is not None else '?':>12} cycles  "
+                f"ipc {ipc if ipc is not None else '?'}{flag}"
+            )
+
+    # stall attribution (cycle-weighted across every result)
+    if state.total_cycles and state.stall_cycles:
+        lines.append("")
+        lines.append("issue slots (cycle-weighted):")
+        bar_width = max(10, width - 36)
+        for category, weighted in state.stall_cycles.most_common():
+            fraction = weighted / state.total_cycles
+            lines.append(
+                f"  {category:<14} {_bar(fraction, bar_width)} "
+                f"{fraction * 100:5.1f}%"
+            )
+
+    # cache
+    hits, misses = state.cache["hit"], state.cache["miss"]
+    if hits or misses or state.cache["write"]:
+        lines.append("")
+        lookups = hits + misses
+        rate = (hits / lookups) if lookups else 0.0
+        lines.append(
+            f"cache: {hits} hit / {misses} miss / "
+            f"{state.cache['write']} write  "
+            f"[{_bar(rate, 20)}] {rate * 100:.0f}% hit rate"
+        )
+
+    # compiled backend
+    if state.compile_programs or state.codegen_cache_hits:
+        lines.append("")
+        lines.append(
+            f"compile: {state.compile_programs} program(s), "
+            f"{state.compile_seconds * 1000:.1f} ms codegen, "
+            f"{state.codegen_cache_hits} source-cache hit(s)"
+        )
+        if state.compile_counters:
+            parts = [f"{key.replace('_', ' ')} {value}" for key, value
+                     in sorted(state.compile_counters.items())]
+            row = "  "
+            for part in parts:
+                if len(row) > 2 and len(row) + len(part) + 2 > width:
+                    lines.append(row)
+                    row = "  "
+                row += part if row == "  " else f", {part}"
+            if row.strip():
+                lines.append(row)
+
+    # bench history
+    if state.bench:
+        lines.append("")
+        lines.append("bench:")
+        for name, seconds in sorted(state.bench.items()):
+            lines.append(
+                f"  {name:<40} {sparkline(seconds)} "
+                f"last {seconds[-1]:.3f}s"
+            )
+
+    # profiler snapshot
+    if state.profile:
+        lines.append("")
+        parts = [f"{subsystem} {seconds:.2f}s" for subsystem, seconds
+                 in sorted(state.profile.items(),
+                           key=lambda item: -item[1])[:6]]
+        lines.append("profile: " + ", ".join(parts))
+
+    # alerts
+    if state.stuck:
+        lines.append("")
+        for group, quiet in state.stuck[-3:]:
+            lines.append(
+                f"! stuck: {group} quiet {_fmt_seconds(quiet)}"
+            )
+
+    lines.append(rule)
+    return "\n".join(line[:width] for line in lines)

@@ -13,6 +13,7 @@ from __future__ import annotations
 METRICS_SCHEMA = "repro.obs.metrics/1"
 BENCH_SCHEMA = "repro.obs.bench/1"
 LINT_SCHEMA = "repro.isa.verify/1"
+EVENTS_SCHEMA = "repro.obs.events/1"
 
 _LINT_SEVERITIES = ("info", "warning", "error")
 
@@ -242,6 +243,72 @@ def validate_lint(document) -> list[str]:
                         f"diagnostics list ({summary.get(severity, 0)} != "
                         f"{count})"
                     )
+    return errors
+
+
+def validate_event(document) -> list[str]:
+    """Check one ``repro.obs.events/1`` ledger event; return errors."""
+    if not isinstance(document, dict):
+        return [f"event must be an object, got {type(document).__name__}"]
+    errors: list[str] = []
+    if document.get("schema") != EVENTS_SCHEMA:
+        errors.append(
+            f"schema must be {EVENTS_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if not isinstance(document.get("run_id"), str) \
+            or not document.get("run_id"):
+        errors.append("missing non-empty 'run_id'")
+    seq = document.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        errors.append("'seq' must be a non-negative integer")
+    ts = document.get("ts")
+    if not _is_number(ts) or ts < 0:
+        errors.append("'ts' must be a non-negative number "
+                      "(seconds since run start)")
+    for key in ("source", "type"):
+        if not isinstance(document.get(key), str) or not document.get(key):
+            errors.append(f"missing non-empty '{key}'")
+    data = document.get("data")
+    if not isinstance(data, dict) or not all(
+        isinstance(k, str) and isinstance(v, _SCALARS)
+        for k, v in data.items()
+    ):
+        errors.append("'data' must be a str->scalar object")
+    return errors
+
+
+def validate_event_ledger(documents) -> list[str]:
+    """Check a loaded event-ledger line list; errors carry line numbers.
+
+    Beyond per-event shape this checks the ledger invariants: within each
+    ``run_id``, sequence numbers are contiguous from 0 and timestamps
+    never go backwards (the bus assigns both under one lock).
+    """
+    if not isinstance(documents, list):
+        return ["event ledger must be a list of events"]
+    errors: list[str] = []
+    last_seq: dict[str, int] = {}
+    last_ts: dict[str, float] = {}
+    for index, document in enumerate(documents):
+        line = f"line {index + 1}"
+        event_errors = validate_event(document)
+        errors.extend(f"{line}: {error}" for error in event_errors)
+        if event_errors:
+            continue
+        run_id = document["run_id"]
+        expected = last_seq.get(run_id, -1) + 1
+        if document["seq"] != expected:
+            errors.append(
+                f"{line}: run {run_id} seq must be {expected} "
+                f"(contiguous), got {document['seq']}"
+            )
+        last_seq[run_id] = max(last_seq.get(run_id, -1), document["seq"])
+        if document["ts"] < last_ts.get(run_id, 0.0):
+            errors.append(
+                f"{line}: run {run_id} ts went backwards "
+                f"({document['ts']} < {last_ts[run_id]})"
+            )
+        last_ts[run_id] = max(last_ts.get(run_id, 0.0), document["ts"])
     return errors
 
 

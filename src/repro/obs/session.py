@@ -2,11 +2,12 @@
 
 Every experiment-running tool accepts ``--metrics-out`` / ``--trace-out``
 (see :func:`repro.tools.cli.add_observability_arguments`) plus the
-``--profile`` family; this class turns those optional flags into the
-registry/tracer/profiler trio handed to the
-:class:`repro.runner.Runner`, and writes the files on :meth:`write`.
-When no telemetry was requested, ``metrics``, ``tracer`` and ``profiler``
-stay ``None`` and the instrumented code paths cost nothing.
+``--profile`` family and ``--events-out``; this class turns those
+optional flags into the registry/tracer/profiler/event-bus bundle handed
+to the :class:`repro.runner.Runner`, and writes the files on
+:meth:`write`.  When no telemetry was requested, ``metrics``, ``tracer``,
+``profiler`` and ``bus`` stay ``None`` and the instrumented code paths
+cost nothing.
 
 Use the session as a context manager around the tool's work so the
 sampling profiler covers exactly the measured region::
@@ -20,19 +21,28 @@ sampling profiler covers exactly the measured region::
         print(f"wrote {path}")
 
 Written metrics snapshots are stamped with the environment fingerprint
-(git sha, python version, platform, hostname) under ``extra.environment``
-so exported telemetry artifacts are attributable to a commit.
+(git sha, python version, platform, hostname, resolved simulator
+backend) under ``extra.environment`` so exported telemetry artifacts
+are attributable to a commit.
+
+``events_out`` opens the unified run ledger (:mod:`repro.obs.events`):
+an :class:`EventBus` with a JSONL sink at that path, installed as the
+process-wide *active bus* for the duration of the session so deep
+publishers (the compiled backend's codegen, the bench recorder) reach
+the same ledger as the runner and cache.  ``repro.tools.dash`` renders
+the ledger live (``--follow``) or after the fact (``--replay``).
 """
 
 from __future__ import annotations
 
+from repro.obs.events import EventBus, JsonlSink, MetricsSink, set_active_bus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
 from repro.obs.tracing import Tracer
 
 
 class Observability:
-    """Optional metrics registry + tracer + profiler, bound to outputs."""
+    """Optional metrics registry + tracer + profiler + event bus."""
 
     def __init__(
         self,
@@ -42,11 +52,18 @@ class Observability:
         profile: bool = False,
         profile_hz: int = DEFAULT_HZ,
         profile_out: str | None = None,
+        events_out: str | None = None,
+        run_id: str | None = None,
     ):
         self.metrics_out = metrics_out
         self.trace_out = trace_out
         self.tool = tool
         self.profile_out = profile_out
+        self.events_out = events_out
+        #: Resolved simulator backend name; the CLI layer stamps this so
+        #: metrics snapshots and bench records name the engine that
+        #: produced them.
+        self.backend: str | None = None
         self.metrics: MetricsRegistry | None = (
             MetricsRegistry() if metrics_out else None
         )
@@ -57,37 +74,66 @@ class Observability:
                 hz=profile_hz,
                 now_us=self.tracer.now_us if self.tracer else None,
             )
+        self.bus: EventBus | None = None
+        if events_out:
+            self.bus = EventBus(run_id=run_id)
+            self.bus.subscribe(JsonlSink(events_out))
+            if self.metrics is not None:
+                self.bus.subscribe(MetricsSink(self.metrics))
+        self._previous_bus: EventBus | None = None
         self._finished = False
 
     @property
     def enabled(self) -> bool:
         return (self.metrics is not None or self.tracer is not None
-                or self.profiler is not None)
+                or self.profiler is not None or self.bus is not None)
 
     # -- profiled region ---------------------------------------------------
 
     def __enter__(self) -> "Observability":
         if self.profiler is not None and not self.profiler.running:
             self.profiler.start()
+        if self.bus is not None:
+            self._previous_bus = set_active_bus(self.bus)
         return self
 
     def __exit__(self, *exc) -> None:
         self.finish()
 
     def finish(self) -> None:
-        """Stop the profiler and fold its samples into metrics/trace."""
+        """Stop the profiler, fold counters into metrics, close the bus."""
         if self._finished:
             return
         self._finished = True
-        if self.profiler is None:
-            return
-        self.profiler.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
+            if self.metrics is not None:
+                self.profiler.record_metrics(self.metrics)
+            if self.tracer is not None:
+                self.tracer.add_events(
+                    self.profiler.trace_events(pid=self.tracer.pid)
+                )
+            if self.bus is not None:
+                snapshot = {
+                    subsystem: round(
+                        self.profiler.estimated_seconds(subsystem), 6)
+                    for subsystem, _count in
+                    self.profiler.subsystem_samples.most_common()
+                }
+                self.bus.publish("profiler", "snapshot", snapshot)
         if self.metrics is not None:
-            self.profiler.record_metrics(self.metrics)
-        if self.tracer is not None:
-            self.tracer.add_events(
-                self.profiler.trace_events(pid=self.tracer.pid)
+            # Per-program codegen counters accumulate module-side in the
+            # compiled backend; fold whatever this process compiled.
+            from repro.sim.backends.compiled import (
+                compile_reports,
+                record_compile_metrics,
             )
+            if compile_reports():
+                record_compile_metrics(self.metrics)
+        if self.bus is not None:
+            set_active_bus(self._previous_bus)
+            self._previous_bus = None
+            self.bus.close()
 
     def report(self) -> list[str]:
         """Human-readable summary lines (profiler breakdown, when on)."""
@@ -108,10 +154,13 @@ class Observability:
         self.finish()
         written: list[str] = []
         if self.metrics is not None and self.metrics_out:
+            environment = environment_fingerprint()
+            if self.backend:
+                environment["backend"] = self.backend
             self.metrics.write(
                 self.metrics_out,
                 generated_by=self.tool,
-                extra={"environment": environment_fingerprint()},
+                extra={"environment": environment},
             )
             written.append(self.metrics_out)
         if self.tracer is not None and self.trace_out:
@@ -120,4 +169,6 @@ class Observability:
         if self.profiler is not None and self.profile_out:
             self.profiler.write_collapsed(self.profile_out)
             written.append(self.profile_out)
+        if self.events_out and self.events_out not in written:
+            written.append(self.events_out)
         return written

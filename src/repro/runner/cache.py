@@ -84,6 +84,14 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        #: Optional :class:`repro.obs.EventBus`: every hit/miss/write is
+        #: published to the run ledger as ``source="cache"`` (the
+        #: Observability session attaches this via ``--events-out``).
+        self.bus = None
+
+    def _publish(self, type: str, kind: str, key: str) -> None:
+        if self.bus is not None:
+            self.bus.publish("cache", type, {"kind": kind, "key": key[:12]})
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -107,16 +115,20 @@ class ResultCache:
                 record = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            self._publish("miss", "record", key)
             return None
         except (OSError, ValueError, UnicodeDecodeError):
             self._discard(path)
             self.misses += 1
+            self._publish("miss", "record", key)
             return None
         if not isinstance(record, dict) or record.get("key") != key:
             self._discard(path)
             self.misses += 1
+            self._publish("miss", "record", key)
             return None
         self.hits += 1
+        self._publish("hit", "record", key)
         return record
 
     def put(self, key: str, record: dict) -> None:
@@ -131,6 +143,7 @@ class ResultCache:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(dict(record, key=key), handle)
                 os.replace(tmp, path)
+                self._publish("write", "record", key)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -160,17 +173,21 @@ class ResultCache:
                 record = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            self._publish("miss", "blob", key)
             return None
         except (OSError, EOFError, AttributeError, ImportError, IndexError,
                 ValueError, pickle.UnpicklingError):
             self._discard(path)
             self.misses += 1
+            self._publish("miss", "blob", key)
             return None
         if not isinstance(record, dict) or record.get("key") != key:
             self._discard(path)
             self.misses += 1
+            self._publish("miss", "blob", key)
             return None
         self.hits += 1
+        self._publish("hit", "blob", key)
         return record
 
     def put_blob(self, key: str, record: dict) -> None:
@@ -186,6 +203,7 @@ class ResultCache:
                     pickle.dump(dict(record, key=key), handle,
                                 protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
+                self._publish("write", "blob", key)
             except BaseException:
                 try:
                     os.unlink(tmp)

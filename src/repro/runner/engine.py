@@ -173,6 +173,7 @@ class Runner:
         stream: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend: str | None = None,
+        bus=None,
         heartbeat_hook=None,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         stuck_after: float = DEFAULT_STUCK_AFTER,
@@ -182,6 +183,12 @@ class Runner:
         self.stats_hook = stats_hook
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional :class:`repro.obs.EventBus`: fleet telemetry, cache
+        #: traffic and per-experiment results are published to the run
+        #: ledger (``--events-out``, ``repro.tools.dash``).
+        self.bus = bus
+        if bus is not None and getattr(self.cache, "bus", None) is None:
+            self.cache.bus = bus
         #: Fleet-telemetry sinks: ``heartbeat_hook`` receives the event
         #: stream documented in :mod:`repro.runner.telemetry` (the CLI
         #: ``--progress`` flag plugs a ProgressReporter in here), emitted
@@ -425,6 +432,7 @@ class Runner:
                 if result is not None:
                     self.stats.cache_hits += 1
                     results[index] = result
+                    self._publish_result(result)
                     if self.stats_hook is not None:
                         self.stats_hook(result)
                 else:
@@ -468,6 +476,7 @@ class Runner:
             hook=self.heartbeat_hook,
             metrics=self.metrics,
             tracer=self.tracer,
+            bus=self.bus,
             interval=self.heartbeat_interval,
             stuck_after=self.stuck_after,
         )
@@ -513,8 +522,31 @@ class Runner:
                          "config": result.config_name},
                     ).observe(result.wall_time)
                 results[index] = result
+                self._publish_result(result)
                 if self.stats_hook is not None:
                     self.stats_hook(result)
+
+    def _publish_result(self, result: RunResult) -> None:
+        """One ledger event per experiment result, with the slot account.
+
+        The flattened ``slots.*`` fractions feed the dashboard's
+        stall-category bars without it ever deserializing a SimStats.
+        """
+        if self.bus is None:
+            return
+        data = {
+            "cipher": result.cipher,
+            "config": result.config_name,
+            "cycles": result.stats.cycles,
+            "instructions": result.instructions,
+            "ipc": round(result.stats.ipc, 4),
+            "session_bytes": result.session_bytes,
+            "cached": result.cached,
+            "wall_time": round(result.wall_time, 6),
+        }
+        for category, fraction in result.stats.stall_fractions().items():
+            data[f"slots.{category}"] = round(fraction, 6)
+        self.bus.publish("runner", "result", data)
 
     def _run_groups_parallel(self, pending, monitor: FleetMonitor):
         specs = [
@@ -541,7 +573,11 @@ class Runner:
                         ))
                     outputs = [handle.get() for handle in handles]
         except Exception as error:  # pool unavailable or worker died
-            monitor.abandon_all()
+            # Keep the dispatched groups accounted (the serial fallback
+            # runs exactly those; its dispatch() calls are idempotent),
+            # but restart their timers and the watchdog's progress clock
+            # so the ledger matches the pool path's event sequence.
+            monitor.requeue_all()
             warnings.warn(
                 f"parallel runner unavailable ({error!r}); "
                 "falling back to serial execution",

@@ -14,7 +14,10 @@ Sinks (all optional, all fed from the same account):
 * a :class:`repro.obs.MetricsRegistry` -- ``runner.worker.busy`` gauge,
   ``runner.group.seconds`` histogram, ``runner.worker.stuck`` counter;
 * a :class:`repro.obs.Tracer` -- ``runner.worker.busy`` counter samples
-  plus an instant event naming each stuck experiment.
+  plus an instant event naming each stuck experiment;
+* a :class:`repro.obs.EventBus` -- every event below published to the
+  unified run ledger as ``source="runner"`` (``--events-out`` /
+  ``repro.tools.dash``).
 
 Event dicts (``type`` selects the shape)::
 
@@ -61,6 +64,7 @@ class FleetMonitor:
         hook=None,
         metrics=None,
         tracer=None,
+        bus=None,
         interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         stuck_after: float = DEFAULT_STUCK_AFTER,
         clock=time.monotonic,
@@ -71,6 +75,7 @@ class FleetMonitor:
         self.hook = hook
         self.metrics = metrics
         self.tracer = tracer
+        self.bus = bus
         self.interval = interval
         self.stuck_after = stuck_after
         self._clock = clock
@@ -87,7 +92,7 @@ class FleetMonitor:
     @property
     def enabled(self) -> bool:
         return (self.hook is not None or self.metrics is not None
-                or self.tracer is not None)
+                or self.tracer is not None or self.bus is not None)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -135,8 +140,16 @@ class FleetMonitor:
     # -- group accounting --------------------------------------------------
 
     def dispatch(self, label: str) -> None:
+        """Account one group dispatch.
+
+        Idempotent for labels already in flight: the serial fallback
+        walks groups the failed pool already dispatched, and those must
+        not appear twice in the event ledger (see :meth:`requeue_all`).
+        """
         now = self._clock()
         with self._lock:
+            if label in self._inflight:
+                return
             self._inflight[label] = now
             busy = min(len(self._inflight), self.jobs)
         if self.enabled:
@@ -176,6 +189,25 @@ class FleetMonitor:
             self._warned.clear()
         if self.enabled:
             self._publish_busy(0)
+
+    def requeue_all(self) -> None:
+        """Re-time every in-flight dispatch (parallel-fallback recovery).
+
+        When the pool dies, its groups stay *accounted* as dispatched --
+        the serial fallback will run exactly those groups, and its
+        :meth:`dispatch` calls are idempotent, so the ledger shows each
+        group dispatched once, like the pool path.  Their timers restart
+        here so ``group-done`` elapsed times measure the serial run, and
+        the progress clock resets so the watchdog does not immediately
+        call the first serial group stuck after a slow pool failure.
+        Emits nothing: no work completed, none was forgotten.
+        """
+        now = self._clock()
+        with self._lock:
+            for label in self._inflight:
+                self._inflight[label] = now
+            self._warned.clear()
+            self._last_progress = now
 
     # -- heartbeats and the stuck watchdog ---------------------------------
 
@@ -227,6 +259,10 @@ class FleetMonitor:
     def _emit(self, event: dict) -> None:
         if self.hook is not None:
             self.hook(event)
+        if self.bus is not None:
+            data = {key: value for key, value in event.items()
+                    if key != "type"}
+            self.bus.publish("runner", event["type"], data)
 
     def _publish_busy(self, busy: int) -> None:
         if self.metrics is not None:

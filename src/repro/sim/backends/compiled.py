@@ -29,7 +29,9 @@ from __future__ import annotations
 import linecache
 import re
 import sys
+import time
 from array import array
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.sim.trace import (
@@ -162,6 +164,49 @@ class CompiledBackend:
 
 _CODE_CACHE: dict[tuple[str, bool, bool, int], Callable[..., Any]] = {}
 
+#: Optimization-counter keys every compile report carries (the codegen
+#: increments these at each elision/fold decision point).
+COUNTER_KEYS = (
+    "masks_elided",
+    "bounds_checks_elided",
+    "align_checks_elided",
+    "constants_folded",
+    "branches_folded",
+    "sbox_index_folds",
+    "and_masks_folded",
+)
+
+
+@dataclass
+class CompileReport:
+    """What one program compilation did: counters, size, wall time.
+
+    One report per generated function (same key as ``_CODE_CACHE``);
+    ``source_cache_hits`` counts later requests served from the cache.
+    Surfaced as ``compile.*`` metrics (:func:`record_compile_metrics`),
+    ``backend`` ledger events, and ``riscasim --backend compiled
+    --explain``.
+    """
+
+    digest: str
+    record_trace: bool
+    record_values: bool
+    mem_size: int
+    instructions: int
+    blocks: int
+    source_lines: int
+    compile_seconds: float
+    counters: dict[str, int] = field(default_factory=dict)
+    source_cache_hits: int = 0
+
+    @property
+    def mode(self) -> str:
+        return (("t" if self.record_trace else "-")
+                + ("v" if self.record_values else "-"))
+
+
+_COMPILE_REPORTS: dict[tuple[str, bool, bool, int], CompileReport] = {}
+
 
 def cache_info() -> dict[str, int]:
     """Size of the digest-keyed generated-function cache (for tests)."""
@@ -171,6 +216,70 @@ def cache_info() -> dict[str, int]:
 def cache_clear() -> None:
     """Drop all cached generated functions (for tests/benchmarks)."""
     _CODE_CACHE.clear()
+    _COMPILE_REPORTS.clear()
+
+
+def compile_reports() -> list[CompileReport]:
+    """Every compilation this process performed, in compile order."""
+    return list(_COMPILE_REPORTS.values())
+
+
+def record_compile_metrics(registry) -> None:
+    """Fold the process's compile reports into a metrics registry.
+
+    ``compile.programs`` / ``compile.source_cache_hits`` counters, one
+    ``compile.<counter>`` counter per optimization kind, and the total
+    codegen wall time as ``compile.wall_seconds``.
+    """
+    reports = compile_reports()
+    registry.counter("compile.programs").inc(len(reports))
+    registry.counter("compile.source_cache_hits").inc(
+        sum(report.source_cache_hits for report in reports)
+    )
+    for key in COUNTER_KEYS:
+        registry.counter(f"compile.{key}").inc(
+            sum(report.counters.get(key, 0) for report in reports)
+        )
+    registry.gauge("compile.wall_seconds").set(
+        sum(report.compile_seconds for report in reports)
+    )
+
+
+def explain_table(reports: "list[CompileReport] | None" = None) -> str:
+    """The ``riscasim --backend compiled --explain`` report table."""
+    reports = compile_reports() if reports is None else reports
+    if not reports:
+        return "compiled backend: no programs compiled in this process"
+    lines = [
+        f"compiled backend: {len(reports)} program(s), "
+        f"{sum(r.compile_seconds for r in reports) * 1e3:.1f} ms codegen, "
+        f"{sum(r.source_cache_hits for r in reports)} source-cache hit(s)",
+        f"  {'program':<10} {'mode':<4} {'instr':>6} {'lines':>6} "
+        f"{'ms':>6} {'hits':>5}  optimizations",
+    ]
+    for report in reports:
+        opts = ", ".join(
+            f"{key.replace('_', ' ')} {report.counters[key]}"
+            for key in COUNTER_KEYS if report.counters.get(key)
+        ) or "none"
+        lines.append(
+            f"  {report.digest[:8]:<10} {report.mode:<4} "
+            f"{report.instructions:>6} {report.source_lines:>6} "
+            f"{report.compile_seconds * 1e3:>6.1f} "
+            f"{report.source_cache_hits:>5}  {opts}"
+        )
+    return "\n".join(lines)
+
+
+def _publish(type: str, data: dict) -> None:
+    """Ledger event on the process's active bus, if one is installed.
+
+    Imported lazily: :mod:`repro.obs` is a heavier import than this
+    module and is only needed when something actually observes.
+    """
+    from repro.obs.events import publish_event
+
+    publish_event("backend", type, data)
 
 
 def compiled_function(
@@ -192,6 +301,21 @@ def compiled_function(
     if fn is None:
         fn = _compile(machine, record_trace, record_values, key[0])
         _CODE_CACHE[key] = fn
+        report = _COMPILE_REPORTS.get(key)
+        if report is not None:
+            _publish("compile", {
+                "digest": key[0][:12],
+                "mode": report.mode,
+                "instructions": report.instructions,
+                "source_lines": report.source_lines,
+                "seconds": round(report.compile_seconds, 6),
+                **{k: report.counters.get(k, 0) for k in COUNTER_KEYS},
+            })
+    else:
+        report = _COMPILE_REPORTS.get(key)
+        if report is not None:
+            report.source_cache_hits += 1
+        _publish("codegen-cache-hit", {"digest": key[0][:12]})
     return fn
 
 
@@ -201,9 +325,10 @@ def generated_source(
     record_values: bool = False,
 ) -> str:
     """The Python source the backend would execute (docs and tests)."""
-    return _generate_source(
+    source, _counters, _blocks = _generate_source(
         machine, record_trace, record_values, "_compiled_run"
     )
+    return source
 
 
 def _compile(
@@ -214,8 +339,11 @@ def _compile(
 ) -> Callable[..., Any]:
     from repro.sim.machine import SimulationError, _ZAPNOT_MASKS
 
+    began = time.perf_counter()
     func_name = f"_compiled_{digest[:8]}"
-    source = _generate_source(machine, record_trace, record_values, func_name)
+    source, counters, blocks = _generate_source(
+        machine, record_trace, record_values, func_name
+    )
     filename = (
         f"<repro-compiled:{digest[:8]}:"
         f"{'t' if record_trace else 'f'}{'v' if record_values else 'f'}:"
@@ -238,6 +366,19 @@ def _compile(
         "_ZAPNOT": _ZAPNOT_MASKS,
     }
     exec(compile(source, filename, "exec"), namespace)
+    _COMPILE_REPORTS[
+        (digest, record_trace, record_values, machine.memory.size)
+    ] = CompileReport(
+        digest=digest,
+        record_trace=record_trace,
+        record_values=record_values,
+        mem_size=machine.memory.size,
+        instructions=len(machine.code),
+        blocks=blocks,
+        source_lines=source.count("\n"),
+        compile_seconds=time.perf_counter() - began,
+        counters=counters,
+    )
     return namespace[func_name]
 
 
@@ -593,7 +734,14 @@ def _generate_source(
     record_trace: bool,
     record_values: bool,
     func_name: str,
-) -> str:
+) -> "tuple[str, dict[str, int], int]":
+    """Generate the source plus its optimization counters and block count.
+
+    The counters (keys: :data:`COUNTER_KEYS`) are incremented at every
+    elision/fold decision the emitters take, so a
+    :class:`CompileReport` explains exactly what specialization bought
+    for this program.
+    """
     code, dest = machine.code, machine.dest
     src1, src2 = machine.src1, machine.src2
     lit, disp, target = machine.lit, machine.disp, machine.target
@@ -601,6 +749,10 @@ def _generate_source(
     n = len(code)
 
     lines: list[str] = []
+    counters: dict[str, int] = {key: 0 for key in COUNTER_KEYS}
+
+    def count(key: str, by: int = 1) -> None:
+        counters[key] += by
 
     def w(indent: int, text: str = "") -> None:
         lines.append(("    " * indent + text) if text else "")
@@ -612,7 +764,7 @@ def _generate_source(
         w(1, "raise SimulationError('fell off program end at pc=0')")
         w(1, "if False:")
         w(2, "yield None")
-        return "\n".join(lines) + "\n"
+        return "\n".join(lines) + "\n", counters, 0
 
     blocks, block_of = _split_blocks(code, target, n)
     succs = _block_successors(blocks, code, target, n)
@@ -675,6 +827,8 @@ def _generate_source(
         a = f"a{i}"
         bv = 0 if base == 31 else cst[base]
         if bv is not None:
+            if base != 31:
+                count("constants_folded")
             val = (bv + dp) & M64
             expr = f"{val:#x}"
             return [], expr, val, _tz_of_int(val), expr
@@ -702,6 +856,7 @@ def _generate_source(
             return "0", 0
         v = cst[slot]
         if v is not None:
+            count("constants_folded")
             return str(v), (v.bit_length() if v >= 0 else _UNKNOWN)
         return f"r{slot}", state[slot]
 
@@ -738,6 +893,7 @@ def _generate_source(
                 out = [f"{D} = 0"]
             elif (L is not None and w1 <= 64
                     and (L & M64) & ((1 << w1) - 1) == (1 << w1) - 1):
+                count("masks_elided")
                 out = [f"{D} = {A}"]  # mask covers the proved width
             else:
                 out = [f"{D} = {A} & {B}"]
@@ -751,6 +907,7 @@ def _generate_source(
             else:
                 expr = f"{A} + {B}"
             if max(w1, wb_) < bits:
+                count("masks_elided")
                 out = [f"{D} = {expr}"]
             elif expr in (A, B):
                 out = [f"{D} = {expr} & {mask:#x}"]
@@ -760,6 +917,7 @@ def _generate_source(
             bits = 64 if c == 2 else 32
             mask = M64 if c == 2 else M32
             if B == "0" and w1 <= bits:
+                count("masks_elided")
                 out = [f"{D} = {A}"]
             else:
                 out = [f"{D} = ({A} - {B}) & {mask:#x}"]
@@ -767,8 +925,11 @@ def _generate_source(
             if L is not None:
                 out = [f"{D} = {A} & {(~L) & M64:#x}"]
             elif B == "0":
-                out = [f"{D} = {A}" if w1 <= 64
-                       else f"{D} = {A} & {M64:#x}"]
+                if w1 <= 64:
+                    count("masks_elided")
+                    out = [f"{D} = {A}"]
+                else:
+                    out = [f"{D} = {A} & {M64:#x}"]
             else:
                 out = [f"{D} = {A} & ~{B} & {M64:#x}"]
         elif c == 9:  # ORNOT
@@ -777,6 +938,7 @@ def _generate_source(
             else:
                 inner = f"(~{B} & {M64:#x})"
             if w1 <= 64:
+                count("masks_elided")
                 out = [f"{D} = {A} | {inner}"]
             else:
                 out = [f"{D} = ({A} | {inner}) & {M64:#x}"]
@@ -784,9 +946,13 @@ def _generate_source(
             if L is not None:
                 s = L & 63
                 if s == 0:
-                    out = [f"{D} = {A}" if w1 <= 64
-                           else f"{D} = {A} & {M64:#x}"]
+                    if w1 <= 64:
+                        count("masks_elided")
+                        out = [f"{D} = {A}"]
+                    else:
+                        out = [f"{D} = {A} & {M64:#x}"]
                 elif w1 + s <= 64:
+                    count("masks_elided")
                     out = [f"{D} = {A} << {s}"]
                 else:
                     out = [f"{D} = ({A} << {s}) & {M64:#x}"]
@@ -801,6 +967,7 @@ def _generate_source(
         elif c == 12:  # SRA
             sh = str(L & 63) if L is not None else f"({B} & 63)"
             if w1 <= 63:
+                count("masks_elided")
                 if L is not None and L & 63 == 0:
                     out = [f"{D} = {A}"]
                 else:
@@ -821,11 +988,13 @@ def _generate_source(
                 bm = B if wb_ <= 32 else f"({B} & {M32:#x})"
                 wbm = min(wb_, 32)
             if min(w1, 32) + wbm <= 32:
+                count("masks_elided")
                 out = [f"{D} = {am} * {bm}"]
             else:
                 out = [f"{D} = ({am} * {bm}) & {M32:#x}"]
         elif c == 14:  # MULQ
             if w1 + wb_ <= 64:
+                count("masks_elided")
                 out = [f"{D} = {A} * {B}"]
             else:
                 out = [f"{D} = ({A} * {B}) & {M64:#x}"]
@@ -838,6 +1007,7 @@ def _generate_source(
         elif c in (18, 19):  # CMPLT / CMPLE (signed)
             cmp = "<" if c == 18 else "<="
             if w1 <= 63:
+                count("masks_elided")
                 left = A
             else:
                 out += [
@@ -849,6 +1019,7 @@ def _generate_source(
             if L is not None:
                 right = str(L - (1 << 64) if L & _MSB else L)
             elif wb_ <= 63:
+                count("masks_elided")
                 right = B
             else:
                 out += [
@@ -861,6 +1032,8 @@ def _generate_source(
         elif c == 20:  # EXTBL
             if L is not None:
                 s = (L & 7) * 8
+                if s == 0 and w1 <= 8:
+                    count("masks_elided")
                 out = [f"{D} = ({A} >> {s}) & 0xFF" if s
                        else (f"{D} = {A}" if w1 <= 8
                              else f"{D} = {A} & 0xFF")]
@@ -877,6 +1050,7 @@ def _generate_source(
             if L is not None:
                 mask = _zapnot_mask(L & 0xFF)
                 if w1 <= 64 and mask & ((1 << w1) - 1) == (1 << w1) - 1:
+                    count("masks_elided")
                     out = [f"{D} = {A}"]
                 else:
                     out = [f"{D} = {A} & {mask:#x}"]
@@ -889,6 +1063,7 @@ def _generate_source(
             prod = f"{A} * {scale}"
             expr = prod if B == "0" else f"{prod} + {B}"
             if max(w1 + extra, wb_) < 64:
+                count("masks_elided")
                 out = [f"{D} = {expr}"]
             else:
                 out = [f"{D} = ({expr}) & {M64:#x}"]
@@ -907,10 +1082,13 @@ def _generate_source(
                 rb = R(base)
                 wb2 = state[base]
                 if dp == 0:
+                    if wb2 <= 64:
+                        count("masks_elided")
                     out = [f"{D} = {rb}" if wb2 <= 64
                            else f"{D} = {rb} & {M64:#x}"]
                 elif (wb2 != _UNKNOWN and dp > 0
                       and max(wb2, dp.bit_length()) < 64):
+                    count("masks_elided")
                     out = [f"{D} = {rb} + {dp}"]
                 else:
                     out = [f"{D} = ({rb} + {dp}) & {M64:#x}"]
@@ -926,9 +1104,13 @@ def _generate_source(
             conds = []
             if atz < shift:
                 conds.append(f"{av} & {size - 1}")
+            elif shift:
+                count("align_checks_elided")
             if bound > mem_size - size:
                 need_lims.add(size)
                 conds.append(f"{av} > lim{size}")
+            else:
+                count("bounds_checks_elided")
             if not record_trace and not conds and al:
                 # Checks are proved away and nothing quotes the address:
                 # fold the computation into the access itself.
@@ -963,9 +1145,13 @@ def _generate_source(
             conds = []
             if atz < shift:
                 conds.append(f"{av} & {size - 1}")
+            elif shift:
+                count("align_checks_elided")
             if bound > mem_size - size:
                 need_lims.add(size)
                 conds.append(f"{av} > lim{size}")
+            else:
+                count("bounds_checks_elided")
             if not record_trace and not conds and al:
                 out, av = [], f"({aex})"
             if conds:
@@ -1000,9 +1186,12 @@ def _generate_source(
             if L is not None:
                 am = (L & 31) if c == 50 else ((32 - (L & 31)) & 31)
                 if am == 0:
+                    if w1 <= 32:
+                        count("masks_elided")
                     out = [f"{D} = {A}" if w1 <= 32
                            else f"{D} = {A} & {M32:#x}"]
                 elif w1 <= 32:
+                    count("masks_elided")
                     out = [
                         f"{D} = (({A} << {am}) | ({A} >> {32 - am}))"
                         f" & {M32:#x}"
@@ -1045,6 +1234,7 @@ def _generate_source(
         elif c in (54, 55):  # ROLXL / RORXL (xor-rotate into dest)
             am = (L & 31) if c == 54 else ((32 - (L & 31)) & 31)
             if w1 <= 32:
+                count("masks_elided")
                 rot = (A if am == 0
                        else f"(({A} << {am}) | ({A} >> {32 - am}))")
                 out = [f"{D} = ({rot} ^ {D}) & {M32:#x}"]
@@ -1054,11 +1244,14 @@ def _generate_source(
                        else f"((u << {am}) | (u >> {32 - am}))")
                 out.append(f"{D} = ({rot} ^ {D}) & {M32:#x}")
         elif c == 56:  # MULMOD (IDEA multiply, 0 represents 2^16)
+            if w1 <= 16:
+                count("masks_elided")
             texpr = (f"({A} or 0x10000)" if w1 <= 16
                      else f"(({A} & 0xFFFF) or 0x10000)")
             if L is not None:
                 uexpr = str((L & 0xFFFF) or 0x10000)
             elif wb_ <= 16:
+                count("masks_elided")
                 uexpr = f"({B} or 0x10000)"
             else:
                 uexpr = f"(({B} & 0xFFFF) or 0x10000)"
@@ -1073,6 +1266,8 @@ def _generate_source(
                 idx = s2
             else:
                 idx = f"({s2} & 0xFF)"
+            if w1 <= 10:
+                count("masks_elided")
             base_expr = "" if w1 <= 10 else f"({A} & -1024) | "
             cv1 = None if src1[i] == 31 else cst[src1[i]]
             if cv1 is not None and cv1 >= 0:
@@ -1088,6 +1283,8 @@ def _generate_source(
                 # Nothing records the byte address, so emit the word
                 # index directly: (base | (idx << 2)) >> 2 distributes
                 # to (base >> 2) | idx (disjoint bit ranges).
+                count("sbox_index_folds")
+                count("bounds_checks_elided")
                 if w1 <= 10:
                     out = [f"{D} = mv4[{idx}]"]
                 elif cv1 is not None and cv1 >= 0:
@@ -1106,6 +1303,8 @@ def _generate_source(
                         f"    raise SimulationError('SBOX access at 0x%x"
                         f" oob' % {a})",
                     ]
+                else:
+                    count("bounds_checks_elided")
                 out.append(f"{D} = mv4[{a} >> 2]")
                 addr = a
         elif c == 58:  # SBOXSYNC: timing-only
@@ -1243,6 +1442,7 @@ def _generate_source(
                     if folded is not None:
                         stmts = stmts[:-1] + [folded]
                         skip = i + 1
+                        count("and_masks_folded")
             if a is not None:
                 addr_vars[i] = a
             for line in stmts:
@@ -1292,6 +1492,8 @@ def _generate_source(
             tk = block_of.get(target[last])
             fk = block_of.get(last + 1)
             if cond is True or cond is False:
+                if term != 40:
+                    count("branches_folded")
                 dest_pc = target[last] if cond is True else last + 1
                 if block_of.get(dest_pc) == k:
                     wb(bi, "continue")
@@ -1318,9 +1520,11 @@ def _generate_source(
         elif is_branch:
             cond = branch_cond(last, state, cst)
             if cond is True:
+                count("branches_folded")
                 for line in goto_lines(target[last]):
                     wb(4, line)
             elif cond is False:
+                count("branches_folded")
                 for line in goto_lines(last + 1):
                     wb(4, line)
             else:
@@ -1399,4 +1603,4 @@ def _generate_source(
         w(2, ")")
     w(1, "if False:")
     w(2, "yield None")
-    return "\n".join(lines) + "\n"
+    return "\n".join(lines) + "\n", counters, len(blocks)

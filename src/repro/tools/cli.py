@@ -12,6 +12,8 @@ Every experiment-running CLI in this repository speaks the same flags:
 * ``--trace-out``      -- write a span trace (Chrome JSON or JSONL),
 * ``--profile``        -- sample host stacks, print a subsystem breakdown
   (``--profile-hz`` rate, ``--profile-out`` collapsed stacks),
+* ``--events-out``     -- append the unified run ledger (JSONL), rendered
+  by ``repro.tools.dash``,
 * ``--progress``       -- live progress/ETA line from the runner's fleet
   telemetry (heartbeats, stuck-worker warnings).
 
@@ -183,6 +185,12 @@ def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         help="also write collapsed stacks (flamegraph.pl / speedscope "
              "format); implies --profile",
     )
+    parser.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="append the unified run ledger (JSONL, schema "
+             "repro.obs.events/1): runner, cache, backend, bench and "
+             "profiler events; render with repro.tools.dash",
+    )
 
 
 def observability_from_args(
@@ -193,14 +201,17 @@ def observability_from_args(
     Inert (no registry, no tracer) unless at least one output path was
     given, so tools can call it unconditionally.
     """
-    return Observability(
+    obs = Observability(
         metrics_out=getattr(args, "metrics_out", None),
         trace_out=getattr(args, "trace_out", None),
         tool=tool,
         profile=getattr(args, "profile", False),
         profile_hz=getattr(args, "profile_hz", DEFAULT_HZ),
         profile_out=getattr(args, "profile_out", None),
+        events_out=getattr(args, "events_out", None),
     )
+    obs.backend = getattr(args, "backend", None) or DEFAULT_BACKEND
+    return obs
 
 
 def runner_from_args(
@@ -216,6 +227,7 @@ def runner_from_args(
     if obs is not None:
         kwargs.setdefault("metrics", obs.metrics)
         kwargs.setdefault("tracer", obs.tracer)
+        kwargs.setdefault("bus", obs.bus)
     if getattr(args, "progress", False):
         kwargs.setdefault("heartbeat_hook", ProgressReporter())
     kwargs.setdefault("stream", not getattr(args, "no_stream", False))

@@ -30,10 +30,12 @@ import json
 from repro.kernels import KERNEL_NAMES
 from repro.obs import (
     BENCH_SCHEMA,
+    EVENTS_SCHEMA,
     LINT_SCHEMA,
     schedule_trace_events,
     validate_bench,
     validate_bench_history,
+    validate_event_ledger,
     validate_lint,
     validate_metrics,
     validate_trace_events,
@@ -126,6 +128,7 @@ def check_file(path: str) -> int:
     The document kind is sniffed from its content: a ``metrics`` key means
     the metrics schema, a ``repro.obs.bench/1`` schema stamp (on a single
     object or on JSONL lines) means the benchmark history, a
+    ``repro.obs.events/1`` stamp on JSONL lines means a run ledger, a
     ``repro.isa.verify/1`` stamp means a lint report, anything else is
     checked as Chrome/Perfetto trace events.  Returns 0 iff valid.
     """
@@ -147,6 +150,11 @@ def check_file(path: str) -> int:
         for entry in document
     ):
         errors, kind = validate_bench_history(document), "bench history"
+    elif isinstance(document, list) and document and all(
+        isinstance(entry, dict) and entry.get("schema") == EVENTS_SCHEMA
+        for entry in document
+    ):
+        errors, kind = validate_event_ledger(document), "event ledger"
     else:
         errors, kind = validate_trace_events(document), "trace"
     if errors:

@@ -6,6 +6,7 @@
     python -m repro.tools.riscasim program.s --view 0:30     # pipeline view
     python -m repro.tools.riscasim program.s --bottlenecks   # Figure 5 sweep
     python -m repro.tools.riscasim --cipher Blowfish --profile --no-cache
+    python -m repro.tools.riscasim --cipher RC4 --backend compiled --explain
 
 The program runs against a fresh 1 MB memory; use LDIQ-materialized
 addresses and STL/STQ to produce observable results (dumped with --dump).
@@ -69,6 +70,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="hex-dump a memory range after the run")
     parser.add_argument("--memory", type=int, default=1 << 20,
                         help="memory size in bytes")
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="with --backend compiled: print the per-program codegen "
+             "report (elided checks, folded constants, compile time)",
+    )
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -78,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
                         or args.dump or args.list):
         parser.error("--cipher supports plain stats runs only "
                      "(no --list/--view/--dump/--bottlenecks)")
+    if args.explain and args.backend != "compiled":
+        parser.error("--explain requires --backend compiled")
 
     config = CONFIGS[args.config]
     obs = observability_from_args(args, tool="riscasim")
@@ -96,6 +104,8 @@ def main(argv: list[str] | None = None) -> int:
               f"{result.instructions} instructions; "
               f"{result.stats.summary()}")
         _print_slots(result.stats)
+        if args.explain:
+            _print_explain()
         _finish(obs)
         return 0
 
@@ -154,8 +164,15 @@ def main(argv: list[str] | None = None) -> int:
             ).cycles
             print(f"{which:<10} {dataflow / cycles:.3f}")
 
+    if args.explain:
+        _print_explain()
     _finish(obs)
     return 0
+
+
+def _print_explain() -> None:
+    from repro.sim.backends.compiled import explain_table
+    print(explain_table())
 
 
 def _print_slots(stats) -> None:

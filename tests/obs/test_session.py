@@ -2,7 +2,13 @@
 
 import json
 
-from repro.obs import validate_metrics, validate_trace_events
+from repro.obs import (
+    active_bus,
+    load_ledger,
+    validate_event_ledger,
+    validate_metrics,
+    validate_trace_events,
+)
 from repro.obs.session import Observability
 from tests.obs.test_profiler import busy_cipher_work
 
@@ -59,3 +65,33 @@ def test_finish_is_idempotent_and_profiler_stops():
     obs.finish()
     assert obs.profiler.samples == samples
     assert obs.report()  # report after finish still renders
+
+
+def test_events_out_writes_valid_ledger_and_installs_bus(tmp_path):
+    events_out = tmp_path / "events.jsonl"
+    metrics_out = tmp_path / "metrics.json"
+    obs = Observability(metrics_out=str(metrics_out), tool="unit",
+                        events_out=str(events_out))
+    obs.backend = "compiled"
+    assert active_bus() is None
+    with obs:
+        # The session installs its bus as the process-global active bus so
+        # deep publishers (codegen, bench history) reach the same ledger.
+        assert active_bus() is obs.bus
+        obs.bus.publish("runner", "start", {"total_groups": 1})
+        obs.bus.publish("runner", "finish", {"done": 1})
+    assert active_bus() is None
+    assert str(events_out) in obs.write()
+
+    ledger = load_ledger(events_out)
+    assert validate_event_ledger(ledger) == []
+    assert [event["type"] for event in ledger] == ["start", "finish"]
+    assert all(event["run_id"] == obs.bus.run_id for event in ledger)
+
+    document = json.loads(metrics_out.read_text())
+    # The resolved backend rides in the environment fingerprint, and the
+    # MetricsSink counted each published event.
+    assert document["extra"]["environment"]["backend"] == "compiled"
+    published = [metric for metric in document["metrics"]
+                 if metric["name"] == "events.published"]
+    assert sum(metric["value"] for metric in published) == 2

@@ -121,6 +121,42 @@ def test_abandon_all_forgets_inflight_groups():
         assert monitor.done == 1
 
 
+def test_requeue_all_keeps_inflight_and_suppresses_redispatch():
+    events, clock = [], FakeClock()
+    with make_monitor(events, clock, jobs=2) as monitor:
+        monitor.dispatch("a")
+        monitor.dispatch("b")
+        clock.advance(5.0)
+        monitor.requeue_all()
+        assert monitor.heartbeat()["busy"] == 2  # still accounted
+        monitor.dispatch("a")  # serial fallback re-walks the same groups
+        monitor.dispatch("b")
+        clock.advance(2.0)
+        monitor.complete("a")
+    # No duplicate dispatch events: the ledger looks like the pool path.
+    kinds = [event["type"] for event in events]
+    assert kinds.count("dispatch") == 2
+    done = [event for event in events if event["type"] == "group-done"]
+    # Timers restarted at requeue: elapsed measures the serial run only.
+    assert done[0]["elapsed"] == 2.0
+
+
+def test_requeue_all_resets_watchdog_and_rearms_warnings():
+    events, clock = [], FakeClock()
+    with make_monitor(events, clock, jobs=1, stuck_after=30.0) as monitor:
+        monitor.dispatch("a")
+        clock.advance(31.0)
+        monitor.heartbeat()
+        monitor.requeue_all()
+        clock.advance(29.0)   # 60s total, but progress clock was reset
+        monitor.heartbeat()
+        clock.advance(2.0)    # now 31s past the requeue: warn again
+        monitor.heartbeat()
+        monitor.complete("a")
+    stuck = [event for event in events if event["type"] == "stuck"]
+    assert [event["group"] for event in stuck] == ["a", "a"]
+
+
 def test_disabled_monitor_is_inert():
     monitor = FleetMonitor(total_groups=2, interval=0)
     assert not monitor.enabled
@@ -243,3 +279,80 @@ def test_cached_run_emits_no_phantom_telemetry(tmp_path):
     warm.run(grid())
     # Fully cached: nothing executes, so no busy workers are invented.
     assert events == []
+
+
+# -- ledger equivalence: serial vs the parallel fallback --------------------
+
+def ledger_shape(events):
+    """Timestamp-free view of a run ledger: source, type, group label."""
+    return [(event["source"], event["type"], event["data"].get("group"))
+            for event in events]
+
+
+def run_with_ledger(jobs):
+    from repro.obs import EventBus, RingBufferSink
+
+    bus = EventBus()
+    sink = RingBufferSink()
+    bus.subscribe(sink)
+    runner = Runner(cache=ResultCache.disabled(), jobs=jobs, bus=bus,
+                    heartbeat_interval=0)
+    runner.run(grid())
+    return sink.events
+
+
+def test_pool_creation_failure_ledger_matches_serial(monkeypatch):
+    """jobs=1 and a jobs=2 run whose pool never starts must write the
+    same event sequence (modulo run_id and timestamps)."""
+    import multiprocessing
+    import warnings
+
+    serial = run_with_ledger(jobs=1)
+
+    def no_pool(*args, **kwargs):
+        raise OSError("pools forbidden in this test")
+
+    monkeypatch.setattr(multiprocessing, "Pool", no_pool)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        fallback = run_with_ledger(jobs=2)
+    assert ledger_shape(fallback) == ledger_shape(serial)
+    from repro.obs import validate_event_ledger
+    assert validate_event_ledger(fallback) == []
+
+
+def test_pool_death_after_dispatch_ledger_matches_serial(monkeypatch):
+    """A pool that dies mid-fanout leaves already-dispatched groups
+    accounted; the serial fallback's redispatches are suppressed, so the
+    ledger still shows each group dispatched exactly once."""
+    import multiprocessing
+    import warnings
+
+    serial = run_with_ledger(jobs=1)
+
+    class DyingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def apply_async(self, *args, **kwargs):
+            raise OSError("worker died")
+
+    monkeypatch.setattr(multiprocessing, "Pool", DyingPool)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        fallback = run_with_ledger(jobs=2)
+    assert ledger_shape(fallback) == ledger_shape(serial)
+    # The result payloads agree too (timestamps and wall time aside).
+    def result_data(events):
+        return [
+            {key: value for key, value in event["data"].items()
+             if key != "wall_time"}
+            for event in events if event["type"] == "result"
+        ]
+    assert result_data(fallback) == result_data(serial)

@@ -1,0 +1,139 @@
+"""Compiled-backend introspection: codegen counters, reports, metrics."""
+
+import pytest
+
+from repro.isa import Features, Imm, KernelBuilder
+from repro.kernels import make_kernel
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    RingBufferSink,
+    set_active_bus,
+)
+from repro.sim import Machine, Memory
+from repro.sim.backends import compiled as compiled_mod
+from repro.sim.backends.compiled import (
+    COUNTER_KEYS,
+    compile_reports,
+    explain_table,
+    record_compile_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    compiled_mod.cache_clear()
+    yield
+    compiled_mod.cache_clear()
+
+
+def small_program(iterations: int = 5):
+    kb = KernelBuilder(Features.OPT)
+    acc, count = kb.regs("acc", "count")
+    kb.ldiq(acc, 1)
+    kb.ldiq(count, iterations)
+    kb.label("loop")
+    kb.addq(acc, acc, acc)
+    kb.stq(acc, kb.zero, 0x100)
+    kb.ldq(acc, kb.zero, 0x100)
+    kb.subq(count, count, Imm(1))
+    kb.bne(count, "loop")
+    kb.halt()
+    return kb.build()
+
+
+def run_compiled(**kwargs):
+    Machine(small_program(), Memory(1 << 12)).execute(
+        backend="compiled", **kwargs)
+
+
+def test_compile_produces_one_report_per_specialization():
+    assert compile_reports() == []
+    run_compiled(record_trace=False)
+    reports = compile_reports()
+    assert len(reports) == 1
+    report = reports[0]
+    assert report.instructions == 8
+    assert report.blocks >= 2
+    assert report.source_lines > 0
+    assert report.compile_seconds > 0
+    assert report.mode == "--"
+    assert set(report.counters) == set(COUNTER_KEYS)
+    run_compiled()                      # record_trace: new specialization
+    assert len(compile_reports()) == 2
+    assert {report.mode for report in compile_reports()} == {"--", "t-"}
+
+
+def test_counters_see_elided_checks_in_small_program():
+    run_compiled(record_trace=False)
+    counters = compile_reports()[0].counters
+    # LDQ/STQ at constant address 0x100 in 4 KiB memory: both the bounds
+    # and the alignment check are provably unnecessary.
+    assert counters["bounds_checks_elided"] == 2
+    assert counters["align_checks_elided"] == 2
+
+
+def test_rc4_kernel_counts_sbox_folds():
+    kernel = make_kernel("RC4")
+    program, memory, _layout = kernel.prepare(bytes(64), None)
+    Machine(program, memory).execute(backend="compiled", record_trace=False)
+    counters = compile_reports()[0].counters
+    assert counters["sbox_index_folds"] > 0
+    assert counters["masks_elided"] > 0
+
+
+def test_source_cache_hits_accumulate_on_reports():
+    run_compiled(record_trace=False)
+    assert compile_reports()[0].source_cache_hits == 0
+    run_compiled(record_trace=False)
+    run_compiled(record_trace=False)
+    assert compile_reports()[0].source_cache_hits == 2
+
+
+def test_explain_table_lists_programs():
+    run_compiled(record_trace=False)
+    table = explain_table()
+    assert "1 program(s)" in table
+    assert compile_reports()[0].digest[:8] in table
+    assert "bounds checks elided" in table
+
+
+def test_explain_table_empty_without_compiles():
+    assert "no programs compiled" in explain_table()
+
+
+def test_record_compile_metrics_folds_counters():
+    run_compiled(record_trace=False)
+    run_compiled(record_trace=False)    # cache hit
+    registry = MetricsRegistry()
+    record_compile_metrics(registry)
+    assert registry.counter("compile.programs").value == 1
+    assert registry.counter("compile.source_cache_hits").value == 1
+    assert registry.counter("compile.bounds_checks_elided").value >= 2
+    assert registry.gauge("compile.wall_seconds").value > 0
+
+
+def test_compile_and_cache_hit_events_publish_to_active_bus():
+    bus = EventBus()
+    sink = RingBufferSink()
+    bus.subscribe(sink)
+    previous = set_active_bus(bus)
+    try:
+        run_compiled(record_trace=False)
+        run_compiled(record_trace=False)
+    finally:
+        set_active_bus(previous)
+    kinds = [(event["source"], event["type"]) for event in sink.events]
+    assert ("backend", "compile") in kinds
+    assert ("backend", "codegen-cache-hit") in kinds
+    compile_event = next(event for event in sink.events
+                         if event["type"] == "compile")
+    assert compile_event["data"]["instructions"] == 8
+    assert "bounds_checks_elided" in compile_event["data"]
+
+
+def test_cache_clear_drops_reports():
+    run_compiled(record_trace=False)
+    assert compile_reports()
+    compiled_mod.cache_clear()
+    assert compile_reports() == []

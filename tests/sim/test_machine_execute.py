@@ -140,6 +140,23 @@ def test_stream_shim_warns_and_matches_streaming_execute():
     assert got == [list(c.seq) for c in reference.chunks()]
 
 
+def test_each_shim_warns_exactly_once_per_call():
+    import warnings
+
+    for invoke in (
+        lambda: machine().run(),
+        lambda: list(machine().iter_trace(chunk_size=3)),
+        lambda: list(machine().stream(chunk_size=4).chunks()),
+    ):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            invoke()
+        deprecations = [warning for warning in caught
+                        if issubclass(warning.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "deprecated" in str(deprecations[0].message)
+
+
 # -- compiled code cache ----------------------------------------------------
 
 def test_compiled_code_cache_reuses_specializations():

@@ -346,7 +346,8 @@ def detect_regression(
 def _same_environment(a: dict, b: dict) -> bool:
     return (a.get("hostname") == b.get("hostname")
             and a.get("platform") == b.get("platform")
-            and a.get("backend") == b.get("backend"))
+            and a.get("backend") == b.get("backend")
+            and a.get("timing_engine") == b.get("timing_engine"))
 
 
 def compare_history(

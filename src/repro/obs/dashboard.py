@@ -20,6 +20,8 @@ Panels rendered, each fed by one event source:
 * cache -- hit/miss/write counts and the hit-rate bar;
 * compile -- compiled-backend codegen activity (programs, wall time,
   source-cache hits, optimization counters);
+* timing -- specialized timing-engine codegen activity (same shape,
+  fed by ``timing``/``specialize`` events);
 * bench -- wall-seconds sparkline per recorded benchmark;
 * alerts -- stuck-worker warnings, newest last.
 """
@@ -60,6 +62,10 @@ class DashState:
         self.compile_seconds = 0.0
         self.codegen_cache_hits = 0
         self.compile_counters: Counter = Counter()
+        self.timing_programs = 0
+        self.timing_seconds = 0.0
+        self.timing_cache_hits = 0
+        self.timing_counters: Counter = Counter()
         self.bench: dict[str, list[float]] = {}
         self.stuck: list[tuple[str, float]] = []
         self.profile: dict[str, float] = {}
@@ -90,6 +96,17 @@ class DashState:
                         self.compile_counters[key] += int(value)
             elif type_ == "codegen-cache-hit":
                 self.codegen_cache_hits += 1
+        elif source == "timing":
+            if type_ == "specialize":
+                self.timing_programs += 1
+                self.timing_seconds += data.get("seconds") or 0.0
+                for key, value in data.items():
+                    if key in ("digest", "mode", "config", "seconds"):
+                        continue
+                    if isinstance(value, (int, float)) and value:
+                        self.timing_counters[key] += int(value)
+            elif type_ == "specialize-cache-hit":
+                self.timing_cache_hits += 1
         elif source == "bench" and type_ == "record":
             name = f"{data.get('suite', '?')}::{data.get('benchmark', '?')}"
             seconds = data.get("wall_seconds")
@@ -247,6 +264,26 @@ def render(state: DashState, width: int = DEFAULT_WIDTH) -> str:
         if state.compile_counters:
             parts = [f"{key.replace('_', ' ')} {value}" for key, value
                      in sorted(state.compile_counters.items())]
+            row = "  "
+            for part in parts:
+                if len(row) > 2 and len(row) + len(part) + 2 > width:
+                    lines.append(row)
+                    row = "  "
+                row += part if row == "  " else f", {part}"
+            if row.strip():
+                lines.append(row)
+
+    # specialized timing engine
+    if state.timing_programs or state.timing_cache_hits:
+        lines.append("")
+        lines.append(
+            f"timing: {state.timing_programs} specialization(s), "
+            f"{state.timing_seconds * 1000:.1f} ms codegen, "
+            f"{state.timing_cache_hits} code-cache hit(s)"
+        )
+        if state.timing_counters:
+            parts = [f"{key.replace('_', ' ')} {value}" for key, value
+                     in sorted(state.timing_counters.items())]
             row = "  "
             for part in parts:
                 if len(row) > 2 and len(row) + len(part) + 2 > width:

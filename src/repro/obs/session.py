@@ -64,6 +64,8 @@ class Observability:
         #: metrics snapshots and bench records name the engine that
         #: produced them.
         self.backend: str | None = None
+        #: Resolved timing-engine name, stamped the same way.
+        self.timing_engine: str | None = None
         self.metrics: MetricsRegistry | None = (
             MetricsRegistry() if metrics_out else None
         )
@@ -130,6 +132,14 @@ class Observability:
             )
             if compile_reports():
                 record_compile_metrics(self.metrics)
+            # Same for the specialized timing engine's per-(program,
+            # config) specialization counters.
+            from repro.sim.timing.specialized import (
+                record_timing_metrics,
+                specialization_reports,
+            )
+            if specialization_reports():
+                record_timing_metrics(self.metrics)
         if self.bus is not None:
             set_active_bus(self._previous_bus)
             self._previous_bus = None
@@ -157,6 +167,8 @@ class Observability:
             environment = environment_fingerprint()
             if self.backend:
                 environment["backend"] = self.backend
+            if self.timing_engine:
+                environment["timing_engine"] = self.timing_engine
             self.metrics.write(
                 self.metrics_out,
                 generated_by=self.tool,

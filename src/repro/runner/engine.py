@@ -52,7 +52,7 @@ from repro.runner.telemetry import (
 )
 from repro.sim.config import MachineConfig
 from repro.sim.stats import SimStats
-from repro.sim.timing import TimingPipeline, record_sim_metrics, simulate
+from repro.sim.timing import make_pipeline, record_sim_metrics, simulate
 from repro.sim.trace import (
     ADDR_TYPECODE,
     DEFAULT_CHUNK_SIZE,
@@ -173,6 +173,7 @@ class Runner:
         stream: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend: str | None = None,
+        timing_engine: str | None = None,
         bus=None,
         heartbeat_hook=None,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
@@ -205,6 +206,11 @@ class Runner:
         #: ``ExperimentOptions.backend`` overrides.  Never part of cache
         #: keys: backends are bit-identical, so records interchange.
         self.backend = backend
+        #: Default timing engine (``"generic"``/``"specialized"``);
+        #: per-experiment ``ExperimentOptions.timing_engine`` overrides.
+        #: Never part of cache keys: engines are bit-identical, so
+        #: records interchange.
+        self.timing_engine = timing_engine
         self.stats = RunnerStats()
         self._kernels: dict[tuple, object] = {}
         self._functional: dict[ExperimentOptions, object] = {}
@@ -237,6 +243,13 @@ class Runner:
 
     def _resolved_backend(self, options: ExperimentOptions) -> str | None:
         return options.backend if options.backend is not None else self.backend
+
+    def _resolved_timing_engine(
+        self, options: ExperimentOptions
+    ) -> str | None:
+        if options.timing_engine is not None:
+            return options.timing_engine
+        return self.timing_engine
 
     def _warm_ranges(self, options: ExperimentOptions):
         """The cache-warm ranges a kernel run reports, without running it."""
@@ -551,7 +564,7 @@ class Runner:
     def _run_groups_parallel(self, pending, monitor: FleetMonitor):
         specs = [
             (options, [entry[1].config for entry in entries],
-             self.stream, self.chunk_size, self.backend)
+             self.stream, self.chunk_size, self.backend, self.timing_engine)
             for options, entries in pending.items()
         ]
         labels = [self._group_label(spec[0]) for spec in specs]
@@ -630,7 +643,8 @@ class Runner:
                             {"cipher": options.cipher,
                              "config": config.name}) as span_args:
                 stats = simulate(run.trace, config, warm,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics,
+                                 engine=self._resolved_timing_engine(options))
                 span_args["cycles"] = stats.cycles
             elapsed = time.perf_counter() - start
             if self.metrics is not None:
@@ -675,10 +689,11 @@ class Runner:
             stream = kernel.stream(data, options.iv, chunk_size=chunk_size,
                                    backend=backend)
 
+        engine = self._resolved_timing_engine(options)
         pipelines = [
-            TimingPipeline(config, stream.source.static,
-                           stream.source.program,
-                           warm_ranges=stream.warm_ranges)
+            make_pipeline(config, stream.source.static,
+                          stream.source.program,
+                          warm_ranges=stream.warm_ranges, engine=engine)
             for config in configs
         ]
         # With the disk cache on, accumulate the compact columns so the
@@ -852,7 +867,8 @@ class Runner:
         with self._span(f"trace-sim:{config.name}", "timing",
                         {"config": config.name}):
             stats = simulate(trace, config, warm_ranges,
-                             metrics=self.metrics)
+                             metrics=self.metrics,
+                             engine=self.timing_engine)
         self.stats.timing_runs += 1
         self.stats.instructions_simulated += stats.instructions
         self.stats.wall_time_timing += time.perf_counter() - start
@@ -911,8 +927,9 @@ class Runner:
             return stats_list  # type: ignore[return-value]
 
         pipelines = {
-            index: TimingPipeline(configs[index], source.static,
-                                  source.program, warm_ranges=warm_ranges)
+            index: make_pipeline(configs[index], source.static,
+                                 source.program, warm_ranges=warm_ranges,
+                                 engine=self.timing_engine)
             for index in missing
         }
         perf = time.perf_counter
@@ -994,9 +1011,10 @@ def _worker_run_group(spec):
     trace memory so the parent runner's accounting covers out-of-process
     work.
     """
-    options, configs, stream, chunk_size, backend = spec
+    options, configs, stream, chunk_size, backend, timing_engine = spec
     worker = Runner(cache=ResultCache.disabled(), jobs=1,
-                    stream=stream, chunk_size=chunk_size, backend=backend)
+                    stream=stream, chunk_size=chunk_size, backend=backend,
+                    timing_engine=timing_engine)
     records = worker._run_group_records(options, configs)
     return {
         "records": records,

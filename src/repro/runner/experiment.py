@@ -36,13 +36,15 @@ class ExperimentOptions:
     instead of the encryption kernel (``session_bytes``/``plaintext`` are
     ignored there).
 
-    ``stream``, ``chunk_size`` and ``backend`` control *how* the runner
-    executes the experiment -- overlapped functional/timing streaming
-    versus materialize-then-simulate, the trace-chunk granularity, and
-    which execution backend (``"interpreter"``/``"compiled"``) runs the
-    functional machine.  ``None`` defers to the runner's defaults.  They
-    never enter the content fingerprint: results are bit-identical either
-    way, so the same cache records serve every combination.
+    ``stream``, ``chunk_size``, ``backend`` and ``timing_engine``
+    control *how* the runner executes the experiment -- overlapped
+    functional/timing streaming versus materialize-then-simulate, the
+    trace-chunk granularity, which execution backend
+    (``"interpreter"``/``"compiled"``) runs the functional machine, and
+    which timing engine (``"generic"``/``"specialized"``) runs the
+    cycle-accurate pipeline.  ``None`` defers to the runner's defaults.
+    They never enter the content fingerprint: results are bit-identical
+    either way, so the same cache records serve every combination.
     """
 
     cipher: str
@@ -57,6 +59,7 @@ class ExperimentOptions:
     stream: bool | None = None
     chunk_size: int | None = None
     backend: str | None = None
+    timing_engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

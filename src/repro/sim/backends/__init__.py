@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
+from repro.sim.registry import Registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (machine -> here)
     from repro.sim.machine import Machine
     from repro.sim.trace import TraceChunk
@@ -62,35 +64,27 @@ class ExecutionBackend(Protocol):
         ...
 
 
-_REGISTRY: dict[str, ExecutionBackend] = {}
+#: The execution-backend registry, built on the shared
+#: :class:`repro.sim.registry.Registry` helper (the timing-engine registry
+#: in :mod:`repro.sim.timing` uses the same one, with the same error shape).
+_REGISTRY: Registry[ExecutionBackend] = Registry(
+    "backend", default=DEFAULT_BACKEND
+)
 
 
 def register_backend(backend: ExecutionBackend, *, replace: bool = False) -> None:
     """Register ``backend`` under ``backend.name``."""
-    name = backend.name
-    if not replace and name in _REGISTRY:
-        raise ValueError(f"backend {name!r} already registered")
-    _REGISTRY[name] = backend
+    _REGISTRY.register(backend, replace=replace)
 
 
 def backend_names() -> tuple[str, ...]:
     """Registered backend names, sorted (for CLI choices and error text)."""
-    return tuple(sorted(_REGISTRY))
+    return _REGISTRY.names()
 
 
 def get_backend(backend: "str | ExecutionBackend | None") -> ExecutionBackend:
     """Resolve a backend argument: None, a registered name, or an instance."""
-    if backend is None:
-        backend = DEFAULT_BACKEND
-    if isinstance(backend, str):
-        try:
-            return _REGISTRY[backend]
-        except KeyError:
-            raise ValueError(
-                f"unknown backend {backend!r}; registered: "
-                f"{', '.join(backend_names()) or '(none)'}"
-            ) from None
-    return backend
+    return _REGISTRY.get(backend)
 
 
 # Register the built-in backends.  Imported late in the module so the

@@ -1,0 +1,55 @@
+"""Shared name -> implementation registry for pluggable sim components.
+
+The simulator has two plugin points: execution backends
+(:mod:`repro.sim.backends`, functional execution) and timing engines
+(:mod:`repro.sim.timing`, cycle modeling).  Both resolve names the same
+way -- ``None`` means the registry default, a string is looked up, an
+instance passes through -- and both report unknown names with the same
+error shape (``unknown <kind> <name>; registered: ...``) so CLI and
+config errors read uniformly regardless of which layer rejected them.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Name -> implementation map with uniform resolution and errors.
+
+    ``kind`` names the component class in error text ("backend",
+    "timing engine"); ``default`` is the name resolved when callers pass
+    ``None``.  Registered objects must expose a ``name`` attribute.
+    """
+
+    def __init__(self, kind: str, *, default: str | None = None):
+        self.kind = kind
+        self.default = default
+        self._items: dict[str, T] = {}
+
+    def register(self, item: T, *, replace: bool = False) -> None:
+        """Register ``item`` under ``item.name``."""
+        name = item.name
+        if not replace and name in self._items:
+            raise ValueError(f"{self.kind} {name!r} already registered")
+        self._items[name] = item
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, sorted (for CLI choices and error text)."""
+        return tuple(sorted(self._items))
+
+    def get(self, item):
+        """Resolve an argument: ``None``, a registered name, or an instance."""
+        if item is None:
+            item = self.default
+        if isinstance(item, str):
+            try:
+                return self._items[item]
+            except KeyError:
+                raise ValueError(
+                    f"unknown {self.kind} {item!r}; registered: "
+                    f"{', '.join(self.names()) or '(none)'}"
+                ) from None
+        return item

@@ -1,354 +1,39 @@
-"""Trace-driven out-of-order timing model.
+"""The ``"generic"`` timing engine: one interpreter loop for any program.
 
-One pass over a dynamic trace assigns every instruction a fetch, issue,
-completion and retirement cycle subject to the configured machine's
-constraints:
-
-* **Fetch** proceeds in program order at ``fetch_width`` instructions per
-  cycle; with ``fetch_break_on_taken``, at most ``fetch_groups_per_cycle``
-  taken branches are crossed per cycle (the paper's "1 block/cycle").  A
-  mispredicted branch redirects fetch to ``complete + mispredict_penalty``.
-* **Dispatch** into the window requires a free slot: instruction *i* may not
-  enter until instruction *i - window_size* has retired.
-* **Issue** waits for source operands, an issue slot (``issue_width`` per
-  cycle) and a functional unit *in the same cycle*: IALUs, rotator/XBOX
-  units, multiplier slots (a 64-bit multiply costs ``mul64_cost`` slots),
-  data-cache ports, or a per-table SBox-cache port.  Older instructions
-  claim slots first because the pass runs in program order -- the same
-  priority an age-ordered scheduler gives.
-* **Stores** resolve their address one cycle after their base register is
-  ready; **loads** obey memory ordering: unless ``perfect_alias``, a load's
-  cache access may not start before every prior store's address is known
-  (the paper's conservative baseline).  A load overlapping a recent store
-  forwards from it.  Non-aliased SBOX instructions skip ordering entirely
-  (paper section 5); the aliased form (RC4's) is treated as a load.
-* **Completion** adds the operation latency (plus cache-hierarchy extra
-  latency when the memory system is realistic).
-* **Retirement** is in-order, ``retire_width`` per cycle.
-
-This is the standard cycle-assignment formulation of an out-of-order
-machine; DESIGN.md substitution #1 discusses fidelity versus the paper's
-execution-driven simulator.  With every constraint disabled (the DF config)
-the pass computes the pure dataflow critical path.
-
-**Streaming.**  The pass is organized as a :class:`TimingPipeline` whose
-stage components -- :class:`FrontendState`, :class:`SchedulerState`,
-:class:`MemoryOrderState`, :class:`AttributionState` -- carry their state
-across :class:`~repro.sim.trace.TraceChunk` boundaries.  The pipeline
-consumes any :class:`~repro.sim.trace.TraceSource` (a materialized
-:class:`~repro.sim.trace.Trace` or a live
-:class:`~repro.sim.machine.StreamingTrace`) chunk by chunk and produces
-**bit-identical** :class:`~repro.sim.stats.SimStats` regardless of chunk
-size, because every per-instruction decision depends only on carried state
-plus at most one entry of lookahead (branch outcomes are inferred from the
-next trace entry; the pipeline defers the final entry of each chunk until
-the next chunk's first entry arrives).  :func:`simulate` is the one-call
-wrapper.  See ``docs/architecture.md``.
-
-**Stall attribution.**  On machines with a finite ``issue_width`` the pass
-additionally produces an exact cycle account -- the paper's SimpleView
-bottleneck analysis as data.  Every one of the run's
-``cycles * issue_width`` issue slots is either used by an instruction or
-attributed to exactly one stall category
-(:data:`repro.sim.stats.STALL_CATEGORIES`), by blaming each cycle's empty
-slots on whatever blocked the *oldest unissued* instruction at that cycle
-(the standard attribution discipline of sim-outorder-style accounting):
-fetch starvation, misprediction recovery, frontend depth, a full window,
-operand waits, memory-ordering/alias stalls, issue-port contention, or a
-busy functional-unit pool.  Cycles after the last issue are the
-retirement drain.  The invariant
-
-    ``stats.instructions + sum(stats.stall_slots.values())
-    == stats.cycles * issue_width == stats.issue_slots``
-
-holds exactly and is enforced by property tests across the cipher suite.
-A complementary *instruction view* (``stats.wait_cycles`` plus the
-``stats.hotspots`` table) accumulates the cycles each static instruction
-spent blocked per category, independent of machine width.
+This is the reference implementation of the timing model -- a single flat
+loop over trace entries that re-examines every instruction's class,
+sources and latencies per dynamic instance.  It handles every machine
+configuration and every trace shape (including synthetic chunks with
+explicit ``taken`` flags), and its output defines correctness for every
+other engine: the ``"specialized"`` engine must match it bit for bit
+(``tests/sim/test_timing_engines.py`` is the oracle).
 """
 
 from __future__ import annotations
 
-from array import array
-
-from repro.isa.program import Program
-from repro.sim.branch import BimodalPredictor
-from repro.sim.caches import MemoryHierarchy
-from repro.sim.config import MachineConfig
-from repro.sim.sboxcache import SBoxCacheArray
-from repro.sim.stats import STALL_CATEGORIES, WAIT_CATEGORIES, SimStats
-from repro.sim.trace import StaticInfo, TraceChunk, TraceSource
-
-_UNLIMITED = 1 << 30
-
-# Stall-category indices (must mirror STALL_CATEGORIES order).
-(_C_FETCH, _C_MISPREDICT, _C_FRONTEND, _C_WINDOW, _C_OPERAND, _C_ALIAS,
- _C_ISSUE, _C_FU_IALU, _C_FU_ROT, _C_FU_MUL, _C_FU_MEM, _C_FU_SBOX,
- _C_DRAIN) = range(len(STALL_CATEGORIES))
-_N_WAIT = len(WAIT_CATEGORIES)
-#: Instruction-view (wait) index of a stall category: categories _C_WINDOW
-#: through _C_FU_SBOX map onto WAIT_CATEGORIES[cat - _C_WINDOW].
-_HOTSPOT_LIMIT = 32
+from repro.sim.timing.stages import (
+    _C_ALIAS,
+    _C_FETCH,
+    _C_FRONTEND,
+    _C_FU_IALU,
+    _C_FU_MEM,
+    _C_FU_MUL,
+    _C_FU_ROT,
+    _C_FU_SBOX,
+    _C_ISSUE,
+    _C_MISPREDICT,
+    _C_OPERAND,
+    _C_WINDOW,
+    _N_WAIT,
+    _UNLIMITED,
+    PipelineBase,
+)
 
 
-class FrontendState:
-    """Fetch stage: program-order fetch bandwidth and redirect state."""
+class GenericPipeline(PipelineBase):
+    """Per-entry interpreter over the stage components."""
 
-    __slots__ = ("fetch_cycle", "fetch_slots_used", "fetch_groups_used",
-                 "mispredict_until", "predictor")
-
-    def __init__(self, config: MachineConfig):
-        self.fetch_cycle = 0
-        self.fetch_slots_used = 0
-        self.fetch_groups_used = 0
-        self.mispredict_until = 0
-        self.predictor = (
-            None if config.perfect_branch_prediction
-            else BimodalPredictor(config.predictor_entries)
-        )
-
-
-class SchedulerState:
-    """Issue/FU/retire bookkeeping: per-cycle resource maps + scoreboard.
-
-    ``reg_ready`` is sized lazily from the static metadata (interleaved
-    multi-thread traces remap each thread into its own 32-register window).
-    """
-
-    __slots__ = ("issue_used", "ialu_used", "rot_used", "mul_used",
-                 "dport_used", "sport_used", "retire_used", "no_fu",
-                 "reg_ready", "retire_ring", "retire_prev", "max_complete",
-                 "prune_mark", "trim_mark")
-
-    def __init__(self, config: MachineConfig, static: StaticInfo):
-        self.issue_used: dict[int, int] = {}
-        self.ialu_used: dict[int, int] = {}
-        self.rot_used: dict[int, int] = {}
-        self.mul_used: dict[int, int] = {}
-        self.dport_used: dict[int, int] = {}
-        self.sport_used = [dict() for _ in range(config.sbox_caches or 0)]
-        self.retire_used: dict[int, int] = {}
-        self.no_fu: dict[int, int] = {}
-        max_reg = 31
-        for d in static.dest:
-            if d > max_reg:
-                max_reg = d
-        for sources in static.srcs:
-            for r in sources:
-                if r > max_reg:
-                    max_reg = r
-        self.reg_ready = [0] * (max_reg + 1)
-        window = config.window_size
-        self.retire_ring = [0] * window if window else None
-        self.retire_prev = 0
-        self.max_complete = 0
-        self.prune_mark = 0
-        self.trim_mark = 0
-
-
-class MemoryOrderState:
-    """Memory-ordering/alias stage: store queue, sync barrier, hierarchies."""
-
-    __slots__ = ("hierarchy", "sbox_array", "last_store_addr_known",
-                 "recent_stores", "sync_barrier")
-
-    def __init__(
-        self,
-        config: MachineConfig,
-        warm_ranges: list[tuple[int, int]] | None,
-    ):
-        self.hierarchy = None
-        if not config.perfect_memory:
-            self.hierarchy = MemoryHierarchy(
-                l1_size=config.l1_size, l1_assoc=config.l1_assoc,
-                l1_block=config.l1_block, l2_size=config.l2_size,
-                l2_assoc=config.l2_assoc,
-                l2_hit_latency=config.l2_hit_latency,
-                memory_latency=config.memory_latency,
-                tlb_entries=config.tlb_entries, tlb_assoc=config.tlb_assoc,
-                page_size=config.page_size,
-                tlb_miss_latency=config.tlb_miss_latency,
-            )
-            for start, length in warm_ranges or ():
-                self.hierarchy.warm(start, length)
-        self.sbox_array = (
-            SBoxCacheArray(config.sbox_caches) if config.sbox_caches else None
-        )
-        self.last_store_addr_known = 0
-        self.recent_stores: list[tuple[int, int, int]] = []
-        self.sync_barrier = 0
-
-
-class AttributionState:
-    """Stall-attribution stage: cycle labels and the running slot account."""
-
-    __slots__ = ("reason_at", "stall_slots", "wait_totals", "frontier",
-                 "flushed_until", "hot", "exec_counts")
-
-    def __init__(self, static: StaticInfo):
-        self.reason_at: dict[int, int] = {}
-        self.stall_slots = [0] * len(STALL_CATEGORIES)
-        self.wait_totals = [0] * _N_WAIT
-        self.frontier = 0
-        self.flushed_until = 0
-        self.hot: dict[int, list[int]] = {}
-        self.exec_counts = [0] * len(static.klass)
-
-
-class TimingPipeline:
-    """Incremental timing model over a chunked trace stream.
-
-    Feed :class:`~repro.sim.trace.TraceChunk` objects in trace order with
-    :meth:`feed`, then call :meth:`finish` for the final
-    :class:`~repro.sim.stats.SimStats`.  Results are bit-identical to a
-    single-chunk (batch) pass for any chunk partitioning: all stage state
-    carries across chunk boundaries, and the one piece of lookahead the
-    model needs -- the *next* trace entry, to infer whether a branch was
-    taken -- is handled by deferring each chunk's final entry until the
-    next chunk (or end of trace, where the outcome defaults to taken,
-    matching ``Trace.taken``).  Chunks with explicit ``taken`` flags
-    (synthetic interleavings) need no deferral.
-
-    One pipeline consumes one trace; build a fresh pipeline per run.
-    """
-
-    def __init__(
-        self,
-        config: MachineConfig,
-        static: StaticInfo,
-        program: Program,
-        warm_ranges: list[tuple[int, int]] | None = None,
-        schedule_range: tuple[int, int] | None = None,
-    ):
-        self.config = config
-        self.static = static
-        self.program = program
-        self.stats = SimStats(config_name=config.name, instructions=0)
-
-        def limit(value):
-            return _UNLIMITED if value is None else value
-
-        self._issue_width = limit(config.issue_width)
-        self._num_ialu = limit(config.num_ialu)
-        self._num_rot = limit(config.num_rotator)
-        self._mul_slots = limit(config.mul_slots)
-        self._dports = limit(config.dcache_ports)
-        self._retire_width = limit(config.retire_width)
-        self._sbox_ports = limit(config.sbox_cache_ports)
-        self._track_issue = self._issue_width != _UNLIMITED
-        # Slot accounting is defined only when issue bandwidth is finite;
-        # with unlimited width there is no fixed slot budget to attribute.
-        self._attribute = self._track_issue
-
-        self.frontend = FrontendState(config)
-        self.scheduler = SchedulerState(config, static)
-        self.memorder = MemoryOrderState(config, warm_ranges)
-        self.attribution = (
-            AttributionState(static) if self._attribute else None
-        )
-
-        self._schedule: list | None = None
-        self._sched_start = self._sched_end = 0
-        if schedule_range is not None:
-            self._schedule = []
-            self.stats.extra["schedule"] = self._schedule
-            self._sched_start, self._sched_end = schedule_range
-            cap = config.max_schedule_entries
-            if cap is not None and self._sched_end - self._sched_start > cap:
-                self._sched_end = self._sched_start + cap
-                self.stats.extra["schedule_truncated"] = True
-
-        #: Deferred final entry of the previous adjacency-mode chunk:
-        #: ``(seq, addrs, start, index)`` referencing that chunk's arrays.
-        self._carry: tuple[array, array, int, int] | None = None
-        self._count = 0
-        self._finished = False
-
-    def feed(self, chunk: TraceChunk) -> None:
-        """Advance the pipeline over one chunk of trace entries."""
-        if self._finished:
-            raise RuntimeError("TimingPipeline already finished")
-        seq = chunk.seq
-        n = len(seq)
-        if n == 0:
-            return
-        if self._carry is not None:
-            cseq, caddrs, cstart, cidx = self._carry
-            self._carry = None
-            self._advance(cseq, caddrs, None, cstart, cidx, cidx + 1, seq[0])
-        if chunk.taken is not None:
-            # Explicit branch outcomes: no lookahead needed, no deferral.
-            self._advance(seq, chunk.addrs, chunk.taken, chunk.start, 0, n,
-                          None)
-        else:
-            if n > 1:
-                self._advance(seq, chunk.addrs, None, chunk.start, 0, n - 1,
-                              None)
-            self._carry = (seq, chunk.addrs, chunk.start, n - 1)
-
-    def finish(self) -> SimStats:
-        """Drain the deferred entry and finalize the statistics."""
-        if self._finished:
-            return self.stats
-        self._finished = True
-        if self._carry is not None:
-            cseq, caddrs, cstart, cidx = self._carry
-            self._carry = None
-            # End of trace: the final branch outcome defaults to taken,
-            # exactly as ``Trace.taken`` defines it.
-            self._advance(cseq, caddrs, None, cstart, cidx, cidx + 1, None)
-
-        stats = self.stats
-        stats.instructions = self._count
-        if self._count == 0:
-            return stats
-        scheduler = self.scheduler
-        memorder = self.memorder
-        frontend = self.frontend
-        stats.cycles = max(scheduler.max_complete, scheduler.retire_prev)
-        if memorder.hierarchy is not None:
-            stats.l1_misses = memorder.hierarchy.l1.misses
-            stats.l2_misses = memorder.hierarchy.l2.misses
-            stats.tlb_misses = memorder.hierarchy.tlb.misses
-        if memorder.sbox_array is not None:
-            stats.extra["sbox_cache_hits"] = memorder.sbox_array.total_hits
-        if frontend.predictor is not None:
-            stats.extra["predictor_lookups"] = frontend.predictor.lookups
-
-        if self._attribute:
-            attribution = self.attribution
-            self._flush_attribution(stats.cycles)
-            stats.issue_slots = stats.cycles * self._issue_width
-            stats.stall_slots = {
-                name: attribution.stall_slots[index]
-                for index, name in enumerate(STALL_CATEGORIES)
-            }
-            stats.wait_cycles = {
-                name: attribution.wait_totals[index]
-                for index, name in enumerate(WAIT_CATEGORIES)
-            }
-            stats.hotspots = _hotspot_table(
-                self.program, attribution.hot, attribution.exec_counts
-            )
-        return stats
-
-    def _flush_attribution(self, until: int) -> None:
-        """Finalize slot counts for cycles below ``until``.
-
-        Safe once no future instruction can issue there (every cycle below
-        the prune horizon, and everything at the end of the run).  Cycles
-        past the last labeled one are retirement drain.
-        """
-        attribution = self.attribution
-        issue_width = self._issue_width
-        pop_reason = attribution.reason_at.pop
-        get_used = self.scheduler.issue_used.get
-        stall_slots = attribution.stall_slots
-        for cycle in range(attribution.flushed_until, until):
-            stall_slots[pop_reason(cycle, _C_DRAIN)] += (
-                issue_width - get_used(cycle, 0)
-            )
-        attribution.flushed_until = until
+    engine_name = "generic"
 
     def _advance(
         self,
@@ -793,99 +478,21 @@ class TimingPipeline:
         self._count += hi - lo
 
 
-def simulate(
-    trace: TraceSource,
-    config: MachineConfig,
-    warm_ranges: list[tuple[int, int]] | None = None,
-    schedule_range: tuple[int, int] | None = None,
-    metrics=None,
-    chunk_size: int | None = None,
-) -> SimStats:
-    """Run the timing model over a trace source; returns cycle statistics.
+class GenericEngine:
+    """Engine wrapper: builds :class:`GenericPipeline` instances."""
 
-    ``trace`` -- any :class:`~repro.sim.trace.TraceSource`: a materialized
-    :class:`~repro.sim.trace.Trace` (the batch path; the default
-    ``chunk_size=None`` consumes it as one zero-copy chunk) or a live
-    :class:`~repro.sim.machine.StreamingTrace`, which interleaves
-    functional execution with timing at bounded memory.
+    name = "generic"
 
-    ``warm_ranges`` -- list of ``(start, length)`` address ranges installed
-    into the cache hierarchy before timing begins (the tables and key
-    schedules the setup code just wrote; see ``MemoryHierarchy.warm``).
-
-    ``schedule_range`` -- optional ``(start, end)`` trace-position window;
-    per-instruction ``(position, static_index, fetch, issue, complete,
-    retire)`` tuples for that window are returned in
-    ``stats.extra["schedule"]`` (the pipeline-viewer hook).  Capture is
-    bounded by ``config.max_schedule_entries``; a clipped window sets
-    ``stats.extra["schedule_truncated"]``.
-
-    ``metrics`` -- optional :class:`repro.obs.MetricsRegistry`; when given,
-    the run's headline counters and stall-slot breakdown are recorded
-    under ``sim.*`` metric names labeled by config.
-
-    ``chunk_size`` -- entries per pipeline step; ``None`` lets the source
-    pick (a ``Trace`` yields itself whole, a ``StreamingTrace`` uses its
-    configured chunk size).  Results are bit-identical for every value.
-    """
-    pipeline = TimingPipeline(
-        config, trace.static, trace.program,
-        warm_ranges=warm_ranges, schedule_range=schedule_range,
-    )
-    for chunk in trace.chunks(chunk_size):
-        pipeline.feed(chunk)
-    stats = pipeline.finish()
-    if metrics is not None and stats.instructions:
-        record_sim_metrics(metrics, config, stats)
-    return stats
-
-
-def _hotspot_table(program: Program, hot: dict, exec_counts: list) -> list[dict]:
-    """Rank static instructions by accumulated wait cycles (top N).
-
-    Window-entry waits rank last: they measure the machine's dispatch
-    backlog, which every instruction in a saturated loop shares equally,
-    so operand/alias/contention waits -- the paper's actual per-operation
-    bottlenecks -- are the primary sort key.
-    """
-    ranked = sorted(
-        hot.items(),
-        key=lambda item: (sum(item[1][1:]), sum(item[1])),
-        reverse=True,
-    )[:_HOTSPOT_LIMIT]
-    # Synthetic traces (e.g. the multisession interleaver) carry static
-    # entries beyond their nominal program's instruction list.
-    instructions = program.instructions
-    table = []
-    for static_index, waits in ranked:
-        total = sum(waits)
-        if not total:
-            continue
-        table.append({
-            "static_index": static_index,
-            "text": (instructions[static_index].render()
-                     if static_index < len(instructions)
-                     else f"static[{static_index}]"),
-            "executions": exec_counts[static_index],
-            "total_wait_cycles": total,
-            "wait_cycles": {
-                name: waits[index]
-                for index, name in enumerate(WAIT_CATEGORIES)
-                if waits[index]
-            },
-        })
-    return table
-
-
-def record_sim_metrics(metrics, config: MachineConfig, stats: SimStats) -> None:
-    """Publish one run's headline counters into a metrics registry."""
-    labels = {"config": config.name}
-    metrics.counter("sim.runs", labels).inc()
-    metrics.counter("sim.instructions", labels).inc(stats.instructions)
-    metrics.counter("sim.cycles", labels).inc(stats.cycles)
-    metrics.counter("sim.issue_slots", labels).inc(stats.issue_slots)
-    for category, slots in stats.stall_slots.items():
-        if slots:
-            metrics.counter(
-                "sim.stall_slots", {**labels, "category": category}
-            ).inc(slots)
+    def make_pipeline(
+        self,
+        config,
+        static,
+        program,
+        *,
+        warm_ranges=None,
+        schedule_range=None,
+    ) -> GenericPipeline:
+        return GenericPipeline(
+            config, static, program,
+            warm_ranges=warm_ranges, schedule_range=schedule_range,
+        )

@@ -1,0 +1,111 @@
+"""Static timing IR: per-program scheduling structure, computed once.
+
+The generic engine re-derives everything about an instruction -- latency
+class, functional-unit pool, source registers, branch-ness -- on every
+dynamic instance.  The IR hoists that work to *program* scope: one pass
+over the finalized :class:`~repro.isa.program.Program` splits it into
+straight-line blocks (leaders at the entry point, every branch target and
+every post-branch/post-HALT index, capped at :data:`MAX_BLOCK` entries so
+generated code stays compact) and precomputes, per block, the exact
+static-index run a trace must contain for the block to have executed
+start to finish.
+
+The ``"specialized"`` engine's code generator walks these blocks and
+emits one unrolled scheduling body per block; at run time a single array
+comparison against :attr:`TimingBlock.expect` proves a trace window *is*
+that block, so the emitted body needs no per-entry dispatch at all.  The
+IR itself is engine-neutral static metadata and is cached on the trace's
+:class:`~repro.sim.trace.StaticInfo` (one per program, however many
+traces and configs consume it).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.isa.opcodes import HALT
+from repro.isa.program import Program
+from repro.sim.trace import SEQ_TYPECODE, StaticInfo
+
+#: Longest block the code generator unrolls; longer straight-line runs are
+#: split into consecutive sub-blocks (the follow-on sub-block is simply
+#: another leader, so splitting never costs correctness, only one more
+#: dispatch per MAX_BLOCK entries).
+MAX_BLOCK = 64
+
+
+class TimingBlock:
+    """One straight-line run of static instructions."""
+
+    __slots__ = ("index", "leader", "length", "expect", "branch_end")
+
+    def __init__(self, index: int, leader: int, length: int,
+                 branch_end: bool):
+        self.index = index
+        self.leader = leader
+        self.length = length
+        #: The dynamic static-index run this block produces when executed.
+        self.expect = array(SEQ_TYPECODE, range(leader, leader + length))
+        #: True when the final instruction is a branch (the block may be
+        #: followed by any leader); False for fall-through splits and HALT.
+        self.branch_end = branch_end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TimingBlock({self.index}: [{self.leader}.."
+                f"{self.leader + self.length}), branch={self.branch_end})")
+
+
+class TimingIR:
+    """Block decomposition of one program, keyed by block leader."""
+
+    __slots__ = ("program", "n_instructions", "blocks", "block_at")
+
+    def __init__(self, static: StaticInfo, program: Program):
+        self.program = program
+        instructions = program.instructions
+        n = self.n_instructions = len(instructions)
+        is_branch = static.is_branch
+
+        leaders = {0, n}
+        for i, inst in enumerate(instructions):
+            if i < len(is_branch) and is_branch[i]:
+                leaders.add(i + 1)
+                target = inst.target
+                if isinstance(target, int) and 0 <= target < n:
+                    leaders.add(target)
+            elif inst.code == HALT:
+                leaders.add(i + 1)
+
+        self.blocks: list[TimingBlock] = []
+        self.block_at: dict[int, TimingBlock] = {}
+        ordered = sorted(leader for leader in leaders if leader < n)
+        bounds = ordered + [n]
+        for which, leader in enumerate(ordered):
+            end = bounds[which + 1]
+            start = leader
+            while start < end:
+                length = min(MAX_BLOCK, end - start)
+                last = start + length - 1
+                block = TimingBlock(
+                    len(self.blocks), start, length,
+                    branch_end=bool(start + length == end
+                                    and last < len(is_branch)
+                                    and is_branch[last]),
+                )
+                self.blocks.append(block)
+                self.block_at[start] = block
+                start += length
+
+
+def timing_ir(static: StaticInfo, program: Program) -> TimingIR:
+    """The program's timing IR, computed once and cached on ``static``.
+
+    ``StaticInfo`` is built once per program (``StaticInfo.from_program``)
+    and shared by every trace of it, so caching here gives the desired
+    once-per-program cost without a separate global table.
+    """
+    ir = getattr(static, "_timing_ir", None)
+    if ir is None or ir.program is not program:
+        ir = TimingIR(static, program)
+        static._timing_ir = ir
+    return ir

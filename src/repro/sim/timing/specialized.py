@@ -1,0 +1,1574 @@
+"""The ``"specialized"`` timing engine: per-(program, config) codegen.
+
+For each (program, machine config) pair this engine generates one Python
+function that schedules whole straight-line blocks of the trace at a
+time.  The static timing IR (:mod:`repro.sim.timing.ir`) supplies the
+block structure; the generator then constant-folds everything the
+generic interpreter re-derives per dynamic instruction:
+
+* per-opcode dispatch disappears -- each block body is the unrolled
+  sequence of its instructions' scheduling code, entered after a single
+  array comparison proves the trace window matches the block;
+* instruction classes, latencies, source registers, memory sizes, SBox
+  table ids and branch metadata become literals;
+* issue/FU checks for unlimited resources are elided entirely, as is the
+  whole attribution pass on machines without slot accounting;
+* register-ready times live in locals, the store queue becomes a byte ->
+  ``(store_order, data_ready)`` map with unrolled probes, retirement uses
+  the scalar frontier (see :class:`~repro.sim.timing.stages
+  .SchedulerState`), and the cache hierarchy's all-hit path (TLB hit +
+  next-line resident + L1 hit) is inlined with a pure probe-then-commit
+  sequence that leaves the hierarchy state exactly as
+  ``MemoryHierarchy.access`` would;
+* stall labels append to a frontier-ordered list (the machine-view
+  frontier only ever advances, labeling each cycle exactly once), and
+  per-instruction wait rows are pinned as locals, with ``wait_totals``
+  recovered at finish as their column sums.
+
+Trace windows that do not match a block -- chunk-boundary tails,
+synthetic traces with explicit ``taken`` flags, static indices outside
+the program -- fall back to :meth:`SpecializedPipeline._slow`, a
+per-entry port of the generic loop over the *same* stage state, so fast
+and slow segments interleave freely.
+
+The output contract is bit-identical :class:`~repro.sim.stats.SimStats`
+against the ``"generic"`` engine for every config, trace and chunking
+(``tests/sim/test_timing_engines.py`` is the oracle).  Generated sources
+are registered in :mod:`linecache` under ``<repro-timing:...>`` filenames
+so tracebacks and the sampling profiler see real lines.
+"""
+
+from __future__ import annotations
+
+import linecache
+import re
+import time
+from array import array
+from dataclasses import dataclass, field
+
+from repro.sim.config import MachineConfig
+from repro.sim.timing.ir import TimingIR, timing_ir
+from repro.sim.timing.stages import (
+    _C_ALIAS,
+    _C_DRAIN,
+    _C_FETCH,
+    _C_FRONTEND,
+    _C_FU_IALU,
+    _C_FU_MEM,
+    _C_FU_MUL,
+    _C_FU_ROT,
+    _C_FU_SBOX,
+    _C_ISSUE,
+    _C_MISPREDICT,
+    _C_OPERAND,
+    _C_WINDOW,
+    _N_WAIT,
+    _UNLIMITED,
+    PipelineBase,
+)
+from repro.sim.trace import SEQ_TYPECODE
+
+#: Optimization counters incremented by the code generator (the
+#: ``--explain`` table and ``timing.*`` metrics surface them).
+COUNTER_KEYS = (
+    "blocks_unrolled",
+    "latencies_folded",
+    "fu_checks_elided",
+    "issue_checks_elided",
+    "attribution_elided",
+    "branch_lookaheads_inlined",
+    "memory_fast_paths",
+    "forward_probes_unrolled",
+)
+
+
+@dataclass
+class SpecializationReport:
+    """What one (program, config) specialization did: counters, wall time.
+
+    One report per generated scheduler (same key as the code cache);
+    ``source_cache_hits`` counts later pipelines served from the cache.
+    Surfaced as ``timing.*`` metrics (:func:`record_timing_metrics`),
+    ``timing`` ledger events, and ``riscasim --timing-engine specialized
+    --explain``.
+    """
+
+    digest: str
+    config_name: str
+    attributed: bool
+    instructions: int
+    blocks: int
+    source_lines: int
+    compile_seconds: float
+    counters: dict[str, int] = field(default_factory=dict)
+    source_cache_hits: int = 0
+
+    @property
+    def mode(self) -> str:
+        return "attr" if self.attributed else "plain"
+
+
+_CODE_CACHE: dict = {}
+_REPORTS: dict = {}
+_SERIAL = [0]
+
+
+def cache_info() -> dict[str, int]:
+    """Size of the (digest, config)-keyed generated-scheduler cache."""
+    return {"size": len(_CODE_CACHE)}
+
+
+def cache_clear() -> None:
+    """Drop all cached generated schedulers (for tests/benchmarks)."""
+    _CODE_CACHE.clear()
+    _REPORTS.clear()
+
+
+def specialization_reports() -> list[SpecializationReport]:
+    """Every specialization this process performed, in compile order."""
+    return list(_REPORTS.values())
+
+
+def record_timing_metrics(registry) -> None:
+    """Fold the process's specialization reports into a metrics registry.
+
+    ``timing.programs`` / ``timing.source_cache_hits`` counters, one
+    ``timing.<counter>`` counter per optimization kind, and the total
+    codegen wall time as ``timing.wall_seconds``.
+    """
+    reports = specialization_reports()
+    registry.counter("timing.programs").inc(len(reports))
+    registry.counter("timing.source_cache_hits").inc(
+        sum(report.source_cache_hits for report in reports)
+    )
+    for key in COUNTER_KEYS:
+        registry.counter(f"timing.{key}").inc(
+            sum(report.counters.get(key, 0) for report in reports)
+        )
+    registry.gauge("timing.wall_seconds").set(
+        sum(report.compile_seconds for report in reports)
+    )
+
+
+def explain_table(reports: "list[SpecializationReport] | None" = None) -> str:
+    """The ``riscasim --timing-engine specialized --explain`` table."""
+    reports = specialization_reports() if reports is None else reports
+    if not reports:
+        return ("specialized timing engine: no programs specialized "
+                "in this process")
+    lines = [
+        f"specialized timing engine: {len(reports)} specialization(s), "
+        f"{sum(r.compile_seconds for r in reports) * 1e3:.1f} ms codegen, "
+        f"{sum(r.source_cache_hits for r in reports)} cache hit(s)",
+        f"  {'program':<10} {'config':<10} {'mode':<5} {'instr':>6} "
+        f"{'lines':>6} {'ms':>6} {'hits':>5}  optimizations",
+    ]
+    for report in reports:
+        opts = ", ".join(
+            f"{key.replace('_', ' ')} {report.counters[key]}"
+            for key in COUNTER_KEYS if report.counters.get(key)
+        ) or "none"
+        lines.append(
+            f"  {report.digest[:8]:<10} {report.config_name:<10} "
+            f"{report.mode:<5} {report.instructions:>6} "
+            f"{report.source_lines:>6} "
+            f"{report.compile_seconds * 1e3:>6.1f} "
+            f"{report.source_cache_hits:>5}  {opts}"
+        )
+    return "\n".join(lines)
+
+
+def _publish(type: str, data: dict) -> None:
+    """Ledger event on the process's active bus, if one is installed."""
+    from repro.obs.events import publish_event
+
+    publish_event("timing", type, data)
+
+
+def _static_fingerprint(static, n: int) -> int:
+    """Hash of the static metadata the generator bakes into code.
+
+    Synthetic traces may pair a program digest with *different* static
+    arrays (e.g. register-remapped interleavings), so the digest alone is
+    not a safe cache key for generated schedulers.
+    """
+    return hash((
+        tuple(static.klass[:n]),
+        tuple(static.dest[:n]),
+        tuple(map(tuple, static.srcs[:n])),
+        tuple(map(tuple, static.addr_srcs[:n])),
+        tuple(static.is_branch[:n]),
+        tuple(static.is_cond_branch[:n]),
+        tuple(static.mem_size[:n]),
+        tuple(static.sbox_table[:n]),
+        tuple(static.sbox_aliased[:n]),
+    ))
+
+
+def specialized_scheduler(ir: TimingIR, static, config: MachineConfig):
+    """The generated fast-path function for this (program, config) pair.
+
+    Returns ``(function or None, report or None)``; ``None`` when the
+    program has no blocks to specialize (empty program).
+    """
+    n = ir.n_instructions
+    if not ir.blocks:
+        return None, None
+    key = (ir.program.digest(), _static_fingerprint(static, n), config)
+    cached = _CODE_CACHE.get(key)
+    if cached is not None:
+        report = _REPORTS.get(key)
+        if report is not None:
+            report.source_cache_hits += 1
+        _publish("specialize-cache-hit", {
+            "digest": key[0][:12], "config": config.name,
+        })
+        return cached, report
+    began = time.perf_counter()
+    _SERIAL[0] += 1
+    slug = re.sub(r"\W", "_", config.name)
+    func_name = f"_timing_{key[0][:8]}_{slug}_{_SERIAL[0]}"
+    source, counters, namespace = _generate(ir, static, config, func_name)
+    filename = f"<repro-timing:{key[0][:8]}:{config.name}:{_SERIAL[0]}>"
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename,
+    )
+    exec(compile(source, filename, "exec"), namespace)
+    fn = namespace[func_name]
+    _CODE_CACHE[key] = fn
+    report = _REPORTS[key] = SpecializationReport(
+        digest=key[0],
+        config_name=config.name,
+        attributed=config.issue_width is not None,
+        instructions=n,
+        blocks=len(ir.blocks),
+        source_lines=source.count("\n"),
+        compile_seconds=time.perf_counter() - began,
+        counters=counters,
+    )
+    _publish("specialize", {
+        "digest": key[0][:12],
+        "config": config.name,
+        "mode": report.mode,
+        "instructions": n,
+        "blocks": report.blocks,
+        "source_lines": report.source_lines,
+        "seconds": round(report.compile_seconds, 6),
+        **{k: counters.get(k, 0) for k in COUNTER_KEYS},
+    })
+    return fn, report
+
+
+def _pow2(value: int) -> "int | None":
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def _div(expr: str, by: int) -> str:
+    shift = _pow2(by)
+    return f"({expr} >> {shift})" if shift is not None else f"({expr} // {by})"
+
+
+def _mod(expr: str, by: int) -> str:
+    if by == 1:
+        return "0"
+    shift = _pow2(by)
+    return f"({expr} & {by - 1})" if shift is not None else f"({expr} % {by})"
+
+
+def _generate(ir: TimingIR, static, config: MachineConfig, func_name: str):
+    """Emit the fast-path source for one (program, config) pair."""
+    counters = {key: 0 for key in COUNTER_KEYS}
+
+    def count(key: str, by: int = 1) -> None:
+        counters[key] += by
+
+    lines: list[str] = []
+
+    def limit(value):
+        return _UNLIMITED if value is None else value
+
+    issue_width = limit(config.issue_width)
+    num_ialu = limit(config.num_ialu)
+    num_rot = limit(config.num_rotator)
+    mul_slots = limit(config.mul_slots)
+    dports = limit(config.dcache_ports)
+    retire_width = limit(config.retire_width)
+    sbox_ports = limit(config.sbox_cache_ports)
+    track_issue = issue_width != _UNLIMITED
+    attribute = track_issue
+    window = config.window_size
+    fetch_width = config.fetch_width
+    track_fgu = config.fetch_groups_per_cycle > 1
+    perfect_memory = config.perfect_memory
+    perfect_alias = config.perfect_alias
+    has_predictor = not config.perfect_branch_prediction
+    sbox_caches = config.sbox_caches
+    lsq = config.lsq_size
+
+    # ---- scan the blocks for which machinery the code needs ---------------
+    used_regs: set[int] = set()
+    used_sports: set[int] = set()
+    uses_hier = uses_sync = uses_pred = False
+    uses_dport = uses_ialu = uses_rot = uses_mul = False
+    uses_store = uses_fwd = uses_sbmiss = False
+    for block in ir.blocks:
+        for s in range(block.leader, block.leader + block.length):
+            k = static.klass[s]
+            used_regs.update(static.srcs[s])
+            used_regs.update(static.addr_srcs[s])
+            if static.dest[s] >= 0:
+                used_regs.add(static.dest[s])
+            if k == "load":
+                uses_fwd = True
+                if not perfect_memory:
+                    uses_hier = True
+                uses_dport = True
+            elif k == "store":
+                uses_store = True
+                if not perfect_memory:
+                    uses_hier = True
+                uses_dport = True
+            elif k == "sbox":
+                if static.sbox_aliased[s]:
+                    uses_fwd = True
+                    if not perfect_memory:
+                        uses_hier = True
+                    uses_dport = True
+                elif sbox_caches and static.sbox_table[s] < sbox_caches:
+                    used_sports.add(static.sbox_table[s] % sbox_caches)
+                    uses_sbmiss = True
+                else:
+                    if not perfect_memory:
+                        uses_hier = True
+                    uses_dport = True
+            elif k == "sync":
+                uses_sync = True
+            elif k == "ialu":
+                uses_ialu = True
+            elif k == "rotator":
+                uses_rot = True
+            elif k in ("mul32", "mul64", "mulmod"):
+                uses_mul = True
+            if (static.is_branch[s] and static.is_cond_branch[s]
+                    and has_predictor):
+                uses_pred = True
+    uses_dport = uses_dport and dports != _UNLIMITED
+    uses_ialu = uses_ialu and num_ialu != _UNLIMITED
+    uses_rot = uses_rot and num_rot != _UNLIMITED
+    uses_mul = uses_mul and mul_slots != _UNLIMITED
+    use_sports = bool(used_sports) and sbox_ports != _UNLIMITED
+
+    def w(indent: int, text: str = "") -> None:
+        lines.append("    " * indent + text if text else "")
+
+    # ---- prelude: pin carried state into locals ---------------------------
+    w(0, f"def {func_name}(self, seq, addrs, base_pos, lo, hi, next_s):")
+    w(1, "fe = self.frontend")
+    w(1, "fc = fe.fetch_cycle")
+    w(1, "fsu = fe.fetch_slots_used")
+    if track_fgu:
+        w(1, "fgu = fe.fetch_groups_used")
+    w(1, "mpu = fe.mispredict_until")
+    w(1, "sch = self.scheduler")
+    if track_issue:
+        w(1, "iu = sch.issue_used")
+        w(1, "iug = iu.get")
+    if uses_ialu:
+        w(1, "au = sch.ialu_used")
+        w(1, "aug = au.get")
+    if uses_rot:
+        w(1, "ru = sch.rot_used")
+        w(1, "rug = ru.get")
+    if uses_mul:
+        w(1, "mu = sch.mul_used")
+        w(1, "mug = mu.get")
+    if uses_dport:
+        w(1, "du = sch.dport_used")
+        w(1, "dug = du.get")
+    if use_sports:
+        for port in sorted(used_sports):
+            w(1, f"sp{port} = sch.sport_used[{port}]")
+            w(1, f"spg{port} = sp{port}.get")
+    if window:
+        w(1, "ring = sch.retire_ring")
+    w(1, "rr = sch.reg_ready")
+    for reg in sorted(used_regs):
+        w(1, f"g{reg} = rr[{reg}]")
+    w(1, "rp = sch.retire_prev")
+    if retire_width != _UNLIMITED:
+        w(1, "rcount = sch.retire_count")
+    w(1, "maxc = sch.max_complete")
+    w(1, "pm = sch.prune_mark")
+    w(1, "mo = self.memorder")
+    if not perfect_alias and (uses_store or uses_fwd):
+        w(1, "lsk = mo.last_store_addr_known")
+    if uses_sync or any(
+        static.klass[s] == "sbox" and not static.sbox_aliased[s]
+        for b in ir.blocks for s in range(b.leader, b.leader + b.length)
+    ):
+        w(1, "syncb = mo.sync_barrier")
+    if uses_store or uses_fwd:
+        w(1, "sm = mo.store_map")
+        w(1, "smg = sm.get")
+        w(1, "sc = mo.store_count")
+    if uses_hier:
+        w(1, "H = mo.hierarchy")
+        w(1, "HACC = H.access")
+        w(1, "LSETS = H.l1.sets")
+        w(1, "TSETS = H.tlb.cache.sets")
+        w(1, "l1h = 0")
+        w(1, "tlbh = 0")
+    if use_sports or uses_sync:
+        w(1, "sba = mo.sbox_array")
+    if use_sports:
+        for port in sorted(used_sports):
+            w(1, f"sb{port} = sba.caches[{port}]")
+    if uses_sync:
+        w(1, "sbsync = sba.sync if sba is not None else None")
+    if uses_pred:
+        w(1, "pred = fe.predictor")
+        w(1, "pt = pred.table")
+        w(1, "plk = 0")
+        w(1, "pmi = 0")
+    if attribute:
+        w(1, "att = self.attribution")
+        w(1, "raa = self._ra.append")
+        w(1, "fr = att.frontier")
+        w(1, "hot = att.hot")
+        w(1, "bexec = self._block_execs")
+        w(1, "bumps = []")
+        w(1, "ba = bumps.append")
+        # Pin one wait row per static instruction.  Creating a row that
+        # this call never touches is harmless: all-zero rows are skipped
+        # by the hotspot table and cannot displace a non-zero row.
+        for s in sorted({
+            s for b in ir.blocks
+            for s in range(b.leader, b.leader + b.length)
+        }):
+            w(1, f"row{s} = hot.get({s})")
+            w(1, f"if row{s} is None:")
+            w(2, f"row{s} = hot[{s}] = [0] * {_N_WAIT}")
+    else:
+        count("attribution_elided", ir.n_instructions)
+    w(1, "st = self.stats")
+    w(1, "d_br = 0")
+    w(1, "d_ld = 0")
+    w(1, "d_st = 0")
+    w(1, "d_sb = 0")
+    w(1, "d_sf = 0")
+    w(1, "d_mp = 0")
+    if uses_sbmiss:
+        w(1, "d_sbm = 0")
+    w(1, "seq_len = len(seq)")
+    w(1, "j = lo")
+    w(1, "while j < hi:")
+    w(2, "s = seq[j]")
+
+    # ---- shared emission helpers ------------------------------------------
+    def emit_issue(ind: int, rq_expr: str, fu) -> None:
+        """Inline issue_at: ``fu`` is None or (getter, dict, limit, cost,
+        category).
+
+        Emitted as a straight-line common case (free slot and free unit at
+        the request cycle) with the bump loop in a rarely-taken branch.
+        A unit pool with ``cost == 1`` and ``limit >= issue_width`` can
+        never be the binding constraint -- the pool's per-cycle use is
+        bounded by the issue count, which the (earlier) issue check keeps
+        below the pool limit -- so its checks *and* bookkeeping are elided
+        outright.
+        """
+        w(ind, f"c = {rq_expr}")
+        if fu is not None and fu[2] == _UNLIMITED:
+            fu = None
+        if (fu is not None and track_issue and fu[3] == 1
+                and fu[2] >= issue_width):
+            count("fu_checks_elided")
+            fu = None
+        if track_issue and fu is not None:
+            getter, dname, fu_limit, cost, cat = fu
+            w(ind, "u = iug(c, 0)")
+            w(ind, f"fv = {getter}(c, 0)")
+            if cost == 1:
+                w(ind, f"if u >= {issue_width} or fv >= {fu_limit}:")
+            else:
+                w(ind, f"if u >= {issue_width} or fv + {cost} > {fu_limit}:")
+            if attribute:
+                w(ind + 1, "del bumps[:]")
+            w(ind + 1, "while 1:")
+            w(ind + 2, f"if u >= {issue_width}:")
+            if attribute:
+                w(ind + 3, "ba(6)")
+            w(ind + 2, f"elif fv + {cost} > {fu_limit}:")
+            if attribute:
+                w(ind + 3, f"ba({cat})")
+            w(ind + 2, "else:")
+            w(ind + 3, "break")
+            w(ind + 2, "c += 1")
+            w(ind + 2, "u = iug(c, 0)")
+            w(ind + 2, f"fv = {getter}(c, 0)")
+            w(ind, "iu[c] = u + 1")
+            w(ind, f"{dname}[c] = fv + {cost}")
+        elif track_issue:
+            w(ind, "u = iug(c, 0)")
+            w(ind, f"if u >= {issue_width}:")
+            if attribute:
+                w(ind + 1, "del bumps[:]")
+            w(ind + 1, "while 1:")
+            if attribute:
+                w(ind + 2, "ba(6)")
+            w(ind + 2, "c += 1")
+            w(ind + 2, "u = iug(c, 0)")
+            w(ind + 2, f"if u < {issue_width}:")
+            w(ind + 3, "break")
+            w(ind, "iu[c] = u + 1")
+        elif fu is not None:
+            getter, dname, fu_limit, cost, cat = fu
+            w(ind, f"fv = {getter}(c, 0)")
+            if cost == 1:
+                w(ind, f"while fv >= {fu_limit}:")
+            else:
+                w(ind, f"while fv + {cost} > {fu_limit}:")
+            w(ind + 1, "c += 1")
+            w(ind + 1, f"fv = {getter}(c, 0)")
+            w(ind, f"{dname}[c] = fv + {cost}")
+        else:
+            count("issue_checks_elided")
+
+    def emit_hier(ind: int, addr_expr: str, is_store: bool) -> None:
+        """Inline the hierarchy's all-hit path; delegate otherwise.
+
+        The probe phase (``in`` tests) mutates nothing, so on any miss the
+        delegated ``MemoryHierarchy.access`` call replays the full access
+        against untouched state; on the all-hit path the commit applies
+        exactly the LRU reorders and hit counts ``access`` would.
+        """
+        count("memory_fast_paths")
+        blk = config.l1_block
+        l1_ns = config.l1_size // (config.l1_assoc * config.l1_block)
+        tlb_ns = config.tlb_entries // config.tlb_assoc
+        w(ind, f"ab = {_div(addr_expr, blk)}")
+        w(ind, f"ls = LSETS[{_mod('ab', l1_ns)}]")
+        w(ind, f"pg = {_div(addr_expr, config.page_size)}")
+        w(ind, f"ts = TSETS[{_mod('pg', tlb_ns)}]")
+        w(ind, "if pg in ts and ab in ls and "
+               f"ab + 1 in LSETS[{_mod('(ab + 1)', l1_ns)}]:")
+        w(ind + 1, "if ts[-1] != pg:")
+        w(ind + 2, "ts.remove(pg)")
+        w(ind + 2, "ts.append(pg)")
+        w(ind + 1, "tlbh += 1")
+        w(ind + 1, "if ls[-1] != ab:")
+        w(ind + 2, "ls.remove(ab)")
+        w(ind + 2, "ls.append(ab)")
+        w(ind + 1, "l1h += 1")
+        if not is_store:
+            w(ind + 1, "ex = 0")
+        w(ind, "else:")
+        if is_store:
+            w(ind + 1, f"HACC({addr_expr}, True)")
+        else:
+            w(ind + 1, f"ex = HACC({addr_expr})")
+
+    def emit_forward(ind: int, addr_expr: str, size: int) -> None:
+        """Unrolled store-map probe: latest live overlapping store."""
+        count("forward_probes_unrolled", size)
+        w(ind, f"bo = sc - {lsq}")
+        w(ind, "fwd = 0")
+        for byte in range(size):
+            expr = addr_expr if byte == 0 else f"{addr_expr} + {byte}"
+            w(ind, f"f = smg({expr})")
+            w(ind, "if f is not None and f[0] > bo:")
+            w(ind + 1, "bo = f[0]")
+            w(ind + 1, "fwd = f[1]")
+
+    def emit_attr(ind: int, s: int, oe_expr: str, rq_expr: str,
+                  has_alias: bool) -> None:
+        if not attribute:
+            return
+        # Machine view: label cycles [frontier, issued), appending to the
+        # frontier-ordered label list.  The chain tests the upper (common)
+        # ranges first; ``bumps`` is guaranteed fresh in its arm because
+        # reaching it implies c > request, i.e. this instruction took the
+        # contended-issue path which cleared and refilled the list.
+        w(ind, "if c > fr:")
+        w(ind + 1, "while fr < c:")
+        w(ind + 2, f"if fr >= {rq_expr}:")
+        w(ind + 3, f"raa(bumps[fr - {rq_expr}])")
+        if has_alias:
+            w(ind + 2, f"elif fr >= {oe_expr}:")
+            w(ind + 3, "raa(5)")
+        w(ind + 2, "elif fr >= df:")
+        w(ind + 3, "raa(4)")
+        w(ind + 2, "elif fr >= en:")
+        w(ind + 3, "raa(3)")
+        w(ind + 2, "elif fr >= fc:")
+        w(ind + 3, "raa(2)")
+        w(ind + 2, "elif fr >= mpu:")
+        w(ind + 3, "raa(0)")
+        w(ind + 2, "else:")
+        w(ind + 3, "raa(1)")
+        w(ind + 2, "fr += 1")
+        # Instruction view: this instruction's wait cycles by category
+        # (the pinned row only; wait_totals is folded from the rows at
+        # finish).  The bump fold is gated on c != request -- when the
+        # issue loop never bumped, ``bumps`` holds a previous
+        # instruction's (already consumed) entries.
+        w(ind, "if c != en:")
+        w(ind + 1, "t = df - en")
+        w(ind + 1, "if t:")
+        w(ind + 2, f"row{s}[0] += t")
+        w(ind + 1, f"t = {oe_expr} - df")
+        w(ind + 1, "if t:")
+        w(ind + 2, f"row{s}[1] += t")
+        if has_alias:
+            w(ind + 1, f"t = {rq_expr} - {oe_expr}")
+            w(ind + 1, "if t:")
+            w(ind + 2, f"row{s}[2] += t")
+        w(ind + 1, f"if c != {rq_expr}:")
+        w(ind + 2, "for t in bumps:")
+        w(ind + 3, f"row{s}[t - 3] += 1")
+
+    first = True
+    expects: dict[str, object] = {}
+    for block in ir.blocks:
+        lead = block.leader
+        length = block.length
+        cond = "if" if first else "elif"
+        first = False
+        w(2, f"{cond} s == {lead}:")
+        if length > 1:
+            name = f"_EX{block.index}"
+            expects[name] = array(
+                SEQ_TYPECODE, range(lead, lead + length))
+            w(3, f"if j + {length} > hi or seq[j:j + {length}] != {name}:")
+            w(4, "break")
+        w(3, "pos = base_pos + j")
+        count("blocks_unrolled")
+
+        n_loads = n_stores = n_sbox = 0
+        for i in range(length):
+            s = lead + i
+            k = static.klass[s]
+            count("latencies_folded")
+            pos_expr = "pos" if i == 0 else f"(pos + {i})"
+            addr_expr = "addrs[j]" if i == 0 else f"addrs[j + {i}]"
+            w(3, f"# [{s}] {k}")
+
+            # ---- fetch ---------------------------------------------------
+            # ``fc`` doubles as this instruction's fetch cycle (the chain
+            # below reads it before any branch redirect can change it).
+            # ``fgu`` writes are elided when fetch_groups_per_cycle == 1:
+            # the only reader is the multi-group taken-branch arm.
+            if fetch_width is not None:
+                w(3, f"if fsu >= {fetch_width}:")
+                w(4, "fc += 1")
+                w(4, "fsu = 1")
+                if track_fgu:
+                    w(4, "fgu = 0")
+                w(3, "else:")
+                w(4, "fsu += 1")
+
+            # ---- dispatch / operands -------------------------------------
+            depth = config.frontend_depth
+            w(3, f"en = fc + {depth}" if depth else "en = fc")
+            if window:
+                w(3, f"wx = {_mod(pos_expr, window)}")
+                w(3, "e = ring[wx]")
+                w(3, "if e < en:")
+                w(4, "e = en")
+            else:
+                w(3, "e = en")
+            w(3, "df = e")
+            for reg in static.srcs[s]:
+                w(3, f"t = g{reg}")
+                w(3, "if t > e:")
+                w(4, "e = t")
+
+            # ---- issue + execute per class -------------------------------
+            fu_ialu = ("aug", "au", num_ialu, 1, 7) if uses_ialu else None
+            fu_rot = ("rug", "ru", num_rot, 1, 8) if uses_rot else None
+            fu_dport = ("dug", "du", dports, 1, 10) if uses_dport else None
+            if k == "ialu":
+                emit_issue(3, "e", fu_ialu)
+                w(3, f"cm = c + {config.alu_latency}")
+                emit_attr(3, s, "e", "e", False)
+            elif k == "rotator":
+                emit_issue(3, "e", fu_rot)
+                w(3, f"cm = c + {config.rotator_latency}")
+                emit_attr(3, s, "e", "e", False)
+            elif k == "mul32":
+                fu = (("mug", "mu", mul_slots, config.mul32_cost, 9)
+                      if uses_mul else None)
+                emit_issue(3, "e", fu)
+                w(3, f"cm = c + {config.mul32_latency}")
+                emit_attr(3, s, "e", "e", False)
+            elif k == "mul64":
+                fu = (("mug", "mu", mul_slots, config.mul64_cost, 9)
+                      if uses_mul else None)
+                emit_issue(3, "e", fu)
+                w(3, f"cm = c + {config.mul64_latency}")
+                emit_attr(3, s, "e", "e", False)
+            elif k == "mulmod":
+                fu = (("mug", "mu", mul_slots, config.mulmod_cost, 9)
+                      if uses_mul else None)
+                emit_issue(3, "e", fu)
+                w(3, f"cm = c + {config.mulmod_latency}")
+                emit_attr(3, s, "e", "e", False)
+            elif k == "load":
+                n_loads += 1
+                w(3, "oe = e + 1")
+                if perfect_alias:
+                    w(3, "ar = oe")
+                else:
+                    w(3, "ar = oe if oe > lsk else lsk")
+                w(3, f"a = {addr_expr}")
+                emit_forward(3, "a", static.mem_size[s])
+                w(3, "if fwd:")
+                w(4, "rq = ar if ar > fwd else fwd")
+                emit_issue(4, "rq", None)
+                w(4, "cm = c + 1")
+                w(4, "d_sf += 1")
+                w(3, "else:")
+                w(4, "rq = ar")
+                emit_issue(4, "rq", fu_dport)
+                if perfect_memory:
+                    w(4, f"cm = c + {config.load_latency - 1}")
+                else:
+                    emit_hier(4, "a", False)
+                    w(4, f"cm = c + ex + {config.load_latency - 1}")
+                emit_attr(3, s, "oe", "rq", True)
+            elif k == "store":
+                n_stores += 1
+                w(3, "ak = df")
+                for reg in static.addr_srcs[s]:
+                    w(3, f"t = g{reg}")
+                    w(3, "if t > ak:")
+                    w(4, "ak = t")
+                w(3, "ak += 1")
+                w(3, "rq = e if e > ak else ak")
+                emit_issue(3, "rq", fu_dport)
+                w(3, f"a = {addr_expr}")
+                if not perfect_memory:
+                    emit_hier(3, "a", True)
+                w(3, f"cm = c + {config.store_latency}")
+                if not perfect_alias:
+                    w(3, "if ak > lsk:")
+                    w(4, "lsk = ak")
+                w(3, "sc += 1")
+                w(3, "f = (sc, cm)")
+                for byte in range(static.mem_size[s]):
+                    expr = "a" if byte == 0 else f"a + {byte}"
+                    w(3, f"sm[{expr}] = f")
+                emit_attr(3, s, "rq", "rq", False)
+            elif k == "sbox":
+                n_sbox += 1
+                w(3, f"a = {addr_expr}")
+                if static.sbox_aliased[s]:
+                    if perfect_alias:
+                        w(3, "ar = e")
+                    else:
+                        w(3, "ar = e if e > lsk else lsk")
+                    emit_forward(3, "a", 4)
+                    w(3, "if fwd:")
+                    w(4, "rq = ar if ar > fwd else fwd")
+                    emit_issue(4, "rq", None)
+                    w(4, "cm = c + 1")
+                    w(4, "d_sf += 1")
+                    w(3, "else:")
+                    w(4, "rq = ar")
+                    emit_issue(4, "rq", fu_dport)
+                    if perfect_memory:
+                        w(4, f"cm = c + {config.sbox_dcache_latency}")
+                    else:
+                        emit_hier(4, "a", False)
+                        w(4, f"cm = c + ex + {config.sbox_dcache_latency}")
+                    emit_attr(3, s, "e", "rq", True)
+                elif (sbox_caches
+                      and static.sbox_table[s] < sbox_caches):
+                    port = static.sbox_table[s] % sbox_caches
+                    w(3, "rq = e if e > syncb else syncb")
+                    fu = ((f"spg{port}", f"sp{port}", sbox_ports, 1, 11)
+                          if use_sports else None)
+                    emit_issue(3, "rq", fu)
+                    hit_lat = config.sbox_cache_latency
+                    miss_lat = hit_lat + config.sbox_dcache_latency
+                    w(3, "t = a & -1024")
+                    w(3, f"if sb{port}.tag == t:")
+                    w(4, f"v = sb{port}.valid")
+                    w(4, "u = (a >> 5) & 31")
+                    w(4, "if v[u]:")
+                    w(5, f"sb{port}.hits += 1")
+                    w(5, f"cm = c + {hit_lat}")
+                    w(4, "else:")
+                    w(5, "v[u] = True")
+                    w(5, f"sb{port}.misses += 1")
+                    w(5, "d_sbm += 1")
+                    w(5, f"cm = c + {miss_lat}")
+                    w(3, "else:")
+                    w(4, f"if sb{port}.access(a):")
+                    w(5, f"cm = c + {hit_lat}")
+                    w(4, "else:")
+                    w(5, "d_sbm += 1")
+                    w(5, f"cm = c + {miss_lat}")
+                    emit_attr(3, s, "e", "rq", True)
+                else:
+                    w(3, "rq = e if e > syncb else syncb")
+                    emit_issue(3, "rq", fu_dport)
+                    if perfect_memory:
+                        w(3, f"cm = c + {config.sbox_dcache_latency}")
+                    else:
+                        emit_hier(3, "a", False)
+                        w(3, f"cm = c + ex + {config.sbox_dcache_latency}")
+                    emit_attr(3, s, "e", "rq", True)
+            elif k == "sync":
+                emit_issue(3, "e", None)
+                w(3, "cm = c + 1")
+                w(3, "if sbsync is not None:")
+                w(4, f"sbsync({static.sbox_table[s]})")
+                w(3, "syncb = cm")
+                emit_attr(3, s, "e", "e", False)
+            else:
+                emit_issue(3, "e", None)
+                w(3, f"cm = c + {config.alu_latency}")
+                emit_attr(3, s, "e", "e", False)
+
+            # ---- branch resolution / fetch redirect ----------------------
+            if static.is_branch[s]:
+                nextc = s + 1
+                is_cond = static.is_cond_branch[s]
+                mispredictable = has_predictor and is_cond
+                breaks = (config.fetch_break_on_taken
+                          and fetch_width is not None)
+                need_taken = mispredictable or breaks
+                if need_taken:
+                    count("branch_lookaheads_inlined")
+                    w(3, f"jn = j + {length}")
+                    w(3, "if jn < seq_len:")
+                    w(4, f"tk = seq[jn] != {nextc}")
+                    w(3, "elif next_s is None:")
+                    w(4, "tk = True")
+                    w(3, "else:")
+                    w(4, f"tk = next_s != {nextc}")
+                if mispredictable:
+                    slot = s % config.predictor_entries
+                    w(3, f"ct = pt[{slot}]")
+                    w(3, "if tk:")
+                    w(4, "if ct < 3:")
+                    w(5, f"pt[{slot}] = ct + 1")
+                    w(3, "elif ct > 0:")
+                    w(4, f"pt[{slot}] = ct - 1")
+                    w(3, "plk += 1")
+                    w(3, "if (ct >= 2) != tk:")
+                    w(4, "pmi += 1")
+                    w(4, "d_mp += 1")
+                    w(4, f"t = cm + {config.mispredict_penalty}")
+                    w(4, "if t > fc:")
+                    w(5, "fc = t")
+                    w(5, "fsu = 0")
+                    if track_fgu:
+                        w(5, "fgu = 0")
+                    w(5, "if t > mpu:")
+                    w(6, "mpu = t")
+                    if breaks:
+                        w(3, "elif tk:")
+                elif breaks:
+                    w(3, "if tk:")
+                if breaks:
+                    gpc = config.fetch_groups_per_cycle
+                    if gpc == 1:
+                        w(4, "fc += 1")
+                        w(4, "fsu = 0")
+                    else:
+                        w(4, "fgu += 1")
+                        w(4, f"if fgu >= {gpc}:")
+                        w(5, "fc += 1")
+                        w(5, "fsu = 0")
+                        w(5, "fgu = 0")
+
+            # ---- writeback / retire --------------------------------------
+            dst = static.dest[s]
+            if dst >= 0:
+                w(3, f"g{dst} = cm")
+            w(3, "if cm > maxc:")
+            w(4, "maxc = cm")
+            w(3, "r = cm + 1")
+            w(3, "if r < rp:")
+            w(4, "r = rp")
+            if retire_width != _UNLIMITED:
+                w(3, "if r == rp:")
+                w(4, f"if rcount >= {retire_width}:")
+                w(5, "r += 1")
+                w(5, "rp = r")
+                w(5, "rcount = 1")
+                w(4, "else:")
+                w(5, "rcount += 1")
+                w(3, "else:")
+                w(4, "rp = r")
+                w(4, "rcount = 1")
+            else:
+                w(3, "rp = r")
+            if window:
+                w(3, "ring[wx] = r")
+
+        # ---- per-block bookkeeping ---------------------------------------
+        if attribute:
+            w(3, f"bexec[{block.index}] += 1")
+        if block.branch_end:
+            w(3, "d_br += 1")
+        if n_loads:
+            w(3, f"d_ld += {n_loads}")
+        if n_stores:
+            w(3, f"d_st += {n_stores}")
+        if n_sbox:
+            w(3, f"d_sb += {n_sbox}")
+        w(3, f"j += {length}")
+        last_expr = "pos" if length == 1 else f"pos + {length - 1}"
+        w(3, f"if {last_expr} - pm >= {config.prune_interval}:")
+        w(4, f"pm = {last_expr}")
+        w(4, "t = df if df < rp else rp")
+        if attribute:
+            w(4, "att.frontier = fr")
+        w(4, f"self._prune_maps(t - 8192, "
+             f"{'sc' if (uses_store or uses_fwd) else '0'})")
+    w(2, "else:")
+    w(3, "break")
+
+    # ---- epilogue: write carried state back -------------------------------
+    w(1, "fe.fetch_cycle = fc")
+    w(1, "fe.fetch_slots_used = fsu")
+    if track_fgu:
+        w(1, "fe.fetch_groups_used = fgu")
+    w(1, "fe.mispredict_until = mpu")
+    for reg in sorted(used_regs):
+        w(1, f"rr[{reg}] = g{reg}")
+    w(1, "sch.retire_prev = rp")
+    if retire_width != _UNLIMITED:
+        w(1, "sch.retire_count = rcount")
+    w(1, "sch.max_complete = maxc")
+    w(1, "sch.prune_mark = pm")
+    if not perfect_alias and (uses_store or uses_fwd):
+        w(1, "mo.last_store_addr_known = lsk")
+    if uses_sync or any(
+        static.klass[s] == "sbox" and not static.sbox_aliased[s]
+        for b in ir.blocks for s in range(b.leader, b.leader + b.length)
+    ):
+        w(1, "mo.sync_barrier = syncb")
+    if uses_store or uses_fwd:
+        w(1, "mo.store_count = sc")
+    if uses_hier:
+        w(1, "if l1h:")
+        w(2, "H.l1.hits += l1h")
+        w(1, "if tlbh:")
+        w(2, "H.tlb.cache.hits += tlbh")
+    if uses_pred:
+        w(1, "if plk:")
+        w(2, "pred.lookups += plk")
+        w(1, "if pmi:")
+        w(2, "pred.mispredictions += pmi")
+    if attribute:
+        w(1, "att.frontier = fr")
+    w(1, "if d_br:")
+    w(2, "st.branches += d_br")
+    w(1, "if d_ld:")
+    w(2, "st.loads += d_ld")
+    w(1, "if d_st:")
+    w(2, "st.stores += d_st")
+    w(1, "if d_sb:")
+    w(2, "st.sbox_accesses += d_sb")
+    w(1, "if d_sf:")
+    w(2, "st.store_forwards += d_sf")
+    w(1, "if d_mp:")
+    w(2, "st.mispredictions += d_mp")
+    if uses_sbmiss:
+        w(1, "if d_sbm:")
+        w(2, "st.sbox_cache_misses += d_sbm")
+    w(1, "return j")
+    w(0, "")
+
+    source = "\n".join(lines)
+    return source, counters, dict(expects)
+
+
+class SpecializedPipeline(PipelineBase):
+    """Block-specialized pipeline: generated fast path + interpreter tail.
+
+    ``_advance`` hands each trace window to the generated scheduler, which
+    consumes whole matched blocks; whenever the window stops matching (a
+    chunk boundary mid-block, a synthetic trace, a static index outside
+    the program) one entry is stepped through :meth:`_slow` -- a per-entry
+    port of the generic loop over the same state representations (byte
+    store map, scalar retire frontier) -- and the fast path resumes.
+    Chunks with explicit ``taken`` flags go entirely through ``_slow``.
+    """
+
+    engine_name = "specialized"
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        static,
+        program,
+        warm_ranges=None,
+        schedule_range=None,
+    ):
+        if schedule_range is not None:
+            raise ValueError(
+                "SpecializedPipeline does not capture schedules; "
+                "SpecializedEngine.make_pipeline falls back to the generic "
+                "engine when schedule_range is given"
+            )
+        super().__init__(config, static, program, warm_ranges=warm_ranges)
+        self._ir = timing_ir(static, program)
+        self._fast, self.report = specialized_scheduler(
+            self._ir, static, config
+        )
+        self._block_execs = [0] * len(self._ir.blocks)
+        # Machine-view stall labels: the attribution frontier advances
+        # monotonically and labels each cycle exactly once, so the
+        # ``reason_at`` dict becomes an append-only list where index
+        # ``cycle - _ra_base`` holds the label for ``cycle``.
+        self._ra: list[int] = []
+        self._ra_base = 0
+
+    def _advance(self, seq, addrs, taken_arr, base_pos, lo, hi, next_s):
+        fast = self._fast
+        if taken_arr is not None or fast is None:
+            self._slow(seq, addrs, taken_arr, base_pos, lo, hi, next_s)
+            self._count += hi - lo
+            return
+        j = lo
+        while j < hi:
+            j = fast(self, seq, addrs, base_pos, j, hi, next_s)
+            if j >= hi:
+                break
+            # The window at j matches no block: interpret one entry.
+            self._slow(seq, addrs, None, base_pos, j, j + 1, next_s)
+            j += 1
+        self._count += hi - lo
+
+    def _finalize_engine(self):
+        if not self._attribute:
+            return
+        # Fold the fast path's per-block execution tallies into the
+        # per-instruction counts the hotspot table reads.
+        exec_counts = self.attribution.exec_counts
+        for block, count in zip(self._ir.blocks, self._block_execs):
+            if count:
+                for s in range(block.leader, block.leader + block.length):
+                    exec_counts[s] += count
+        self._block_execs = [0] * len(self._ir.blocks)
+        # Neither path updates wait_totals incrementally; it is exactly
+        # the column sums of the per-instruction wait rows (the generic
+        # engine adds identical deltas to both in lockstep).
+        wait_totals = self.attribution.wait_totals
+        for row in self.attribution.hot.values():
+            for index in range(_N_WAIT):
+                wait_totals[index] += row[index]
+
+    def _flush_attribution(self, until: int) -> None:
+        """List-indexed flush: labels live at ``cycle - _ra_base``.
+
+        Identical account to the base dict flush; cycles past the last
+        appended label are retirement drain, and consumed labels are
+        trimmed off the front of the list.  Flushed ``issue_used``
+        entries are popped as they are read -- no future instruction can
+        issue below the flush horizon, so this doubles as the trim for
+        that map (:meth:`_prune_maps` skips it accordingly).
+        """
+        attribution = self.attribution
+        labels = self._ra
+        base = self._ra_base
+        issue_width = self._issue_width
+        pop_used = self.scheduler.issue_used.pop
+        stall_slots = attribution.stall_slots
+        flushed = attribution.flushed_until
+        split = min(until, base + len(labels))
+        if split < flushed:
+            split = flushed
+        cycle = flushed
+        for cat in labels[flushed - base:split - base]:
+            stall_slots[cat] += issue_width - pop_used(cycle, 0)
+            cycle += 1
+        for cycle in range(split, until):
+            stall_slots[_C_DRAIN] += issue_width - pop_used(cycle, 0)
+        attribution.flushed_until = until
+        if until > base:
+            del labels[:until - base]
+            self._ra_base = until
+
+    def _prune_maps(self, horizon: int, store_count: int) -> None:
+        """Fold finalized cycles and drop dead map entries.
+
+        Identical in effect to the generic engine's inline prune (stats
+        are invariant to *when* pruning happens); mutates the resource
+        dicts in place so the generated code's pinned references stay
+        valid.  Also prunes the store byte map, whose generic counterpart
+        (the capacity-capped ``recent_stores`` list) never grows.
+        """
+        scheduler = self.scheduler
+        if (self._attribute
+                and horizon > self.attribution.flushed_until):
+            self._flush_attribution(horizon)
+        trim_mark = scheduler.trim_mark
+        if horizon > trim_mark:
+            span = horizon - trim_mark
+            # issue_used is not listed: the attribution flush above pops
+            # its entries as it reads them (and without attribution the
+            # map is never populated).
+            for counters in (scheduler.ialu_used,
+                             scheduler.rot_used, scheduler.mul_used,
+                             scheduler.dport_used, *scheduler.sport_used):
+                if not counters:
+                    continue
+                if len(counters) * 4 > span:
+                    pop = counters.pop
+                    for cycle in range(trim_mark, horizon):
+                        pop(cycle, None)
+                else:
+                    for cycle in [c for c in counters if c < horizon]:
+                        del counters[cycle]
+            scheduler.trim_mark = horizon
+        store_map = self.memorder.store_map
+        lsq_size = self.config.lsq_size
+        if len(store_map) > 16 * lsq_size:
+            cutoff = store_count - lsq_size
+            for address in [a for a, entry in store_map.items()
+                            if entry[0] <= cutoff]:
+                del store_map[address]
+
+    def _slow(self, seq, addrs, taken_arr, base_pos, lo, hi, next_s):
+        """Per-entry interpreter over this engine's state representations.
+
+        A direct port of ``GenericPipeline._advance`` with the store queue
+        read/written as the byte map and retirement as the scalar
+        frontier; used for single-entry repairs between fast-path runs and
+        for whole windows the fast path cannot take.  Does not bump
+        ``self._count`` (the ``_advance`` driver does, once per window).
+        """
+        config = self.config
+        static = self.static
+        stats = self.stats
+        frontend = self.frontend
+        scheduler = self.scheduler
+        memorder = self.memorder
+        attribution = self.attribution
+
+        klass = static.klass
+        dest = static.dest
+        srcs = static.srcs
+        addr_srcs = static.addr_srcs
+        is_branch = static.is_branch
+        is_cond = static.is_cond_branch
+        mem_size = static.mem_size
+        sbox_table = static.sbox_table
+        sbox_aliased = static.sbox_aliased
+
+        predictor = frontend.predictor
+        hierarchy = memorder.hierarchy
+        sbox_array = memorder.sbox_array
+
+        issue_used = scheduler.issue_used
+        ialu_used = scheduler.ialu_used
+        rot_used = scheduler.rot_used
+        mul_used = scheduler.mul_used
+        dport_used = scheduler.dport_used
+        sport_used = scheduler.sport_used
+        _no_fu = scheduler.no_fu
+        reg_ready = scheduler.reg_ready
+        retire_ring = scheduler.retire_ring
+        retire_prev = scheduler.retire_prev
+        retire_count = scheduler.retire_count
+        max_complete = scheduler.max_complete
+        prune_mark = scheduler.prune_mark
+
+        issue_width = self._issue_width
+        num_ialu = self._num_ialu
+        num_rot = self._num_rot
+        mul_slots = self._mul_slots
+        dports = self._dports
+        retire_width = self._retire_width
+        sbox_ports = self._sbox_ports
+        track_issue = self._track_issue
+        attribute = self._attribute
+        if track_issue:
+            # A cost-1 pool at least as wide as issue can never be the
+            # binding constraint (per-cycle pool use <= issue use, which
+            # the issue check keeps below the pool limit), so skip its
+            # checks and bookkeeping -- same elision as the fast path.
+            if num_ialu >= issue_width:
+                num_ialu = _UNLIMITED
+            if num_rot >= issue_width:
+                num_rot = _UNLIMITED
+            if dports >= issue_width:
+                dports = _UNLIMITED
+            if sbox_ports >= issue_width:
+                sbox_ports = _UNLIMITED
+        window = config.window_size
+        frontend_depth = config.frontend_depth
+        alu_lat = config.alu_latency
+        rot_lat = config.rotator_latency
+        load_lat = config.load_latency
+        store_lat = config.store_latency
+        perfect_alias = config.perfect_alias
+        lsq_size = config.lsq_size
+        prune_interval = config.prune_interval
+
+        fetch_cycle = frontend.fetch_cycle
+        fetch_slots_used = frontend.fetch_slots_used
+        fetch_groups_used = frontend.fetch_groups_used
+        mispredict_until = frontend.mispredict_until
+        fetch_width = config.fetch_width
+        groups_per_cycle = config.fetch_groups_per_cycle
+        break_on_taken = config.fetch_break_on_taken
+
+        last_store_addr_known = memorder.last_store_addr_known
+        store_map = memorder.store_map
+        store_map_get = store_map.get
+        store_count = memorder.store_count
+        sync_barrier = memorder.sync_barrier
+
+        bumps: list[int] = []
+        if attribute:
+            label_append = self._ra.append
+            frontier = attribution.frontier
+            hot = attribution.hot
+            exec_counts = attribution.exec_counts
+        else:
+            frontier = 0
+
+        def issue_at(cycle: int, fu_used: dict, fu_limit: int,
+                     cost: int = 1, fu_cat: int = _C_ISSUE) -> int:
+            if attribute:
+                bumps.clear()
+            while True:
+                if track_issue and issue_used.get(cycle, 0) >= issue_width:
+                    if attribute:
+                        bumps.append(_C_ISSUE)
+                    cycle += 1
+                    continue
+                if (fu_limit != _UNLIMITED
+                        and fu_used.get(cycle, 0) + cost > fu_limit):
+                    if attribute:
+                        bumps.append(fu_cat)
+                    cycle += 1
+                    continue
+                break
+            if track_issue:
+                issue_used[cycle] = issue_used.get(cycle, 0) + 1
+            if fu_limit != _UNLIMITED:
+                fu_used[cycle] = fu_used.get(cycle, 0) + cost
+            return cycle
+
+        seq_len = len(seq)
+
+        for j in range(lo, hi):
+            pos = base_pos + j
+            s = seq[j]
+            k = klass[s]
+
+            # ---- fetch ----------------------------------------------------
+            this_fetch = fetch_cycle
+            if fetch_width is not None:
+                if fetch_slots_used >= fetch_width:
+                    fetch_cycle += 1
+                    fetch_slots_used = 0
+                    fetch_groups_used = 0
+                    this_fetch = fetch_cycle
+                fetch_slots_used += 1
+
+            # ---- dispatch / operands --------------------------------------
+            enter = this_fetch + frontend_depth
+            earliest = enter
+            if window:
+                freed = retire_ring[pos % window]
+                if freed > earliest:
+                    earliest = freed
+            dispatch_floor = earliest
+            for r in srcs[s]:
+                t = reg_ready[r]
+                if t > earliest:
+                    earliest = t
+
+            # ---- issue + execute ------------------------------------------
+            if k == "ialu":
+                operand_end = request = earliest
+                issued = issue_at(request, ialu_used, num_ialu,
+                                  fu_cat=_C_FU_IALU)
+                complete = issued + alu_lat
+            elif k == "rotator":
+                operand_end = request = earliest
+                issued = issue_at(request, rot_used, num_rot,
+                                  fu_cat=_C_FU_ROT)
+                complete = issued + rot_lat
+            elif k == "load":
+                addr_ready = earliest + 1
+                operand_end = addr_ready
+                if not perfect_alias and last_store_addr_known > addr_ready:
+                    addr_ready = last_store_addr_known
+                addr = addrs[j]
+                size = mem_size[s]
+                # Latest live overlapping store, via the byte map: the
+                # entry with the greatest store order wins, exactly as the
+                # generic engine's newest-first interval scan does.
+                barrier_order = store_count - lsq_size
+                forward = 0
+                for byte in range(addr, addr + size):
+                    entry = store_map_get(byte)
+                    if entry is not None and entry[0] > barrier_order:
+                        barrier_order = entry[0]
+                        forward = entry[1]
+                if forward:
+                    request = max(addr_ready, forward)
+                    issued = issue_at(request, _no_fu, _UNLIMITED)
+                    complete = issued + 1
+                    stats.store_forwards += 1
+                else:
+                    request = addr_ready
+                    issued = issue_at(request, dport_used, dports,
+                                      fu_cat=_C_FU_MEM)
+                    extra = 0
+                    if hierarchy is not None:
+                        extra = hierarchy.access(addr)
+                    complete = issued + (load_lat - 1) + extra
+                stats.loads += 1
+            elif k == "store":
+                addr_known = dispatch_floor
+                for r in addr_srcs[s]:
+                    t = reg_ready[r]
+                    if t > addr_known:
+                        addr_known = t
+                addr_known += 1
+                operand_end = request = max(earliest, addr_known)
+                issued = issue_at(request, dport_used, dports,
+                                  fu_cat=_C_FU_MEM)
+                addr = addrs[j]
+                if hierarchy is not None:
+                    hierarchy.access(addr, is_store=True)
+                complete = issued + store_lat
+                if not perfect_alias and addr_known > last_store_addr_known:
+                    last_store_addr_known = addr_known
+                store_count += 1
+                entry = (store_count, complete)
+                for byte in range(addr, addr + mem_size[s]):
+                    store_map[byte] = entry
+                stats.stores += 1
+            elif k == "sbox":
+                aliased = sbox_aliased[s]
+                addr = addrs[j]
+                stats.sbox_accesses += 1
+                operand_end = earliest
+                access_ready = earliest
+                if (aliased and not perfect_alias
+                        and last_store_addr_known > access_ready):
+                    access_ready = last_store_addr_known
+                if not aliased and sync_barrier > access_ready:
+                    access_ready = sync_barrier
+                forward = 0
+                if aliased:
+                    barrier_order = store_count - lsq_size
+                    for byte in range(addr, addr + 4):
+                        entry = store_map_get(byte)
+                        if entry is not None and entry[0] > barrier_order:
+                            barrier_order = entry[0]
+                            forward = entry[1]
+                if forward:
+                    request = max(access_ready, forward)
+                    issued = issue_at(request, _no_fu, _UNLIMITED)
+                    complete = issued + 1
+                    stats.store_forwards += 1
+                elif (sbox_array is not None and not aliased
+                      and sbox_table[s] < sbox_array.count):
+                    table = sbox_table[s]
+                    port = table % sbox_array.count
+                    request = access_ready
+                    issued = issue_at(request, sport_used[port], sbox_ports,
+                                      fu_cat=_C_FU_SBOX)
+                    if sbox_array.access(table, addr):
+                        complete = issued + config.sbox_cache_latency
+                    else:
+                        stats.sbox_cache_misses += 1
+                        complete = (issued + config.sbox_cache_latency
+                                    + config.sbox_dcache_latency)
+                else:
+                    request = access_ready
+                    issued = issue_at(request, dport_used, dports,
+                                      fu_cat=_C_FU_MEM)
+                    extra = 0
+                    if hierarchy is not None:
+                        extra = hierarchy.access(addr)
+                    complete = issued + config.sbox_dcache_latency + extra
+            elif k == "mul32":
+                operand_end = request = earliest
+                issued = issue_at(request, mul_used, mul_slots,
+                                  config.mul32_cost, fu_cat=_C_FU_MUL)
+                complete = issued + config.mul32_latency
+            elif k == "mul64":
+                operand_end = request = earliest
+                issued = issue_at(request, mul_used, mul_slots,
+                                  config.mul64_cost, fu_cat=_C_FU_MUL)
+                complete = issued + config.mul64_latency
+            elif k == "mulmod":
+                operand_end = request = earliest
+                issued = issue_at(request, mul_used, mul_slots,
+                                  config.mulmod_cost, fu_cat=_C_FU_MUL)
+                complete = issued + config.mulmod_latency
+            elif k == "sync":
+                operand_end = request = earliest
+                issued = issue_at(request, _no_fu, _UNLIMITED)
+                complete = issued + 1
+                if sbox_array is not None:
+                    sbox_array.sync(sbox_table[s])
+                sync_barrier = complete
+            else:
+                operand_end = request = earliest
+                issued = issue_at(request, _no_fu, _UNLIMITED)
+                complete = issued + alu_lat
+
+            # ---- stall attribution ----------------------------------------
+            if attribute:
+                exec_counts[s] += 1
+                if issued > frontier:
+                    for cycle in range(frontier, issued):
+                        if cycle < this_fetch:
+                            cat = (_C_MISPREDICT if cycle < mispredict_until
+                                   else _C_FETCH)
+                        elif cycle < enter:
+                            cat = _C_FRONTEND
+                        elif cycle < dispatch_floor:
+                            cat = _C_WINDOW
+                        elif cycle < operand_end:
+                            cat = _C_OPERAND
+                        elif cycle < request:
+                            cat = _C_ALIAS
+                        else:
+                            cat = bumps[cycle - request]
+                        label_append(cat)
+                    frontier = issued
+                window_wait = dispatch_floor - enter
+                operand_wait = operand_end - dispatch_floor
+                alias_wait = request - operand_end
+                if window_wait or operand_wait or alias_wait or bumps:
+                    row = hot.get(s)
+                    if row is None:
+                        row = hot[s] = [0] * _N_WAIT
+                    row[_C_WINDOW - _C_WINDOW] += window_wait
+                    row[_C_OPERAND - _C_WINDOW] += operand_wait
+                    row[_C_ALIAS - _C_WINDOW] += alias_wait
+                    for cat in bumps:
+                        row[cat - _C_WINDOW] += 1
+
+            # ---- branch resolution / fetch redirect -----------------------
+            if is_branch[s]:
+                if taken_arr is not None:
+                    taken = bool(taken_arr[j])
+                else:
+                    jn = j + 1
+                    if jn < seq_len:
+                        taken = seq[jn] != s + 1
+                    elif next_s is None:
+                        taken = True
+                    else:
+                        taken = next_s != s + 1
+                stats.branches += 1
+                correct = True
+                if predictor is not None and is_cond[s]:
+                    correct = predictor.predict_and_update(s, taken)
+                if not correct:
+                    stats.mispredictions += 1
+                    redirect = complete + config.mispredict_penalty
+                    if redirect > fetch_cycle:
+                        fetch_cycle = redirect
+                        fetch_slots_used = 0
+                        fetch_groups_used = 0
+                        if redirect > mispredict_until:
+                            mispredict_until = redirect
+                elif taken and break_on_taken and fetch_width is not None:
+                    fetch_groups_used += 1
+                    if fetch_groups_used >= groups_per_cycle:
+                        fetch_cycle += 1
+                        fetch_slots_used = 0
+                        fetch_groups_used = 0
+
+            # ---- writeback / retire ---------------------------------------
+            d = dest[s]
+            if d >= 0:
+                reg_ready[d] = complete
+            if complete > max_complete:
+                max_complete = complete
+
+            r = complete + 1
+            if r < retire_prev:
+                r = retire_prev
+            if retire_width != _UNLIMITED:
+                # Scalar form of the per-cycle retire map: only the
+                # frontier cycle can fill (see SchedulerState docstring).
+                if r == retire_prev:
+                    if retire_count >= retire_width:
+                        r += 1
+                        retire_prev = r
+                        retire_count = 1
+                    else:
+                        retire_count += 1
+                else:
+                    retire_prev = r
+                    retire_count = 1
+            else:
+                retire_prev = r
+            if window:
+                retire_ring[pos % window] = r
+
+            # ---- prune resource maps --------------------------------------
+            if pos - prune_mark >= prune_interval:
+                prune_mark = pos
+                if attribute:
+                    attribution.frontier = frontier
+                self._prune_maps(
+                    min(dispatch_floor, retire_prev) - 8192, store_count
+                )
+
+        # ---- write carried scalar state back ------------------------------
+        frontend.fetch_cycle = fetch_cycle
+        frontend.fetch_slots_used = fetch_slots_used
+        frontend.fetch_groups_used = fetch_groups_used
+        frontend.mispredict_until = mispredict_until
+        scheduler.retire_prev = retire_prev
+        scheduler.retire_count = retire_count
+        scheduler.max_complete = max_complete
+        scheduler.prune_mark = prune_mark
+        memorder.last_store_addr_known = last_store_addr_known
+        memorder.store_count = store_count
+        memorder.sync_barrier = sync_barrier
+        if attribute:
+            attribution.frontier = frontier
+
+
+class SpecializedEngine:
+    """Engine wrapper: specialized pipelines, generic for schedule views.
+
+    Schedule capture (``--view``) wants per-entry `(pos, s, dispatch,
+    issue, complete, retire)` tuples, which the block fast path deliberately
+    does not materialize, so those runs go to the generic engine.
+    """
+
+    name = "specialized"
+
+    def make_pipeline(
+        self,
+        config,
+        static,
+        program,
+        *,
+        warm_ranges=None,
+        schedule_range=None,
+    ):
+        if schedule_range is not None:
+            from repro.sim.timing.generic import GenericPipeline
+
+            return GenericPipeline(
+                config, static, program,
+                warm_ranges=warm_ranges, schedule_range=schedule_range,
+            )
+        return SpecializedPipeline(
+            config, static, program, warm_ranges=warm_ranges,
+        )

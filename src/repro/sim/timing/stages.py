@@ -1,0 +1,401 @@
+"""Stage components and the shared chunk-streaming pipeline base.
+
+The timing model is organized as four stage components --
+:class:`FrontendState`, :class:`SchedulerState`, :class:`MemoryOrderState`,
+:class:`AttributionState` -- that carry all inter-instruction state across
+:class:`~repro.sim.trace.TraceChunk` boundaries, plus a
+:class:`PipelineBase` that owns chunk deferral (the one entry of branch
+lookahead) and final statistics assembly.  Engines subclass
+:class:`PipelineBase` and implement ``_advance`` only; everything an
+engine computes lives in the stage components, which is what makes the
+engines interchangeable mid-stream and bit-identical at the end.
+
+See the package docstring (:mod:`repro.sim.timing`) for the model's
+scheduling and stall-attribution contracts.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.isa.program import Program
+from repro.sim.branch import BimodalPredictor
+from repro.sim.caches import MemoryHierarchy
+from repro.sim.config import MachineConfig
+from repro.sim.sboxcache import SBoxCacheArray
+from repro.sim.stats import STALL_CATEGORIES, WAIT_CATEGORIES, SimStats
+from repro.sim.trace import StaticInfo, TraceChunk
+
+_UNLIMITED = 1 << 30
+
+# Stall-category indices (must mirror STALL_CATEGORIES order).
+(_C_FETCH, _C_MISPREDICT, _C_FRONTEND, _C_WINDOW, _C_OPERAND, _C_ALIAS,
+ _C_ISSUE, _C_FU_IALU, _C_FU_ROT, _C_FU_MUL, _C_FU_MEM, _C_FU_SBOX,
+ _C_DRAIN) = range(len(STALL_CATEGORIES))
+_N_WAIT = len(WAIT_CATEGORIES)
+#: Instruction-view (wait) index of a stall category: categories _C_WINDOW
+#: through _C_FU_SBOX map onto WAIT_CATEGORIES[cat - _C_WINDOW].
+_HOTSPOT_LIMIT = 32
+
+
+class FrontendState:
+    """Fetch stage: program-order fetch bandwidth and redirect state."""
+
+    __slots__ = ("fetch_cycle", "fetch_slots_used", "fetch_groups_used",
+                 "mispredict_until", "predictor")
+
+    def __init__(self, config: MachineConfig):
+        self.fetch_cycle = 0
+        self.fetch_slots_used = 0
+        self.fetch_groups_used = 0
+        self.mispredict_until = 0
+        self.predictor = (
+            None if config.perfect_branch_prediction
+            else BimodalPredictor(config.predictor_entries)
+        )
+
+
+class SchedulerState:
+    """Issue/FU/retire bookkeeping: per-cycle resource maps + scoreboard.
+
+    ``reg_ready`` is sized lazily from the static metadata (interleaved
+    multi-thread traces remap each thread into its own 32-register window).
+
+    ``retire_prev``/``retire_count`` track the in-order retirement
+    frontier: because retirement cycles are non-decreasing, only the
+    frontier cycle can ever receive another retirement, so a scalar count
+    at that cycle is equivalent to the per-cycle ``retire_used`` map (the
+    generic engine keeps the map, the specialized engine the scalar; both
+    produce the same retirement cycles).
+    """
+
+    __slots__ = ("issue_used", "ialu_used", "rot_used", "mul_used",
+                 "dport_used", "sport_used", "retire_used", "no_fu",
+                 "reg_ready", "retire_ring", "retire_prev", "retire_count",
+                 "max_complete", "prune_mark", "trim_mark")
+
+    def __init__(self, config: MachineConfig, static: StaticInfo):
+        self.issue_used: dict[int, int] = {}
+        self.ialu_used: dict[int, int] = {}
+        self.rot_used: dict[int, int] = {}
+        self.mul_used: dict[int, int] = {}
+        self.dport_used: dict[int, int] = {}
+        self.sport_used = [dict() for _ in range(config.sbox_caches or 0)]
+        self.retire_used: dict[int, int] = {}
+        self.no_fu: dict[int, int] = {}
+        max_reg = 31
+        for d in static.dest:
+            if d > max_reg:
+                max_reg = d
+        for sources in static.srcs:
+            for r in sources:
+                if r > max_reg:
+                    max_reg = r
+        self.reg_ready = [0] * (max_reg + 1)
+        window = config.window_size
+        self.retire_ring = [0] * window if window else None
+        self.retire_prev = 0
+        self.retire_count = 0
+        self.max_complete = 0
+        self.prune_mark = 0
+        self.trim_mark = 0
+
+
+class MemoryOrderState:
+    """Memory-ordering/alias stage: store queue, sync barrier, hierarchies.
+
+    The store queue exists in two equivalent representations: the generic
+    engine's ``recent_stores`` list of ``(start, end, data_ready)``
+    intervals (capacity ``lsq_size``, oldest popped first) and the
+    specialized engine's ``store_map`` byte map of
+    ``address -> (store_order, data_ready)`` entries plus a running
+    ``store_count``, where an entry is live iff its order is within the
+    last ``lsq_size`` stores.  A load consults whichever its engine
+    maintains; both yield the data-ready cycle of the *latest* overlapping
+    live store.
+    """
+
+    __slots__ = ("hierarchy", "sbox_array", "last_store_addr_known",
+                 "recent_stores", "store_map", "store_count", "sync_barrier")
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        warm_ranges: list[tuple[int, int]] | None,
+    ):
+        self.hierarchy = None
+        if not config.perfect_memory:
+            self.hierarchy = MemoryHierarchy(
+                l1_size=config.l1_size, l1_assoc=config.l1_assoc,
+                l1_block=config.l1_block, l2_size=config.l2_size,
+                l2_assoc=config.l2_assoc,
+                l2_hit_latency=config.l2_hit_latency,
+                memory_latency=config.memory_latency,
+                tlb_entries=config.tlb_entries, tlb_assoc=config.tlb_assoc,
+                page_size=config.page_size,
+                tlb_miss_latency=config.tlb_miss_latency,
+            )
+            for start, length in warm_ranges or ():
+                self.hierarchy.warm(start, length)
+        self.sbox_array = (
+            SBoxCacheArray(config.sbox_caches) if config.sbox_caches else None
+        )
+        self.last_store_addr_known = 0
+        self.recent_stores: list[tuple[int, int, int]] = []
+        self.store_map: dict[int, tuple[int, int]] = {}
+        self.store_count = 0
+        self.sync_barrier = 0
+
+
+class AttributionState:
+    """Stall-attribution stage: cycle labels and the running slot account."""
+
+    __slots__ = ("reason_at", "stall_slots", "wait_totals", "frontier",
+                 "flushed_until", "hot", "exec_counts")
+
+    def __init__(self, static: StaticInfo):
+        self.reason_at: dict[int, int] = {}
+        self.stall_slots = [0] * len(STALL_CATEGORIES)
+        self.wait_totals = [0] * _N_WAIT
+        self.frontier = 0
+        self.flushed_until = 0
+        self.hot: dict[int, list[int]] = {}
+        self.exec_counts = [0] * len(static.klass)
+
+
+class PipelineBase:
+    """Incremental timing model over a chunked trace stream.
+
+    Feed :class:`~repro.sim.trace.TraceChunk` objects in trace order with
+    :meth:`feed`, then call :meth:`finish` for the final
+    :class:`~repro.sim.stats.SimStats`.  Results are bit-identical to a
+    single-chunk (batch) pass for any chunk partitioning: all stage state
+    carries across chunk boundaries, and the one piece of lookahead the
+    model needs -- the *next* trace entry, to infer whether a branch was
+    taken -- is handled by deferring each chunk's final entry until the
+    next chunk (or end of trace, where the outcome defaults to taken,
+    matching ``Trace.taken``).  Chunks with explicit ``taken`` flags
+    (synthetic interleavings) need no deferral.
+
+    One pipeline consumes one trace; build a fresh pipeline per run.
+    Subclasses (the engines) implement ``_advance`` only.
+    """
+
+    #: Registry name of the engine that built this pipeline.
+    engine_name = "generic"
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        static: StaticInfo,
+        program: Program,
+        warm_ranges: list[tuple[int, int]] | None = None,
+        schedule_range: tuple[int, int] | None = None,
+    ):
+        self.config = config
+        self.static = static
+        self.program = program
+        self.stats = SimStats(config_name=config.name, instructions=0)
+
+        def limit(value):
+            return _UNLIMITED if value is None else value
+
+        self._issue_width = limit(config.issue_width)
+        self._num_ialu = limit(config.num_ialu)
+        self._num_rot = limit(config.num_rotator)
+        self._mul_slots = limit(config.mul_slots)
+        self._dports = limit(config.dcache_ports)
+        self._retire_width = limit(config.retire_width)
+        self._sbox_ports = limit(config.sbox_cache_ports)
+        self._track_issue = self._issue_width != _UNLIMITED
+        # Slot accounting is defined only when issue bandwidth is finite;
+        # with unlimited width there is no fixed slot budget to attribute.
+        self._attribute = self._track_issue
+
+        self.frontend = FrontendState(config)
+        self.scheduler = SchedulerState(config, static)
+        self.memorder = MemoryOrderState(config, warm_ranges)
+        self.attribution = (
+            AttributionState(static) if self._attribute else None
+        )
+
+        self._schedule: list | None = None
+        self._sched_start = self._sched_end = 0
+        if schedule_range is not None:
+            self._schedule = []
+            self.stats.extra["schedule"] = self._schedule
+            self._sched_start, self._sched_end = schedule_range
+            cap = config.max_schedule_entries
+            if cap is not None and self._sched_end - self._sched_start > cap:
+                self._sched_end = self._sched_start + cap
+                self.stats.extra["schedule_truncated"] = True
+
+        #: Deferred final entry of the previous adjacency-mode chunk:
+        #: ``(seq, addrs, start, index)`` referencing that chunk's arrays.
+        self._carry: tuple[array, array, int, int] | None = None
+        self._count = 0
+        self._finished = False
+
+    def feed(self, chunk: TraceChunk) -> None:
+        """Advance the pipeline over one chunk of trace entries."""
+        if self._finished:
+            raise RuntimeError(
+                f"{type(self).__name__} already finished; build a fresh "
+                "pipeline per run (make_pipeline)"
+            )
+        seq = chunk.seq
+        n = len(seq)
+        if n == 0:
+            return
+        if self._carry is not None:
+            cseq, caddrs, cstart, cidx = self._carry
+            self._carry = None
+            self._advance(cseq, caddrs, None, cstart, cidx, cidx + 1, seq[0])
+        if chunk.taken is not None:
+            # Explicit branch outcomes: no lookahead needed, no deferral.
+            self._advance(seq, chunk.addrs, chunk.taken, chunk.start, 0, n,
+                          None)
+        else:
+            if n > 1:
+                self._advance(seq, chunk.addrs, None, chunk.start, 0, n - 1,
+                              None)
+            self._carry = (seq, chunk.addrs, chunk.start, n - 1)
+
+    def finish(self) -> SimStats:
+        """Drain the deferred entry and finalize the statistics."""
+        if self._finished:
+            return self.stats
+        self._finished = True
+        if self._carry is not None:
+            cseq, caddrs, cstart, cidx = self._carry
+            self._carry = None
+            # End of trace: the final branch outcome defaults to taken,
+            # exactly as ``Trace.taken`` defines it.
+            self._advance(cseq, caddrs, None, cstart, cidx, cidx + 1, None)
+        self._finalize_engine()
+
+        stats = self.stats
+        stats.instructions = self._count
+        if self._count == 0:
+            return stats
+        scheduler = self.scheduler
+        memorder = self.memorder
+        frontend = self.frontend
+        stats.cycles = max(scheduler.max_complete, scheduler.retire_prev)
+        if memorder.hierarchy is not None:
+            stats.l1_misses = memorder.hierarchy.l1.misses
+            stats.l2_misses = memorder.hierarchy.l2.misses
+            stats.tlb_misses = memorder.hierarchy.tlb.misses
+        if memorder.sbox_array is not None:
+            stats.extra["sbox_cache_hits"] = memorder.sbox_array.total_hits
+        if frontend.predictor is not None:
+            stats.extra["predictor_lookups"] = frontend.predictor.lookups
+
+        if self._attribute:
+            attribution = self.attribution
+            self._flush_attribution(stats.cycles)
+            stats.issue_slots = stats.cycles * self._issue_width
+            stats.stall_slots = {
+                name: attribution.stall_slots[index]
+                for index, name in enumerate(STALL_CATEGORIES)
+            }
+            stats.wait_cycles = {
+                name: attribution.wait_totals[index]
+                for index, name in enumerate(WAIT_CATEGORIES)
+            }
+            stats.hotspots = _hotspot_table(
+                self.program, attribution.hot, attribution.exec_counts
+            )
+        return stats
+
+    def _flush_attribution(self, until: int) -> None:
+        """Finalize slot counts for cycles below ``until``.
+
+        Safe once no future instruction can issue there (every cycle below
+        the prune horizon, and everything at the end of the run).  Cycles
+        past the last labeled one are retirement drain.
+        """
+        attribution = self.attribution
+        issue_width = self._issue_width
+        pop_reason = attribution.reason_at.pop
+        get_used = self.scheduler.issue_used.get
+        stall_slots = attribution.stall_slots
+        for cycle in range(attribution.flushed_until, until):
+            stall_slots[pop_reason(cycle, _C_DRAIN)] += (
+                issue_width - get_used(cycle, 0)
+            )
+        attribution.flushed_until = until
+
+    def _finalize_engine(self) -> None:
+        """Hook: fold engine-private accumulators into the stage state.
+
+        Called by :meth:`finish` after the deferred final entry is drained
+        and before the statistics are assembled.
+        """
+
+    def _advance(
+        self,
+        seq,
+        addrs,
+        taken_arr,
+        base_pos: int,
+        lo: int,
+        hi: int,
+        next_s,
+    ) -> None:  # pragma: no cover - abstract
+        """Process trace entries ``seq[lo:hi]``; implemented per engine."""
+        raise NotImplementedError
+
+
+def _hotspot_table(program: Program, hot: dict, exec_counts: list) -> list[dict]:
+    """Rank static instructions by accumulated wait cycles (top N).
+
+    Window-entry waits rank last: they measure the machine's dispatch
+    backlog, which every instruction in a saturated loop shares equally,
+    so operand/alias/contention waits -- the paper's actual per-operation
+    bottlenecks -- are the primary sort key.
+    """
+    # The static index breaks ties deterministically: engines accumulate
+    # rows in different orders (the specialized engine pre-creates every
+    # block's rows), so a stable sort alone would leak insertion order
+    # into the table.
+    ranked = sorted(
+        hot.items(),
+        key=lambda item: (-sum(item[1][1:]), -sum(item[1]), item[0]),
+    )[:_HOTSPOT_LIMIT]
+    # Synthetic traces (e.g. the multisession interleaver) carry static
+    # entries beyond their nominal program's instruction list.
+    instructions = program.instructions
+    table = []
+    for static_index, waits in ranked:
+        total = sum(waits)
+        if not total:
+            continue
+        table.append({
+            "static_index": static_index,
+            "text": (instructions[static_index].render()
+                     if static_index < len(instructions)
+                     else f"static[{static_index}]"),
+            "executions": exec_counts[static_index],
+            "total_wait_cycles": total,
+            "wait_cycles": {
+                name: waits[index]
+                for index, name in enumerate(WAIT_CATEGORIES)
+                if waits[index]
+            },
+        })
+    return table
+
+
+def record_sim_metrics(metrics, config: MachineConfig, stats: SimStats) -> None:
+    """Publish one run's headline counters into a metrics registry."""
+    labels = {"config": config.name}
+    metrics.counter("sim.runs", labels).inc()
+    metrics.counter("sim.instructions", labels).inc(stats.instructions)
+    metrics.counter("sim.cycles", labels).inc(stats.cycles)
+    metrics.counter("sim.issue_slots", labels).inc(stats.issue_slots)
+    for category, slots in stats.stall_slots.items():
+        if slots:
+            metrics.counter(
+                "sim.stall_slots", {**labels, "category": category}
+            ).inc(slots)

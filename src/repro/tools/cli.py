@@ -33,6 +33,7 @@ from repro.obs import Observability
 from repro.obs.profiler import DEFAULT_HZ
 from repro.runner import ProgressReporter, ResultCache, Runner
 from repro.sim.backends import DEFAULT_BACKEND, backend_names
+from repro.sim.timing import DEFAULT_ENGINE, engine_names
 from repro.sim import (
     ALPHA21264,
     BASE4W,
@@ -141,6 +142,7 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
              "instead of streaming it chunk by chunk",
     )
     add_backend_argument(parser)
+    add_timing_engine_argument(parser)
     add_observability_arguments(parser)
 
 
@@ -154,6 +156,19 @@ def add_backend_argument(parser: argparse.ArgumentParser) -> None:
         "--backend", default=None, choices=backend_names(),
         help="functional execution backend (default: "
              f"{DEFAULT_BACKEND}); results are identical either way",
+    )
+
+
+def add_timing_engine_argument(parser: argparse.ArgumentParser) -> None:
+    """``--timing-engine NAME``: which engine runs the timing pipeline.
+
+    Engines are bit-identical (same SimStats, same cache records); the
+    choice only affects speed.  See ``docs/timing.md``.
+    """
+    parser.add_argument(
+        "--timing-engine", default=None, choices=engine_names(),
+        help="cycle-accurate timing engine (default: "
+             f"{DEFAULT_ENGINE}); results are identical either way",
     )
 
 
@@ -211,6 +226,8 @@ def observability_from_args(
         events_out=getattr(args, "events_out", None),
     )
     obs.backend = getattr(args, "backend", None) or DEFAULT_BACKEND
+    obs.timing_engine = (getattr(args, "timing_engine", None)
+                         or DEFAULT_ENGINE)
     return obs
 
 
@@ -237,4 +254,5 @@ def runner_from_args(
             raise SystemExit("--chunk-size must be >= 1")
         kwargs.setdefault("chunk_size", chunk_size)
     kwargs.setdefault("backend", getattr(args, "backend", None))
+    kwargs.setdefault("timing_engine", getattr(args, "timing_engine", None))
     return Runner(cache=cache, jobs=getattr(args, "jobs", 1), **kwargs)

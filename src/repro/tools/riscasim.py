@@ -72,8 +72,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="memory size in bytes")
     parser.add_argument(
         "--explain", action="store_true",
-        help="with --backend compiled: print the per-program codegen "
-             "report (elided checks, folded constants, compile time)",
+        help="with --backend compiled and/or --timing-engine specialized: "
+             "print the per-program codegen report(s) (elided checks, "
+             "folded constants, compile time)",
     )
     add_runner_arguments(parser)
     args = parser.parse_args(argv)
@@ -84,8 +85,10 @@ def main(argv: list[str] | None = None) -> int:
                         or args.dump or args.list):
         parser.error("--cipher supports plain stats runs only "
                      "(no --list/--view/--dump/--bottlenecks)")
-    if args.explain and args.backend != "compiled":
-        parser.error("--explain requires --backend compiled")
+    if args.explain and args.backend != "compiled" \
+            and args.timing_engine != "specialized":
+        parser.error("--explain requires --backend compiled and/or "
+                     "--timing-engine specialized")
 
     config = CONFIGS[args.config]
     obs = observability_from_args(args, tool="riscasim")
@@ -105,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{result.stats.summary()}")
         _print_slots(result.stats)
         if args.explain:
-            _print_explain()
+            _print_explain(args)
         _finish(obs)
         return 0
 
@@ -165,14 +168,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{which:<10} {dataflow / cycles:.3f}")
 
     if args.explain:
-        _print_explain()
+        _print_explain(args)
     _finish(obs)
     return 0
 
 
-def _print_explain() -> None:
-    from repro.sim.backends.compiled import explain_table
-    print(explain_table())
+def _print_explain(args) -> None:
+    if args.backend == "compiled":
+        from repro.sim.backends.compiled import explain_table
+        print(explain_table())
+    if args.timing_engine == "specialized":
+        from repro.sim.timing.specialized import explain_table
+        print(explain_table())
 
 
 def _print_slots(stats) -> None:

@@ -19,9 +19,9 @@ from repro.sim import (
     FOURW,
     Machine,
     Memory,
-    TimingPipeline,
     simulate,
 )
+from repro.sim.timing import make_pipeline
 from repro.sim.trace import StaticInfo
 
 from .test_timing_properties import random_programs
@@ -31,8 +31,8 @@ CHUNK_SIZES = (1, 7, 4096, None)
 
 
 def _pipeline_stats(trace, config, warm_ranges, chunk_size):
-    pipeline = TimingPipeline(config, trace.static, trace.program,
-                              warm_ranges=warm_ranges)
+    pipeline = make_pipeline(config, trace.static, trace.program,
+                             warm_ranges=warm_ranges)
     for chunk in trace.chunks(chunk_size):
         pipeline.feed(chunk)
     return pipeline.finish()
@@ -72,9 +72,9 @@ def test_live_stream_matches_materialized():
     baseline = simulate(run.trace, FOURW, run.warm_ranges)
 
     stream = kernel.stream(data, chunk_size=13)
-    pipeline = TimingPipeline(FOURW, stream.source.static,
-                              stream.source.program,
-                              warm_ranges=stream.warm_ranges)
+    pipeline = make_pipeline(FOURW, stream.source.static,
+                             stream.source.program,
+                             warm_ranges=stream.warm_ranges)
     for chunk in stream.source.chunks():
         pipeline.feed(chunk)
     fin = stream.finalize()
@@ -97,8 +97,8 @@ def test_hotspot_tables_survive_single_entry_chunks():
 def test_random_programs_chunk_invariant(program, chunk_size):
     trace = Machine(program, Memory(1 << 13)).execute().trace
     baseline = simulate(trace, FOURW)
-    pipeline = TimingPipeline(FOURW, StaticInfo.from_program(program),
-                              program)
+    pipeline = make_pipeline(FOURW, StaticInfo.from_program(program),
+                             program)
     for chunk in trace.chunks(chunk_size):
         pipeline.feed(chunk)
     assert pipeline.finish() == baseline

@@ -27,6 +27,12 @@ package is that explanation machinery as reusable infrastructure:
 * :mod:`repro.obs.bench` -- the append-only benchmark history
   (``results/bench/history.jsonl``, schema ``repro.obs.bench/1``) with
   robust regression detection; driven by ``repro.tools.bench``.
+* :mod:`repro.obs.diffing` -- the run-diff engine (schema
+  ``repro.obs.diff/1``): SimStats cycle-provenance deltas, ledger phase
+  alignment, metrics/bench deltas with noise floors, and the verdict
+  line; driven by ``repro.tools.diff`` and ``repro.tools.bench compare
+  --explain``.  The first-divergence trace bisector is its sibling,
+  :mod:`repro.sim.diverge`.
 * :mod:`repro.obs.schema` -- validators for the exported documents (used
   by tests, CI, and ``repro.tools.obs --check``).
 * :mod:`repro.obs.session` -- the :class:`Observability` bundle the CLI
@@ -46,6 +52,16 @@ from repro.obs.bench import (
     detect_regression,
     environment_fingerprint,
 )
+from repro.obs.diffing import (
+    ProvenanceMismatch,
+    build_report,
+    diff_bench_records,
+    diff_ledger_runs,
+    diff_metrics_docs,
+    diff_stats,
+    explain_stats_delta,
+    render_report,
+)
 from repro.obs.events import (
     EventBus,
     JsonlSink,
@@ -63,11 +79,13 @@ from repro.obs.pipeline import schedule_spans, schedule_trace_events
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.schema import (
     BENCH_SCHEMA,
+    DIFF_SCHEMA,
     EVENTS_SCHEMA,
     LINT_SCHEMA,
     METRICS_SCHEMA,
     validate_bench,
     validate_bench_history,
+    validate_diff,
     validate_event,
     validate_event_ledger,
     validate_lint,
@@ -82,6 +100,7 @@ __all__ = [
     "BenchHistory",
     "BenchRecord",
     "Counter",
+    "DIFF_SCHEMA",
     "EVENTS_SCHEMA",
     "EventBus",
     "Gauge",
@@ -92,22 +111,31 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSink",
     "Observability",
+    "ProvenanceMismatch",
     "RingBufferSink",
     "SamplingProfiler",
     "Tracer",
     "active_bus",
+    "build_report",
     "compare_history",
     "detect_regression",
+    "diff_bench_records",
+    "diff_ledger_runs",
+    "diff_metrics_docs",
+    "diff_stats",
     "environment_fingerprint",
+    "explain_stats_delta",
     "load_ledger",
     "new_run_id",
     "publish_event",
+    "render_report",
     "schedule_spans",
     "schedule_trace_events",
     "set_active_bus",
     "split_runs",
     "validate_bench",
     "validate_bench_history",
+    "validate_diff",
     "validate_event",
     "validate_event_ledger",
     "validate_lint",

@@ -23,6 +23,8 @@ Panels rendered, each fed by one event source:
 * timing -- specialized timing-engine codegen activity (same shape,
   fed by ``timing``/``specialize`` events);
 * bench -- wall-seconds sparkline per recorded benchmark;
+* diff -- recent run-comparison verdicts (``diff``/``report`` events
+  from :mod:`repro.obs.diffing`), flagged when the runs differ;
 * alerts -- stuck-worker warnings, newest last.
 """
 
@@ -37,6 +39,9 @@ DEFAULT_WIDTH = 78
 
 #: Recent results kept for the experiments panel.
 RECENT_RESULTS = 5
+
+#: Recent comparison verdicts kept for the diff panel.
+RECENT_DIFFS = 3
 
 
 class DashState:
@@ -67,6 +72,7 @@ class DashState:
         self.timing_cache_hits = 0
         self.timing_counters: Counter = Counter()
         self.bench: dict[str, list[float]] = {}
+        self.diffs: list[dict] = []
         self.stuck: list[tuple[str, float]] = []
         self.profile: dict[str, float] = {}
 
@@ -112,6 +118,9 @@ class DashState:
             seconds = data.get("wall_seconds")
             if isinstance(seconds, (int, float)):
                 self.bench.setdefault(name, []).append(float(seconds))
+        elif source == "diff" and type_ == "report":
+            self.diffs.append(data)
+            del self.diffs[:-RECENT_DIFFS]
         elif source == "profiler" and type_ == "snapshot":
             self.profile = {
                 key: float(value) for key, value in data.items()
@@ -302,6 +311,18 @@ def render(state: DashState, width: int = DEFAULT_WIDTH) -> str:
                 f"  {name:<40} {sparkline(seconds)} "
                 f"last {seconds[-1]:.3f}s"
             )
+
+    # run comparisons
+    if state.diffs:
+        lines.append("")
+        lines.append("diff:")
+        for data in state.diffs:
+            mark = "==" if data.get("identical") else "!="
+            pair = f"{data.get('a', '?')} vs {data.get('b', '?')}"
+            lines.append(f"  {mark} [{data.get('kind', '?')}] {pair}")
+            verdict = data.get("verdict")
+            if verdict:
+                lines.append(f"     {verdict}")
 
     # profiler snapshot
     if state.profile:

@@ -56,8 +56,10 @@ KNOWN_SOURCES = {
                "finish", "result"),
     "cache": ("hit", "miss", "write"),
     "backend": ("compile", "codegen-cache-hit"),
+    "timing": ("specialize", "specialize-cache-hit"),
     "bench": ("record",),
     "profiler": ("snapshot",),
+    "diff": ("report",),
 }
 
 _SCALARS = (bool, int, float, str, type(None))

@@ -14,6 +14,9 @@ METRICS_SCHEMA = "repro.obs.metrics/1"
 BENCH_SCHEMA = "repro.obs.bench/1"
 LINT_SCHEMA = "repro.isa.verify/1"
 EVENTS_SCHEMA = "repro.obs.events/1"
+DIFF_SCHEMA = "repro.obs.diff/1"
+
+_DIFF_KINDS = ("stats", "metrics", "ledger", "bench")
 
 _LINT_SEVERITIES = ("info", "warning", "error")
 
@@ -344,4 +347,172 @@ def validate_trace_events(document) -> list[str]:
             errors.append(f"{where}: complete event needs non-negative 'dur'")
         if "args" in event and not isinstance(event["args"], dict):
             errors.append(f"{where}: args must be an object")
+    return errors
+
+
+def _scalar_object(value) -> bool:
+    return isinstance(value, dict) and all(
+        isinstance(k, str) and isinstance(v, _SCALARS)
+        for k, v in value.items()
+    )
+
+
+def _delta_rows(rows, where: str, key_field: str) -> list[str]:
+    """Shared shape check for ranked delta tables (a, b, delta per row)."""
+    errors: list[str] = []
+    if not isinstance(rows, list):
+        return [f"{where}: must be a list"]
+    for index, row in enumerate(rows):
+        rwhere = f"{where}[{index}]"
+        if not isinstance(row, dict):
+            errors.append(f"{rwhere}: must be an object")
+            continue
+        if not isinstance(row.get(key_field), str) or not row.get(key_field):
+            errors.append(f"{rwhere}: missing non-empty {key_field!r}")
+        for side in ("a", "b", "delta"):
+            if not _is_number(row.get(side)):
+                errors.append(f"{rwhere}: missing numeric {side!r}")
+        if (_is_number(row.get("a")) and _is_number(row.get("b"))
+                and _is_number(row.get("delta"))
+                and row["b"] - row["a"] != row["delta"]):
+            errors.append(f"{rwhere}: delta must equal b - a")
+    return errors
+
+
+def _validate_diff_stats(section, where: str) -> list[str]:
+    if not isinstance(section, dict):
+        return [f"{where}: must be an object"]
+    errors: list[str] = []
+    errors.extend(_delta_rows(section.get("counters", []),
+                              f"{where}.counters", "name"))
+    errors.extend(_delta_rows(section.get("stall_slots", []),
+                              f"{where}.stall_slots", "category"))
+    errors.extend(_delta_rows(section.get("wait_cycles", []),
+                              f"{where}.wait_cycles", "category"))
+    invariant = section.get("invariant", [])
+    if not isinstance(invariant, list):
+        errors.append(f"{where}.invariant: must be a list")
+    else:
+        for index, entry in enumerate(invariant):
+            iwhere = f"{where}.invariant[{index}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{iwhere}: must be an object")
+                continue
+            if entry.get("side") not in ("a", "b"):
+                errors.append(f"{iwhere}: side must be 'a' or 'b'")
+            if not isinstance(entry.get("ok"), bool):
+                errors.append(f"{iwhere}: missing boolean 'ok'")
+    hotspots = section.get("hotspots", [])
+    if not isinstance(hotspots, list):
+        errors.append(f"{where}.hotspots: must be a list")
+    else:
+        for index, row in enumerate(hotspots):
+            hwhere = f"{where}.hotspots[{index}]"
+            if not isinstance(row, dict):
+                errors.append(f"{hwhere}: must be an object")
+                continue
+            static = row.get("static_index")
+            if not isinstance(static, int) or isinstance(static, bool) \
+                    or static < 0:
+                errors.append(f"{hwhere}: 'static_index' must be a "
+                              "non-negative integer")
+            if not isinstance(row.get("text"), str) or not row.get("text"):
+                errors.append(f"{hwhere}: missing non-empty 'text'")
+            for side in ("a", "b", "delta"):
+                if not _is_number(row.get(side)):
+                    errors.append(f"{hwhere}: missing numeric {side!r}")
+            categories = row.get("categories")
+            if not isinstance(categories, dict) or not all(
+                isinstance(k, str) and _is_number(v)
+                for k, v in categories.items()
+            ):
+                errors.append(f"{hwhere}: 'categories' must be a "
+                              "str->number object")
+    if "hotspots_complete" in section \
+            and not isinstance(section["hotspots_complete"], bool):
+        errors.append(f"{where}: 'hotspots_complete' must be a boolean")
+    return errors
+
+
+def _validate_diff_phases(rows, where: str) -> list[str]:
+    if not isinstance(rows, list):
+        return [f"{where}: must be a list"]
+    errors: list[str] = []
+    for index, row in enumerate(rows):
+        rwhere = f"{where}[{index}]"
+        if not isinstance(row, dict):
+            errors.append(f"{rwhere}: must be an object")
+            continue
+        for key in ("source", "type"):
+            if not isinstance(row.get(key), str) or not row.get(key):
+                errors.append(f"{rwhere}: missing non-empty {key!r}")
+        for key in ("a_count", "b_count", "delta_count"):
+            if not isinstance(row.get(key), int) \
+                    or isinstance(row.get(key), bool):
+                errors.append(f"{rwhere}: {key!r} must be an integer")
+        for key in ("a_seconds", "b_seconds", "delta_seconds"):
+            if not _is_number(row.get(key)):
+                errors.append(f"{rwhere}: missing numeric {key!r}")
+    return errors
+
+
+def _validate_diff_metrics(rows, where: str) -> list[str]:
+    if not isinstance(rows, list):
+        return [f"{where}: must be a list"]
+    errors: list[str] = []
+    for index, row in enumerate(rows):
+        rwhere = f"{where}[{index}]"
+        if not isinstance(row, dict):
+            errors.append(f"{rwhere}: must be an object")
+            continue
+        if not isinstance(row.get("name"), str) or not row.get("name"):
+            errors.append(f"{rwhere}: missing non-empty 'name'")
+        for side in ("a", "b"):
+            value = row.get(side)
+            if value is not None and not _is_number(value):
+                errors.append(f"{rwhere}: {side!r} must be a number or null")
+        if not _is_number(row.get("delta")):
+            errors.append(f"{rwhere}: missing numeric 'delta'")
+        if "noisy" in row and not isinstance(row["noisy"], bool):
+            errors.append(f"{rwhere}: 'noisy' must be a boolean")
+        if "noise_floor" in row and not _is_number(row["noise_floor"]):
+            errors.append(f"{rwhere}: 'noise_floor' must be a number")
+    return errors
+
+
+def validate_diff(document) -> list[str]:
+    """Check a ``repro.obs.diff/1`` run-comparison report; return errors."""
+    if not isinstance(document, dict):
+        return [f"diff report must be an object, got {type(document).__name__}"]
+    errors: list[str] = []
+    if document.get("schema") != DIFF_SCHEMA:
+        errors.append(
+            f"schema must be {DIFF_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if not isinstance(document.get("generated_by"), str) \
+            or not document.get("generated_by"):
+        errors.append("missing non-empty 'generated_by'")
+    if document.get("kind") not in _DIFF_KINDS:
+        errors.append(f"'kind' must be one of {_DIFF_KINDS}")
+    if not isinstance(document.get("identical"), bool):
+        errors.append("missing boolean 'identical'")
+    if not isinstance(document.get("verdict"), str) \
+            or not document.get("verdict"):
+        errors.append("missing non-empty 'verdict'")
+    for side in ("a", "b"):
+        if not _scalar_object(document.get(side)):
+            errors.append(f"{side!r} must be a str->scalar object "
+                          "describing that run")
+    if "stats" in document:
+        errors.extend(_validate_diff_stats(document["stats"], "stats"))
+    if "phases" in document:
+        errors.extend(_validate_diff_phases(document["phases"], "phases"))
+    if "metrics" in document:
+        errors.extend(_validate_diff_metrics(document["metrics"], "metrics"))
+    if "bench" in document and not _scalar_object(document["bench"]):
+        errors.append("'bench' must be a str->scalar object")
+    if not any(key in document for key in ("stats", "phases", "metrics",
+                                           "bench")):
+        errors.append("report must carry at least one comparison section "
+                      "(stats/phases/metrics/bench)")
     return errors

@@ -663,6 +663,41 @@ class Runner:
             })
         return records
 
+    def kernel_stream(self, options, chunk_size: int | None = None):
+        """A live single-pass kernel stream for one experiment's options.
+
+        The streaming execution path and the trace bisector
+        (``repro.tools.diff bisect``) both need "the trace this
+        experiment would produce" without materializing it; this builds
+        exactly the stream the runner itself feeds to its pipelines --
+        same backend resolution, same decrypt pre-encryption, same chunk
+        sizing (``chunk_size`` overrides the experiment's, then the
+        runner's).  Setup traces are short and always materialized, so
+        they have no streaming form.
+        """
+        if options.kind == "setup":
+            raise ValueError(
+                "setup runs have no streaming form; use "
+                "functional(options).trace"
+            )
+        kernel = self._kernel(options)
+        data = options.resolved_plaintext()
+        if chunk_size is None:
+            chunk_size = (options.chunk_size
+                          if options.chunk_size is not None
+                          else self.chunk_size)
+        backend = self._resolved_backend(options)
+        if options.kind == "decrypt":
+            # The preliminary encryption only provides the input bytes; no
+            # trace is recorded for it.
+            payload = kernel.encrypt(
+                data, options.iv, record_trace=False, backend=backend
+            ).ciphertext
+            return kernel.stream(payload, options.iv, decrypt=True,
+                                 chunk_size=chunk_size, backend=backend)
+        return kernel.stream(data, options.iv, chunk_size=chunk_size,
+                             backend=backend)
+
     def _stream_group_records(self, options, configs) -> list[dict]:
         """One machine stream feeding one timing pipeline per config.
 
@@ -672,23 +707,7 @@ class Runner:
         work is still done once per group (the same dedup as the batch
         path).  Produces records identical to :meth:`_run_group_records`.
         """
-        kernel = self._kernel(options)
-        data = options.resolved_plaintext()
-        chunk_size = (options.chunk_size if options.chunk_size is not None
-                      else self.chunk_size)
-        backend = self._resolved_backend(options)
-        if options.kind == "decrypt":
-            # The preliminary encryption only provides the input bytes; no
-            # trace is recorded for it.
-            payload = kernel.encrypt(
-                data, options.iv, record_trace=False, backend=backend
-            ).ciphertext
-            stream = kernel.stream(payload, options.iv, decrypt=True,
-                                   chunk_size=chunk_size, backend=backend)
-        else:
-            stream = kernel.stream(data, options.iv, chunk_size=chunk_size,
-                                   backend=backend)
-
+        stream = self.kernel_stream(options)
         engine = self._resolved_timing_engine(options)
         pipelines = [
             make_pipeline(config, stream.source.static,

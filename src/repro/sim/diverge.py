@@ -1,0 +1,304 @@
+"""First-divergence bisection over dynamic trace streams.
+
+When two execution stacks that must be bit-identical (interpreter vs
+compiled backend, generic vs specialized timing engine) stop agreeing,
+"the traces differ" is useless forensics.  This module answers *where
+first*: it walks two :class:`~repro.sim.trace.TraceSource` streams in
+lockstep, compares aligned windows with C-level array equality (a
+matching megabyte costs one comparison, not a Python loop), and on the
+first mismatching window binary-searches the prefix down to the exact
+first differing trace position -- then reports which column diverged
+(``seq``, ``addrs``, ``values`` or ``taken``), both values, the static
+instruction's disassembly, and the surrounding trace context.
+
+The equivalence suites use :func:`assert_sources_identical` so a
+bit-identity failure names the exact instruction, and
+``python -m repro.tools.diff bisect`` is the standalone CLI.  Works over
+materialized :class:`~repro.sim.trace.Trace` objects and single-pass
+:class:`~repro.sim.machine.StreamingTrace` generators alike, so a
+divergence deep in a gigabyte-scale streamed session is found without
+ever materializing either trace.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.trace import DEFAULT_CHUNK_SIZE, TraceSource
+
+#: Trace columns in report priority: a seq divergence makes the other
+#: columns meaningless at the same position, addresses outrank values.
+FIELDS = ("seq", "addrs", "values", "taken")
+
+
+@dataclass
+class Divergence:
+    """The first point where two trace streams disagree.
+
+    ``field`` is one of :data:`FIELDS`, or ``"length"`` when one stream
+    is a strict prefix of the other (``position`` is then the length of
+    the shorter stream and the missing side's value is ``None``).
+    """
+
+    position: int
+    field: str
+    a_value: int | None
+    b_value: int | None
+    a_text: str = ""
+    b_text: str = ""
+    context: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return format_divergence(self)
+
+
+def format_divergence(divergence: Divergence,
+                      a_label: str = "a", b_label: str = "b") -> str:
+    """Render a divergence as the multi-line forensic message."""
+    d = divergence
+    if d.field == "length":
+        longer = b_label if d.a_value is None else a_label
+        lines = [
+            f"first divergence at trace position {d.position}: "
+            f"{longer} continues past the end of the other stream",
+            f"  {a_label}: "
+            + ("<end of trace>" if d.a_value is None
+               else f"static #{d.a_value} {d.a_text}"),
+            f"  {b_label}: "
+            + ("<end of trace>" if d.b_value is None
+               else f"static #{d.b_value} {d.b_text}"),
+        ]
+    else:
+        lines = [
+            f"first divergence at trace position {d.position}, "
+            f"column '{d.field}':",
+            f"  {a_label}: {_render_value(d.field, d.a_value)}"
+            + (f"  ({d.a_text})" if d.a_text else ""),
+            f"  {b_label}: {_render_value(d.field, d.b_value)}"
+            + (f"  ({d.b_text})" if d.b_text else ""),
+        ]
+    if d.context:
+        lines.append("  context:")
+        lines.extend(f"    {line}" for line in d.context)
+    return "\n".join(lines)
+
+
+def _render_value(field_name: str, value) -> str:
+    if value is None:
+        return "<absent>"
+    if field_name in ("addrs", "values"):
+        return f"0x{value:016x}"
+    if field_name == "taken":
+        return "taken" if value else "not taken"
+    return f"static #{value}"
+
+
+class _Cursor:
+    """Pull-based window reader over a trace source's chunk stream.
+
+    Chunk boundaries of the two sources need not line up (a streamed
+    run chunks at ``chunk_size``; a materialized trace may arrive as one
+    chunk), so each side buffers pending chunk tails and serves windows
+    of whatever length the comparison asks for.
+    """
+
+    def __init__(self, source: TraceSource, chunk_size: int) -> None:
+        self.program = source.program
+        self._chunks = source.chunks(chunk_size)
+        self._seq = array("q")
+        self._addrs = array("Q")
+        self._values: array | None = None
+        self._taken: array | None = None
+        self._primed = False
+        self.exhausted = False
+
+    def _pull(self) -> bool:
+        chunk = next(self._chunks, None)
+        if chunk is None:
+            self.exhausted = True
+            return False
+        if not self._primed:
+            self._primed = True
+            if chunk.values is not None:
+                self._values = array("Q")
+            if chunk.taken is not None:
+                self._taken = array("b")
+        self._seq.extend(chunk.seq)
+        self._addrs.extend(chunk.addrs)
+        if self._values is not None and chunk.values is not None:
+            self._values.extend(chunk.values)
+        if self._taken is not None and chunk.taken is not None:
+            self._taken.extend(chunk.taken)
+        return True
+
+    def fill(self, want: int) -> int:
+        """Buffer at least ``want`` entries; returns what is available."""
+        while len(self._seq) < want and not self.exhausted:
+            self._pull()
+        return len(self._seq)
+
+    def window(self, n: int) -> dict[str, array | None]:
+        return {
+            "seq": self._seq[:n],
+            "addrs": self._addrs[:n],
+            "values": None if self._values is None else self._values[:n],
+            "taken": None if self._taken is None else self._taken[:n],
+        }
+
+    def advance(self, n: int) -> None:
+        self._seq = self._seq[n:]
+        self._addrs = self._addrs[n:]
+        if self._values is not None:
+            self._values = self._values[n:]
+        if self._taken is not None:
+            self._taken = self._taken[n:]
+
+
+def _first_mismatch(column_a: array, column_b: array, n: int) -> int | None:
+    """Binary-search the first index in ``[0, n)`` where columns differ.
+
+    Each probe is one C-level prefix comparison; a full window equality
+    check costs the same single comparison at ``mid = n``.
+    """
+    if column_a[:n] == column_b[:n]:
+        return None
+    lo, hi = 0, n - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if column_a[:mid + 1] == column_b[:mid + 1]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _text(program, static_index) -> str:
+    instructions = program.instructions
+    if static_index is not None and 0 <= static_index < len(instructions):
+        return instructions[static_index].render()
+    return ""
+
+
+def first_divergence(
+    a: TraceSource,
+    b: TraceSource,
+    chunk_size: int | None = None,
+    context: int = 3,
+) -> Divergence | None:
+    """Locate the first trace position where two sources disagree.
+
+    Returns ``None`` when the streams are bit-identical (same length,
+    same columns everywhere).  Columns only one side records (``values``
+    from a run without value recording, explicit ``taken`` flags from a
+    synthetic trace) are skipped -- presence asymmetry is a recording
+    choice, not an execution divergence.
+    """
+    chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
+    cursor_a = _Cursor(a, chunk_size)
+    cursor_b = _Cursor(b, chunk_size)
+    position = 0
+    # Recent positions kept for the "context" lines of the report.
+    tail: deque[tuple[int, int]] = deque(maxlen=max(context, 0))
+
+    while True:
+        have_a = cursor_a.fill(chunk_size)
+        have_b = cursor_b.fill(chunk_size)
+        n = min(have_a, have_b)
+        if n == 0:
+            if have_a == have_b:
+                return None
+            longer = cursor_a if have_a else cursor_b
+            seq0 = longer.window(1)["seq"][0]
+            text = _text(longer.program, seq0)
+            return Divergence(
+                position=position,
+                field="length",
+                a_value=seq0 if have_a else None,
+                b_value=seq0 if have_b else None,
+                a_text=text if have_a else "",
+                b_text=text if have_b else "",
+                context=_context_lines(tail, cursor_a.program),
+            )
+        window_a = cursor_a.window(n)
+        window_b = cursor_b.window(n)
+        first: int | None = None
+        first_field = ""
+        for name in FIELDS:
+            column_a, column_b = window_a[name], window_b[name]
+            if column_a is None or column_b is None:
+                continue
+            limit = n if first is None else first + 1
+            index = _first_mismatch(column_a, column_b, limit)
+            if index is not None and (first is None or index < first
+                                      or (index == first and not first_field)):
+                first, first_field = index, name
+        if first is not None:
+            for offset in range(max(first - (tail.maxlen or 0), 0), first):
+                tail.append((position + offset, window_a["seq"][offset]))
+            divergence = Divergence(
+                position=position + first,
+                field=first_field,
+                a_value=window_a[first_field][first],
+                b_value=window_b[first_field][first],
+                a_text=_text(cursor_a.program, window_a["seq"][first]),
+                b_text=_text(cursor_b.program, window_b["seq"][first]),
+                context=_context_lines(tail, cursor_a.program),
+            )
+            return divergence
+        for offset in range(max(n - (tail.maxlen or 0), 0), n):
+            tail.append((position + offset, window_a["seq"][offset]))
+        cursor_a.advance(n)
+        cursor_b.advance(n)
+        position += n
+
+
+def _context_lines(tail, program) -> list[str]:
+    return [
+        f"[{trace_position}] static #{static_index} "
+        f"{_text(program, static_index)}"
+        for trace_position, static_index in tail
+    ]
+
+
+def assert_sources_identical(
+    a: TraceSource,
+    b: TraceSource,
+    a_label: str = "a",
+    b_label: str = "b",
+    chunk_size: int | None = None,
+) -> None:
+    """Equivalence-suite hook: raise with the exact first divergence.
+
+    A passing call costs one lockstep pass with array-equality windows;
+    a failing one names the first differing trace position, column and
+    instruction instead of dumping two traces.
+    """
+    divergence = first_divergence(a, b, chunk_size=chunk_size)
+    if divergence is not None:
+        raise AssertionError(
+            f"{a_label} and {b_label} diverge: "
+            f"{format_divergence(divergence, a_label, b_label)}"
+        )
+
+
+def first_schedule_divergence(entries_a, entries_b):
+    """First index where two per-instruction schedule/value lists differ.
+
+    A generic helper for timing-engine forensics: pass any parallel
+    per-dynamic-instruction sequences (issue cycles, completion cycles,
+    per-entry stall attributions) and get ``(index, a_value, b_value)``
+    back, or ``None`` when they match.  Length mismatch reports the
+    first missing index with ``None`` for the absent side.
+    """
+    n = min(len(entries_a), len(entries_b))
+    for index in range(n):
+        if entries_a[index] != entries_b[index]:
+            return index, entries_a[index], entries_b[index]
+    if len(entries_a) != len(entries_b):
+        longer = entries_a if len(entries_a) > n else entries_b
+        return (n,
+                longer[n] if longer is entries_a else None,
+                longer[n] if longer is entries_b else None)
+    return None

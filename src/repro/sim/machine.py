@@ -21,7 +21,6 @@ Architectural notes (see ``repro.isa.opcodes`` for the full list):
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
@@ -187,72 +186,6 @@ class Machine:
                 instructions_executed=self.instructions_executed,
             )
         return RunResult(instructions=self.instructions_executed, trace=trace)
-
-    # -- deprecated entry points (one-release shims over execute()) --------
-
-    def run(
-        self,
-        max_instructions: int = 200_000_000,
-        record_trace: bool = True,
-        record_values: bool = False,
-    ) -> RunResult:
-        """Deprecated: use :meth:`execute`."""
-        warnings.warn(
-            "Machine.run() is deprecated; use Machine.execute()",
-            DeprecationWarning, stacklevel=2,
-        )
-        result = self.execute(
-            record_trace=record_trace,
-            record_values=record_values,
-            max_instructions=max_instructions,
-        )
-        assert isinstance(result, RunResult)
-        return result
-
-    def iter_trace(
-        self,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        *,
-        record_values: bool = False,
-        max_instructions: int = 200_000_000,
-    ) -> Iterator[TraceChunk]:
-        """Deprecated: use :meth:`execute` with ``chunk_size=...``."""
-        warnings.warn(
-            "Machine.iter_trace() is deprecated; use "
-            "Machine.execute(chunk_size=...)",
-            DeprecationWarning, stacklevel=2,
-        )
-        from repro.sim.backends import UNBOUNDED_CHUNK
-
-        result = self.execute(
-            chunk_size=UNBOUNDED_CHUNK if chunk_size is None else chunk_size,
-            record_values=record_values,
-            max_instructions=max_instructions,
-        )
-        assert not isinstance(result, (RunResult, StreamingTrace))
-        return result
-
-    def stream(
-        self,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        *,
-        record_values: bool = False,
-        max_instructions: int = 200_000_000,
-    ) -> "StreamingTrace":
-        """Deprecated: use :meth:`execute` with ``stream=True``."""
-        warnings.warn(
-            "Machine.stream() is deprecated; use "
-            "Machine.execute(stream=True, chunk_size=...)",
-            DeprecationWarning, stacklevel=2,
-        )
-        result = self.execute(
-            stream=True,
-            chunk_size=chunk_size,
-            record_values=record_values,
-            max_instructions=max_instructions,
-        )
-        assert isinstance(result, StreamingTrace)
-        return result
 
     def reset(self, memory: Memory | None = None) -> None:
         """Re-arm the machine for another execution.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 #: Issue-slot stall categories, in display order.  Every issue slot of every
 #: cycle on a finite-issue-width machine is either used by an instruction or
@@ -28,6 +28,13 @@ STALL_CATEGORIES = (
 #: fetch/mispredict/frontend/drain describe machine state with *no* oldest
 #: unissued instruction or the run tail, so they have no per-static rows.
 WAIT_CATEGORIES = STALL_CATEGORIES[3:-1]
+
+#: ``extra`` keys that record *where a result came from* (which program
+#: produced the hot-spot table, which timing engine ran) rather than what
+#: was measured.  Diff tooling reads them to refuse cross-program hot-spot
+#: comparisons; equality ignores them so interchangeable engines still
+#: produce equal results.
+PROVENANCE_KEYS = ("program_digest", "timing_engine")
 
 
 @dataclass
@@ -63,6 +70,26 @@ class SimStats:
     #: "total_wait_cycles", "wait_cycles": {category: cycles}}``.
     hotspots: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+
+    def __eq__(self, other) -> bool:
+        """Measurement equality: provenance stamps don't make runs differ.
+
+        The engine- and backend-equivalence contracts compare SimStats
+        across stacks whose :data:`PROVENANCE_KEYS` stamps legitimately
+        differ (``timing_engine`` names the engine that ran), so those
+        keys are excluded; every measured field must match exactly.
+        """
+        if not isinstance(other, SimStats):
+            return NotImplemented
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "extra":
+                strip = lambda d: {k: v for k, v in d.items()
+                                   if k not in PROVENANCE_KEYS}
+                mine, theirs = strip(mine), strip(theirs)
+            if mine != theirs:
+                return False
+        return True
 
     @property
     def ipc(self) -> float:

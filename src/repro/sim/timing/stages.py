@@ -276,6 +276,13 @@ class PipelineBase:
 
         stats = self.stats
         stats.instructions = self._count
+        # Provenance stamps: which program's statics the hot-spot table
+        # indexes into, and which engine produced the result.  Diff
+        # tooling refuses to align hot spots across different digests;
+        # SimStats equality ignores both (stats.PROVENANCE_KEYS).
+        if self.program.finalized:
+            stats.extra["program_digest"] = self.program.digest()
+        stats.extra["timing_engine"] = self.engine_name
         if self._count == 0:
             return stats
         scheduler = self.scheduler
@@ -306,6 +313,12 @@ class PipelineBase:
             stats.hotspots = _hotspot_table(
                 self.program, attribution.hot, attribution.exec_counts
             )
+            ranked = sum(1 for waits in attribution.hot.values()
+                         if sum(waits))
+            if ranked > len(stats.hotspots):
+                # Per-static deltas over a clipped table can't sum to the
+                # category totals; diff reports read this to say so.
+                stats.extra["hotspots_truncated"] = True
         return stats
 
     def _flush_attribution(self, until: int) -> None:

@@ -16,10 +16,18 @@ platform, hostname) so each point is attributable to a commit.
 of its recent same-environment predecessors (robust MAD noise floor +
 bootstrap confidence bound -- see :mod:`repro.obs.bench`) and exits
 non-zero on a *confirmed* regression; CI runs it after recording the
-benchmark smoke set.  ``report`` prints one trend sparkline per
-benchmark.  ``ingest`` migrates a legacy ``BENCH_streaming.json``
-artifact (written by ``benchmarks/test_streaming_memory.py``) into the
-history.
+benchmark smoke set.  ``compare --explain`` additionally drills the
+flagged benchmark (or, when nothing regressed, the first judged one)
+into a ``repro.obs.diff/1`` report: the wall-time delta against its
+noise floor, plus -- when the records' ``extra`` fields name a
+(cipher, config) pair -- the per-category stall and hot-spot deltas
+between cached reruns of the baseline and current experiments
+(``--explain-out`` writes the report as JSON).  ``report`` prints one
+trend sparkline per benchmark.  ``ingest`` migrates a legacy benchmark
+artifact into the history; it understands ``BENCH_streaming.json``
+(written by ``benchmarks/test_streaming_memory.py``),
+``BENCH_timing.json`` (timing-engine grid: one record per engine) and
+``BENCH_compiled.json`` (backend grid: one record per backend).
 """
 
 from __future__ import annotations
@@ -34,7 +42,14 @@ from repro.obs.bench import (
     BenchHistory,
     BenchRecord,
     compare_history,
+    environment_fingerprint,
     sparkline,
+)
+from repro.obs.diffing import (
+    build_report,
+    diff_bench_records,
+    diff_stats,
+    render_report,
 )
 
 
@@ -63,7 +78,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="attach a scalar (repeatable)")
 
     ingest = commands.add_parser(
-        "ingest", help="migrate a BENCH_streaming.json artifact")
+        "ingest", help="migrate a BENCH_streaming/timing/compiled.json "
+                       "artifact")
     ingest.add_argument("path")
 
     compare = commands.add_parser(
@@ -81,6 +97,15 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--any-env", action="store_true",
                          help="compare across environments too (default: "
                               "baseline is same hostname/platform only)")
+    compare.add_argument("--explain", action="store_true",
+                         help="drill the flagged benchmark into a "
+                              "repro.obs.diff/1 report (wall-time delta "
+                              "vs noise floor; stall deltas via cached "
+                              "reruns when the records name a "
+                              "cipher/config)")
+    compare.add_argument("--explain-out", metavar="PATH", default=None,
+                         help="write the --explain report as JSON "
+                              "(implies --explain)")
 
     report = commands.add_parser(
         "report", help="per-benchmark trend sparklines")
@@ -131,34 +156,89 @@ def _record(args, history: BenchHistory) -> int:
     return 0
 
 
+def _scalar_extras(legacy: dict, *, drop=()) -> dict:
+    return {
+        key: value for key, value in legacy.items()
+        if isinstance(value, (bool, int, float, str)) and key not in drop
+    }
+
+
 def _ingest(args, history: BenchHistory) -> int:
-    """Migrate one legacy streaming-benchmark artifact into the history."""
+    """Migrate one legacy benchmark artifact into the history.
+
+    The artifact kind is sniffed from its keys: ``stream_seconds`` is the
+    streaming benchmark, ``generic_seconds``/``specialized_seconds`` is
+    the timing-engine grid (two records, each stamped with its engine so
+    same-environment baselines never mix engines), and
+    ``interpreter_seconds``/``compiled_seconds`` is the backend grid
+    (two records, stamped per backend).
+    """
     with open(args.path) as handle:
         legacy = json.load(handle)
     try:
-        wall = float(legacy["stream_seconds"])
         session_bytes = int(legacy["session_bytes"])
+        if "stream_seconds" in legacy:
+            documents = [history.append(BenchRecord(
+                suite="streaming",
+                benchmark="stream_vs_batch",
+                wall_seconds=float(legacy["stream_seconds"]),
+                throughput=(session_bytes / float(legacy["stream_seconds"])
+                            if float(legacy["stream_seconds"]) > 0 else None),
+                throughput_unit="bytes/s",
+                peak_memory_bytes=legacy.get("stream_peak_trace_bytes"),
+                extra=_scalar_extras(legacy, drop=(
+                    "stream_seconds", "stream_peak_trace_bytes")),
+            ))]
+        elif "generic_seconds" in legacy and "specialized_seconds" in legacy:
+            documents = []
+            for engine in ("generic", "specialized"):
+                env = environment_fingerprint()
+                env["timing_engine"] = engine
+                wall = float(legacy[f"{engine}_seconds"])
+                documents.append(history.append(BenchRecord(
+                    suite="timing",
+                    benchmark=f"{legacy.get('cipher', '?').lower()}"
+                              f"_timing_grid",
+                    wall_seconds=wall,
+                    throughput=(session_bytes / wall if wall > 0 else None),
+                    throughput_unit="bytes/s",
+                    extra=_scalar_extras(legacy, drop=(
+                        "generic_seconds", "specialized_seconds")),
+                    env=env,
+                )))
+        elif "interpreter_seconds" in legacy and "compiled_seconds" in legacy:
+            documents = []
+            for backend in ("interpreter", "compiled"):
+                env = environment_fingerprint()
+                env["backend"] = backend
+                wall = float(legacy[f"{backend}_seconds"])
+                documents.append(history.append(BenchRecord(
+                    suite="backend",
+                    benchmark=f"{legacy.get('cipher', '?').lower()}"
+                              f"_functional",
+                    wall_seconds=wall,
+                    throughput=legacy.get(
+                        f"{backend}_instructions_per_second"),
+                    throughput_unit="instructions/s",
+                    extra=_scalar_extras(legacy, drop=(
+                        "interpreter_seconds", "compiled_seconds",
+                        "interpreter_instructions_per_second",
+                        "compiled_instructions_per_second")),
+                    env=env,
+                )))
+        else:
+            raise KeyError(
+                "no stream_seconds / generic_seconds+specialized_seconds / "
+                "interpreter_seconds+compiled_seconds"
+            )
     except (KeyError, TypeError, ValueError) as error:
         raise SystemExit(
-            f"{args.path}: not a BENCH_streaming.json artifact ({error!r})"
+            f"{args.path}: not a recognized benchmark artifact ({error!r})"
         )
-    extra = {
-        key: value for key, value in legacy.items()
-        if isinstance(value, (bool, int, float, str))
-        and key not in ("stream_seconds", "stream_peak_trace_bytes")
-    }
-    document = history.append(BenchRecord(
-        suite="streaming",
-        benchmark="stream_vs_batch",
-        wall_seconds=wall,
-        throughput=session_bytes / wall if wall > 0 else None,
-        throughput_unit="bytes/s",
-        peak_memory_bytes=legacy.get("stream_peak_trace_bytes"),
-        extra=extra,
-    ))
-    print(f"ingested {args.path} -> {history.path} "
-          f"({document['wall_seconds']:.3f}s, "
-          f"{len(extra)} extra fields)")
+    for document in documents:
+        print(f"ingested {document['suite']}::{document['benchmark']} "
+              f"({document['wall_seconds']:.3f}s) from {args.path} "
+              f"-> {history.path}")
     return 0
 
 
@@ -177,11 +257,102 @@ def _compare(args, history: BenchHistory) -> int:
     for verdict in verdicts:
         print(verdict.summary())
         regressions += verdict.regressed
+    if args.explain or args.explain_out:
+        _explain(args, history, verdicts)
     if regressions:
         print(f"{regressions} confirmed regression(s)")
         return 1
     print("no confirmed regressions")
     return 0
+
+
+def _explain(args, history: BenchHistory, verdicts) -> None:
+    """Drill one verdict into a ``repro.obs.diff/1`` report.
+
+    The flagged regression wins (first one, when several); with nothing
+    flagged the first judged benchmark is explained so the report can be
+    produced unconditionally in CI.  When both the current record and
+    the newest baseline record carry ``cipher``/``config`` extras, the
+    corresponding experiments are re-run through the (cached) runner and
+    the report gains the full stall-category and hot-spot delta section
+    -- the "where did the cycles go" answer behind the wall-time delta.
+    """
+    target = next((v for v in verdicts if v.regressed), verdicts[0])
+    entries = history.entries(target.suite, target.benchmark)
+    current, prior = entries[-1], entries[:-1]
+    if not args.any_env:
+        from repro.obs.bench import _same_environment
+        prior = [run for run in prior
+                 if _same_environment(run.env, current.env)]
+    baseline = prior[-args.baseline:]
+    section = diff_bench_records(current, baseline)
+    stats = None
+    newest = baseline[-1] if baseline else None
+    if newest is not None:
+        stats = _differential_stats(newest.extra, current.extra)
+    report = build_report(
+        "bench",
+        {"label": f"{target.suite}::{target.benchmark} baseline",
+         "runs": len(baseline),
+         **({"config": newest.extra["config"]}
+            if newest is not None and "config" in newest.extra else {})},
+        {"label": f"{target.suite}::{target.benchmark} current",
+         "wall_seconds": current.wall_seconds,
+         "recorded_at": current.recorded_at,
+         **({"config": current.extra["config"]}
+            if "config" in current.extra else {})},
+        identical=not target.regressed and not section["significant"],
+        verdict=target.summary(),
+        generated_by="repro.tools.bench compare --explain",
+        bench=section,
+        stats=stats,
+    )
+    print()
+    print(render_report(report))
+    if args.explain_out:
+        with open(args.explain_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.explain_out}")
+
+
+def _differential_stats(baseline_extra: dict, current_extra: dict):
+    """Stall/hot-spot deltas between two records' named experiments.
+
+    Returns ``None`` unless both records name a runnable (cipher,
+    config); the reruns go through the normal runner cache, so
+    explaining a regression over already-measured experiments costs two
+    cache hits, not two simulations.
+    """
+    from repro.runner import Experiment, ExperimentOptions, Runner
+    from repro.tools.cli import CONFIGS, FEATURE_LEVELS
+
+    def experiment(extra: dict) -> Experiment | None:
+        cipher = extra.get("cipher")
+        config = extra.get("config")
+        features = FEATURE_LEVELS.get(str(extra.get("features", "opt")))
+        if not cipher or config not in CONFIGS or features is None:
+            return None
+        try:
+            session_bytes = int(extra.get("session_bytes", 1024))
+        except (TypeError, ValueError):
+            return None
+        return Experiment(
+            ExperimentOptions(cipher=cipher, features=features,
+                              session_bytes=session_bytes),
+            CONFIGS[config],
+        )
+
+    side_a = experiment(baseline_extra)
+    side_b = experiment(current_extra)
+    if side_a is None or side_b is None:
+        return None
+    runner = Runner(jobs=1)
+    if side_a == side_b:
+        result_a = result_b = runner.run([side_a])[0]
+    else:
+        result_a, result_b = runner.run([side_a, side_b])
+    return diff_stats(result_a.stats, result_b.stats)
 
 
 def _report(args, history: BenchHistory) -> int:

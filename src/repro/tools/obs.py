@@ -30,11 +30,13 @@ import json
 from repro.kernels import KERNEL_NAMES
 from repro.obs import (
     BENCH_SCHEMA,
+    DIFF_SCHEMA,
     EVENTS_SCHEMA,
     LINT_SCHEMA,
     schedule_trace_events,
     validate_bench,
     validate_bench_history,
+    validate_diff,
     validate_event_ledger,
     validate_lint,
     validate_metrics,
@@ -128,6 +130,7 @@ def check_file(path: str) -> int:
     The document kind is sniffed from its content: a ``metrics`` key means
     the metrics schema, a ``repro.obs.bench/1`` schema stamp (on a single
     object or on JSONL lines) means the benchmark history, a
+    ``repro.obs.diff/1`` stamp means a run-comparison report, a
     ``repro.obs.events/1`` stamp on JSONL lines means a run ledger, a
     ``repro.isa.verify/1`` stamp means a lint report, anything else is
     checked as Chrome/Perfetto trace events.  Returns 0 iff valid.
@@ -137,14 +140,19 @@ def check_file(path: str) -> int:
             document = [json.loads(line) for line in handle if line.strip()]
         else:
             document = json.load(handle)
-    if isinstance(document, dict) and "metrics" in document:
-        errors, kind = validate_metrics(document), "metrics"
-    elif isinstance(document, dict) \
+    if isinstance(document, dict) \
             and document.get("schema") == LINT_SCHEMA:
         errors, kind = validate_lint(document), "lint"
     elif isinstance(document, dict) \
             and document.get("schema") == BENCH_SCHEMA:
         errors, kind = validate_bench(document), "bench"
+    elif isinstance(document, dict) \
+            and document.get("schema") == DIFF_SCHEMA:
+        # Before the "metrics" key sniff: a diff report of kind
+        # "metrics" carries delta rows under that key too.
+        errors, kind = validate_diff(document), "diff report"
+    elif isinstance(document, dict) and "metrics" in document:
+        errors, kind = validate_metrics(document), "metrics"
     elif isinstance(document, list) and document and all(
         isinstance(entry, dict) and entry.get("schema") == BENCH_SCHEMA
         for entry in document
@@ -198,10 +206,21 @@ def breakdown_table(cipher, features_label, session_bytes, named) -> str:
 
 
 def hotspot_table(config_name, stats, limit: int) -> str:
-    """The static instructions with the most accumulated wait cycles."""
+    """The static instructions with the most accumulated wait cycles.
+
+    The header names the owning program (digest prefix) and the timing
+    engine that produced the table, so two printed tables can never be
+    silently read as comparable when they came from different programs.
+    """
     if not stats.hotspots:
         return f"  [{config_name}] no hot spots recorded"
-    lines = [f"  [{config_name}] hot spots (wait cycles by category):"]
+    digest = stats.extra.get("program_digest", "")
+    provenance = f" program {digest[:12]}" if digest else ""
+    engine = stats.extra.get("timing_engine")
+    if engine:
+        provenance += f" engine {engine}"
+    lines = [f"  [{config_name}]{provenance} "
+             f"hot spots (wait cycles by category):"]
     for spot in stats.hotspots[:limit]:
         reasons = ", ".join(
             f"{category} {cycles}" for category, cycles

@@ -264,3 +264,96 @@ def test_cli_empty_history_is_ok(tmp_path, capsys):
     assert cli(tmp_path, "report") == 0
     out = capsys.readouterr().out
     assert "no benchmarks" in out
+
+
+def test_cli_ingest_timing_grid_artifact(tmp_path, capsys):
+    legacy = tmp_path / "BENCH_timing.json"
+    legacy.write_text(json.dumps({
+        "session_bytes": 1 << 20, "cipher": "RC4", "config": "4W",
+        "generic_seconds": 2.0, "specialized_seconds": 1.25,
+        "speedup": 1.6,
+    }))
+    assert cli(tmp_path, "ingest", str(legacy)) == 0
+    entries = BenchHistory(tmp_path / "h.jsonl").load()
+    assert [(e.suite, e.benchmark) for e in entries] == \
+        [("timing", "rc4_timing_grid")] * 2
+    assert [e.env["timing_engine"] for e in entries] == \
+        ["generic", "specialized"]
+    assert entries[0].wall_seconds == 2.0
+    assert entries[1].wall_seconds == 1.25
+    assert entries[1].throughput == pytest.approx((1 << 20) / 1.25)
+    # The engine walls become records, not extras (they would shadow
+    # the per-engine baselines); scalars like the speedup ride along.
+    assert "generic_seconds" not in entries[0].extra
+    assert entries[0].extra["speedup"] == 1.6
+    assert "ingested timing::rc4_timing_grid" in capsys.readouterr().out
+
+
+def test_cli_ingest_backend_grid_artifact(tmp_path):
+    legacy = tmp_path / "BENCH_compiled.json"
+    legacy.write_text(json.dumps({
+        "session_bytes": 1 << 20, "cipher": "RC4",
+        "interpreter_seconds": 30.0, "compiled_seconds": 6.0,
+        "interpreter_instructions_per_second": 1.0e6,
+        "compiled_instructions_per_second": 5.0e6,
+    }))
+    assert cli(tmp_path, "ingest", str(legacy)) == 0
+    entries = BenchHistory(tmp_path / "h.jsonl").load()
+    assert [(e.suite, e.benchmark) for e in entries] == \
+        [("backend", "rc4_functional")] * 2
+    assert [e.env["backend"] for e in entries] == \
+        ["interpreter", "compiled"]
+    assert entries[1].throughput == 5.0e6
+    assert entries[1].throughput_unit == "instructions/s"
+
+
+def test_cli_ingest_unrecognized_artifact(tmp_path):
+    legacy = tmp_path / "BENCH_mystery.json"
+    legacy.write_text(json.dumps({"session_bytes": 64, "other": 1}))
+    with pytest.raises(SystemExit, match="not a recognized"):
+        cli(tmp_path, "ingest", str(legacy))
+
+
+def test_cli_compare_explain_drills_into_stall_deltas(tmp_path, capsys,
+                                                     monkeypatch):
+    """A seeded synthetic regression whose records name runnable
+    experiments: --explain reruns them (cached) and the report carries
+    the full stall-category delta section, valid per obs --check."""
+    from repro.tools import obs as obs_cli
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    history = BenchHistory(tmp_path / "h.jsonl")
+    for wall in (1.0, 1.01, 0.99):
+        history.append(record(
+            wall, suite="timing", benchmark="grid",
+            extra={"cipher": "RC4", "config": "4W", "session_bytes": 64},
+        ))
+    history.append(record(
+        2.0, suite="timing", benchmark="grid",
+        extra={"cipher": "RC4", "config": "8W+", "session_bytes": 64},
+    ))
+    out = tmp_path / "explain.json"
+    assert cli(tmp_path, "compare", "--explain-out", str(out)) == 1
+    stdout = capsys.readouterr().out
+    assert "REGRESSION" in stdout
+    assert "diff [bench]" in stdout
+    report = json.loads(out.read_text())
+    assert report["kind"] == "bench"
+    assert report["identical"] is False
+    assert report["bench"]["significant"] is True
+    # The cycle-provenance drill-down: 4W vs 8W+ stall deltas.
+    assert report["stats"]["a_config"] == "4W"
+    assert report["stats"]["b_config"] == "8W+"
+    assert any(row["delta"] for row in report["stats"]["stall_slots"])
+    assert obs_cli.check_file(str(out)) == 0
+    capsys.readouterr()
+
+
+def test_cli_compare_explain_without_regression(tmp_path, capsys):
+    history = BenchHistory(tmp_path / "h.jsonl")
+    for wall in (1.0, 1.0, 1.0):
+        history.append(record(wall, suite="s", benchmark="b"))
+    assert cli(tmp_path, "compare", "--explain") == 0
+    stdout = capsys.readouterr().out
+    assert "diff [bench]" in stdout        # produced unconditionally
+    assert "no confirmed regressions" in stdout

@@ -20,6 +20,7 @@ from repro.isa import Features, Imm, KernelBuilder
 from repro.kernels import KERNEL_NAMES, make_kernel
 from repro.sim import FOURW, Machine, Memory, simulate
 from repro.sim.backends import UNBOUNDED_CHUNK, backend_names
+from repro.sim.diverge import assert_sources_identical
 from repro.sim.machine import RunResult
 
 FEATURE_LEVELS = (Features.NOROT, Features.ROT, Features.OPT)
@@ -53,6 +54,20 @@ def _run_batch(machine, backend, **kwargs):
     return result
 
 
+def _assert_traces_identical(ref_trace, got_trace, context=""):
+    """Bit-identity with forensics: a failure names the first differing
+    trace position, column and instruction (repro.sim.diverge) instead
+    of dumping two traces."""
+    if got_trace == ref_trace:
+        return
+    assert_sources_identical(ref_trace, got_trace,
+                             "interpreter", "compiled")
+    raise AssertionError(
+        f"{context}: traces differ outside the dynamic columns "
+        f"(program or instruction count)"
+    )
+
+
 def test_both_backends_are_registered():
     assert "interpreter" in backend_names()
     assert "compiled" in backend_names()
@@ -69,7 +84,7 @@ def test_cipher_suite_equivalence(cipher):
 
         context = f"{cipher} [{features.label}]"
         assert got.instructions == ref.instructions, context
-        assert got.trace == ref.trace, context  # seq + addrs + program bytes
+        _assert_traces_identical(ref.trace, got.trace, context)
         assert _state(compiled) == _state(reference), context
 
 
@@ -103,7 +118,7 @@ def test_cipher_suite_values_mode(cipher):
 
     machine = _fresh(cipher, Features.OPT)
     got = _run_batch(machine, "compiled", record_values=True)
-    assert got.trace == ref.trace  # includes the values column
+    _assert_traces_identical(ref.trace, got.trace, cipher)  # incl. values
     assert _state(machine) == _state(reference)
 
     chunked = _fresh(cipher, Features.OPT)
@@ -135,6 +150,25 @@ def test_traceless_counters_match():
         assert ref.trace is None and got.trace is None
         assert got.instructions == ref.instructions, cipher
         assert _state(machine) == _state(reference), cipher
+
+
+def test_equivalence_failure_names_the_exact_instruction():
+    """Golden: a bit-identity failure message carries the first differing
+    trace position and the static instruction's disassembly, so a broken
+    backend is localized without re-running anything."""
+    import copy
+
+    ref = make_kernel("RC4").encrypt(SESSION).trace
+    perturbed = copy.copy(ref)
+    perturbed.addrs = ref.addrs[:]
+    position = len(ref) // 2
+    perturbed.addrs[position] ^= 0x40
+    with pytest.raises(AssertionError) as failure:
+        _assert_traces_identical(ref, perturbed, "RC4 [opt]")
+    message = str(failure.value)
+    assert f"first divergence at trace position {position}" in message
+    assert "column 'addrs'" in message
+    assert ref.program.instructions[ref.seq[position]].render() in message
 
 
 # -- property-based cross-backend fuzzing -----------------------------------
@@ -182,7 +216,7 @@ def test_random_programs_cross_backend(program, chunk_size):
 
     machine = Machine(program, Memory(1 << 13))
     got = _run_batch(machine, "compiled", record_values=True)
-    assert got.trace == ref.trace
+    _assert_traces_identical(ref.trace, got.trace, "random program")
     assert _state(machine) == _state(reference)
 
     chunked = Machine(program, Memory(1 << 13))

@@ -1,0 +1,228 @@
+"""The first-divergence bisector: exact localization over trace streams.
+
+Every test perturbs a known trace position and requires the bisector to
+name exactly that position, the right column, and the right values --
+across mismatched chunkings, streamed sources, and length divergences.
+"""
+
+import copy
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.sim import Machine
+from repro.sim.diverge import (
+    Divergence,
+    assert_sources_identical,
+    first_divergence,
+    first_schedule_divergence,
+    format_divergence,
+)
+from repro.sim.trace import Trace
+
+SESSION = bytes(range(64))
+CHUNK_SIZES = (1, 7, 64, None)
+
+
+@pytest.fixture(scope="module")
+def rc4_trace():
+    return make_kernel("RC4").encrypt(SESSION).trace
+
+
+def perturbed(trace, column, position, twiddle):
+    """A shallow copy of ``trace`` with one entry of one column changed."""
+    clone = copy.copy(trace)
+    data = getattr(trace, column)[:]
+    data[position] = twiddle(data[position])
+    setattr(clone, column, data)
+    return clone
+
+
+def truncated(trace, n):
+    return Trace(program=trace.program, static=trace.static,
+                 seq=trace.seq[:n], addrs=trace.addrs[:n],
+                 instructions_executed=n)
+
+
+# -- identity ---------------------------------------------------------------
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_identical_traces_have_no_divergence(rc4_trace, chunk_size):
+    assert first_divergence(rc4_trace, copy.copy(rc4_trace),
+                            chunk_size=chunk_size) is None
+
+
+def test_stream_vs_materialized_trace_identical(rc4_trace):
+    """Chunk boundaries of the two sides need not line up: a streamed run
+    chunks small while the materialized trace arrives as one chunk."""
+    kernel = make_kernel("RC4")
+    program, memory, _ = kernel.prepare(SESSION, None)
+    stream = Machine(program, memory).execute(stream=True, chunk_size=7)
+    assert first_divergence(stream, rc4_trace, chunk_size=33) is None
+
+
+def test_stream_divergence_is_localized(rc4_trace):
+    kernel = make_kernel("RC4")
+    program, memory, _ = kernel.prepare(SESSION, None)
+    stream = Machine(program, memory).execute(stream=True, chunk_size=7)
+    position = len(rc4_trace) // 3
+    broken = perturbed(rc4_trace, "addrs", position, lambda v: v ^ 1)
+    divergence = first_divergence(stream, broken, chunk_size=7)
+    assert divergence.position == position
+    assert divergence.field == "addrs"
+
+
+# -- exact localization per column ------------------------------------------
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_addrs_perturbation_found_at_exact_position(rc4_trace, chunk_size):
+    position = len(rc4_trace) // 2
+    broken = perturbed(rc4_trace, "addrs", position, lambda v: v ^ 0x40)
+    divergence = first_divergence(rc4_trace, broken, chunk_size=chunk_size)
+    assert divergence.position == position
+    assert divergence.field == "addrs"
+    assert divergence.b_value == divergence.a_value ^ 0x40
+
+
+@pytest.mark.parametrize("position", (0, 1, 6, 7, 8, 13, 14))
+def test_chunk_boundary_positions(rc4_trace, position):
+    """Positions straddling chunk_size=7 boundaries stay exact."""
+    broken = perturbed(rc4_trace, "seq", position, lambda v: v + 1)
+    divergence = first_divergence(rc4_trace, broken, chunk_size=7)
+    assert (divergence.position, divergence.field) == (position, "seq")
+
+
+def test_seq_divergence_outranks_addrs_at_same_position(rc4_trace):
+    position = 20
+    broken = perturbed(rc4_trace, "seq", position, lambda v: v + 1)
+    broken = perturbed(broken, "addrs", position, lambda v: v ^ 1)
+    divergence = first_divergence(rc4_trace, broken)
+    assert (divergence.position, divergence.field) == (position, "seq")
+
+
+def test_earlier_position_wins_regardless_of_column(rc4_trace):
+    broken = perturbed(rc4_trace, "seq", 30, lambda v: v + 1)
+    broken = perturbed(broken, "addrs", 10, lambda v: v ^ 1)
+    divergence = first_divergence(rc4_trace, broken)
+    assert (divergence.position, divergence.field) == (10, "addrs")
+
+
+def test_values_column_divergence():
+    kernel = make_kernel("RC4")
+    program, memory, _ = kernel.prepare(SESSION, None)
+    trace = Machine(program, memory).execute(record_values=True).trace
+    assert trace.values is not None
+    broken = perturbed(trace, "values", 17, lambda v: v ^ 0x8000000000000000)
+    divergence = first_divergence(trace, broken)
+    assert (divergence.position, divergence.field) == (17, "values")
+    assert "0x" in format_divergence(divergence)
+
+
+def test_value_recording_asymmetry_is_not_a_divergence(rc4_trace):
+    """A run that recorded values vs one that did not still matches:
+    column presence is a recording choice, not an execution divergence."""
+    kernel = make_kernel("RC4")
+    program, memory, _ = kernel.prepare(SESSION, None)
+    with_values = Machine(program, memory).execute(record_values=True).trace
+    assert rc4_trace.values is None and with_values.values is not None
+    assert first_divergence(rc4_trace, with_values) is None
+
+
+def test_explicit_taken_flags_divergence(rc4_trace):
+    synthetic_a = Trace(program=rc4_trace.program, static=rc4_trace.static,
+                        seq=list(rc4_trace.seq[:8]),
+                        addrs=list(rc4_trace.addrs[:8]),
+                        taken_flags=[0, 1, 0, 1, 0, 1, 0, 1])
+    synthetic_b = Trace(program=rc4_trace.program, static=rc4_trace.static,
+                        seq=list(rc4_trace.seq[:8]),
+                        addrs=list(rc4_trace.addrs[:8]),
+                        taken_flags=[0, 1, 0, 0, 0, 1, 0, 1])
+    divergence = first_divergence(synthetic_a, synthetic_b, chunk_size=3)
+    assert (divergence.position, divergence.field) == (3, "taken")
+    message = format_divergence(divergence, "ref", "got")
+    assert "ref: taken" in message
+    assert "got: not taken" in message
+
+
+# -- length divergence ------------------------------------------------------
+
+@pytest.mark.parametrize("chunk_size", (7, None))
+def test_prefix_trace_reports_length_divergence(rc4_trace, chunk_size):
+    n = len(rc4_trace) - 5
+    divergence = first_divergence(rc4_trace, truncated(rc4_trace, n),
+                                  chunk_size=chunk_size)
+    assert divergence.field == "length"
+    assert divergence.position == n
+    assert divergence.b_value is None           # b ended first
+    assert divergence.a_value == rc4_trace.seq[n]
+    message = format_divergence(divergence, "long", "short")
+    assert "long continues past the end" in message
+    assert "short: <end of trace>" in message
+
+
+def test_empty_vs_nonempty(rc4_trace):
+    divergence = first_divergence(truncated(rc4_trace, 0), rc4_trace)
+    assert (divergence.position, divergence.field) == (0, "length")
+    assert divergence.a_value is None
+
+
+# -- the forensic message ---------------------------------------------------
+
+def test_report_carries_disassembly_and_context(rc4_trace):
+    position = 100
+    broken = perturbed(rc4_trace, "addrs", position, lambda v: v ^ 4)
+    divergence = first_divergence(rc4_trace, broken, chunk_size=7,
+                                  context=3)
+    rendered = rc4_trace.program.instructions[
+        rc4_trace.seq[position]].render()
+    assert divergence.a_text == rendered
+    assert len(divergence.context) == 3
+    for offset, line in zip(range(position - 3, position),
+                            divergence.context):
+        assert line.startswith(f"[{offset}] static #{rc4_trace.seq[offset]}")
+    message = format_divergence(divergence)
+    assert f"first divergence at trace position {position}" in message
+    assert "column 'addrs'" in message
+    assert rendered in message
+    assert "context:" in message
+
+
+def test_divergence_near_start_has_short_context(rc4_trace):
+    broken = perturbed(rc4_trace, "addrs", 1, lambda v: v ^ 4)
+    divergence = first_divergence(rc4_trace, broken, context=3)
+    assert len(divergence.context) == 1
+    assert divergence.context[0].startswith("[0]")
+
+
+def test_assert_sources_identical_passes_and_raises(rc4_trace):
+    assert_sources_identical(rc4_trace, copy.copy(rc4_trace))
+    broken = perturbed(rc4_trace, "addrs", 33, lambda v: v ^ 2)
+    with pytest.raises(AssertionError) as failure:
+        assert_sources_identical(rc4_trace, broken, "ref", "got")
+    message = str(failure.value)
+    assert "ref and got diverge" in message
+    assert "first divergence at trace position 33" in message
+
+
+def test_divergence_str_matches_format(rc4_trace):
+    broken = perturbed(rc4_trace, "seq", 5, lambda v: v + 1)
+    divergence = first_divergence(rc4_trace, broken)
+    assert isinstance(divergence, Divergence)
+    assert str(divergence) == format_divergence(divergence)
+
+
+# -- schedule-entry bisection -----------------------------------------------
+
+def test_first_schedule_divergence_exact_index():
+    a = [(0, 2, 3), (1, 3, 4), (2, 5, 6)]
+    b = [(0, 2, 3), (1, 3, 5), (2, 5, 6)]
+    assert first_schedule_divergence(a, a) is None
+    index, left, right = first_schedule_divergence(a, b)
+    assert index == 1
+    assert (left, right) == ((1, 3, 4), (1, 3, 5))
+
+
+def test_first_schedule_divergence_length_mismatch():
+    a = [(0,), (1,)]
+    assert first_schedule_divergence(a, a[:1]) == (1, (1,), None)
+    assert first_schedule_divergence(a[:1], a) == (1, None, (1,))

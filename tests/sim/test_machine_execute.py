@@ -1,10 +1,11 @@
 """The unified ``Machine.execute()`` entry point and its contracts.
 
-One method now covers the three delivery shapes the old trio provided
+One method covers the three delivery shapes the old trio provided
 (batch ``run``, chunked ``iter_trace``, pull-driven ``stream``); the old
-names survive as deprecation shims.  These tests pin the return-shape
-dispatch, the argument validation, the one-shot reuse guard, the shim
-warnings, and the compiled backend's code-object cache.
+names are gone -- their deprecation shims shipped for the promised two
+releases and were then removed.  These tests pin the return-shape
+dispatch, the argument validation, the one-shot reuse guard, the removal
+of the legacy names, and the compiled backend's code-object cache.
 """
 
 import pytest
@@ -111,50 +112,17 @@ def test_get_backend_resolves_default_and_instances():
     assert get_backend(instance) is instance
 
 
-# -- deprecation shims ------------------------------------------------------
+# -- legacy entry points are gone -------------------------------------------
 
-def test_run_shim_warns_and_matches_execute():
-    reference = machine().execute()
+@pytest.mark.parametrize("name", ["run", "iter_trace", "stream"])
+def test_legacy_entry_points_removed(name):
+    """The PR-6 deprecation shims shipped their two-release window and
+    are deleted: the old names must fail loudly, not warn."""
     m = machine()
-    with pytest.warns(DeprecationWarning, match="execute"):
-        result = m.run()
-    assert result.trace == reference.trace
-    assert result.instructions == reference.instructions
-
-
-def test_iter_trace_shim_warns_and_matches_chunked_execute():
-    reference = list(machine().execute(chunk_size=3))
-    m = machine()
-    with pytest.warns(DeprecationWarning, match="execute"):
-        chunks = list(m.iter_trace(chunk_size=3))
-    assert [list(c.seq) for c in chunks] == [list(c.seq) for c in reference]
-
-
-def test_stream_shim_warns_and_matches_streaming_execute():
-    reference = machine().execute(stream=True, chunk_size=4)
-    m = machine()
-    with pytest.warns(DeprecationWarning, match="execute"):
-        source = m.stream(chunk_size=4)
-    assert isinstance(source, StreamingTrace)
-    got = [list(c.seq) for c in source.chunks()]
-    assert got == [list(c.seq) for c in reference.chunks()]
-
-
-def test_each_shim_warns_exactly_once_per_call():
-    import warnings
-
-    for invoke in (
-        lambda: machine().run(),
-        lambda: list(machine().iter_trace(chunk_size=3)),
-        lambda: list(machine().stream(chunk_size=4).chunks()),
-    ):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            invoke()
-        deprecations = [warning for warning in caught
-                        if issubclass(warning.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "deprecated" in str(deprecations[0].message)
+    with pytest.raises(AttributeError, match=name):
+        getattr(m, name)
+    result = m.execute()  # the machine is untouched and still usable
+    assert isinstance(result, RunResult)
 
 
 # -- compiled code cache ----------------------------------------------------

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro.kernels import KERNEL_NAMES
 from repro.kernels.registry import make_kernel
+from repro.obs.diffing import explain_stats_delta
 from repro.sim import DATAFLOW, EIGHTW_PLUS, FOURW, Machine, Memory
 from repro.sim.backends import get_backend
 from repro.sim.timing import (
@@ -65,7 +66,9 @@ def test_engines_bit_identical_every_cipher(kernel_runs, cipher, config):
     for chunk_size in CHUNK_SIZES:
         specialized = _stats(run, config, "specialized", chunk_size)
         assert specialized == baseline, (
-            f"{cipher}/{config.name} diverged at chunk_size={chunk_size}"
+            f"{cipher}/{config.name} diverged at chunk_size={chunk_size}: "
+            + explain_stats_delta(baseline, specialized,
+                                  "generic", "specialized")
         )
 
 
@@ -89,7 +92,8 @@ def test_random_programs_engines_agree(program, chunk_size):
             pipeline.feed(chunk)
         results[engine] = pipeline.finish()
         _issue_slot_invariant(results[engine])
-    assert results["specialized"] == results["generic"]
+    assert results["specialized"] == results["generic"], explain_stats_delta(
+        results["generic"], results["specialized"], "generic", "specialized")
 
 
 def test_specialized_handles_taken_branch_slow_path():

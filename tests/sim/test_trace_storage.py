@@ -1,8 +1,9 @@
 """Array-backed trace storage and the machine's streaming surface.
 
 PR 3 moved ``Trace`` columns onto ``array('q')``/``array('Q')`` buffers
-and made ``Machine`` a one-shot generator (``iter_trace``/``stream``)
-with an explicit ``reset``.  These tests pin the storage contract --
+and made ``Machine`` a one-shot generator (now the chunked/streaming
+shapes of ``execute()``) with an explicit ``reset``.  These tests pin
+the storage contract --
 equality, pickling, chunking -- and the reuse guard.
 """
 

@@ -1,0 +1,165 @@
+"""Generic worklist machinery shared by every static analysis.
+
+Three pieces, deliberately tiny:
+
+* :func:`iterate` -- the FIFO worklist loop with an on-list dedup set.
+  Every fixpoint in the repo (reaching definitions, liveness, pointer
+  taint, the dirty-table walk, the lattice fixpoints below) is this loop
+  with a different transfer function; sharing it pins one iteration
+  order so ports cannot silently change convergence behavior.
+* :func:`split_blocks` / :func:`block_successors` -- basic-block
+  decomposition over the parallel instruction arrays (the compiled
+  backend's representation; :class:`repro.isa.analysis.passes.\
+ProgramArrays` builds the same arrays from a plain
+  :class:`~repro.isa.program.Program`).
+* :func:`infer_dataflow` -- the monotone per-register fixpoint the
+  compiled backend's elision analyses run on, now shared by the width,
+  trailing-zeros, constant and value-range lattices in
+  :mod:`repro.isa.analysis.lattices`.
+
+``split_blocks``/``infer_dataflow`` moved here verbatim from
+:mod:`repro.sim.backends.compiled` (which now imports them back), so the
+elision decisions -- and therefore every ``CompileReport`` counter --
+are unchanged by the move.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+#: Opcodes that end a basic block by redirecting control flow.
+BRANCH_CODES = frozenset({40, 41, 42, 43, 44, 45, 46})
+
+#: Every opcode the functional interpreter implements (anything else
+#: raises, so analyses treat it as a block terminator).
+IMPLEMENTED_CODES = frozenset(
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+     19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 30, 31, 32, 33, 34, 35, 36,
+     37, 40, 41, 42, 43, 44, 45, 46, 48, 49, 50, 51, 52, 53, 54, 55, 56,
+     57, 58, 59}
+)
+
+T = TypeVar("T", bound=Hashable)
+
+
+def iterate(seed: Iterable[T], process: Callable[[T], Iterable[T]]) -> None:
+    """Run ``process`` over a FIFO worklist until it stops feeding itself.
+
+    ``process(item)`` applies one transfer function and returns the items
+    whose inputs it changed; those are enqueued unless already pending.
+    FIFO order with the dedup set reproduces exactly the iteration order
+    the verifier's solvers used before they shared this helper, so the
+    port is behavior-preserving by construction.
+    """
+    queue: deque[T] = deque(seed)
+    on_list = set(queue)
+    while queue:
+        item = queue.popleft()
+        on_list.discard(item)
+        for nxt in process(item):
+            if nxt not in on_list:
+                on_list.add(nxt)
+                queue.append(nxt)
+
+
+def split_blocks(
+    code: Sequence[int], target: Sequence[int], n: int
+) -> "tuple[list[tuple[int, int]], dict[int, int]]":
+    """Basic blocks as (start, end_exclusive) plus leader-pc -> index."""
+    leaders = {0}
+    for i in range(n):
+        if code[i] in BRANCH_CODES:
+            t = target[i]
+            if 0 <= t < n:
+                leaders.add(t)
+            if i + 1 < n:
+                leaders.add(i + 1)
+    blocks: list[tuple[int, int]] = []
+    for start in sorted(leaders):
+        end = start
+        while True:
+            c = code[end]
+            if c in BRANCH_CODES or c == 0 or c not in IMPLEMENTED_CODES:
+                end += 1
+                break
+            end += 1
+            if end >= n or end in leaders:
+                break
+        blocks.append((start, end))
+    block_of = {start: k for k, (start, _end) in enumerate(blocks)}
+    return blocks, block_of
+
+
+def block_successors(
+    blocks: "list[tuple[int, int]]",
+    code: Sequence[int],
+    target: Sequence[int],
+    n: int,
+) -> "list[tuple[int, ...]]":
+    """Successor block-start indices for each block of ``split_blocks``."""
+    succs: "list[tuple[int, ...]]" = []
+    for start, end in blocks:
+        last = end - 1
+        c = code[last]
+        if c == 0 or c not in IMPLEMENTED_CODES:
+            succs.append(())
+        elif c == 40:
+            succs.append((target[last],) if target[last] < n else ())
+        elif c in BRANCH_CODES:
+            out = []
+            if target[last] < n:
+                out.append(target[last])
+            if last + 1 < n:
+                out.append(last + 1)
+            succs.append(tuple(out))
+        else:
+            succs.append((end,) if end < n else ())
+    return succs
+
+
+def infer_dataflow(
+    blocks: "list[tuple[int, int]]",
+    block_of: "dict[int, int]",
+    succs: "list[tuple[int, ...]]",
+    step: Callable[[list, int], None],
+    *,
+    top: object,
+    join: Callable,
+) -> "list[list]":
+    """Per-block entry states via a monotone worklist fixpoint.
+
+    ``top`` is the no-information value (assumed at the entry block and
+    for unreachable blocks -- machines may be pre-seeded); ``join``
+    merges the states reaching a block so a proved fact is valid on
+    every path.  States are 33-slot lists: registers 0..31 plus the
+    discard slot the array representation maps ``r31``/no-dest writes
+    to.
+    """
+    nb = len(blocks)
+    ins: "list[list | None]" = [None] * nb
+    entry = block_of[0]
+    ins[entry] = [top] * 33
+    work = [entry]
+    while work:
+        k = work.pop()
+        state = list(ins[k])  # type: ignore[arg-type]
+        start, end = blocks[k]
+        for i in range(start, end):
+            step(state, i)
+        for s in succs[k]:
+            j = block_of[s]
+            existing = ins[j]
+            if existing is None:
+                ins[j] = list(state)
+                work.append(j)
+            else:
+                changed = False
+                for r in range(33):
+                    merged = join(state[r], existing[r])
+                    if merged != existing[r]:
+                        existing[r] = merged
+                        changed = True
+                if changed:
+                    work.append(j)
+    return [s if s is not None else [top] * 33 for s in ins]

@@ -21,6 +21,7 @@ any diagnostic meets it.
 
 from __future__ import annotations
 
+from repro.isa.analysis.passes import analyses_for
 from repro.isa.features import Features
 from repro.isa.program import Program
 from repro.isa.verify.cfg import CFG, BasicBlock
@@ -82,12 +83,12 @@ def verify_program(
             )
         selected = list(checkers)
 
-    cfg = CFG(program)
-    rdefs = ReachingDefs(cfg)
-    liveness = Liveness(cfg)
+    analyses = analyses_for(program)
+    cfg = analyses.cfg
+    rdefs = analyses.rdefs
     ctx = VerifyContext(
-        program=program, cfg=cfg, rdefs=rdefs, liveness=liveness,
-        features=features,
+        program=program, cfg=cfg, rdefs=rdefs,
+        liveness=analyses.liveness, features=features, analyses=analyses,
     )
     diagnostics: list[Diagnostic] = []
     for checker_id in selected:

@@ -7,27 +7,41 @@ corpus in ``tests/isa/test_verify_checkers.py`` pins one program per
 checker class to its exact diagnostic.
 
 All checkers operate on the same :class:`VerifyContext`: the CFG plus the
-reaching-definitions and liveness solutions from
-:mod:`repro.isa.verify.dataflow`.
+reaching-definitions and liveness solutions from the shared analysis
+framework (:mod:`repro.isa.analysis`).  Checkers that need the lattice
+passes (value range, width, the alias pass) pull the full
+:class:`~repro.isa.analysis.passes.ProgramAnalyses` bundle via
+:meth:`VerifyContext.passes`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.isa import opcodes as op
-from repro.isa.features import Features
-from repro.isa.program import Program
-from repro.isa.registers import SCRATCH_REGS
-from repro.isa.verify.cfg import CFG
-from repro.isa.verify.dataflow import (
+from repro.isa.analysis.cfg import CFG
+from repro.isa.analysis.dataflow import (
     ENTRY,
     Liveness,
     ReachingDefs,
     defs_of,
     uses_of,
 )
+from repro.isa.analysis.lattices import (
+    UNKNOWN_WIDTH,
+    make_range_step,
+    make_width_step,
+)
+from repro.isa.analysis.passes import (
+    ProgramAnalyses,
+    table_pointer_taint,
+    taint_step,
+)
+from repro.isa.analysis.solver import iterate
+from repro.isa.features import Features
+from repro.isa.program import Program
+from repro.isa.registers import SCRATCH_REGS
 from repro.isa.verify.diagnostics import Diagnostic
 from repro.isa.verify.ranges import (
     encoding_violations,
@@ -44,14 +58,6 @@ REQUIRED_FEATURES: dict[int, Features] = {
     op.GRPL: Features.OPT, op.GRPQ: Features.OPT,
 }
 
-#: Opcodes whose result can carry a derived pointer (copies, address
-#: arithmetic); loads and SBOX produce table *contents*, not pointers.
-_POINTER_OPS = frozenset(
-    spec.code for spec in op.SPECS.values()
-    if spec.fmt == "op" and spec.klass in ("ialu", "rotator")
-) | {op.LDA}
-
-
 @dataclass
 class VerifyContext:
     """Shared analysis state handed to every checker."""
@@ -62,6 +68,14 @@ class VerifyContext:
     liveness: Liveness
     #: Feature level the program claims to target (None skips gating).
     features: Features | None = None
+    #: The full pass-manager bundle (lattices, alias pass, loops); built
+    #: lazily from the program when a checker first needs it.
+    analyses: ProgramAnalyses | None = None
+
+    def passes(self) -> ProgramAnalyses:
+        if self.analyses is None:
+            self.analyses = ProgramAnalyses(self.program)
+        return self.analyses
 
     def render(self, index: int) -> str:
         return self.program.instructions[index].render()
@@ -265,82 +279,6 @@ def check_scratch_discipline(ctx: VerifyContext) -> list[Diagnostic]:
 # SBox-cache coherence (the paper's SBOXSYNC rule)
 # --------------------------------------------------------------------- #
 
-def _taint_step(
-    instruction,
-    index: int,
-    state: dict[int, frozenset[int]],
-    seeds: dict[int, set[int]],
-) -> None:
-    """Apply one instruction's pointer-taint transfer to ``state`` in place."""
-    for reg in defs_of(instruction):
-        taint: frozenset[int] = frozenset(seeds.get(index, ()))
-        if instruction.code in _POINTER_OPS:
-            for src in uses_of(instruction):
-                taint = taint | state.get(src, frozenset())
-        if taint:
-            state[reg] = taint
-        else:
-            state.pop(reg, None)
-
-
-def _table_pointer_taint(
-    ctx: VerifyContext,
-) -> tuple[list[dict[int, frozenset[int]]], dict[int, set[int]]]:
-    """Forward may-point-to analysis: register -> set of SBOX table ids.
-
-    Seeds: every definition that reaches the *table base* operand (src1)
-    of an SBOX instruction for table ``t`` produces a table-``t`` pointer.
-    Propagation: copies and address arithmetic (operate-format IALU /
-    rotator ops plus LDA) carry the union of their sources' taints; loads
-    and SBOX results are table contents, not pointers, and any other
-    definition kills the taint.
-    """
-    instructions = ctx.program.instructions
-    # Seed pass: def site -> tables whose base it materializes.
-    seeds: dict[int, set[int]] = {}
-    for block in ctx.cfg.blocks:
-        if block.bid not in ctx.cfg.reachable:
-            continue
-        state = dict(ctx.rdefs.block_in[block.bid])
-        for index in block.indices():
-            instruction = instructions[index]
-            if instruction.code == op.SBOX and instruction.src1 is not None:
-                for d in state.get(instruction.src1, frozenset()):
-                    if d != ENTRY:
-                        seeds.setdefault(d, set()).add(instruction.table)
-            for reg in defs_of(instruction):
-                state[reg] = frozenset({index})
-
-    empty: dict[int, frozenset[int]] = {}
-    block_in: list[dict[int, frozenset[int]]] = [
-        dict(empty) for _ in ctx.cfg.blocks
-    ]
-
-    def transfer(bid: int) -> dict[int, frozenset[int]]:
-        state = dict(block_in[bid])
-        for index in ctx.cfg.blocks[bid].indices():
-            _taint_step(instructions[index], index, state, seeds)
-        return state
-
-    worklist = list(ctx.cfg.rpo)
-    on_list = set(worklist)
-    while worklist:
-        bid = worklist.pop(0)
-        on_list.discard(bid)
-        out = transfer(bid)
-        for succ in ctx.cfg.blocks[bid].successors:
-            succ_in = block_in[succ]
-            changed = False
-            for reg, taint in out.items():
-                if not taint <= succ_in.get(reg, frozenset()):
-                    succ_in[reg] = succ_in.get(reg, frozenset()) | taint
-                    changed = True
-            if changed and succ not in on_list:
-                worklist.append(succ)
-                on_list.add(succ)
-    return block_in, seeds
-
-
 def check_sbox_coherence(ctx: VerifyContext) -> list[Diagnostic]:
     """Stores into SBOX-backed tables need SBOXSYNC before the next read.
 
@@ -353,7 +291,7 @@ def check_sbox_coherence(ctx: VerifyContext) -> list[Diagnostic]:
     pointer-taint analysis seeded from SBOX base operands.
     """
     instructions = ctx.program.instructions
-    taint_in, seeds = _table_pointer_taint(ctx)
+    taint_in, seeds = table_pointer_taint(ctx.program, ctx.cfg, ctx.rdefs)
 
     dirty_in: list[frozenset[int]] = [frozenset() for _ in ctx.cfg.blocks]
 
@@ -369,21 +307,19 @@ def check_sbox_coherence(ctx: VerifyContext) -> list[Diagnostic]:
                 dirty |= taint.get(instruction.src2, frozenset())
             elif instruction.code == op.SBOXSYNC:
                 dirty.discard(instruction.table)
-            _taint_step(instruction, index, taint, seeds)
+            taint_step(instruction, index, taint, seeds)
         return frozenset(dirty)
 
-    worklist = list(ctx.cfg.rpo)
-    on_list = set(worklist)
-    while worklist:
-        bid = worklist.pop(0)
-        on_list.discard(bid)
+    def process(bid: int) -> list[int]:
         out = transfer(bid)
+        changed = []
         for succ in ctx.cfg.blocks[bid].successors:
             if not out <= dirty_in[succ]:
                 dirty_in[succ] = dirty_in[succ] | out
-                if succ not in on_list:
-                    worklist.append(succ)
-                    on_list.add(succ)
+                changed.append(succ)
+        return changed
+
+    iterate(ctx.cfg.rpo, process)
 
     diagnostics = []
     for block in ctx.cfg.blocks:
@@ -407,7 +343,168 @@ def check_sbox_coherence(ctx: VerifyContext) -> list[Diagnostic]:
                 dirty |= taint.get(instruction.src2, frozenset())
             elif instruction.code == op.SBOXSYNC:
                 dirty.discard(instruction.table)
-            _taint_step(instruction, index, taint, seeds)
+            taint_step(instruction, index, taint, seeds)
+    return diagnostics
+
+
+# --------------------------------------------------------------------- #
+# Lattice-backed lints (value range, width, store forwarding)
+# --------------------------------------------------------------------- #
+
+#: Shift/rotate opcodes masked to 6 bits of amount by the machine.
+_AMOUNT64_OPS = frozenset({op.SLL, op.SRL, op.SRA, op.ROLQ, op.RORQ})
+#: 32-bit rotates: amounts are masked to 5 bits.
+_AMOUNT32_OPS = frozenset({op.ROLL, op.RORL, op.ROLXL, op.RORXL})
+
+
+def check_value_range(ctx: VerifyContext) -> list[Diagnostic]:
+    """Register shift/rotate amounts that are provably out of range.
+
+    The machine masks shift amounts to 6 bits (5 for 32-bit rotates), so
+    an amount register whose value-range fact proves it *always* exceeds
+    the mask means the code relies on silent wrap-around -- legal, but
+    almost always a strength-reduction bug.  Literal amounts are already
+    covered by the ``range`` checker; this one needs the value-range
+    lattice to see through register dataflow.
+    """
+    analyses = ctx.passes()
+    arrays = analyses.arrays
+    blocks, _ = analyses.array_blocks
+    entry = analyses.array_ranges
+    step = make_range_step(arrays)
+    diagnostics = []
+    for k, (start, end) in enumerate(blocks):
+        state = list(entry[k])
+        for i in range(start, end):
+            code = arrays.code[i]
+            if arrays.lit[i] is None \
+                    and (code in _AMOUNT64_OPS or code in _AMOUNT32_OPS):
+                mask = 63 if code in _AMOUNT64_OPS else 31
+                amount = arrays.src2[i]
+                fact = None if amount == 31 else state[amount]
+                if fact is not None and fact[0] > mask:
+                    diagnostics.append(_diag(
+                        ctx, "value-range", "warning", i,
+                        f"r{amount} always holds "
+                        + (f"{fact[0]}" if fact[0] == fact[1]
+                           else f"at least {fact[0]}")
+                        + f", which exceeds the {mask}-bit-masked "
+                        f"shift/rotate amount range",
+                        reg=amount, lo=fact[0], hi=fact[1], mask=mask,
+                    ))
+            step(state, i)
+    return diagnostics
+
+
+def check_width_trunc(ctx: VerifyContext) -> list[Diagnostic]:
+    """32-bit rotates whose operand provably carries more than 32 bits.
+
+    ``ROLL``/``RORL`` (and their XBOX-fused forms) operate on the low 32
+    bits only; feeding them a value the width lattice proves is wider
+    than 32 bits silently discards the upper half.  Kernels that mean to
+    truncate do it explicitly (ZAPNOT / ADDL), so a provably-wide rotate
+    operand is flagged.  ``UNKNOWN_WIDTH`` operands are *not* flagged --
+    the lattice merely lost track, which happens at every join of a
+    64-bit producer with anything.
+    """
+    analyses = ctx.passes()
+    arrays = analyses.arrays
+    blocks, _ = analyses.array_blocks
+    entry = analyses.array_widths
+    step = make_width_step(arrays)
+    diagnostics = []
+    for k, (start, end) in enumerate(blocks):
+        state = list(entry[k])
+        for i in range(start, end):
+            if arrays.code[i] in _AMOUNT32_OPS:
+                src = arrays.src1[i]
+                w = 0 if src == 31 else state[src]
+                if 32 < w < UNKNOWN_WIDTH:
+                    diagnostics.append(_diag(
+                        ctx, "width-trunc", "warning", i,
+                        f"32-bit rotate reads r{src}, which provably "
+                        f"carries up to {w} significant bits; the upper "
+                        f"{w - 32} are silently discarded",
+                        reg=src, width=w,
+                    ))
+            step(state, i)
+    return diagnostics
+
+
+#: Store-queue capacity of the smallest shipped machine (ALPHA21264):
+#: a forwarding distance at or beyond this many younger stores means the
+#: producing store can age out of the queue before the load issues.
+STORE_FORWARD_DISTANCE = 32
+
+
+def check_store_forward(ctx: VerifyContext) -> list[Diagnostic]:
+    """Store-to-load pairs the store queue cannot forward cheaply.
+
+    Built on the memory-interval alias pass: within a basic block, a load
+    (or aliased SBOX read) whose proved byte interval overlaps an earlier
+    store's is flagged when
+
+    * the overlap is *partial* -- the load is not fully contained in the
+      store, so the value must be stitched from the queue entry and the
+      cache (real store queues stall or replay here), or
+    * at least :data:`STORE_FORWARD_DISTANCE` younger stores separate the
+      pair, so the entry can age out of the smallest shipped store queue
+      before the load issues.
+
+    Stores with unproved addresses between the pair veto the diagnostic
+    (any of them could re-cover the load and forward cleanly).
+    """
+    analyses = ctx.passes()
+    arrays = analyses.arrays
+    memory = analyses.memory
+    blocks, _ = analyses.array_blocks
+    instructions = ctx.program.instructions
+    diagnostics = []
+    for start, end in blocks:
+        # (position, interval-or-None) of every store so far in the block.
+        stores: list[tuple[int, tuple[int, int] | None]] = []
+        for i in range(start, end):
+            instruction = instructions[i]
+            if instruction.code in op.STORE_CODES:
+                stores.append((i, memory.intervals[i]))
+                continue
+            is_aliased_sbox = (
+                instruction.code == op.SBOX and instruction.aliased
+            )
+            if not (instruction.code in op.LOAD_CODES or is_aliased_sbox):
+                continue
+            load_iv = memory.intervals[i]
+            if load_iv is None:
+                continue
+            for younger, (s, store_iv) in enumerate(reversed(stores)):
+                if store_iv is None:
+                    # An unproved store address: it could re-cover the
+                    # load and forward cleanly, so stop reasoning here.
+                    break
+                if store_iv[1] <= load_iv[0] or load_iv[1] <= store_iv[0]:
+                    continue
+                contained = (store_iv[0] <= load_iv[0]
+                             and load_iv[1] <= store_iv[1])
+                if not contained:
+                    diagnostics.append(_diag(
+                        ctx, "store-forward", "warning", i,
+                        f"load overlaps the store at instruction {s} "
+                        f"only partially; the store queue cannot forward "
+                        f"it and the load must wait for the cache",
+                        store=s,
+                        load_bytes=list(load_iv),
+                        store_bytes=list(store_iv),
+                    ))
+                elif younger >= STORE_FORWARD_DISTANCE:
+                    diagnostics.append(_diag(
+                        ctx, "store-forward", "warning", i,
+                        f"{younger} stores separate this load from its "
+                        f"forwarding store at instruction {s}; the entry "
+                        f"can age out of a {STORE_FORWARD_DISTANCE}-entry "
+                        f"store queue before the load issues",
+                        store=s, distance=younger,
+                    ))
+                break
     return diagnostics
 
 
@@ -426,4 +523,7 @@ CHECKERS: dict[str, Checker] = {
     "feature-gate": check_feature_gate,
     "scratch-discipline": check_scratch_discipline,
     "sbox-coherence": check_sbox_coherence,
+    "value-range": check_value_range,
+    "width-trunc": check_width_trunc,
+    "store-forward": check_store_forward,
 }

@@ -94,8 +94,8 @@ class KernelStream:
 
     ``source`` is a single-pass :class:`~repro.sim.machine.StreamingTrace`:
     the functional interpreter advances only as a consumer (normally a
-    :class:`~repro.sim.timing.TimingPipeline`) pulls trace chunks, so the
-    full dynamic trace never materializes.  Output validation necessarily
+    timing pipeline built by :func:`repro.sim.timing.make_pipeline`) pulls
+    trace chunks, so the full dynamic trace never materializes.  Output validation necessarily
     moves to the end of the run: call :meth:`finalize` after exhausting the
     source to check the ciphertext against the reference cipher and get
     the usual :class:`KernelRun` record (with ``trace=None``).

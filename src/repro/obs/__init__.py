@@ -78,11 +78,13 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.pipeline import schedule_spans, schedule_trace_events
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.schema import (
+    ANALYSIS_SCHEMA,
     BENCH_SCHEMA,
     DIFF_SCHEMA,
     EVENTS_SCHEMA,
     LINT_SCHEMA,
     METRICS_SCHEMA,
+    validate_analysis,
     validate_bench,
     validate_bench_history,
     validate_diff,
@@ -96,6 +98,7 @@ from repro.obs.session import Observability
 from repro.obs.tracing import Tracer
 
 __all__ = [
+    "ANALYSIS_SCHEMA",
     "BENCH_SCHEMA",
     "BenchHistory",
     "BenchRecord",
@@ -133,6 +136,7 @@ __all__ = [
     "schedule_trace_events",
     "set_active_bus",
     "split_runs",
+    "validate_analysis",
     "validate_bench",
     "validate_bench_history",
     "validate_diff",

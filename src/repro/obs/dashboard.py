@@ -22,6 +22,9 @@ Panels rendered, each fed by one event source:
   source-cache hits, optimization counters);
 * timing -- specialized timing-engine codegen activity (same shape,
   fed by ``timing``/``specialize`` events);
+* analysis -- static cost-bound estimates (``analysis``/``estimate``
+  events from ``repro.tools.analyze``): cells bracketed, unsound cells,
+  and the median upper/lower gap;
 * bench -- wall-seconds sparkline per recorded benchmark;
 * diff -- recent run-comparison verdicts (``diff``/``report`` events
   from :mod:`repro.obs.diffing`), flagged when the runs differ;
@@ -71,6 +74,9 @@ class DashState:
         self.timing_seconds = 0.0
         self.timing_cache_hits = 0
         self.timing_counters: Counter = Counter()
+        self.analysis_estimates = 0
+        self.analysis_unsound = 0
+        self.analysis_gaps: list[float] = []
         self.bench: dict[str, list[float]] = {}
         self.diffs: list[dict] = []
         self.stuck: list[tuple[str, float]] = []
@@ -113,6 +119,13 @@ class DashState:
                         self.timing_counters[key] += int(value)
             elif type_ == "specialize-cache-hit":
                 self.timing_cache_hits += 1
+        elif source == "analysis" and type_ == "estimate":
+            self.analysis_estimates += 1
+            if data.get("sound") is False:
+                self.analysis_unsound += 1
+            gap = data.get("gap")
+            if isinstance(gap, (int, float)):
+                self.analysis_gaps.append(float(gap))
         elif source == "bench" and type_ == "record":
             name = f"{data.get('suite', '?')}::{data.get('benchmark', '?')}"
             seconds = data.get("wall_seconds")
@@ -301,6 +314,23 @@ def render(state: DashState, width: int = DEFAULT_WIDTH) -> str:
                 row += part if row == "  " else f", {part}"
             if row.strip():
                 lines.append(row)
+
+    # static cost-bound estimates
+    if state.analysis_estimates:
+        lines.append("")
+        soundness = (f"{state.analysis_unsound} UNSOUND"
+                     if state.analysis_unsound else "all sound")
+        gap = ""
+        if state.analysis_gaps:
+            ordered = sorted(state.analysis_gaps)
+            middle = len(ordered) // 2
+            median = (ordered[middle] if len(ordered) % 2
+                      else (ordered[middle - 1] + ordered[middle]) / 2)
+            gap = f", median gap {median:.2f}x"
+        lines.append(
+            f"analysis: {state.analysis_estimates} estimate(s), "
+            f"{soundness}{gap}"
+        )
 
     # bench history
     if state.bench:

@@ -60,6 +60,7 @@ KNOWN_SOURCES = {
     "bench": ("record",),
     "profiler": ("snapshot",),
     "diff": ("report",),
+    "analysis": ("estimate",),
 }
 
 _SCALARS = (bool, int, float, str, type(None))

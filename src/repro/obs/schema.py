@@ -15,6 +15,7 @@ BENCH_SCHEMA = "repro.obs.bench/1"
 LINT_SCHEMA = "repro.isa.verify/1"
 EVENTS_SCHEMA = "repro.obs.events/1"
 DIFF_SCHEMA = "repro.obs.diff/1"
+ANALYSIS_SCHEMA = "repro.isa.analysis/1"
 
 _DIFF_KINDS = ("stats", "metrics", "ledger", "bench")
 
@@ -246,6 +247,96 @@ def validate_lint(document) -> list[str]:
                         f"diagnostics list ({summary.get(severity, 0)} != "
                         f"{count})"
                     )
+    return errors
+
+
+def _nested_numbers(value) -> bool:
+    """True when ``value`` is numbers nested in str-keyed objects."""
+    if _is_number(value):
+        return True
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _nested_numbers(entry)
+            for key, entry in value.items()
+        )
+    return False
+
+
+def validate_analysis(document) -> list[str]:
+    """Check a ``repro.isa.analysis/1`` cost report; return error strings.
+
+    Beyond shape, this enforces the report's own invariants: every
+    program's ``lower_bound <= upper_bound``, and wherever a simulated
+    cycle count is attached, the recorded ``sound`` flag must agree with
+    ``lower_bound <= simulated_cycles <= upper_bound``.
+    """
+    if not isinstance(document, dict):
+        return [
+            f"analysis document must be an object, got {type(document).__name__}"
+        ]
+    errors: list[str] = []
+    if document.get("schema") != ANALYSIS_SCHEMA:
+        errors.append(
+            f"schema must be {ANALYSIS_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if not isinstance(document.get("generated_by"), str) \
+            or not document.get("generated_by"):
+        errors.append("missing non-empty 'generated_by'")
+    if "summary" in document and not _scalar_object(document["summary"]):
+        errors.append("'summary' must be a str->scalar object")
+    programs = document.get("programs")
+    if not isinstance(programs, list):
+        errors.append("'programs' must be a list")
+        return errors
+    for index, program in enumerate(programs):
+        where = f"programs[{index}]"
+        if not isinstance(program, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for key in ("program", "config"):
+            if not isinstance(program.get(key), str) or not program.get(key):
+                errors.append(f"{where}: missing non-empty {key!r}")
+        for key in ("instructions", "lower_bound", "upper_bound"):
+            value = program.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                errors.append(f"{where}: {key!r} must be a non-negative "
+                              "integer")
+        lower = program.get("lower_bound")
+        upper = program.get("upper_bound")
+        bounds_ok = (
+            isinstance(lower, int) and isinstance(upper, int)
+            and not isinstance(lower, bool) and not isinstance(upper, bool)
+        )
+        if bounds_ok and lower > upper:
+            errors.append(f"{where}: lower_bound must not exceed "
+                          "upper_bound")
+        if "gap" in program and program["gap"] is not None \
+                and not _is_number(program["gap"]):
+            errors.append(f"{where}: 'gap' must be a number or null")
+        if "components" in program \
+                and not _nested_numbers(program["components"]):
+            errors.append(f"{where}: 'components' must be numbers nested "
+                          "in str-keyed objects")
+        simulated = program.get("simulated_cycles")
+        if "simulated_cycles" in program and simulated is not None and (
+            not isinstance(simulated, int) or isinstance(simulated, bool)
+            or simulated < 0
+        ):
+            errors.append(f"{where}: 'simulated_cycles' must be a "
+                          "non-negative integer or null")
+            simulated = None
+        if "sound" in program and not isinstance(program["sound"], bool):
+            errors.append(f"{where}: 'sound' must be a boolean")
+        elif bounds_ok and isinstance(simulated, int) \
+                and not isinstance(simulated, bool) \
+                and isinstance(program.get("sound"), bool):
+            actual = lower <= simulated <= upper
+            if program["sound"] != actual:
+                errors.append(
+                    f"{where}: 'sound' is {program['sound']} but "
+                    f"{lower} <= {simulated} <= {upper} is {actual}"
+                )
     return errors
 
 

@@ -15,7 +15,7 @@ from repro.sim.config import (
 from repro.sim.machine import Machine, SimulationError, StreamingTrace
 from repro.sim.memory import Memory
 from repro.sim.stats import SimStats
-from repro.sim.timing import TimingPipeline, simulate
+from repro.sim.timing import simulate
 from repro.sim.trace import (
     DEFAULT_CHUNK_SIZE,
     StaticInfo,
@@ -41,7 +41,6 @@ __all__ = [
     "StreamingTrace",
     "Memory",
     "SimStats",
-    "TimingPipeline",
     "simulate",
     "StaticInfo",
     "Trace",

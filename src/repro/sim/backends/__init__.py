@@ -2,7 +2,7 @@
 
 A backend turns one claimed :class:`~repro.sim.machine.Machine` execution
 into the canonical :class:`~repro.sim.trace.TraceChunk` stream.  Everything
-downstream -- ``TimingPipeline``, the runner's trace cache, the analysis
+downstream -- the timing pipelines, the runner's trace cache, the analysis
 harnesses -- consumes that stream, so backends are interchangeable as long
 as they produce bit-identical chunks (the equivalence suite in
 ``tests/sim/test_backend_equivalence.py`` is the oracle).

@@ -34,6 +34,25 @@ from array import array
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
+from repro.isa.analysis.lattices import (
+    UNKNOWN_WIDTH,
+    WRITES_DEST,
+    const_join,
+    infer_widths,
+    lit_width,
+    make_const_step,
+    make_tz_step,
+    make_width_step,
+    tz_of_int,
+    zapnot_mask,
+)
+from repro.isa.analysis.solver import (
+    BRANCH_CODES,
+    IMPLEMENTED_CODES,
+    block_successors,
+    infer_dataflow,
+    split_blocks,
+)
 from repro.sim.trace import (
     ADDR_TYPECODE,
     SEQ_TYPECODE,
@@ -52,25 +71,27 @@ _MSB = 0x8000000000000000
 #: order); on a big-endian host we delegate to the interpreter instead.
 _LITTLE = sys.byteorder == "little"
 
-#: Register-width lattice top: value may be negative or >= 2**64, so no
-#: mask or sign-handling may be elided.
-_UNKNOWN = 999
-
-#: Opcodes that end a basic block by redirecting control flow.
-_BRANCH_CODES = frozenset({40, 41, 42, 43, 44, 45, 46})
-
-#: Every opcode the interpreter implements (anything else raises).
-_IMPLEMENTED = frozenset(
-    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
-     19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 30, 31, 32, 33, 34, 35, 36,
-     37, 40, 41, 42, 43, 44, 45, 46, 48, 49, 50, 51, 52, 53, 54, 55, 56,
-     57, 58, 59}
-)
-
-#: Opcodes that write a register result (everything but control flow,
-#: stores, SBOXSYNC and HALT).  CMOV writes conditionally but still
-#: needs its destination pinned and written back.
-_WRITES_DEST = _IMPLEMENTED - _BRANCH_CODES - frozenset({0, 34, 35, 36, 37, 58})
+# The elision analyses (basic blocks, width / trailing-zeros / constant
+# lattices) live in the shared framework under ``repro.isa.analysis``;
+# the underscore aliases keep this module's generated-code emitters
+# reading as before.  The transfer functions are consumed here verbatim,
+# so elision decisions -- and every ``CompileReport`` counter -- are
+# exactly what they were when the analyses were defined in this file.
+_UNKNOWN = UNKNOWN_WIDTH
+_BRANCH_CODES = BRANCH_CODES
+_IMPLEMENTED = IMPLEMENTED_CODES
+_WRITES_DEST = WRITES_DEST
+_split_blocks = split_blocks
+_block_successors = block_successors
+_infer_dataflow = infer_dataflow
+_infer_widths = infer_widths
+_lit_width = lit_width
+_zapnot_mask = zapnot_mask
+_tz_of_int = tz_of_int
+_const_join = const_join
+_make_width_step = make_width_step
+_make_tz_step = make_tz_step
+_make_const_step = make_const_step
 
 _LOADS = {30: ("LDQ", 8, 8), 31: ("LDL", 4, 4),
           32: ("LDWU", 2, 2), 33: ("LDBU", 1, 1)}
@@ -380,353 +401,6 @@ def _compile(
         counters=counters,
     )
     return namespace[func_name]
-
-
-def _split_blocks(
-    code: list, target: list, n: int
-) -> "tuple[list[tuple[int, int]], dict[int, int]]":
-    """Basic blocks as (start, end_exclusive) plus leader-pc -> index."""
-    leaders = {0}
-    for i in range(n):
-        if code[i] in _BRANCH_CODES:
-            t = target[i]
-            if 0 <= t < n:
-                leaders.add(t)
-            if i + 1 < n:
-                leaders.add(i + 1)
-    blocks: list[tuple[int, int]] = []
-    for start in sorted(leaders):
-        end = start
-        while True:
-            c = code[end]
-            if c in _BRANCH_CODES or c == 0 or c not in _IMPLEMENTED:
-                end += 1
-                break
-            end += 1
-            if end >= n or end in leaders:
-                break
-        blocks.append((start, end))
-    block_of = {start: k for k, (start, _end) in enumerate(blocks)}
-    return blocks, block_of
-
-
-def _lit_width(value: "int | None") -> "int | None":
-    """Bits needed for a literal; negative literals are unknown-width."""
-    if value is None:
-        return None
-    return value.bit_length() if value >= 0 else _UNKNOWN
-
-
-def _zapnot_mask(sel: int) -> int:
-    return sum(0xFF << (8 * bit) for bit in range(8) if sel & (1 << bit))
-
-
-def _make_width_step(machine: "Machine") -> Callable[[list, int], None]:
-    """Transfer function of the register-width dataflow.
-
-    ``state`` maps register slot -> w such that the value is known to be
-    a non-negative int < 2**w (w <= 64), or ``_UNKNOWN``.  Shared by the
-    fixpoint below and by code emission, so elision decisions always see
-    exactly the widths the analysis proved.
-    """
-    code, dest, src1, src2 = (
-        machine.code, machine.dest, machine.src1, machine.src2,
-    )
-    lit, disp, bsel = machine.lit, machine.disp, machine.bsel
-
-    def step(state: list, i: int) -> None:
-        c = code[i]
-        if c not in _WRITES_DEST:
-            return
-        d = dest[i]
-        w1 = 0 if src1[i] == 31 else state[src1[i]]
-        L = lit[i]
-        lw = _lit_width(L)
-        wb = lw if lw is not None else (
-            0 if src2[i] == 31 else state[src2[i]]
-        )
-        if c == 1:  # ADDQ
-            w = max(w1, wb) + 1 if max(w1, wb) < 64 else 64
-        elif c == 2:  # SUBQ
-            w = 64
-        elif c == 3:  # ADDL
-            w = max(w1, wb) + 1 if max(w1, wb) < 32 else 32
-        elif c == 4:  # SUBL
-            w = 32
-        elif c == 5:  # AND (a >= 0 so result <= a even for negative b)
-            w = min(w1, wb) if wb != _UNKNOWN else w1
-        elif c in (6, 7):  # BIS / XOR
-            w = max(w1, wb)
-        elif c == 8:  # BIC: result <= a
-            w = min(w1, 64)
-        elif c == 9:  # ORNOT
-            w = 64
-        elif c == 10:  # SLL
-            if L is not None and w1 != _UNKNOWN:
-                w = min(w1 + (L & 63), 64)
-            else:
-                w = 64
-        elif c == 11:  # SRL
-            if w1 == _UNKNOWN:
-                w = _UNKNOWN
-            elif L is not None:
-                w = max(w1 - (L & 63), 0)
-            else:
-                w = w1
-        elif c == 12:  # SRA
-            if w1 <= 63:
-                w = max(w1 - (L & 63), 0) if L is not None else w1
-            else:
-                w = 64
-        elif c == 13:  # MULL
-            w1m = min(w1, 32)
-            wbm = (L & M32).bit_length() if L is not None else min(wb, 32)
-            w = min(w1m + wbm, 32)
-        elif c == 14:  # MULQ
-            w = w1 + wb if w1 + wb <= 64 else 64
-        elif c in (15, 16, 17, 18, 19):  # compares
-            w = 1
-        elif c == 20:  # EXTBL
-            w = 8
-        elif c == 21:  # INSBL
-            w = 8 + (L & 7) * 8 if L is not None else 64
-        elif c == 22:  # ZAPNOT
-            if L is not None:
-                w = min(w1, _zapnot_mask(L & 0xFF).bit_length())
-            else:
-                w = min(w1, 64)
-        elif c == 23:  # S4ADDQ
-            m = max(w1 + 2, wb)
-            w = m + 1 if m < 64 else 64
-        elif c == 24:  # S8ADDQ
-            m = max(w1 + 3, wb)
-            w = m + 1 if m < 64 else 64
-        elif c in (25, 26):  # CMOV: may keep the old value
-            w = max(state[d], wb)
-        elif c == 27:  # LDA
-            base = src2[i]
-            dp = disp[i]
-            if base == 31:
-                w = (dp & M64).bit_length()
-            else:
-                wb2 = state[base]
-                if dp == 0:
-                    w = min(wb2, 64)
-                elif wb2 != _UNKNOWN and dp > 0:
-                    m = max(wb2, dp.bit_length())
-                    w = m + 1 if m < 64 else 64
-                else:
-                    w = 64
-        elif c == 28:  # LDIQ
-            w = lw if lw is not None else _UNKNOWN
-        elif c == 30:  # LDQ
-            w = 64
-        elif c in (31, 57):  # LDL / SBOX
-            w = 32
-        elif c == 32:  # LDWU
-            w = 16
-        elif c == 33:  # LDBU
-            w = 8
-        elif c == 48:  # GRPL
-            w = 32
-        elif c == 49:  # GRPQ
-            w = 64
-        elif c in (50, 51, 54, 55):  # ROLL/RORL/ROLXL/RORXL
-            w = 32
-        elif c in (52, 53):  # ROLQ / RORQ
-            w = w1 if (L is not None and not (
-                (L & 63) if c == 52 else ((64 - (L & 63)) & 63))) else 64
-        elif c == 56:  # MULMOD
-            w = 16
-        elif c == 59:  # XBOX
-            w = bsel[i] * 8 + 8
-        else:  # pragma: no cover - _WRITES_DEST covers every case above
-            w = _UNKNOWN
-        state[d] = min(w, _UNKNOWN)
-
-    return step
-
-
-def _block_successors(
-    blocks: "list[tuple[int, int]]", code: list, target: list, n: int
-) -> "list[tuple[int, ...]]":
-    succs: "list[tuple[int, ...]]" = []
-    for start, end in blocks:
-        last = end - 1
-        c = code[last]
-        if c == 0 or c not in _IMPLEMENTED:
-            succs.append(())
-        elif c == 40:
-            succs.append((target[last],) if target[last] < n else ())
-        elif c in _BRANCH_CODES:
-            out = []
-            if target[last] < n:
-                out.append(target[last])
-            if last + 1 < n:
-                out.append(last + 1)
-            succs.append(tuple(out))
-        else:
-            succs.append((end,) if end < n else ())
-    return succs
-
-
-def _infer_dataflow(
-    blocks: "list[tuple[int, int]]",
-    block_of: "dict[int, int]",
-    succs: "list[tuple[int, ...]]",
-    step: Callable[[list, int], None],
-    *,
-    top: int,
-    join: Callable[[int, int], int],
-) -> "list[list[int]]":
-    """Per-block entry states via a monotone worklist fixpoint.
-
-    ``top`` is the no-information value (assumed at the entry block and
-    for unreachable blocks -- machines may be pre-seeded); ``join``
-    merges the states reaching a block so a proved fact is valid on
-    every path.
-    """
-    nb = len(blocks)
-    ins: "list[list[int] | None]" = [None] * nb
-    entry = block_of[0]
-    ins[entry] = [top] * 33
-    work = [entry]
-    while work:
-        k = work.pop()
-        state = list(ins[k])  # type: ignore[arg-type]
-        start, end = blocks[k]
-        for i in range(start, end):
-            step(state, i)
-        for s in succs[k]:
-            j = block_of[s]
-            existing = ins[j]
-            if existing is None:
-                ins[j] = list(state)
-                work.append(j)
-            else:
-                changed = False
-                for r in range(33):
-                    merged = join(state[r], existing[r])
-                    if merged != existing[r]:
-                        existing[r] = merged
-                        changed = True
-                if changed:
-                    work.append(j)
-    return [s if s is not None else [top] * 33 for s in ins]
-
-
-def _infer_widths(
-    blocks: "list[tuple[int, int]]",
-    block_of: "dict[int, int]",
-    succs: "list[tuple[int, ...]]",
-    step: Callable[[list, int], None],
-) -> "list[list[int]]":
-    """Register widths: bigger is less precise, so the join is ``max``."""
-    return _infer_dataflow(blocks, block_of, succs, step, top=64, join=max)
-
-
-def _tz_of_int(value: int) -> int:
-    """Trailing zero bits of a 64-bit value pattern (tz(0) == 64)."""
-    value &= M64
-    if value == 0:
-        return 64
-    return (value & -value).bit_length() - 1
-
-
-def _make_tz_step(machine: "Machine") -> Callable[[list, int], None]:
-    """Transfer function of the register-alignment dataflow.
-
-    ``state`` maps register slot -> t such that the value's low ``t``
-    bits are known to be zero (a lower bound; smaller is less precise).
-    Used to elide alignment checks on load/store addresses.  All rules
-    hold modulo 2**64, so the masked/unmasked distinction of the width
-    lattice is irrelevant here.
-    """
-    code, dest, src1, src2 = (
-        machine.code, machine.dest, machine.src1, machine.src2,
-    )
-    lit, disp = machine.lit, machine.disp
-
-    def step(state: list, i: int) -> None:
-        c = code[i]
-        if c not in _WRITES_DEST:
-            return
-        d = dest[i]
-        s1 = src1[i]
-        t1 = 64 if s1 == 31 else state[s1]
-        L = lit[i]
-        if L is not None:
-            tb = _tz_of_int(L)
-        elif src2[i] == 31:
-            tb = 64
-        else:
-            tb = state[src2[i]]
-        if c in (1, 2, 3, 4):  # add/sub: masking never touches low bits
-            state[d] = min(t1, tb)
-        elif c == 5:  # AND only clears bits
-            state[d] = max(t1, tb)
-        elif c in (6, 7):  # BIS / XOR
-            state[d] = min(t1, tb)
-        elif c in (8, 22):  # BIC / ZAPNOT keep-or-clear source bits
-            state[d] = t1
-        elif c == 10:  # SLL
-            state[d] = min(t1 + (L & 63), 64) if L is not None else t1
-        elif c in (11, 12):  # SRL / SRA
-            state[d] = max(t1 - (L & 63), 0) if L is not None else 0
-        elif c in (13, 14):  # MULL / MULQ
-            state[d] = min(t1 + tb, 64)
-        elif c == 21:  # INSBL: (a & 0xFF) << (s * 8)
-            state[d] = min(t1 + (L & 7) * 8, 64) if L is not None else t1
-        elif c == 23:  # S4ADDQ
-            state[d] = min(t1 + 2, tb)
-        elif c == 24:  # S8ADDQ
-            state[d] = min(t1 + 3, tb)
-        elif c in (25, 26):  # CMOV: old value or the new operand
-            state[d] = min(state[d], tb)
-        elif c == 27:  # LDA
-            dtz = _tz_of_int(disp[i])
-            base = src2[i]
-            state[d] = dtz if base == 31 else min(state[base], dtz)
-        elif c == 28:  # LDIQ
-            state[d] = _tz_of_int(L)
-        else:  # loads, compares, rotates, GRP, XBOX, MULMOD, SBOX...
-            state[d] = 0
-
-    return step
-
-
-def _const_join(a: "int | None", b: "int | None") -> "int | None":
-    return a if a == b else None
-
-
-def _make_const_step(machine: "Machine") -> Callable[[list, int], None]:
-    """Transfer function of the register-constant dataflow.
-
-    ``state`` maps register slot -> the exact value the interpreter
-    would hold (LDIQ stores its literal raw, LDA masks to 64 bits), or
-    ``None`` when unknown.  Only immediate-forming opcodes propagate;
-    everything else conservatively clobbers.  Proved constants fold
-    into operand positions, where CPython's own constant folding then
-    collapses expressions like ``(4096 & -1024)``.
-    """
-    code, dest, src2 = machine.code, machine.dest, machine.src2
-    lit, disp = machine.lit, machine.disp
-
-    def step(state: list, i: int) -> None:
-        c = code[i]
-        if c not in _WRITES_DEST:
-            return
-        d = dest[i]
-        if c == 28:  # LDIQ
-            state[d] = lit[i]
-        elif c == 27:  # LDA
-            base = src2[i]
-            bv = 0 if base == 31 else state[base]
-            state[d] = None if bv is None else (bv + disp[i]) & M64
-        else:
-            state[d] = None
-
-    return step
 
 
 def _generate_source(

@@ -84,7 +84,6 @@ result above -- including the stall account -- is engine-invariant.
 
 from __future__ import annotations
 
-import warnings
 from typing import Protocol, runtime_checkable
 
 from repro.isa.program import Program
@@ -231,33 +230,6 @@ def simulate(
     return stats
 
 
-def TimingPipeline(
-    config: MachineConfig,
-    static: StaticInfo,
-    program: Program,
-    warm_ranges: "list[tuple[int, int]] | None" = None,
-    schedule_range: "tuple[int, int] | None" = None,
-) -> PipelineBase:
-    """Deprecated constructor shim for the pre-engine ``TimingPipeline``.
-
-    The monolithic ``TimingPipeline`` class became the engine architecture
-    (``PipelineBase`` + per-engine subclasses); this shim keeps old
-    constructor calls working by building a ``"generic"``-engine pipeline.
-    Use :func:`make_pipeline` (or :func:`simulate`).  Removal is planned
-    two PRs after the engine split (see ``docs/timing.md``).
-    """
-    warnings.warn(
-        "TimingPipeline(...) is deprecated; use "
-        "repro.sim.timing.make_pipeline(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return make_pipeline(
-        config, static, program,
-        warm_ranges=warm_ranges, schedule_range=schedule_range,
-    )
-
-
 __all__ = [
     "DEFAULT_ENGINE",
     "AttributionState",
@@ -270,7 +242,6 @@ __all__ = [
     "SpecializedEngine",
     "SpecializedPipeline",
     "TimingEngine",
-    "TimingPipeline",
     "engine_names",
     "get_engine",
     "make_pipeline",

@@ -37,7 +37,8 @@ MAX_BLOCK = 64
 class TimingBlock:
     """One straight-line run of static instructions."""
 
-    __slots__ = ("index", "leader", "length", "expect", "branch_end")
+    __slots__ = ("index", "leader", "length", "expect", "branch_end",
+                 "loop_depth")
 
     def __init__(self, index: int, leader: int, length: int,
                  branch_end: bool):
@@ -49,6 +50,10 @@ class TimingBlock:
         #: True when the final instruction is a branch (the block may be
         #: followed by any leader); False for fall-through splits and HALT.
         self.branch_end = branch_end
+        #: Natural-loop nesting depth of the leader (0 = straight-line
+        #: code), filled in by :class:`TimingIR` from the shared analysis
+        #: framework's :class:`~repro.isa.analysis.passes.NaturalLoops`.
+        self.loop_depth = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TimingBlock({self.index}: [{self.leader}.."
@@ -95,6 +100,16 @@ class TimingIR:
                 self.blocks.append(block)
                 self.block_at[start] = block
                 start += length
+
+        # Loop structure rides along from the shared analysis framework
+        # (natural loops over the verifier CFG's back edges).  Imported
+        # lazily: the IR is hot-path sim code and must not pull the
+        # analysis package in unless a program is actually decomposed.
+        from repro.isa.analysis.passes import analyses_for
+
+        loops = analyses_for(program).loops
+        for block in self.blocks:
+            block.loop_depth = loops.depth_of_index(block.leader)
 
 
 def timing_ir(static: StaticInfo, program: Program) -> TimingIR:

@@ -24,7 +24,7 @@ consumes any *trace source* -- an object with ``program`` and ``static``
 attributes and a ``chunks(chunk_size)`` method yielding
 :class:`TraceChunk` objects in trace order.  Both :class:`Trace` (below)
 and the live :class:`~repro.sim.machine.StreamingTrace` generator satisfy
-the protocol, so ``simulate``/``TimingPipeline`` run identically over a
+the protocol, so ``simulate``/``make_pipeline`` run identically over a
 full in-memory trace or a bounded-memory stream straight out of the
 functional machine.  See ``docs/architecture.md``.
 """

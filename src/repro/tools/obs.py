@@ -29,11 +29,13 @@ import json
 
 from repro.kernels import KERNEL_NAMES
 from repro.obs import (
+    ANALYSIS_SCHEMA,
     BENCH_SCHEMA,
     DIFF_SCHEMA,
     EVENTS_SCHEMA,
     LINT_SCHEMA,
     schedule_trace_events,
+    validate_analysis,
     validate_bench,
     validate_bench_history,
     validate_diff,
@@ -132,8 +134,10 @@ def check_file(path: str) -> int:
     object or on JSONL lines) means the benchmark history, a
     ``repro.obs.diff/1`` stamp means a run-comparison report, a
     ``repro.obs.events/1`` stamp on JSONL lines means a run ledger, a
-    ``repro.isa.verify/1`` stamp means a lint report, anything else is
-    checked as Chrome/Perfetto trace events.  Returns 0 iff valid.
+    ``repro.isa.verify/1`` stamp means a lint report, a
+    ``repro.isa.analysis/1`` stamp means a static cost-bound report,
+    anything else is checked as Chrome/Perfetto trace events.  Returns 0
+    iff valid.
     """
     with open(path) as handle:
         if path.endswith(".jsonl"):
@@ -143,6 +147,9 @@ def check_file(path: str) -> int:
     if isinstance(document, dict) \
             and document.get("schema") == LINT_SCHEMA:
         errors, kind = validate_lint(document), "lint"
+    elif isinstance(document, dict) \
+            and document.get("schema") == ANALYSIS_SCHEMA:
+        errors, kind = validate_analysis(document), "analysis"
     elif isinstance(document, dict) \
             and document.get("schema") == BENCH_SCHEMA:
         errors, kind = validate_bench(document), "bench"

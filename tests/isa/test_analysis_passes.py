@@ -1,0 +1,180 @@
+"""The pass manager's program-level analyses (`repro.isa.analysis.passes`).
+
+Natural loops, the memory-interval alias pass over the ``disp(r31)``
+scratch idiom and aliased SBOX rows, SBOX pointer taint, the
+``ProgramArrays`` bridge, and the loop depths the timing IR surfaces.
+"""
+
+from repro.isa import Features, Imm, KernelBuilder, assemble
+from repro.isa import opcodes as op
+from repro.isa.analysis.passes import (
+    ProgramAnalyses,
+    _CACHE_LIMIT,
+    analyses_for,
+    taint_step,
+)
+
+LOOP = """
+    ldiq r1, 4
+    ldiq r2, 0
+loop:
+    addq r2, r2, #1
+    subq r1, r1, #1
+    bne  r1, loop
+    stl  r2, 0x100(r31)
+    halt
+"""
+
+NESTED = """
+    ldiq r1, 2
+outer:
+    ldiq r2, 2
+inner:
+    subq r2, r2, #1
+    bne  r2, inner
+    subq r1, r1, #1
+    bne  r1, outer
+    halt
+"""
+
+
+# -- natural loops ----------------------------------------------------------
+
+def test_natural_loops_depth_of_simple_loop():
+    loops = ProgramAnalyses(assemble(LOOP)).loops
+    assert loops.depth_of_index(0) == 0       # preamble
+    assert loops.depth_of_index(2) == 1       # loop body
+    assert loops.depth_of_index(4) == 1       # the back-edge branch
+    assert loops.depth_of_index(5) == 0       # loop exit
+
+
+def test_natural_loops_nest_depths():
+    loops = ProgramAnalyses(assemble(NESTED)).loops
+    assert loops.depth_of_index(0) == 0
+    assert loops.depth_of_index(1) == 1       # outer header
+    assert loops.depth_of_index(2) == 2       # inner body
+    assert loops.depth_of_index(3) == 2
+    assert loops.depth_of_index(4) == 1       # outer tail
+    assert loops.depth_of_index(6) == 0
+
+
+def test_timing_ir_blocks_carry_loop_depth():
+    from repro.sim import Machine, Memory
+    from repro.sim.timing.ir import timing_ir
+
+    program = assemble(LOOP)
+    trace = Machine(program, Memory(1 << 12)).execute().trace
+    ir = timing_ir(trace.static, program)
+    depths = {block.leader: block.loop_depth for block in ir.blocks}
+    assert depths[0] == 0
+    assert depths[2] == 1
+    assert depths[5] == 0
+
+
+def test_timing_ir_loop_depth_on_a_real_kernel():
+    from repro.kernels.registry import make_kernel
+    from repro.sim.timing.ir import timing_ir
+
+    kernel = make_kernel("RC4", features=Features.OPT)
+    run = kernel.encrypt(bytes(32))
+    ir = timing_ir(run.trace.static, run.trace.program)
+    assert max(block.loop_depth for block in ir.blocks) >= 1
+
+
+# -- the memory-interval alias pass -----------------------------------------
+
+def test_memory_facts_prove_disp_r31_intervals():
+    memory = ProgramAnalyses(assemble("""
+        stq  r1, 0x800(r31)
+        ldl  r2, 0x804(r31)
+        ldq  r3, 0x900(r31)
+        ldiq r4, 0x1000
+        stl  r2, 8(r4)
+        halt
+    """)).memory
+    assert memory.intervals[0] == (0x800, 0x808)
+    assert memory.intervals[1] == (0x804, 0x808)
+    assert memory.intervals[2] == (0x900, 0x908)
+    assert memory.intervals[4] == (0x1008, 0x100C)   # LDIQ-derived base
+    assert memory.may_alias(0, 1)                    # store covers the load
+    assert memory.disjoint(0, 2)
+    assert memory.disjoint(1, 2)
+
+
+def test_memory_facts_unproved_base_aliases_everything():
+    memory = ProgramAnalyses(assemble("""
+        stq r1, 0x800(r31)
+        ldq r5, 0(r6)
+        halt
+    """)).memory
+    assert memory.intervals[1] is None
+    assert memory.may_alias(0, 1)
+    assert not memory.disjoint(0, 1)
+
+
+def test_memory_facts_aliased_sbox_rows():
+    kb = KernelBuilder(Features.OPT)
+    base, idx, d = kb.regs("base", "idx", "d")
+    kb.ldiq(base, 0x1000)
+    kb.ldiq(idx, 3)
+    kb.sbox(d, base, idx, 0, 1, aliased=True)   # 2: exact entry
+    kb.ldq(idx, kb.zero, 0x800)                 # 3: index no longer const
+    kb.sbox(d, base, idx, 0, 1, aliased=True)   # 4: whole table row
+    kb.sbox(d, base, idx, 0, 1)                 # 5: non-aliased, no fact
+    kb.stq(d, kb.zero, 0x2000)                  # 6: outside the row
+    kb.halt()
+    memory = ProgramAnalyses(kb.build()).memory
+    assert memory.intervals[2] == (0x100C, 0x1010)   # 0x1000 | (3 << 2)
+    assert memory.intervals[4] == (0x1000, 0x1400)
+    assert memory.intervals[5] is None
+    assert memory.disjoint(4, 6)                     # row vs scratch store
+    assert memory.may_alias(2, 4)                    # entry inside the row
+
+
+# -- SBOX pointer taint -----------------------------------------------------
+
+def test_taint_seeds_the_sbox_base_definition():
+    kb = KernelBuilder(Features.OPT)
+    base, idx, d = kb.regs("base", "idx", "d")
+    kb.ldiq(base, 0x1000)                       # 0: the only base def
+    kb.ldiq(idx, 3)
+    kb.sbox(d, base, idx, 0, 7)
+    kb.halt()
+    _block_in, seeds = ProgramAnalyses(kb.build()).taint
+    assert seeds == {0: {7}}
+
+
+def test_taint_step_propagates_through_pointer_ops_and_kills_on_load():
+    kb = KernelBuilder(Features.OPT)
+    base, derived = kb.regs("base", "derived")
+    kb.ldiq(base, 0x1000)
+    kb.addq(derived, base, Imm(0x40))
+    kb.ldq(derived, kb.zero, 0x800)
+    kb.halt()
+    program = kb.build()
+    instructions = program.instructions
+    add_index = next(
+        i for i, ins in enumerate(instructions) if ins.code == op.ADDQ
+    )
+    load_index = next(
+        i for i, ins in enumerate(instructions) if ins.code == op.LDQ
+    )
+    base_reg = instructions[add_index].src1
+    derived_reg = instructions[add_index].dest
+
+    state = {base_reg: frozenset({7})}
+    taint_step(instructions[add_index], add_index, state, {})
+    assert state[derived_reg] == frozenset({7})  # address arithmetic carries
+
+    taint_step(instructions[load_index], load_index, state, {})
+    assert derived_reg not in state              # loads yield contents
+
+
+# -- the analyses_for cache -------------------------------------------------
+
+def test_analyses_for_evicts_least_recently_used():
+    program = assemble("ldiq r1, 99\n    halt")
+    first = analyses_for(program)
+    for value in range(_CACHE_LIMIT):
+        analyses_for(assemble(f"ldiq r1, {1000 + value}\n    halt"))
+    assert analyses_for(program) is not first

@@ -304,3 +304,140 @@ def test_builder_verify_hook_threshold():
 def test_assembler_rejects_unknown_verify_threshold():
     with pytest.raises(ValueError, match="unknown severity"):
         assemble("halt", verify="fatal")
+
+
+# --------------------------------------------------------------------- #
+# Lattice-backed lints (value range, width, store forwarding)
+# --------------------------------------------------------------------- #
+
+def test_value_range_register_amount_overflow():
+    # r1 provably holds 100 > 63, used as a register shift amount.
+    result = verify_program(assemble("""
+        ldiq r1, 100
+        ldiq r2, 1
+        sll  r3, r2, r1
+        stl  r3, 0x100(r31)
+        halt
+    """))
+    (d,) = diags(result, "value-range")
+    assert (d.severity, d.index) == ("warning", 2)
+    assert (d.detail["reg"], d.detail["lo"], d.detail["mask"]) == (1, 100, 63)
+
+
+def test_value_range_silent_when_amount_fits():
+    result = verify_program(assemble("""
+        ldiq r1, 13
+        ldiq r2, 1
+        sll  r3, r2, r1
+        stl  r3, 0x100(r31)
+        halt
+    """))
+    assert diags(result, "value-range") == []
+
+
+def test_width_trunc_widening_at_join():
+    # Fall-through path widens r1 to 41 bits; the join keeps the maximum,
+    # so the 32-bit rotate after the join provably truncates.
+    result = verify_program(assemble("""
+        ldiq r1, 1
+        ldiq r4, 0
+        beq  r4, wide
+        sll  r1, r1, #40
+    wide:
+        roll r2, r1, #3
+        stl  r2, 0x100(r31)
+        halt
+    """))
+    (d,) = diags(result, "width-trunc")
+    assert (d.severity, d.index) == ("warning", 4)
+    assert (d.detail["reg"], d.detail["width"]) == (1, 41)
+
+
+def test_width_trunc_silent_on_narrow_operand():
+    result = verify_program(assemble("""
+        ldiq r1, 7
+        roll r2, r1, #3
+        stl  r2, 0x100(r31)
+        halt
+    """))
+    assert diags(result, "width-trunc") == []
+
+
+def test_store_forward_partial_overlap():
+    # The 8-byte load starts 4 bytes into the 8-byte store: the queue
+    # entry covers only half the load.
+    result = verify_program(assemble("""
+        ldiq r1, 77
+        stq  r1, 0x800(r31)
+        ldq  r2, 0x804(r31)
+        stl  r2, 0x900(r31)
+        halt
+    """))
+    (d,) = diags(result, "store-forward")
+    assert (d.severity, d.index, d.detail["store"]) == ("warning", 2, 1)
+    assert d.detail["load_bytes"] == [0x804, 0x80C]
+    assert d.detail["store_bytes"] == [0x800, 0x808]
+
+
+def test_store_forward_contained_load_is_silent():
+    result = verify_program(assemble("""
+        ldiq r1, 77
+        stq  r1, 0x800(r31)
+        ldl  r2, 0x800(r31)
+        stl  r2, 0x900(r31)
+        halt
+    """))
+    assert diags(result, "store-forward") == []
+
+
+def test_store_forward_distance_ages_out_of_the_queue():
+    # 32 younger stores separate the producing store from its load: the
+    # entry can leave the smallest shipped (32-entry) store queue.
+    filler = "\n".join(
+        f"stq r1, {0xA00 + 8 * k:#x}(r31)" for k in range(32)
+    )
+    result = verify_program(assemble(f"""
+        ldiq r1, 77
+        stq  r1, 0x800(r31)
+        {filler}
+        ldq  r2, 0x800(r31)
+        stl  r2, 0x900(r31)
+        halt
+    """))
+    (d,) = diags(result, "store-forward")
+    assert (d.severity, d.index) == ("warning", 34)
+    assert (d.detail["store"], d.detail["distance"]) == (1, 32)
+
+
+def test_store_forward_unknown_store_vetoes():
+    # The intervening store through an unproved pointer could re-cover
+    # the load, so no diagnostic may fire.
+    result = verify_program(assemble("""
+        ldiq r1, 77
+        ldq  r3, 0xC00(r31)
+        stq  r1, 0x800(r31)
+        stq  r1, 0(r3)
+        ldq  r2, 0x804(r31)
+        stl  r2, 0x900(r31)
+        halt
+    """))
+    assert diags(result, "store-forward") == []
+
+
+def test_store_forward_aliased_sbox_base_store():
+    # A byte store into the proved SBOX entry the aliased read consumes:
+    # 1 byte cannot forward a 4-byte table entry.
+    kb = KernelBuilder(Features.OPT)
+    base, idx, out, val = kb.regs("base", "idx", "out", "val")
+    kb.ldiq(base, 0x1000)
+    kb.ldiq(idx, 3)
+    kb.ldiq(val, 99)
+    kb.stb(val, base, 13)                   # one byte of entry [0x100C,0x1010)
+    kb.sbox(out, base, idx, 0, 0, aliased=True)
+    kb.stl(out, kb.zero, 0x900)
+    kb.halt()
+    result = verify_program(kb.build())
+    (d,) = diags(result, "store-forward")
+    assert (d.severity, d.index, d.detail["store"]) == ("warning", 4, 3)
+    assert d.detail["load_bytes"] == [0x100C, 0x1010]
+    assert d.detail["store_bytes"] == [0x100D, 0x100E]

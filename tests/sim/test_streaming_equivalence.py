@@ -1,6 +1,6 @@
 """Streaming and materialized timing simulation are bit-identical.
 
-The TimingPipeline carries its scheduler, memory-order and attribution
+The timing pipeline carries its scheduler, memory-order and attribution
 state across chunk boundaries, so the chunk size is purely an execution
 detail: every cipher on every machine must produce the same ``SimStats``
 -- cycles, the 13-category slot account, and the hot-spot table -- for

@@ -5,12 +5,9 @@ its entire value rests on producing *exactly* the SimStats the
 ``"generic"`` engine produces -- cycles, the 13-category slot account,
 wait-cycle totals, and the hot-spot table -- for every cipher, machine
 model, and chunking.  These tests pin that contract, the engine
-registry's uniform error shape, the ``TimingPipeline`` deprecation shim,
-the ``schedule_range`` fallback, and the specialization report/cache
-surfaces.
+registry's uniform error shape, the ``schedule_range`` fallback, and the
+specialization report/cache surfaces.
 """
-
-import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -23,7 +20,6 @@ from repro.sim import DATAFLOW, EIGHTW_PLUS, FOURW, Machine, Memory
 from repro.sim.backends import get_backend
 from repro.sim.timing import (
     DEFAULT_ENGINE,
-    TimingPipeline,
     engine_names,
     get_engine,
     make_pipeline,
@@ -125,34 +121,18 @@ def test_registries_share_one_error_shape():
         get_backend("nope")
 
 
-# -- deprecation shim -------------------------------------------------------
-
 def _small_run():
     return make_kernel("RC4").encrypt(bytes(64))
 
 
-def test_timing_pipeline_shim_warns_and_matches_make_pipeline():
-    run = _small_run()
-    trace = run.trace
-    reference = _stats(run, FOURW, None)
-    with pytest.warns(DeprecationWarning, match="make_pipeline"):
-        pipeline = TimingPipeline(FOURW, trace.static, trace.program,
-                                  warm_ranges=run.warm_ranges)
-    for chunk in trace.chunks(None):
-        pipeline.feed(chunk)
-    assert pipeline.finish() == reference
-
-
-def test_timing_pipeline_shim_warns_exactly_once_per_call():
-    run = _small_run()
-    trace = run.trace
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        TimingPipeline(FOURW, trace.static, trace.program)
-    deprecations = [warning for warning in caught
-                    if issubclass(warning.category, DeprecationWarning)]
-    assert len(deprecations) == 1
-    assert "deprecated" in str(deprecations[0].message)
+def test_timing_pipeline_shim_is_gone():
+    """The pre-engine ``TimingPipeline`` shim was removed on schedule;
+    ``make_pipeline``/``simulate`` are the only constructors."""
+    import repro.sim
+    import repro.sim.timing
+    assert not hasattr(repro.sim.timing, "TimingPipeline")
+    assert not hasattr(repro.sim, "TimingPipeline")
+    assert "TimingPipeline" not in repro.sim.timing.__all__
 
 
 # -- schedule_range fallback ------------------------------------------------
